@@ -1,0 +1,48 @@
+// Ablation: down-sampled input size l_s (Sec. 3.4.1).
+//
+// The paper tunes l_s and settles on 128 as "a nice balance between
+// accuracy and speed" for 1.2um contest clips. We sweep the CI-scale
+// equivalents: coarser images are faster but destroy the pixels that
+// distinguish printable from failing geometry, so accuracy falls off below
+// a knee. (At our 1024nm clips, 32px leaves the critical dimensions 2-4px
+// wide — the same regime as the paper's choice.)
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/bnn_detector.h"
+#include "dataset/generator.h"
+#include "eval/evaluation.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hotspot;
+  bench::print_header(
+      "Ablation: input image size l_s",
+      "l_s = 128 'achieves a nice balance between accuracy and speed' "
+      "(Sec. 3.4.1)");
+
+  util::Table table({"l_s", "Accu (%)", "FA#", "Train (s)", "Runtime (s)"});
+  for (const long ls : {8L, 16L, 32L}) {
+    const dataset::Benchmark data = dataset::generate_benchmark(
+        dataset::iccad2012_config(bench::bench_scale(), ls));
+    core::BnnDetectorConfig config = core::BnnDetectorConfig::compact(ls);
+    core::BnnHotspotDetector detector(config);
+    util::Rng rng(5);
+    const eval::EvaluationRow row =
+        eval::evaluate_detector(detector, data.train, data.test, rng);
+    table.add_row({std::to_string(ls),
+                   util::format_double(row.matrix.accuracy() * 100.0, 1),
+                   util::format_count(row.matrix.false_alarm()),
+                   util::format_double(row.train_seconds, 1),
+                   util::format_double(row.eval_seconds, 2)});
+    std::printf("  finished l_s = %ld\n", ls);
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf("Expected shape: below the knee the critical dimensions "
+              "vanish and classification degenerates (flag-everything -> "
+              "huge FA#, or miss-everything -> low Accu); at the knee the "
+              "detector balances both while runtime grows ~l_s^2. The "
+              "paper's tuning chose l_s = 128 for the same reason.\n");
+  return 0;
+}

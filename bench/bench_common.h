@@ -1,0 +1,39 @@
+// Shared knobs for the bench harnesses.
+//
+// The paper's numbers come from the full ICCAD-2012 benchmark (34k clips,
+// 128px inputs) on a GTX 1060; this repository reproduces the *shape* of
+// each result at a CI scale that finishes on a 1-core CPU in minutes.
+// HOTSPOT_BENCH_SCALE (fraction of Table-2 sample counts) and
+// HOTSPOT_BENCH_LS (clip image resolution) can be raised for closer runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hotspot::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+inline long env_long(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atol(value) : fallback;
+}
+
+inline double bench_scale() { return env_double("HOTSPOT_BENCH_SCALE", 0.05); }
+inline long bench_image_size() { return env_long("HOTSPOT_BENCH_LS", 32); }
+
+inline void print_header(const char* experiment, const char* paper_result) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper reports: %s\n", paper_result);
+  std::printf("Scale: %.3f of Table-2 counts, l_s = %ld (override with\n",
+              bench_scale(), bench_image_size());
+  std::printf("HOTSPOT_BENCH_SCALE / HOTSPOT_BENCH_LS).\n");
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace hotspot::bench

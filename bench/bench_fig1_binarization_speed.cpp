@@ -1,0 +1,103 @@
+// Fig. 1: real-valued vs binarized networks.
+//
+// The figure contrasts 32-bit float weights/activations with 1-bit ones.
+// This bench measures the two consequences at matched convolution shapes:
+//   * arithmetic: float conv vs packed XNOR-popcount conv throughput,
+//     swept over channel width (the ratio grows with width; the paper's 8x
+//     lives in the wide-layer regime of its 12-layer network), and
+//   * storage: 32x weight compression.
+// Both input-scaling variants are measured: the paper's per-channel alpha_T
+// (Eq. 14) and XNOR-Net's scalar alpha.
+#include <benchmark/benchmark.h>
+
+#include "bitops/bit_matrix.h"
+#include "core/binary_conv.h"
+#include "nn/conv_layer.h"
+#include "tensor/conv.h"
+
+namespace {
+
+using namespace hotspot;
+
+constexpr std::int64_t kSpatial = 16;
+
+tensor::Tensor make_input(std::int64_t channels) {
+  util::Rng rng(7);
+  return tensor::Tensor::normal({1, channels, kSpatial, kSpatial}, rng, 0.0f,
+                                1.0f);
+}
+
+void BM_FloatConv(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  util::Rng rng(1);
+  nn::Conv2d conv(channels, channels, 3, 1, 1, false, rng);
+  conv.set_training(false);
+  const tensor::Tensor x = make_input(channels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * channels * channels * 9 *
+                          kSpatial * kSpatial);
+}
+
+void BM_BinaryConvPerChannel(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  util::Rng rng(1);
+  core::BinaryConv2d conv(channels, channels, 3, 1, 1,
+                          bitops::InputScaling::kPerChannel, rng);
+  conv.set_training(false);
+  conv.set_backend(core::Backend::kPacked);
+  const tensor::Tensor x = make_input(channels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * channels * channels * 9 *
+                          kSpatial * kSpatial);
+}
+
+void BM_BinaryConvScalar(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  util::Rng rng(1);
+  core::BinaryConv2d conv(channels, channels, 3, 1, 1,
+                          bitops::InputScaling::kScalar, rng);
+  conv.set_training(false);
+  conv.set_backend(core::Backend::kPacked);
+  const tensor::Tensor x = make_input(channels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * channels * channels * 9 *
+                          kSpatial * kSpatial);
+}
+
+void BM_WeightStorage(benchmark::State& state) {
+  // Model-size side of Fig. 1: bytes for one conv layer's weights.
+  const std::int64_t channels = state.range(0);
+  util::Rng rng(1);
+  const tensor::Tensor w =
+      tensor::Tensor::normal({channels, channels, 3, 3}, rng, 0.0f, 1.0f);
+  std::int64_t packed_bytes = 0;
+  for (auto _ : state) {
+    const bitops::BitMatrix packed = bitops::pack_filters(w);
+    packed_bytes = packed.storage_bytes();
+    benchmark::DoNotOptimize(packed_bytes);
+  }
+  state.counters["float_bytes"] =
+      static_cast<double>(w.numel() * static_cast<std::int64_t>(sizeof(float)));
+  state.counters["packed_bytes"] = static_cast<double>(packed_bytes);
+  state.counters["compression"] =
+      static_cast<double>(w.numel() * static_cast<std::int64_t>(sizeof(float))) /
+      static_cast<double>(packed_bytes);
+}
+
+}  // namespace
+
+BENCHMARK(BM_FloatConv)->Arg(16)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BinaryConvPerChannel)->Arg(16)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BinaryConvScalar)->Arg(16)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WeightStorage)->Arg(64)->Arg(256);
+
+BENCHMARK_MAIN();

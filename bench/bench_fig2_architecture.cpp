@@ -1,0 +1,105 @@
+// Fig. 2: the redesigned 12-layer binarized residual network.
+//
+// Prints the architecture table of the paper-scale configuration (layer
+// structure, output shapes, parameter counts — including the 1x1 binary
+// convolutions on shape-changing shortcuts), then times each top-level
+// stage of the CI-scale instance under both execution backends.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/brnn.h"
+#include "core/cost_model.h"
+#include "nn/sequential.h"
+#include "tensor/tensor_ops.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hotspot;
+  bench::print_header(
+      "Fig. 2: BRNN architecture",
+      "12 weight layers derived from ResNet-18; all convolutions binary; "
+      "1x1 binary conv blocks on shape-changing shortcuts");
+
+  // Paper-scale structure (128px inputs). Building the model is cheap; we
+  // only trace shapes, not run the 128px forward on 1 CPU core.
+  util::Rng rng(1);
+  const core::BrnnConfig paper_config = core::BrnnConfig::paper();
+  core::BrnnModel paper_model(paper_config, rng);
+  std::printf("Paper-scale configuration (%lld weight layers on the main "
+              "path, %lld binary convolutions total, %s input scaling):\n\n",
+              static_cast<long long>(paper_config.main_path_layer_count()),
+              static_cast<long long>(paper_model.binary_convs().size()),
+              bitops::to_string(paper_config.scaling));
+  util::Table structure({"#", "Stage", "Parameters"});
+  const auto layers = paper_model.architecture();
+  std::int64_t total_params = 0;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const std::int64_t params = paper_model.net().at(i).parameter_count();
+    total_params += params;
+    structure.add_row({std::to_string(i), layers[i],
+                       util::format_count(params)});
+  }
+  std::printf("%s", structure.to_string().c_str());
+  std::printf("Total trainable parameters: %s (binary deployment stores "
+              "conv weights as 1 bit each)\n\n",
+              util::format_count(total_params).c_str());
+
+  // Analytic per-layer cost of the paper-scale network: the 32-bit vs 1-bit
+  // contrast of Fig. 1 applied to this architecture.
+  const core::NetworkCost cost = core::network_cost(paper_config);
+  util::Table ops({"Binary conv", "float MACs", "packed word ops",
+                   "packed float ops"});
+  for (const auto& layer : cost.layers) {
+    ops.add_row({layer.name, util::format_count(layer.float_macs),
+                 util::format_count(layer.packed_word_ops),
+                 util::format_count(layer.packed_float_ops)});
+  }
+  std::printf("%s", ops.to_string().c_str());
+  std::printf("Network totals: %s float MACs vs %s word + %s float ops "
+              "packed -> %.1fx arithmetic reduction, %.1fx weight storage "
+              "reduction\n\n",
+              util::format_count(cost.float_macs).c_str(),
+              util::format_count(cost.packed_word_ops).c_str(),
+              util::format_count(cost.packed_float_ops).c_str(),
+              cost.arithmetic_reduction(), cost.storage_reduction());
+
+  // Per-stage latency of the CI-scale instance.
+  const auto ls = bench::bench_image_size();
+  util::Rng rng2(2);
+  core::BrnnModel model(core::BrnnConfig::compact(ls), rng2);
+  model.set_training(false);
+  util::Rng data_rng(3);
+  const tensor::Tensor x =
+      tensor::Tensor::uniform({8, 1, ls, ls}, data_rng, 0.0f, 1.0f);
+
+  util::Table latency({"Stage", "Output shape", "float-sim (ms)",
+                       "packed (ms)", "speedup"});
+  std::vector<double> float_ms;
+  std::vector<std::string> shapes;
+  for (const auto backend : {core::Backend::kFloatSim, core::Backend::kPacked}) {
+    model.set_backend(backend);
+    tensor::Tensor current = x;
+    model.forward(x);  // warm caches
+    current = x;
+    for (std::size_t i = 0; i < model.net().size(); ++i) {
+      util::Stopwatch timer;
+      current = model.net().at(i).forward(current);
+      const double ms = timer.milliseconds();
+      if (backend == core::Backend::kFloatSim) {
+        float_ms.push_back(ms);
+        shapes.push_back(tensor::shape_to_string(current.shape()));
+      } else {
+        latency.add_row({model.net().at(i).name(), shapes[i],
+                         util::format_double(float_ms[i], 2),
+                         util::format_double(ms, 2),
+                         util::format_double(ms > 0 ? float_ms[i] / ms : 0.0,
+                                             1) + "x"});
+      }
+    }
+  }
+  std::printf("Per-stage forward latency, CI-scale model, batch 8 at %ldpx:\n%s",
+              ls, latency.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Table 2: ICCAD-2012 merged benchmark statistics.
+//
+// Regenerates the benchmark (scaled) and prints the paper's row next to the
+// generated counts, plus the per-family / per-defect structure that defines
+// the synthetic substitute (DESIGN.md).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dataset/generator.h"
+#include "litho/simulator.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hotspot;
+  bench::print_header(
+      "Table 2: benchmark statistics",
+      "ICCAD merged: 1204/17096 train HS/NHS, 2524/13503 test HS/NHS");
+
+  const double scale = bench::bench_scale();
+  dataset::BenchmarkConfig config =
+      dataset::iccad2012_config(scale, bench::bench_image_size());
+  util::Stopwatch timer;
+  const dataset::Benchmark bench_data = dataset::generate_benchmark(config);
+  const double gen_seconds = timer.seconds();
+
+  util::Table table(
+      {"Benchmark", "#Train HS", "#Train NHS", "#Test HS", "#Test NHS"});
+  table.add_row({"ICCAD (paper)", "1,204", "17,096", "2,524", "13,503"});
+  table.add_row({"Synthetic (this run)",
+                 util::format_count(bench_data.train.stats().hotspots),
+                 util::format_count(bench_data.train.stats().non_hotspots),
+                 util::format_count(bench_data.test.stats().hotspots),
+                 util::format_count(bench_data.test.stats().non_hotspots)});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Generated in %.1f s (%.2f ms/labelled clip).\n\n", gen_seconds,
+              1e3 * gen_seconds /
+                  static_cast<double>(bench_data.train.size() +
+                                      bench_data.test.size()));
+
+  // Family composition: the train/test distribution shift that stands in
+  // for the contest's unseen patterns.
+  util::Table family_table({"Family", "Train HS", "Train NHS", "Test HS",
+                            "Test NHS"});
+  const auto train_families = bench_data.train.stats_by_family();
+  const auto test_families = bench_data.test.stats_by_family();
+  for (int f = 0; f < dataset::kFamilyCount; ++f) {
+    family_table.add_row(
+        {dataset::to_string(static_cast<dataset::Family>(f)),
+         util::format_count(train_families[static_cast<std::size_t>(f)].hotspots),
+         util::format_count(
+             train_families[static_cast<std::size_t>(f)].non_hotspots),
+         util::format_count(test_families[static_cast<std::size_t>(f)].hotspots),
+         util::format_count(
+             test_families[static_cast<std::size_t>(f)].non_hotspots)});
+  }
+  std::printf("%s\n", family_table.to_string().c_str());
+
+  // Defect-mechanism mix of the hotspot class, from re-simulating fresh
+  // candidates (the stored dataset keeps only labels).
+  const litho::Simulator simulator(config.litho);
+  util::Rng rng(123);
+  int bridge = 0, open = 0, pinch = 0, neck = 0, hotspots = 0;
+  const int candidates = 600;
+  for (int i = 0; i < candidates; ++i) {
+    const auto family = static_cast<dataset::Family>(i % dataset::kFamilyCount);
+    layout::Clip clip{
+        dataset::generate_pattern(family, config.pattern, rng),
+        config.pattern.clip_nm};
+    if (clip.pattern.empty()) {
+      continue;
+    }
+    const auto result = simulator.simulate(clip);
+    if (result.is_hotspot()) {
+      ++hotspots;
+      bridge += result.defects.bridge ? 1 : 0;
+      open += result.defects.open ? 1 : 0;
+      pinch += result.defects.pinch ? 1 : 0;
+      neck += result.defects.necking ? 1 : 0;
+    }
+  }
+  std::printf("Raw candidate hotspot rate: %.1f%% (%d / %d)\n",
+              100.0 * hotspots / candidates, hotspots, candidates);
+  std::printf("Defect mechanisms among hotspots: bridge %d, open %d, "
+              "pinch %d, necking %d\n",
+              bridge, open, pinch, neck);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Table 3: performance comparison with state-of-the-art hotspot detectors.
+//
+// Trains all four methods on the synthetic ICCAD-2012-like benchmark and
+// prints the paper's table followed by the measured one. Expected shape:
+// accuracy ordering SPIE'15 << ICCAD'16 < DAC'17 < Ours; ours the most
+// accurate with a competitive false-alarm count. Absolute runtimes are CPU
+// (the paper used a GTX 1060); the binarization speedup itself is measured
+// at matched shapes in bench_fig1 and as the packed-vs-float model ratio
+// printed at the end.
+#include <cstdio>
+
+#include "baselines/adaboost_detector.h"
+#include "baselines/dct_cnn.h"
+#include "baselines/online_learner.h"
+#include "bench_common.h"
+#include "core/bnn_detector.h"
+#include "dataset/generator.h"
+#include "eval/evaluation.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace hotspot;
+  bench::print_header(
+      "Table 3: detector comparison",
+      "SPIE'15 84.2%/2919FA, ICCAD'16 97.7%/4497FA, DAC'17 98.2%/3413FA, "
+      "Ours 99.2%/2787FA (8x faster runtime than DAC'17)");
+
+  const auto ls = bench::bench_image_size();
+  dataset::BenchmarkConfig config =
+      dataset::iccad2012_config(bench::bench_scale(), ls);
+  const dataset::Benchmark data = dataset::generate_benchmark(config);
+  std::printf("Benchmark: %zu train / %zu test clips at %ldpx\n\n",
+              data.train.size(), data.test.size(), ls);
+
+  util::Rng rng(2025);
+  std::vector<eval::EvaluationRow> rows;
+  auto run = [&](eval::Detector& detector) {
+    util::Stopwatch timer;
+    rows.push_back(eval::evaluate_detector(detector, data.train, data.test, rng));
+    std::printf("  %-24s trained %.1fs, evaluated %.2fs\n",
+                rows.back().method.c_str(), rows.back().train_seconds,
+                rows.back().eval_seconds);
+  };
+
+  baselines::AdaBoostDetector spie{baselines::AdaBoostDetectorConfig{}};
+  run(spie);
+  baselines::OnlineLearnerDetector iccad{baselines::OnlineLearnerConfig{}};
+  run(iccad);
+  baselines::DctCnnDetector dac17{baselines::DctCnnConfig::compact(ls)};
+  run(dac17);
+  core::BnnDetectorConfig bnn_config = core::BnnDetectorConfig::compact(ls);
+  // The comparison uses a slightly wider/longer-trained instance than the
+  // CI default: BNN training at a few hundred samples is noisy, and the
+  // paper's network is far wider still.
+  bnn_config.model.stem_filters = 16;
+  bnn_config.model.block_filters = {16, 32, 64};
+  bnn_config.trainer.epochs = 15;
+  core::BnnHotspotDetector ours(bnn_config);
+  run(ours);
+
+  std::printf("\nPaper (full ICCAD-2012 benchmark, GTX 1060):\n");
+  util::Table paper({"Method", "FA#", "Runtime (s)", "ODST (s)", "Accu (%)"});
+  paper.add_row({"SPIE'15", "2,919", "2672", "53112", "84.2"});
+  paper.add_row({"ICCAD'16", "4,497", "1052", "70628", "97.7"});
+  paper.add_row({"DAC'17", "3,413", "482", "59402", "98.2"});
+  paper.add_row({"Ours", "2,787", "60", "52970", "99.2"});
+  std::printf("%s\n", paper.to_string().c_str());
+
+  std::printf("Measured (this run):\n%s\n",
+              eval::comparison_table(rows).to_string().c_str());
+
+  // The binarization speedup on the trained model itself: identical
+  // network, float-sim arithmetic vs packed XNOR-popcount.
+  auto& model = ours.model();
+  model.set_training(false);
+  const auto indices = data.test.all_indices();
+  const std::vector<std::size_t> head(
+      indices.begin(),
+      indices.begin() + std::min<std::size_t>(indices.size(), 64));
+  const tensor::Tensor images = data.test.batch_images(head);
+  auto time_backend = [&](core::Backend backend) {
+    model.set_backend(backend);
+    model.forward(images);  // warm-up / cache packing
+    util::Stopwatch timer;
+    model.forward(images);
+    return timer.seconds();
+  };
+  const double float_s = time_backend(core::Backend::kFloatSim);
+  const double packed_s = time_backend(core::Backend::kPacked);
+  std::printf("Same-model inference, %zu clips: float-sim %.3fs, packed "
+              "XNOR-popcount %.3fs -> %.1fx\n",
+              head.size(), float_s, packed_s, float_s / packed_s);
+  std::printf("(Channel widths here are CI-scale %lld-%lld; bench_fig1 shows "
+              "the ratio growing with width toward the paper's regime.)\n",
+              static_cast<long long>(bnn_config.model.stem_filters),
+              static_cast<long long>(bnn_config.model.block_filters.back()));
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Deployment: load a trained checkpoint (from ./quickstart) into a fresh
+// model, switch it to the packed XNOR-popcount engine, and classify clips —
+// the workflow of shipping the detector into a physical-verification flow.
+//
+//   ./examples/quickstart && ./examples/deploy_inference quickstart_model.bin
+#include <cstdio>
+
+#include "core/brnn.h"
+#include "dataset/generator.h"
+#include "nn/serialize.h"
+#include "tensor/tensor_ops.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace hotspot;
+  const char* path = argc > 1 ? argv[1] : "quickstart_model.bin";
+  constexpr std::int64_t kImageSize = 32;
+
+  // The checkpoint format is strict about architecture, so construct the
+  // same configuration quickstart trained.
+  util::Rng rng(0);
+  core::BrnnModel model(core::BrnnConfig::compact(kImageSize), rng);
+  if (!nn::load_checkpoint(path, model)) {
+    std::printf("Could not load %s — run ./quickstart first.\n", path);
+    return 1;
+  }
+  model.set_training(false);
+  model.set_backend(core::Backend::kPacked);
+  std::printf("Loaded %s (%lld parameters; conv weights deploy as 1 bit "
+              "each).\n\n",
+              path, static_cast<long long>(model.parameter_count()));
+
+  // Classify freshly generated clips and time both engines.
+  const dataset::BenchmarkConfig config =
+      dataset::iccad2012_config(0.01, kImageSize);
+  util::Rng gen_rng(123);
+  dataset::HotspotDataset clips =
+      dataset::generate_split(config, config.test, gen_rng);
+  const auto indices = clips.all_indices();
+  const tensor::Tensor images = clips.batch_images(indices);
+
+  model.forward(images);  // warm-up packs the weights
+  util::Stopwatch packed_timer;
+  const auto labels = model.predict(images);
+  const double packed_seconds = packed_timer.seconds();
+
+  model.set_backend(core::Backend::kFloatSim);
+  util::Stopwatch float_timer;
+  model.forward(images);
+  const double float_seconds = float_timer.seconds();
+
+  int flagged = 0;
+  int correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    flagged += labels[i];
+    correct += labels[i] == clips.sample(i).label ? 1 : 0;
+  }
+  std::printf("Classified %zu clips: %d flagged as hotspots, %d labels "
+              "agree with the litho oracle.\n",
+              labels.size(), flagged, correct);
+  std::printf("Packed XNOR-popcount: %.3f s (%.2f ms/clip)\n", packed_seconds,
+              1e3 * packed_seconds / static_cast<double>(labels.size()));
+  std::printf("Float-sim reference:  %.3f s -> binarization speedup %.1fx "
+              "at these (CI-scale) channel widths\n",
+              float_seconds, float_seconds / packed_seconds);
+  return 0;
+}

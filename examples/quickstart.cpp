@@ -1,0 +1,62 @@
+// Quickstart: generate a small benchmark, train the binarized residual
+// network, evaluate it with the paper's metrics, and save the model.
+//
+//   ./examples/quickstart [scale]
+//
+// `scale` is the fraction of the paper's Table-2 sample counts to generate
+// (default 0.02 so the whole run takes well under a minute on one core).
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bnn_detector.h"
+#include "dataset/generator.h"
+#include "eval/evaluation.h"
+#include "nn/serialize.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace hotspot;
+  util::set_log_level(util::LogLevel::kInfo);
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+  constexpr std::int64_t kImageSize = 32;
+
+  // 1. Synthesize an ICCAD-2012-like benchmark: Manhattan clips labelled by
+  //    the lithography proxy (see DESIGN.md for the substitution).
+  std::printf("Generating benchmark at scale %.3f...\n", scale);
+  const dataset::Benchmark bench = dataset::generate_benchmark(
+      dataset::iccad2012_config(scale, kImageSize));
+  std::printf("  train: %zu clips (%lld hotspots)\n", bench.train.size(),
+              static_cast<long long>(bench.train.stats().hotspots));
+  std::printf("  test:  %zu clips (%lld hotspots)\n\n", bench.test.size(),
+              static_cast<long long>(bench.test.stats().hotspots));
+
+  // 2. Train the paper's detector: 8-layer compact BRNN (the 12-layer
+  //    config is BrnnConfig::paper()), NAdam, flips, plateau LR decay, then
+  //    the biased finetune.
+  core::BnnDetectorConfig config = core::BnnDetectorConfig::compact(kImageSize);
+  config.trainer.verbose = true;
+  core::BnnHotspotDetector detector(config);
+  util::Rng rng(42);
+  std::printf("Training %s...\n", detector.name().c_str());
+  const eval::EvaluationRow row =
+      eval::evaluate_detector(detector, bench.train, bench.test, rng);
+
+  // 3. Report with the paper's metrics (Eq. 1-3).
+  std::printf("\nResults on the held-out split:\n");
+  std::printf("  confusion: %s\n", row.matrix.to_string().c_str());
+  std::printf("  accuracy (hotspot recall): %.1f%%\n",
+              row.matrix.accuracy() * 100.0);
+  std::printf("  false alarms: %lld\n",
+              static_cast<long long>(row.matrix.false_alarm()));
+  std::printf("  runtime: %.2f s (packed XNOR-popcount inference)\n",
+              row.eval_seconds);
+  std::printf("  ODST (t_ls = 10 s): %.0f s\n", row.odst(10.0));
+
+  // 4. Persist the trained model for deploy_inference.
+  const char* path = "quickstart_model.bin";
+  if (nn::save_checkpoint(path, detector.model())) {
+    std::printf("\nSaved trained model to %s (run ./deploy_inference next).\n",
+                path);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "baselines/adaboost.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hotspot::baselines {
+
+void AdaBoost::fit(const tensor::Tensor& features,
+                   const std::vector<int>& labels) {
+  HOTSPOT_CHECK_EQ(features.rank(), 2);
+  const auto n = static_cast<std::size_t>(features.dim(0));
+  HOTSPOT_CHECK_EQ(labels.size(), n);
+  HOTSPOT_CHECK_GT(n, 0u);
+  trees_.clear();
+  stage_weights_.clear();
+
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  for (int round = 0; round < config_.rounds; ++round) {
+    DecisionTree tree;
+    tree.fit(features, labels, weights, config_.tree_depth,
+             config_.thresholds_per_feature);
+    const double error = tree.weighted_error(features, labels, weights);
+    if (error >= 0.5) {
+      break;  // weak learner no better than chance; boosting is done
+    }
+    constexpr double kFloor = 1e-10;
+    const double alpha =
+        0.5 * std::log((1.0 - error + kFloor) / (error + kFloor));
+    // Re-weight: mistakes up, hits down, renormalize.
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int predicted =
+          tree.predict_row(features, static_cast<std::int64_t>(i));
+      weights[i] *= std::exp(-alpha * labels[i] * predicted);
+      total += weights[i];
+    }
+    HOTSPOT_CHECK_GT(total, 0.0);
+    for (auto& w : weights) {
+      w /= total;
+    }
+    trees_.push_back(std::move(tree));
+    stage_weights_.push_back(alpha);
+    if (error <= kFloor) {
+      break;  // perfect weak learner; further rounds add nothing
+    }
+  }
+  HOTSPOT_CHECK(!trees_.empty()) << "no usable weak learner found";
+}
+
+double AdaBoost::decision_value(const tensor::Tensor& features,
+                                std::int64_t row) const {
+  HOTSPOT_CHECK(!trees_.empty()) << "decision_value on an unfitted model";
+  double margin = 0.0;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    margin += stage_weights_[t] *
+              static_cast<double>(trees_[t].predict_row(features, row));
+  }
+  return margin;
+}
+
+int AdaBoost::predict_row(const tensor::Tensor& features,
+                          std::int64_t row) const {
+  return decision_value(features, row) + config_.decision_bias >= 0.0 ? 1
+                                                                      : -1;
+}
+
+}  // namespace hotspot::baselines

@@ -1,0 +1,40 @@
+// AdaBoost over weighted decision trees (Freund & Schapire; the SPIE'15
+// hotspot detector's classifier [11]).
+#pragma once
+
+#include "baselines/decision_tree.h"
+
+namespace hotspot::baselines {
+
+struct AdaBoostConfig {
+  int rounds = 40;
+  int tree_depth = 2;
+  int thresholds_per_feature = 16;
+  // Decision bias added to the weighted vote before taking its sign;
+  // positive values favour hotspot recall over false alarms.
+  double decision_bias = 0.0;
+};
+
+class AdaBoost {
+ public:
+  explicit AdaBoost(const AdaBoostConfig& config) : config_(config) {}
+
+  // labels in {-1,+1} (+1 = hotspot).
+  void fit(const tensor::Tensor& features, const std::vector<int>& labels);
+
+  // Real-valued ensemble margin for one row.
+  double decision_value(const tensor::Tensor& features,
+                        std::int64_t row) const;
+
+  // {-1,+1} prediction: sign(margin + decision_bias).
+  int predict_row(const tensor::Tensor& features, std::int64_t row) const;
+
+  std::size_t round_count() const { return trees_.size(); }
+
+ private:
+  AdaBoostConfig config_;
+  std::vector<DecisionTree> trees_;
+  std::vector<double> stage_weights_;
+};
+
+}  // namespace hotspot::baselines

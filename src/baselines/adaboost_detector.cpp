@@ -1,0 +1,32 @@
+#include "baselines/adaboost_detector.h"
+
+#include "features/density.h"
+
+namespace hotspot::baselines {
+
+void AdaBoostDetector::fit(const dataset::HotspotDataset& train,
+                           util::Rng& /*rng*/) {
+  const tensor::Tensor features =
+      features::density_matrix(train, config_.density_grid);
+  std::vector<int> labels;  // {0,1} -> {-1,+1}
+  labels.reserve(train.size());
+  for (const int label : train.batch_labels(train.all_indices())) {
+    labels.push_back(label == 1 ? 1 : -1);
+  }
+  model_ = AdaBoost(config_.boost);
+  model_.fit(features, labels);
+}
+
+std::vector<int> AdaBoostDetector::predict(
+    const dataset::HotspotDataset& data) {
+  const tensor::Tensor features =
+      features::density_matrix(data, config_.density_grid);
+  std::vector<int> predictions;
+  predictions.reserve(data.size());
+  for (std::int64_t row = 0; row < features.dim(0); ++row) {
+    predictions.push_back(model_.predict_row(features, row) == 1 ? 1 : 0);
+  }
+  return predictions;
+}
+
+}  // namespace hotspot::baselines

@@ -1,0 +1,29 @@
+// SPIE'15 baseline [11]: AdaBoost over decision trees on simplified
+// (local-density) features.
+#pragma once
+
+#include "baselines/adaboost.h"
+#include "eval/detector.h"
+
+namespace hotspot::baselines {
+
+struct AdaBoostDetectorConfig {
+  std::int64_t density_grid = 8;  // g x g density cells
+  AdaBoostConfig boost;
+};
+
+class AdaBoostDetector : public eval::Detector {
+ public:
+  explicit AdaBoostDetector(const AdaBoostDetectorConfig& config)
+      : config_(config), model_(config.boost) {}
+
+  std::string name() const override { return "SPIE'15 (AdaBoost)"; }
+  void fit(const dataset::HotspotDataset& train, util::Rng& rng) override;
+  std::vector<int> predict(const dataset::HotspotDataset& data) override;
+
+ private:
+  AdaBoostDetectorConfig config_;
+  AdaBoost model_;
+};
+
+}  // namespace hotspot::baselines

@@ -1,0 +1,158 @@
+#include "baselines/decision_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace hotspot::baselines {
+namespace {
+
+// Weighted majority label over the given rows.
+int majority(const std::vector<int>& labels,
+             const std::vector<double>& weights,
+             const std::vector<std::int64_t>& rows) {
+  double balance = 0.0;
+  for (const auto row : rows) {
+    balance += weights[static_cast<std::size_t>(row)] *
+               static_cast<double>(labels[static_cast<std::size_t>(row)]);
+  }
+  return balance >= 0.0 ? 1 : -1;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const tensor::Tensor& features,
+                       const std::vector<int>& labels,
+                       const std::vector<double>& weights, int max_depth,
+                       int thresholds_per_feature) {
+  HOTSPOT_CHECK_EQ(features.rank(), 2);
+  HOTSPOT_CHECK_EQ(static_cast<std::int64_t>(labels.size()), features.dim(0));
+  HOTSPOT_CHECK_EQ(labels.size(), weights.size());
+  HOTSPOT_CHECK_GT(max_depth, 0);
+  HOTSPOT_CHECK_GT(thresholds_per_feature, 0);
+  for (const int label : labels) {
+    HOTSPOT_CHECK(label == -1 || label == 1) << "label " << label;
+  }
+  nodes_.clear();
+  std::vector<std::int64_t> rows(static_cast<std::size_t>(features.dim(0)));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = static_cast<std::int64_t>(i);
+  }
+  build(features, labels, weights, rows, max_depth, thresholds_per_feature);
+}
+
+std::int32_t DecisionTree::build(const tensor::Tensor& features,
+                                 const std::vector<int>& labels,
+                                 const std::vector<double>& weights,
+                                 const std::vector<std::int64_t>& rows,
+                                 int depth, int thresholds_per_feature) {
+  const auto index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<std::size_t>(index)].label =
+      majority(labels, weights, rows);
+
+  if (depth == 0 || rows.size() < 2) {
+    return index;
+  }
+
+  // Exhaustive search over (feature, quantile threshold) for the split
+  // minimizing weighted misclassification of two majority-labelled halves.
+  const std::int64_t dims = features.dim(1);
+  double best_error = std::numeric_limits<double>::infinity();
+  std::int64_t best_feature = -1;
+  float best_threshold = 0.0f;
+
+  std::vector<float> values(rows.size());
+  for (std::int64_t f = 0; f < dims; ++f) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      values[i] = features.at2(rows[i], f);
+    }
+    std::sort(values.begin(), values.end());
+    if (values.front() == values.back()) {
+      continue;  // constant on these rows
+    }
+    for (int t = 1; t <= thresholds_per_feature; ++t) {
+      const auto pick = static_cast<std::size_t>(
+          static_cast<double>(values.size()) * t /
+          (thresholds_per_feature + 1));
+      const float threshold = values[std::min(pick, values.size() - 1)];
+      // Weighted label balance on each side.
+      double left_pos = 0.0, left_neg = 0.0, right_pos = 0.0, right_neg = 0.0;
+      for (const auto row : rows) {
+        const double w = weights[static_cast<std::size_t>(row)];
+        const bool positive = labels[static_cast<std::size_t>(row)] == 1;
+        if (features.at2(row, f) < threshold) {
+          (positive ? left_pos : left_neg) += w;
+        } else {
+          (positive ? right_pos : right_neg) += w;
+        }
+      }
+      if (left_pos + left_neg == 0.0 || right_pos + right_neg == 0.0) {
+        continue;
+      }
+      const double error = std::min(left_pos, left_neg) +
+                           std::min(right_pos, right_neg);
+      if (error < best_error) {
+        best_error = error;
+        best_feature = f;
+        best_threshold = threshold;
+      }
+    }
+  }
+  if (best_feature < 0) {
+    return index;  // no useful split found; stay a leaf
+  }
+
+  std::vector<std::int64_t> left_rows;
+  std::vector<std::int64_t> right_rows;
+  for (const auto row : rows) {
+    (features.at2(row, best_feature) < best_threshold ? left_rows
+                                                      : right_rows)
+        .push_back(row);
+  }
+  if (left_rows.empty() || right_rows.empty()) {
+    return index;
+  }
+
+  const std::int32_t left = build(features, labels, weights, left_rows,
+                                  depth - 1, thresholds_per_feature);
+  const std::int32_t right = build(features, labels, weights, right_rows,
+                                   depth - 1, thresholds_per_feature);
+  Node& node = nodes_[static_cast<std::size_t>(index)];
+  node.leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return index;
+}
+
+int DecisionTree::predict_row(const tensor::Tensor& features,
+                              std::int64_t row) const {
+  HOTSPOT_CHECK(fitted()) << "predict on an unfitted tree";
+  std::int32_t at = 0;
+  while (true) {
+    const Node& node = nodes_[static_cast<std::size_t>(at)];
+    if (node.leaf) {
+      return node.label;
+    }
+    at = features.at2(row, node.feature) < node.threshold ? node.left
+                                                          : node.right;
+  }
+}
+
+double DecisionTree::weighted_error(const tensor::Tensor& features,
+                                    const std::vector<int>& labels,
+                                    const std::vector<double>& weights) const {
+  double error = 0.0;
+  for (std::int64_t row = 0; row < features.dim(0); ++row) {
+    if (predict_row(features, row) !=
+        labels[static_cast<std::size_t>(row)]) {
+      error += weights[static_cast<std::size_t>(row)];
+    }
+  }
+  return error;
+}
+
+}  // namespace hotspot::baselines

@@ -1,0 +1,121 @@
+#include "baselines/online_learner.h"
+
+#include <cmath>
+
+#include "features/mutual_information.h"
+#include "util/check.h"
+
+namespace hotspot::baselines {
+
+void OnlineLearnerDetector::fit(const dataset::HotspotDataset& train,
+                                util::Rng& rng) {
+  const tensor::Tensor all_features =
+      features::ccs_matrix(train, config_.ccs);
+  const std::vector<int> labels = train.batch_labels(train.all_indices());
+
+  // Information-theoretic feature optimization.
+  const std::int64_t keep =
+      std::min<std::int64_t>(config_.selected_features, all_features.dim(1));
+  selected_ = features::select_top_features(all_features, labels, keep,
+                                            config_.mi_bins);
+  const tensor::Tensor matrix =
+      features::project_columns(all_features, selected_);
+
+  // Standardization statistics.
+  const std::int64_t dims = matrix.dim(1);
+  const std::int64_t n = matrix.dim(0);
+  mean_.assign(static_cast<std::size_t>(dims), 0.0);
+  stddev_.assign(static_cast<std::size_t>(dims), 0.0);
+  for (std::int64_t c = 0; c < dims; ++c) {
+    double total = 0.0;
+    for (std::int64_t r = 0; r < n; ++r) {
+      total += static_cast<double>(matrix.at2(r, c));
+    }
+    mean_[static_cast<std::size_t>(c)] = total / static_cast<double>(n);
+    double variance = 0.0;
+    for (std::int64_t r = 0; r < n; ++r) {
+      const double d = static_cast<double>(matrix.at2(r, c)) -
+                       mean_[static_cast<std::size_t>(c)];
+      variance += d * d;
+    }
+    stddev_[static_cast<std::size_t>(c)] =
+        std::sqrt(variance / static_cast<double>(n)) + 1e-9;
+  }
+
+  weights_.assign(static_cast<std::size_t>(dims) + 1, 0.0);
+
+  // Online learning: stream samples in random order, several passes, with a
+  // decaying rate.
+  std::vector<std::size_t> order(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  for (int pass = 0; pass < config_.passes; ++pass) {
+    rng.shuffle(order);
+    const double rate =
+        config_.learning_rate / (1.0 + 0.3 * static_cast<double>(pass));
+    for (const auto row : order) {
+      std::vector<double> x(static_cast<std::size_t>(dims));
+      for (std::int64_t c = 0; c < dims; ++c) {
+        x[static_cast<std::size_t>(c)] =
+            (static_cast<double>(
+                 matrix.at2(static_cast<std::int64_t>(row), c)) -
+             mean_[static_cast<std::size_t>(c)]) /
+            stddev_[static_cast<std::size_t>(c)];
+      }
+      update(x, labels[row], rate);
+    }
+  }
+}
+
+void OnlineLearnerDetector::update(const std::vector<double>& features,
+                                   int label, double learning_rate) {
+  HOTSPOT_CHECK_EQ(features.size() + 1, weights_.size());
+  HOTSPOT_CHECK(label == 0 || label == 1) << "label " << label;
+  const double probability = 1.0 / (1.0 + std::exp(-logit(features)));
+  const double class_weight =
+      label == 1 ? config_.hotspot_class_weight : 1.0;
+  const double error =
+      class_weight * (static_cast<double>(label) - probability);
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    weights_[i] += learning_rate *
+                   (error * features[i] - config_.l2 * weights_[i]);
+  }
+  weights_.back() += learning_rate * error;  // bias (no decay)
+}
+
+double OnlineLearnerDetector::logit(const std::vector<double>& features) const {
+  double value = weights_.back();
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    value += weights_[i] * features[i];
+  }
+  return value;
+}
+
+std::vector<double> OnlineLearnerDetector::transform_row(
+    const tensor::Tensor& matrix, std::int64_t row) const {
+  std::vector<double> x(mean_.size());
+  for (std::size_t c = 0; c < mean_.size(); ++c) {
+    x[c] = (static_cast<double>(
+                matrix.at2(row, static_cast<std::int64_t>(c))) -
+            mean_[c]) /
+           stddev_[c];
+  }
+  return x;
+}
+
+std::vector<int> OnlineLearnerDetector::predict(
+    const dataset::HotspotDataset& data) {
+  HOTSPOT_CHECK(!weights_.empty()) << "predict() before fit()";
+  const tensor::Tensor all_features = features::ccs_matrix(data, config_.ccs);
+  const tensor::Tensor matrix =
+      features::project_columns(all_features, selected_);
+  std::vector<int> predictions;
+  predictions.reserve(data.size());
+  for (std::int64_t row = 0; row < matrix.dim(0); ++row) {
+    predictions.push_back(logit(transform_row(matrix, row)) >= 0.0 ? 1 : 0);
+  }
+  return predictions;
+}
+
+}  // namespace hotspot::baselines

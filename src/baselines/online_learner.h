@@ -1,0 +1,52 @@
+// ICCAD'16 baseline [14]: concentric-circle-sampling features optimized by
+// mutual information, classified by an online (streaming SGD) logistic
+// learner with class-weighted updates.
+#pragma once
+
+#include "eval/detector.h"
+#include "features/ccs.h"
+
+namespace hotspot::baselines {
+
+struct OnlineLearnerConfig {
+  features::CcsSpec ccs;
+  std::int64_t selected_features = 32;  // MI-selected subset size
+  int mi_bins = 16;
+  int passes = 12;            // streaming passes over the training set
+  double learning_rate = 0.05;
+  double l2 = 1e-4;
+  double hotspot_class_weight = 4.0;  // imbalance compensation
+};
+
+class OnlineLearnerDetector : public eval::Detector {
+ public:
+  explicit OnlineLearnerDetector(const OnlineLearnerConfig& config)
+      : config_(config) {}
+
+  std::string name() const override { return "ICCAD'16 (CCS+online)"; }
+  void fit(const dataset::HotspotDataset& train, util::Rng& rng) override;
+  std::vector<int> predict(const dataset::HotspotDataset& data) override;
+
+  // Streaming update on one (already selected/standardized) feature vector;
+  // exposed so tests can drive the online protocol directly.
+  void update(const std::vector<double>& features, int label,
+              double learning_rate);
+
+  const std::vector<std::int64_t>& selected_columns() const {
+    return selected_;
+  }
+
+ private:
+  // Applies MI selection + standardization fitted during fit().
+  std::vector<double> transform_row(const tensor::Tensor& matrix,
+                                    std::int64_t row) const;
+  double logit(const std::vector<double>& features) const;
+
+  OnlineLearnerConfig config_;
+  std::vector<std::int64_t> selected_;
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+  std::vector<double> weights_;  // selected dims + bias at the back
+};
+
+}  // namespace hotspot::baselines

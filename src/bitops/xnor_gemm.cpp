@@ -1,0 +1,182 @@
+#include "bitops/xnor_gemm.h"
+
+namespace hotspot::bitops {
+
+tensor::Tensor xnor_gemm(const BitMatrix& a, const BitMatrix& b) {
+  HOTSPOT_CHECK_EQ(a.cols(), b.cols()) << "xnor_gemm inner dimension";
+  const std::int64_t m = a.rows();
+  const std::int64_t n = b.rows();
+  const std::int64_t words = a.words_per_row();
+  const std::int64_t bits = a.cols();
+  tensor::Tensor out({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::uint64_t* arow = a.row(i);
+    for (std::int64_t j = 0; j < n; ++j) {
+      out.at2(i, j) =
+          static_cast<float>(xnor_dot(arow, b.row(j), words, bits));
+    }
+  }
+  return out;
+}
+
+BitMatrix pack_patches(const tensor::Tensor& input,
+                       const tensor::ConvSpec& spec) {
+  // Packs sign bits straight from the input tensor — equivalent to
+  // pack_rows(im2col(input, spec, -1)) but without materializing the float
+  // patch matrix, which would dominate the packed path's runtime. Padding
+  // is -1 (bit 0) so padded positions stay in the +/-1 alphabet.
+  HOTSPOT_CHECK_EQ(input.rank(), 4);
+  const std::int64_t n = input.dim(0);
+  const std::int64_t cin = input.dim(1);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  const std::int64_t out_h =
+      tensor::conv_out_extent(h, spec.kernel_h, spec.stride, spec.pad);
+  const std::int64_t out_w =
+      tensor::conv_out_extent(w, spec.kernel_w, spec.stride, spec.pad);
+  const std::int64_t patch = cin * spec.kernel_h * spec.kernel_w;
+  BitMatrix packed(n * out_h * out_w, patch);
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t oy = 0; oy < out_h; ++oy) {
+      for (std::int64_t ox = 0; ox < out_w; ++ox) {
+        const std::int64_t row_index = (ni * out_h + oy) * out_w + ox;
+        std::uint64_t* words = packed.row(row_index);
+        const std::int64_t iy0 = oy * spec.stride - spec.pad;
+        const std::int64_t ix0 = ox * spec.stride - spec.pad;
+        std::int64_t bit = 0;
+        std::uint64_t word = 0;  // register accumulator, flushed per word
+        for (std::int64_t ci = 0; ci < cin; ++ci) {
+          const float* plane = input.data() + (ni * cin + ci) * h * w;
+          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+            const std::int64_t iy = iy0 + ky;
+            const bool row_inside = iy >= 0 && iy < h;
+            const float* line = plane + iy * w;
+            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx, ++bit) {
+              const std::int64_t ix = ix0 + kx;
+              if (row_inside && ix >= 0 && ix < w && line[ix] >= 0.0f) {
+                word |= std::uint64_t{1} << (bit & 63);
+              }
+              if ((bit & 63) == 63) {
+                words[bit >> 6] = word;
+                word = 0;
+              }
+            }
+          }
+        }
+        if ((bit & 63) != 0) {
+          words[bit >> 6] = word;
+        }
+      }
+    }
+  }
+  return packed;
+}
+
+BitMatrix pack_filters(const tensor::Tensor& weight) {
+  HOTSPOT_CHECK_EQ(weight.rank(), 4);
+  const std::int64_t cout = weight.dim(0);
+  return BitMatrix::pack_rows(weight.reshaped({cout, weight.numel() / cout}));
+}
+
+BitMatrix pack_patches_channel_blocked(const tensor::Tensor& input,
+                                       const tensor::ConvSpec& spec) {
+  HOTSPOT_CHECK_EQ(input.rank(), 4);
+  const std::int64_t patch_bits = spec.kernel_h * spec.kernel_w;
+  HOTSPOT_CHECK_LE(patch_bits, 64)
+      << "channel-blocked packing needs kh*kw <= 64";
+  const std::int64_t n = input.dim(0);
+  const std::int64_t cin = input.dim(1);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  const std::int64_t out_h =
+      tensor::conv_out_extent(h, spec.kernel_h, spec.stride, spec.pad);
+  const std::int64_t out_w =
+      tensor::conv_out_extent(w, spec.kernel_w, spec.stride, spec.pad);
+  // One 64-bit word per channel: cols = cin * 64 keeps words_per_row = cin.
+  BitMatrix packed(n * out_h * out_w, cin * 64);
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t oy = 0; oy < out_h; ++oy) {
+      for (std::int64_t ox = 0; ox < out_w; ++ox) {
+        const std::int64_t row_index = (ni * out_h + oy) * out_w + ox;
+        std::uint64_t* words = packed.row(row_index);
+        const std::int64_t iy0 = oy * spec.stride - spec.pad;
+        const std::int64_t ix0 = ox * spec.stride - spec.pad;
+        for (std::int64_t ci = 0; ci < cin; ++ci) {
+          std::uint64_t word = 0;
+          std::int64_t bit = 0;
+          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+            const std::int64_t iy = iy0 + ky;
+            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx, ++bit) {
+              const std::int64_t ix = ix0 + kx;
+              const bool inside = iy >= 0 && iy < h && ix >= 0 && ix < w;
+              // Padding is -1 (bit 0); inside bits follow sign(value).
+              if (inside && input.at4(ni, ci, iy, ix) >= 0.0f) {
+                word |= std::uint64_t{1} << bit;
+              }
+            }
+          }
+          words[ci] = word;
+        }
+      }
+    }
+  }
+  return packed;
+}
+
+BitMatrix pack_filters_channel_blocked(const tensor::Tensor& weight) {
+  HOTSPOT_CHECK_EQ(weight.rank(), 4);
+  const std::int64_t cout = weight.dim(0);
+  const std::int64_t cin = weight.dim(1);
+  const std::int64_t patch_bits = weight.dim(2) * weight.dim(3);
+  HOTSPOT_CHECK_LE(patch_bits, 64)
+      << "channel-blocked packing needs kh*kw <= 64";
+  BitMatrix packed(cout, cin * 64);
+  for (std::int64_t co = 0; co < cout; ++co) {
+    std::uint64_t* words = packed.row(co);
+    for (std::int64_t ci = 0; ci < cin; ++ci) {
+      std::uint64_t word = 0;
+      std::int64_t bit = 0;
+      for (std::int64_t ky = 0; ky < weight.dim(2); ++ky) {
+        for (std::int64_t kx = 0; kx < weight.dim(3); ++kx, ++bit) {
+          if (weight.at4(co, ci, ky, kx) >= 0.0f) {
+            word |= std::uint64_t{1} << bit;
+          }
+        }
+      }
+      words[ci] = word;
+    }
+  }
+  return packed;
+}
+
+tensor::Tensor binary_conv_counts(const tensor::Tensor& input,
+                                  const tensor::Tensor& weight,
+                                  const tensor::ConvSpec& spec) {
+  HOTSPOT_CHECK_EQ(input.rank(), 4);
+  HOTSPOT_CHECK_EQ(weight.rank(), 4);
+  HOTSPOT_CHECK_EQ(weight.dim(1), input.dim(1));
+  const std::int64_t n = input.dim(0);
+  const std::int64_t cout = weight.dim(0);
+  const std::int64_t out_h = tensor::conv_out_extent(
+      input.dim(2), spec.kernel_h, spec.stride, spec.pad);
+  const std::int64_t out_w = tensor::conv_out_extent(
+      input.dim(3), spec.kernel_w, spec.stride, spec.pad);
+
+  const BitMatrix patches = pack_patches(input, spec);
+  const BitMatrix filters = pack_filters(weight);
+  const tensor::Tensor counts = xnor_gemm(patches, filters);  // [n*oh*ow, cout]
+
+  tensor::Tensor out({n, cout, out_h, out_w});
+  const std::int64_t positions = out_h * out_w;
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t p = 0; p < positions; ++p) {
+      for (std::int64_t co = 0; co < cout; ++co) {
+        out.at4(ni, co, p / out_w, p % out_w) =
+            counts.at2(ni * positions + p, co);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hotspot::bitops

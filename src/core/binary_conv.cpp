@@ -1,0 +1,273 @@
+#include "core/binary_conv.h"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "nn/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace hotspot::core {
+
+using tensor::Tensor;
+
+BinaryConv2d::BinaryConv2d(std::int64_t in_channels, std::int64_t out_channels,
+                           std::int64_t kernel, std::int64_t stride,
+                           std::int64_t pad, bitops::InputScaling scaling,
+                           util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      spec_{kernel, kernel, stride, pad},
+      scaling_(scaling) {
+  HOTSPOT_CHECK_GT(in_channels, 0);
+  HOTSPOT_CHECK_GT(out_channels, 0);
+  HOTSPOT_CHECK_LE(kernel * kernel, 64)
+      << "packed per-channel path needs kh*kw <= 64";
+  const tensor::Shape weight_shape{out_channels, in_channels, kernel, kernel};
+  const auto [fan_in, fan_out] = nn::compute_fans(weight_shape);
+  weight_ = nn::Parameter(
+      "weight", nn::xavier_uniform(weight_shape, fan_in, fan_out, rng));
+}
+
+Tensor BinaryConv2d::forward(const Tensor& input) {
+  HOTSPOT_CHECK_EQ(input.rank(), 4);
+  HOTSPOT_CHECK_EQ(input.dim(1), in_channels_);
+  if (!training_ && backend_ == Backend::kPacked) {
+    return forward_packed(input);
+  }
+  return forward_float_sim(input);
+}
+
+Tensor BinaryConv2d::forward_float_sim(const Tensor& input) {
+  cached_input_ = input;
+  const std::int64_t n = input.dim(0);
+  const std::int64_t out_h = tensor::conv_out_extent(
+      input.dim(2), spec_.kernel_h, spec_.stride, spec_.pad);
+  const std::int64_t out_w = tensor::conv_out_extent(
+      input.dim(3), spec_.kernel_w, spec_.stride, spec_.pad);
+  const std::int64_t positions = out_h * out_w;
+  const std::int64_t patch = in_channels_ * spec_.kernel_h * spec_.kernel_w;
+
+  // W~ rows: alpha_W(co) * sign(W row).
+  cached_alpha_w_ = bitops::weight_scales(weight_.value);
+  const Tensor wmat = weight_.value.reshaped({out_channels_, patch});
+  cached_weight_tilde_ = Tensor({out_channels_, patch});
+  for (std::int64_t co = 0; co < out_channels_; ++co) {
+    const float alpha = cached_alpha_w_[co];
+    for (std::int64_t i = 0; i < patch; ++i) {
+      cached_weight_tilde_.at2(co, i) =
+          wmat.at2(co, i) >= 0.0f ? alpha : -alpha;
+    }
+  }
+
+  // Binarized input patches; padding is -1 so it stays in the alphabet.
+  Tensor cols = tensor::im2col(tensor::sign(input), spec_, -1.0f);
+
+  const std::int64_t kk = spec_.kernel_h * spec_.kernel_w;
+  switch (scaling_) {
+    case bitops::InputScaling::kPerChannel: {
+      // Fold alpha_T(c, position) into the patch matrix: equivalent to the
+      // per-channel Eq.-15 sum but expressible as one GEMM.
+      cached_alpha_ = bitops::input_scales_per_channel(input, spec_);
+      for (std::int64_t ni = 0; ni < n; ++ni) {
+        for (std::int64_t p = 0; p < positions; ++p) {
+          const std::int64_t row = ni * positions + p;
+          for (std::int64_t ci = 0; ci < in_channels_; ++ci) {
+            const float alpha =
+                cached_alpha_.at4(ni, ci, p / out_w, p % out_w);
+            for (std::int64_t k = 0; k < kk; ++k) {
+              cols.at2(row, ci * kk + k) *= alpha;
+            }
+          }
+        }
+      }
+      break;
+    }
+    case bitops::InputScaling::kScalar:
+      cached_alpha_ = bitops::input_scales_scalar(input, spec_);
+      break;
+    case bitops::InputScaling::kNone:
+      cached_alpha_ = Tensor();
+      break;
+  }
+  cached_cols_ = std::move(cols);
+
+  const Tensor out_rows =
+      tensor::matmul(cached_cols_, tensor::transpose2d(cached_weight_tilde_));
+
+  Tensor output({n, out_channels_, out_h, out_w});
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t p = 0; p < positions; ++p) {
+      const std::int64_t row = ni * positions + p;
+      const float post =
+          scaling_ == bitops::InputScaling::kScalar
+              ? cached_alpha_.at4(ni, 0, p / out_w, p % out_w)
+              : 1.0f;
+      for (std::int64_t co = 0; co < out_channels_; ++co) {
+        output.at4(ni, co, p / out_w, p % out_w) =
+            out_rows.at2(row, co) * post;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor BinaryConv2d::backward(const Tensor& grad_output) {
+  invalidate_packed_cache();  // weights are about to change
+  HOTSPOT_CHECK_EQ(grad_output.rank(), 4);
+  HOTSPOT_CHECK_EQ(grad_output.dim(1), out_channels_);
+  HOTSPOT_CHECK(cached_input_.numel() > 0)
+      << "backward without a float-sim forward";
+  const std::int64_t n = cached_input_.dim(0);
+  const std::int64_t out_h = grad_output.dim(2);
+  const std::int64_t out_w = grad_output.dim(3);
+  const std::int64_t positions = out_h * out_w;
+  const std::int64_t patch = cached_cols_.dim(1);
+  const std::int64_t kk = spec_.kernel_h * spec_.kernel_w;
+
+  // Gradient w.r.t. the GEMM output rows; the scalar-mode position factor
+  // distributes onto them.
+  Tensor grad_rows({n * positions, out_channels_});
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t p = 0; p < positions; ++p) {
+      const std::int64_t row = ni * positions + p;
+      const float post =
+          scaling_ == bitops::InputScaling::kScalar
+              ? cached_alpha_.at4(ni, 0, p / out_w, p % out_w)
+              : 1.0f;
+      for (std::int64_t co = 0; co < out_channels_; ++co) {
+        grad_rows.at2(row, co) =
+            grad_output.at4(ni, co, p / out_w, p % out_w) * post;
+      }
+    }
+  }
+
+  // dl/dW~ = grad_rows^T @ cols, then Eq. 13 maps it to the real weights.
+  const Tensor grad_wtilde =
+      tensor::matmul(tensor::transpose2d(grad_rows), cached_cols_);
+  const Tensor wmat = weight_.value.reshaped({out_channels_, patch});
+  const auto inv_n = 1.0f / static_cast<float>(patch);
+  for (std::int64_t co = 0; co < out_channels_; ++co) {
+    const float alpha = cached_alpha_w_[co];
+    for (std::int64_t i = 0; i < patch; ++i) {
+      const float w = wmat.at2(co, i);
+      const float ste = std::fabs(w) < 1.0f ? alpha : 0.0f;
+      weight_.grad[co * patch + i] += grad_wtilde.at2(co, i) * (inv_n + ste);
+    }
+  }
+
+  // dl/dcols; per-channel mode removes the folded alpha_T factor.
+  Tensor grad_cols = tensor::matmul(grad_rows, cached_weight_tilde_);
+  if (scaling_ == bitops::InputScaling::kPerChannel) {
+    for (std::int64_t ni = 0; ni < n; ++ni) {
+      for (std::int64_t p = 0; p < positions; ++p) {
+        const std::int64_t row = ni * positions + p;
+        for (std::int64_t ci = 0; ci < in_channels_; ++ci) {
+          const float alpha = cached_alpha_.at4(ni, ci, p / out_w, p % out_w);
+          for (std::int64_t k = 0; k < kk; ++k) {
+            grad_cols.at2(row, ci * kk + k) *= alpha;
+          }
+        }
+      }
+    }
+  }
+
+  // Through im2col, then the input STE (Eq. 10-11).
+  const Tensor grad_sign =
+      tensor::col2im(grad_cols, cached_input_.shape(), spec_);
+  Tensor grad_input(cached_input_.shape());
+  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
+    grad_input[i] =
+        std::fabs(cached_input_[i]) < 1.0f ? grad_sign[i] : 0.0f;
+  }
+  return grad_input;
+}
+
+void BinaryConv2d::refresh_packed_cache() {
+  if (packed_cache_valid_) {
+    return;
+  }
+  packed_alpha_w_ = bitops::weight_scales(weight_.value);
+  packed_filters_ =
+      scaling_ == bitops::InputScaling::kPerChannel
+          ? bitops::pack_filters_channel_blocked(weight_.value)
+          : bitops::pack_filters(weight_.value);
+  packed_cache_valid_ = true;
+}
+
+Tensor BinaryConv2d::forward_packed(const Tensor& input) {
+  refresh_packed_cache();
+  const std::int64_t n = input.dim(0);
+  const std::int64_t out_h = tensor::conv_out_extent(
+      input.dim(2), spec_.kernel_h, spec_.stride, spec_.pad);
+  const std::int64_t out_w = tensor::conv_out_extent(
+      input.dim(3), spec_.kernel_w, spec_.stride, spec_.pad);
+  const std::int64_t positions = out_h * out_w;
+  const Tensor& alpha_w = packed_alpha_w_;
+  Tensor output({n, out_channels_, out_h, out_w});
+
+  if (scaling_ == bitops::InputScaling::kPerChannel) {
+    // Channel-blocked lanes: one word per channel so each per-channel dot is
+    // a single XOR + popcount, scaled by alpha_T(c, position) (Eq. 14-15).
+    const bitops::BitMatrix patches =
+        bitops::pack_patches_channel_blocked(input, spec_);
+    const Tensor alpha_t = bitops::input_scales_per_channel(input, spec_);
+    const std::int64_t kk = spec_.kernel_h * spec_.kernel_w;
+    std::vector<float> alpha_row(static_cast<std::size_t>(in_channels_));
+    for (std::int64_t ni = 0; ni < n; ++ni) {
+      for (std::int64_t p = 0; p < positions; ++p) {
+        const std::uint64_t* prow = patches.row(ni * positions + p);
+        // Gather this position's per-channel scales contiguously once; the
+        // filter loop below reads them out_channels_ times.
+        const float* asrc =
+            alpha_t.data() + (ni * in_channels_) * positions + p;
+        for (std::int64_t ci = 0; ci < in_channels_; ++ci) {
+          alpha_row[static_cast<std::size_t>(ci)] = asrc[ci * positions];
+        }
+        float* out_base = output.data() + (ni * out_channels_) * positions + p;
+        for (std::int64_t co = 0; co < out_channels_; ++co) {
+          const std::uint64_t* frow = packed_filters_.row(co);
+          float acc = 0.0f;
+          for (std::int64_t ci = 0; ci < in_channels_; ++ci) {
+            const auto dot = static_cast<float>(
+                kk - 2 * std::popcount(prow[ci] ^ frow[ci]));
+            acc += alpha_row[static_cast<std::size_t>(ci)] * dot;
+          }
+          out_base[co * positions] = acc * alpha_w[co];
+        }
+      }
+    }
+    return output;
+  }
+
+  // Dense lanes: the whole patch packed contiguously, one popcount chain per
+  // (position, filter) pair.
+  const bitops::BitMatrix patches = bitops::pack_patches(input, spec_);
+  const Tensor counts = bitops::xnor_gemm(patches, packed_filters_);
+  const bool scalar = scaling_ == bitops::InputScaling::kScalar;
+  const Tensor alpha =
+      scalar ? bitops::input_scales_scalar(input, spec_) : Tensor();
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t p = 0; p < positions; ++p) {
+      const float post =
+          scalar ? alpha.at4(ni, 0, p / out_w, p % out_w) : 1.0f;
+      for (std::int64_t co = 0; co < out_channels_; ++co) {
+        output.at4(ni, co, p / out_w, p % out_w) =
+            counts.at2(ni * positions + p, co) * alpha_w[co] * post;
+      }
+    }
+  }
+  return output;
+}
+
+std::vector<nn::Parameter*> BinaryConv2d::parameters() { return {&weight_}; }
+
+std::string BinaryConv2d::name() const {
+  std::ostringstream out;
+  out << "BinaryConv2d(" << in_channels_ << "->" << out_channels_ << ", k"
+      << spec_.kernel_h << ", s" << spec_.stride << ", p" << spec_.pad
+      << ", " << bitops::to_string(scaling_) << ")";
+  return out.str();
+}
+
+}  // namespace hotspot::core

@@ -1,0 +1,90 @@
+// Binarized convolution layer (paper Sec. 3.2-3.4).
+//
+// Holds real-valued weights W; the forward pass uses their binarization
+//   W~ = alpha_W * sign(W),              alpha_W = ||W||_1 / n   (Eq. 8-9)
+// and binarizes its input
+//   X~ = alpha_T (x) sign(X),            alpha_T per Eq. 14,
+// computing T_out = alpha_W * (sign(X) (*) sign(W)) (.) alpha_T  (Eq. 15).
+//
+// Backward uses the straight-through estimator for the input (Eq. 10-11)
+// and the paper's weight gradient (Eq. 13):
+//   dl/dW = dl/dW~ * (1/n + alpha_W * 1_{|W|<1}).
+// Scaling factors are treated as constants in the backward pass, following
+// XNOR-Net practice and Algorithm 1.
+//
+// Two execution paths produce the same outputs (validated in tests):
+//   kFloatSim - float arithmetic emulating binarization; used in training
+//               and as the "full-precision framework running a BNN" cost
+//               reference.
+//   kPacked   - weights and activations packed into uint64 lanes, the
+//               convolution reduced to XNOR + popcount; the deployment
+//               path whose speedup Fig. 1 / Table 3 report.
+#pragma once
+
+#include "bitops/scaling.h"
+#include "bitops/xnor_gemm.h"
+#include "nn/module.h"
+#include "tensor/conv.h"
+#include "util/rng.h"
+
+namespace hotspot::core {
+
+enum class Backend { kFloatSim, kPacked };
+
+class BinaryConv2d : public nn::Module {
+ public:
+  BinaryConv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               bitops::InputScaling scaling, util::Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override;
+  std::string name() const override;
+
+  // Execution path used when not training (training always runs kFloatSim).
+  void set_backend(Backend backend) { backend_ = backend; }
+  Backend backend() const { return backend_; }
+
+  // Drops the cached packed weights; called automatically when training
+  // touches the layer, and by anything that mutates the weight tensor
+  // directly (e.g. checkpoint loading).
+  void invalidate_packed_cache() { packed_cache_valid_ = false; }
+  void set_training(bool training) override {
+    nn::Module::set_training(training);
+    invalidate_packed_cache();
+  }
+
+  bitops::InputScaling scaling() const { return scaling_; }
+  const tensor::ConvSpec& spec() const { return spec_; }
+  std::int64_t in_channels() const { return in_channels_; }
+  std::int64_t out_channels() const { return out_channels_; }
+  nn::Parameter& weight() { return weight_; }
+
+ private:
+  Tensor forward_float_sim(const Tensor& input);
+  Tensor forward_packed(const Tensor& input);
+  void refresh_packed_cache();
+
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  tensor::ConvSpec spec_;
+  bitops::InputScaling scaling_;
+  Backend backend_ = Backend::kPacked;
+  nn::Parameter weight_;
+
+  // Forward caches for backward (float-sim path only).
+  Tensor cached_input_;
+  Tensor cached_cols_;        // im2col(sign(X)), alpha-scaled in per-channel mode
+  Tensor cached_alpha_;       // alpha_T map ([N,Cin,oh,ow] or [N,1,oh,ow])
+  Tensor cached_weight_tilde_;  // [Cout, n] rows of alpha_W * sign(W)
+  Tensor cached_alpha_w_;     // [Cout]
+
+  // Packed-inference weight cache: filters change only when training does,
+  // so they are packed once per deployment, not per batch.
+  bool packed_cache_valid_ = false;
+  bitops::BitMatrix packed_filters_;
+  Tensor packed_alpha_w_;
+};
+
+}  // namespace hotspot::core

@@ -1,0 +1,113 @@
+#include "core/cost_model.h"
+
+#include <sstream>
+
+#include "tensor/conv.h"
+#include "util/check.h"
+
+namespace hotspot::core {
+
+double NetworkCost::arithmetic_reduction() const {
+  const double heavy_ops =
+      static_cast<double>(packed_word_ops) +
+      static_cast<double>(packed_float_ops);
+  return heavy_ops == 0.0 ? 0.0 : static_cast<double>(float_macs) / heavy_ops;
+}
+
+double NetworkCost::storage_reduction() const {
+  return packed_weight_bytes == 0
+             ? 0.0
+             : static_cast<double>(float_weight_bytes) /
+                   static_cast<double>(packed_weight_bytes);
+}
+
+LayerCost binary_conv_cost(std::int64_t in_channels, std::int64_t out_channels,
+                           std::int64_t kernel, std::int64_t stride,
+                           std::int64_t pad, std::int64_t in_h,
+                           std::int64_t in_w, bitops::InputScaling scaling) {
+  HOTSPOT_CHECK_GT(in_channels, 0);
+  HOTSPOT_CHECK_GT(out_channels, 0);
+  LayerCost cost;
+  const std::int64_t out_h = tensor::conv_out_extent(in_h, kernel, stride, pad);
+  const std::int64_t out_w = tensor::conv_out_extent(in_w, kernel, stride, pad);
+  cost.output_positions = out_h * out_w;
+  const std::int64_t patch = in_channels * kernel * kernel;
+
+  std::ostringstream name;
+  name << in_channels << "->" << out_channels << " k" << kernel << " s"
+       << stride << " @" << in_h << "x" << in_w;
+  cost.name = name.str();
+
+  cost.float_macs = cost.output_positions * out_channels * patch;
+  cost.float_weight_bytes =
+      out_channels * patch * static_cast<std::int64_t>(sizeof(float));
+
+  if (scaling == bitops::InputScaling::kPerChannel) {
+    // Channel-blocked lanes: one word per input channel per (position,
+    // filter) pair, plus a float multiply-accumulate per channel for the
+    // alpha_T application, plus the alpha map itself (O(1)/pixel via the
+    // integral image -> ~4 ops per (channel, position)).
+    cost.packed_word_ops =
+        cost.output_positions * out_channels * in_channels;
+    cost.packed_float_ops =
+        cost.output_positions * out_channels * in_channels +  // alpha FMA
+        cost.output_positions * in_channels * 4;              // alpha map
+    cost.packed_weight_bytes =
+        out_channels * in_channels * static_cast<std::int64_t>(sizeof(std::uint64_t));
+  } else {
+    // Dense lanes: ceil(patch/64) words per pair; scalar mode adds one
+    // epilogue multiply per output plus the alpha map.
+    const std::int64_t words = (patch + 63) / 64;
+    cost.packed_word_ops = cost.output_positions * out_channels * words;
+    cost.packed_float_ops =
+        scaling == bitops::InputScaling::kScalar
+            ? cost.output_positions * (out_channels + 4)
+            : cost.output_positions * out_channels;
+    cost.packed_weight_bytes =
+        out_channels * words * static_cast<std::int64_t>(sizeof(std::uint64_t));
+  }
+  return cost;
+}
+
+NetworkCost network_cost(const BrnnConfig& config) {
+  HOTSPOT_CHECK_EQ(config.block_filters.size(), config.block_strides.size());
+  NetworkCost total;
+  auto push = [&total](LayerCost cost) {
+    total.float_macs += cost.float_macs;
+    total.packed_word_ops += cost.packed_word_ops;
+    total.packed_float_ops += cost.packed_float_ops;
+    total.float_weight_bytes += cost.float_weight_bytes;
+    total.packed_weight_bytes += cost.packed_weight_bytes;
+    total.layers.push_back(std::move(cost));
+  };
+
+  std::int64_t resolution = config.image_size;
+  push(binary_conv_cost(config.input_channels, config.stem_filters, 3,
+                        config.stem_stride, 1, resolution, resolution,
+                        config.scaling));
+  resolution = tensor::conv_out_extent(resolution, 3, config.stem_stride, 1);
+  if (config.stem_pool) {
+    resolution /= 2;
+  }
+
+  std::int64_t channels = config.stem_filters;
+  for (std::size_t stage = 0; stage < config.block_filters.size(); ++stage) {
+    const std::int64_t filters = config.block_filters[stage];
+    const std::int64_t stride = config.block_strides[stage];
+    push(binary_conv_cost(channels, filters, 3, stride, 1, resolution,
+                          resolution, config.scaling));
+    const std::int64_t out_resolution =
+        tensor::conv_out_extent(resolution, 3, stride, 1);
+    push(binary_conv_cost(filters, filters, 3, 1, 1, out_resolution,
+                          out_resolution, config.scaling));
+    if (channels != filters || stride != 1) {
+      push(binary_conv_cost(channels, filters, 1, stride, 0, resolution,
+                            resolution, config.scaling));
+    }
+    resolution = out_resolution;
+    channels = filters;
+  }
+  return total;
+}
+
+}  // namespace hotspot::core

@@ -1,0 +1,170 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace hotspot::core {
+
+BatchBuilder image_batch_builder() {
+  return [](const dataset::HotspotDataset& data,
+            const std::vector<std::size_t>& indices,
+            util::Rng* augment_rng) {
+    return data.batch_images(indices, augment_rng);
+  };
+}
+
+Trainer::Trainer(nn::Module& model, const TrainerConfig& config,
+                 BatchBuilder batch_builder)
+    : model_(model),
+      config_(config),
+      batch_builder_(std::move(batch_builder)),
+      optimizer_(model.parameters(), config.learning_rate),
+      rng_(config.seed) {
+  HOTSPOT_CHECK_GT(config.batch_size, 0);
+  HOTSPOT_CHECK_GE(config.epochs, 0);
+  HOTSPOT_CHECK_GE(config.finetune_epochs, 0);
+  HOTSPOT_CHECK(config.validation_fraction >= 0.0 &&
+                config.validation_fraction < 1.0)
+      << "validation fraction " << config.validation_fraction;
+}
+
+double Trainer::run_epoch(const dataset::HotspotDataset& data,
+                          const std::vector<std::size_t>& indices,
+                          float bias_epsilon, util::Rng& rng) {
+  model_.set_training(true);
+  std::vector<std::size_t> order = indices;
+  rng.shuffle(order);
+  double total_loss = 0.0;
+  std::int64_t batches = 0;
+  for (std::size_t begin = 0; begin < order.size();
+       begin += static_cast<std::size_t>(config_.batch_size)) {
+    const std::size_t end = std::min(
+        order.size(), begin + static_cast<std::size_t>(config_.batch_size));
+    const std::vector<std::size_t> batch(order.begin() + begin,
+                                         order.begin() + end);
+    util::Rng* augment = config_.augment ? &rng : nullptr;
+    const tensor::Tensor images = batch_builder_(data, batch, augment);
+    const tensor::Tensor targets =
+        nn::make_targets(data.batch_labels(batch), bias_epsilon);
+
+    const tensor::Tensor logits = model_.forward(images);
+    total_loss += loss_.forward(logits, targets);
+    ++batches;
+
+    model_.zero_grad();
+    model_.backward(loss_.gradient());
+    if (config_.grad_clip > 0.0) {
+      optimizer_.clip_grad_norm(config_.grad_clip);
+    }
+    optimizer_.step();
+  }
+  return batches == 0 ? 0.0 : total_loss / static_cast<double>(batches);
+}
+
+double Trainer::evaluate_loss(const dataset::HotspotDataset& data,
+                              const std::vector<std::size_t>& indices) {
+  if (indices.empty()) {
+    return 0.0;
+  }
+  model_.set_training(false);
+  double total_loss = 0.0;
+  std::int64_t batches = 0;
+  for (std::size_t begin = 0; begin < indices.size();
+       begin += static_cast<std::size_t>(config_.batch_size)) {
+    const std::size_t end = std::min(
+        indices.size(), begin + static_cast<std::size_t>(config_.batch_size));
+    const std::vector<std::size_t> batch(indices.begin() + begin,
+                                         indices.begin() + end);
+    const tensor::Tensor images = batch_builder_(data, batch, nullptr);
+    const tensor::Tensor targets =
+        nn::make_targets(data.batch_labels(batch), 0.0f);
+    const tensor::Tensor logits = model_.forward(images);
+    total_loss += tensor::softmax_cross_entropy(logits, targets, nullptr);
+    ++batches;
+  }
+  model_.set_training(true);
+  return total_loss / static_cast<double>(batches);
+}
+
+std::vector<EpochStats> Trainer::train(const dataset::HotspotDataset& data) {
+  HOTSPOT_CHECK(!data.empty()) << "cannot train on an empty dataset";
+  // Split off a validation slice for the plateau scheduler.
+  std::vector<std::size_t> all = data.all_indices(&rng_);
+  const auto validation_count = static_cast<std::size_t>(
+      static_cast<double>(all.size()) * config_.validation_fraction);
+  const std::vector<std::size_t> validation(all.begin(),
+                                            all.begin() + validation_count);
+  std::vector<std::size_t> training(all.begin() + validation_count,
+                                    all.end());
+  HOTSPOT_CHECK(!training.empty()) << "validation split consumed all data";
+  HOTSPOT_CHECK_GE(config_.hotspot_oversample, 1);
+  if (config_.hotspot_oversample > 1) {
+    const std::size_t base_count = training.size();
+    for (std::size_t i = 0; i < base_count; ++i) {
+      if (data.sample(training[i]).label == 1) {
+        for (int copy = 1; copy < config_.hotspot_oversample; ++copy) {
+          training.push_back(training[i]);
+        }
+      }
+    }
+  }
+
+  optim::PlateauDecay scheduler(optimizer_, config_.plateau_factor,
+                                config_.plateau_patience);
+  std::vector<EpochStats> history;
+  auto run_phase = [&](int epochs, float bias, bool finetune) {
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+      EpochStats stats;
+      stats.epoch = static_cast<int>(history.size());
+      stats.finetune = finetune;
+      stats.train_loss = run_epoch(data, training, bias, rng_);
+      stats.validation_loss = validation.empty()
+                                  ? stats.train_loss
+                                  : evaluate_loss(data, validation);
+      scheduler.observe(stats.validation_loss);
+      stats.learning_rate = optimizer_.learning_rate();
+      if (config_.verbose) {
+        HOTSPOT_LOG(kInfo) << (finetune ? "finetune" : "train") << " epoch "
+                           << stats.epoch << ": loss=" << stats.train_loss
+                           << " val=" << stats.validation_loss
+                           << " lr=" << stats.learning_rate;
+      }
+      history.push_back(stats);
+    }
+  };
+
+  // Main phase with hard labels (Algorithm 1), then the biased finetune
+  // (Sec. 3.4.3).
+  run_phase(config_.epochs, 0.0f, /*finetune=*/false);
+  run_phase(config_.finetune_epochs, config_.bias_epsilon, /*finetune=*/true);
+  model_.set_training(false);
+  return history;
+}
+
+std::vector<int> predict_labels(nn::Module& model,
+                                const dataset::HotspotDataset& data,
+                                int batch_size,
+                                const BatchBuilder& batch_builder) {
+  HOTSPOT_CHECK_GT(batch_size, 0);
+  model.set_training(false);
+  const std::vector<std::size_t> all = data.all_indices();
+  std::vector<int> labels;
+  labels.reserve(all.size());
+  for (std::size_t begin = 0; begin < all.size();
+       begin += static_cast<std::size_t>(batch_size)) {
+    const std::size_t end =
+        std::min(all.size(), begin + static_cast<std::size_t>(batch_size));
+    const std::vector<std::size_t> batch(all.begin() + begin,
+                                         all.begin() + end);
+    const tensor::Tensor logits =
+        model.forward(batch_builder(data, batch, nullptr));
+    for (const auto row : tensor::argmax_rows(logits)) {
+      labels.push_back(static_cast<int>(row));
+    }
+  }
+  return labels;
+}
+
+}  // namespace hotspot::core

@@ -1,0 +1,93 @@
+// Training loop for hotspot classifiers (paper Sec. 3.3-3.4).
+//
+// Mini-batch gradient descent with NAdam, random horizontal/vertical flip
+// augmentation, exponential learning-rate decay on validation-loss plateaus,
+// and the biased-learning finetune phase: after the main phase the model is
+// finetuned with non-hotspot targets smoothed to [1-eps, eps] (eps = 0.2),
+// trading false alarms for detection accuracy.
+//
+// The trainer is model-agnostic (anything producing [n,2] logits) and the
+// batch builder is pluggable so the DAC'17 baseline can feed DCT feature
+// tensors through the same loop.
+#pragma once
+
+#include <functional>
+
+#include "dataset/dataset.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "optim/lr_scheduler.h"
+#include "optim/nadam.h"
+
+namespace hotspot::core {
+
+struct TrainerConfig {
+  int batch_size = 32;
+  int epochs = 8;
+  int finetune_epochs = 2;
+  float learning_rate = 0.02f;
+  float bias_epsilon = 0.2f;       // Sec. 3.4.3
+  float plateau_factor = 0.5f;     // exponential decay on plateau
+  int plateau_patience = 5;
+  double validation_fraction = 0.1;
+  bool augment = true;             // random H/V flips (Sec. 3.4.1)
+  // Each hotspot index appears this many times per epoch. 1 reproduces the
+  // paper's raw-imbalance training; CI-scale configs raise it because a few
+  // hundred samples x few epochs cannot amortize a 14:1 imbalance the way
+  // the full benchmark x many epochs does.
+  int hotspot_oversample = 1;
+  double grad_clip = 5.0;          // 0 disables clipping
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  bool finetune = false;
+  double train_loss = 0.0;
+  double validation_loss = 0.0;
+  float learning_rate = 0.0f;
+};
+
+// Assembles the model-input tensor for the given sample indices.
+using BatchBuilder = std::function<tensor::Tensor(
+    const dataset::HotspotDataset&, const std::vector<std::size_t>&,
+    util::Rng* augment_rng)>;
+
+// Default builder: raw {0,1} images [n,1,ls,ls] with flip augmentation.
+BatchBuilder image_batch_builder();
+
+class Trainer {
+ public:
+  Trainer(nn::Module& model, const TrainerConfig& config,
+          BatchBuilder batch_builder = image_batch_builder());
+
+  // Runs the main phase then the biased finetune phase; returns per-epoch
+  // statistics (main epochs first).
+  std::vector<EpochStats> train(const dataset::HotspotDataset& data);
+
+ private:
+  // One pass over `indices` with the given label bias; returns mean loss.
+  double run_epoch(const dataset::HotspotDataset& data,
+                   const std::vector<std::size_t>& indices,
+                   float bias_epsilon, util::Rng& rng);
+
+  // Mean loss over `indices` without updates (validation).
+  double evaluate_loss(const dataset::HotspotDataset& data,
+                       const std::vector<std::size_t>& indices);
+
+  nn::Module& model_;
+  TrainerConfig config_;
+  BatchBuilder batch_builder_;
+  optim::NAdam optimizer_;
+  nn::SoftmaxCrossEntropy loss_;
+  util::Rng rng_;
+};
+
+// Batched inference over a whole dataset; returns predicted labels in
+// dataset order. Puts the model into eval mode for the duration.
+std::vector<int> predict_labels(
+    nn::Module& model, const dataset::HotspotDataset& data, int batch_size,
+    const BatchBuilder& batch_builder = image_batch_builder());
+
+}  // namespace hotspot::core

@@ -1,0 +1,115 @@
+#include "dataset/generator.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace hotspot::dataset {
+namespace {
+
+Family sample_family(const std::vector<double>& weights, util::Rng& rng) {
+  HOTSPOT_CHECK_EQ(weights.size(), static_cast<std::size_t>(kFamilyCount));
+  double total = 0.0;
+  for (const double w : weights) {
+    HOTSPOT_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  HOTSPOT_CHECK_GT(total, 0.0) << "all family weights are zero";
+  double draw = rng.uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) {
+      return static_cast<Family>(i);
+    }
+  }
+  return static_cast<Family>(kFamilyCount - 1);
+}
+
+}  // namespace
+
+BenchmarkConfig iccad2012_config(double scale, std::int64_t image_size) {
+  HOTSPOT_CHECK_GT(scale, 0.0);
+  BenchmarkConfig config;
+  config.image_size = image_size;
+  // Process scale chosen so the decision-relevant dimensions span 2-4
+  // pixels of a 32px clip image (32 nm/px on a 1024 nm clip): lines below
+  // ~95 nm fail to print, gaps below ~120 nm bridge.
+  config.pattern.min_width = 80;
+  config.pattern.max_width = 288;
+  config.pattern.min_space = 96;
+  config.pattern.max_space = 448;
+  config.litho.grid = 64;
+  config.litho.sigma_nm = 80.0;
+  config.litho.resist_threshold = 0.45f;
+  config.litho.min_width_nm = 64;
+
+  auto scaled = [scale](std::int64_t count) {
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(
+               static_cast<double>(count) * scale)));
+  };
+  // Table 2 of the paper: merged ICCAD-2012 contest statistics.
+  config.train.hotspots = scaled(1204);
+  config.train.non_hotspots = scaled(17096);
+  config.test.hotspots = scaled(2524);
+  config.test.non_hotspots = scaled(13503);
+
+  // Training never sees T-junctions; the test split enables them and
+  // re-weights the rest, standing in for the contest's unseen test
+  // patterns.
+  config.train.family_weights = {0.30, 0.25, 0.15, 0.15, 0.15, 0.0};
+  config.test.family_weights = {0.22, 0.22, 0.14, 0.14, 0.14, 0.14};
+  return config;
+}
+
+HotspotDataset generate_split(const BenchmarkConfig& config,
+                              const SplitSpec& split, util::Rng& rng) {
+  const litho::Simulator simulator(config.litho);
+  HotspotDataset dataset;
+  dataset.reserve(
+      static_cast<std::size_t>(split.hotspots + split.non_hotspots));
+  std::int64_t need_hs = split.hotspots;
+  std::int64_t need_nhs = split.non_hotspots;
+  const std::int64_t budget =
+      (split.hotspots + split.non_hotspots) * config.max_attempts_per_sample;
+  std::int64_t attempts = 0;
+  while (need_hs > 0 || need_nhs > 0) {
+    HOTSPOT_CHECK_LT(attempts, budget)
+        << "quota not fillable: still need " << need_hs << " hotspots and "
+        << need_nhs << " non-hotspots after " << attempts << " attempts";
+    ++attempts;
+    const Family family = sample_family(split.family_weights, rng);
+    layout::Clip clip{generate_pattern(family, config.pattern, rng),
+                      config.pattern.clip_nm};
+    if (clip.pattern.empty()) {
+      continue;
+    }
+    const bool hotspot = simulator.is_hotspot(clip);
+    if (hotspot && need_hs <= 0) {
+      continue;
+    }
+    if (!hotspot && need_nhs <= 0) {
+      continue;
+    }
+    const tensor::Tensor image = clip.binary(config.image_size);
+    dataset.add(
+        ClipSample::from_image(image, hotspot ? 1 : 0, family));
+    (hotspot ? need_hs : need_nhs) -= 1;
+  }
+  HOTSPOT_LOG(kInfo) << "split generated: " << dataset.size()
+                     << " samples in " << attempts << " attempts";
+  return dataset;
+}
+
+Benchmark generate_benchmark(const BenchmarkConfig& config) {
+  util::Rng rng(config.seed);
+  util::Rng train_rng = rng.fork(0x7472);
+  util::Rng test_rng = rng.fork(0x7465);
+  Benchmark benchmark;
+  benchmark.train = generate_split(config, config.train, train_rng);
+  benchmark.test = generate_split(config, config.test, test_rng);
+  return benchmark;
+}
+
+}  // namespace hotspot::dataset

@@ -1,0 +1,53 @@
+// Benchmark generation: fills per-split hotspot / non-hotspot quotas by
+// sampling pattern families and labelling each candidate clip with the
+// lithography oracle. Reproduces the ICCAD-2012 merged-benchmark structure
+// of Table 2 (class counts, heavy imbalance, train/test distribution shift).
+#pragma once
+
+#include "dataset/dataset.h"
+#include "dataset/patterns.h"
+#include "litho/simulator.h"
+
+namespace hotspot::dataset {
+
+struct SplitSpec {
+  std::int64_t hotspots = 0;
+  std::int64_t non_hotspots = 0;
+  // Sampling weight per Family (size kFamilyCount); zero excludes a family
+  // from the split.
+  std::vector<double> family_weights;
+};
+
+struct BenchmarkConfig {
+  PatternParams pattern;
+  litho::SimulatorConfig litho;
+  std::int64_t image_size = 32;  // stored clip resolution l_s
+  std::uint64_t seed = 2012;
+  SplitSpec train;
+  SplitSpec test;
+  // Abort-guard: at most this many candidates per requested sample.
+  std::int64_t max_attempts_per_sample = 400;
+};
+
+struct Benchmark {
+  HotspotDataset train;
+  HotspotDataset test;
+};
+
+// Default configuration mirroring the ICCAD-2012 merged benchmark of
+// Table 2, scaled by `scale` (1.0 = the paper's 1204/17096 train and
+// 2524/13503 test counts; CI runs use ~0.01-0.05). The test split enables
+// the T-junction family the training split never sees and shifts family
+// weights, mimicking the contest's unseen-pattern structure.
+BenchmarkConfig iccad2012_config(double scale, std::int64_t image_size);
+
+// Generates both splits. Aborts (HOTSPOT_CHECK) if a quota cannot be filled
+// within the attempt budget — that indicates an inconsistent config, not a
+// runtime condition to recover from.
+Benchmark generate_benchmark(const BenchmarkConfig& config);
+
+// Generates one split (exposed for tests and streaming statistics).
+HotspotDataset generate_split(const BenchmarkConfig& config,
+                              const SplitSpec& split, util::Rng& rng);
+
+}  // namespace hotspot::dataset

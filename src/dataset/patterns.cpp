@@ -1,0 +1,241 @@
+#include "dataset/patterns.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hotspot::dataset {
+namespace {
+
+using layout::Pattern;
+using layout::Rect;
+
+// Snaps a length to the manufacturing grid (at least one grid unit).
+std::int64_t snap(std::int64_t value, std::int64_t grid) {
+  const std::int64_t snapped = (value / grid) * grid;
+  return std::max(snapped, grid);
+}
+
+std::int64_t draw_length(util::Rng& rng, std::int64_t lo, std::int64_t hi,
+                         std::int64_t grid) {
+  return snap(rng.uniform_int(lo, hi), grid);
+}
+
+// Clamps a rect into the clip area; returns an empty rect when fully
+// outside.
+Rect clamp_rect(Rect rect, std::int64_t clip_nm) {
+  rect.x0 = std::clamp<std::int64_t>(rect.x0, 0, clip_nm);
+  rect.x1 = std::clamp<std::int64_t>(rect.x1, 0, clip_nm);
+  rect.y0 = std::clamp<std::int64_t>(rect.y0, 0, clip_nm);
+  rect.y1 = std::clamp<std::int64_t>(rect.y1, 0, clip_nm);
+  return rect;
+}
+
+void add_clamped(Pattern& pattern, Rect rect, std::int64_t clip_nm) {
+  const Rect clamped = clamp_rect(rect, clip_nm);
+  if (!clamped.empty()) {
+    pattern.add(clamped);
+  }
+}
+
+// Mirrors x/y so families are orientation balanced without biasing the
+// horizontal-flip augmentation study.
+Pattern maybe_transpose(Pattern pattern, util::Rng& rng) {
+  if (!rng.bernoulli(0.5)) {
+    return pattern;
+  }
+  Pattern transposed;
+  for (const Rect& rect : pattern.rects()) {
+    transposed.add(Rect{rect.y0, rect.x0, rect.y1, rect.x1});
+  }
+  return transposed;
+}
+
+}  // namespace
+
+Pattern dense_lines(const PatternParams& params, util::Rng& rng) {
+  Pattern pattern;
+  const std::int64_t clip = params.clip_nm;
+  const std::int64_t width =
+      draw_length(rng, params.min_width, params.max_width, params.grid_nm);
+  const std::int64_t space =
+      draw_length(rng, params.min_space, params.max_space, params.grid_nm);
+  const std::int64_t pitch = width + space;
+  std::int64_t x = draw_length(rng, 0, pitch, params.grid_nm);
+  while (x + width <= clip) {
+    // Most lines run the full clip; some are segmented, leaving a
+    // line-end gap in a dense neighbourhood (a classic hotspot context).
+    if (rng.bernoulli(0.25)) {
+      const std::int64_t gap = draw_length(rng, params.min_space,
+                                           params.max_space, params.grid_nm);
+      const std::int64_t break_at =
+          draw_length(rng, clip / 4, 3 * clip / 4, params.grid_nm);
+      add_clamped(pattern, Rect{x, 0, x + width, break_at}, clip);
+      add_clamped(pattern, Rect{x, break_at + gap, x + width, clip}, clip);
+    } else {
+      add_clamped(pattern, Rect{x, 0, x + width, clip}, clip);
+    }
+    x += pitch;
+  }
+  return maybe_transpose(std::move(pattern), rng);
+}
+
+Pattern tip_to_tip(const PatternParams& params, util::Rng& rng) {
+  Pattern pattern;
+  const std::int64_t clip = params.clip_nm;
+  const std::int64_t width =
+      draw_length(rng, params.min_width, params.max_width, params.grid_nm);
+  const std::int64_t space =
+      draw_length(rng, params.min_space, params.max_space, params.grid_nm);
+  const std::int64_t pitch = width + space;
+  const std::int64_t gap =
+      draw_length(rng, params.min_space, params.max_space, params.grid_nm);
+  const std::int64_t lines = 2 + rng.uniform_int(0, 3);
+  const std::int64_t gap_line = rng.uniform_int(0, lines - 1);
+  std::int64_t x = draw_length(rng, params.grid_nm, pitch, params.grid_nm);
+  for (std::int64_t i = 0; i < lines && x + width <= clip; ++i) {
+    if (i == gap_line) {
+      const std::int64_t mid =
+          draw_length(rng, clip / 3, 2 * clip / 3, params.grid_nm);
+      // Split the gap into two grid-aligned halves so every coordinate
+      // stays on the manufacturing grid.
+      const std::int64_t low_half = (gap / 2 / params.grid_nm) * params.grid_nm;
+      add_clamped(pattern, Rect{x, 0, x + width, mid - low_half}, clip);
+      add_clamped(pattern,
+                  Rect{x, mid - low_half + gap, x + width, clip}, clip);
+    } else {
+      add_clamped(pattern, Rect{x, 0, x + width, clip}, clip);
+    }
+    x += pitch;
+  }
+  return maybe_transpose(std::move(pattern), rng);
+}
+
+Pattern jog(const PatternParams& params, util::Rng& rng) {
+  Pattern pattern;
+  const std::int64_t clip = params.clip_nm;
+  const std::int64_t width =
+      draw_length(rng, params.min_width, params.max_width, params.grid_nm);
+  const std::int64_t space =
+      draw_length(rng, params.min_space, params.max_space, params.grid_nm);
+  const std::int64_t pitch = width + space;
+  const std::int64_t jog_offset =
+      draw_length(rng, width + params.min_space, pitch + params.max_space,
+                  params.grid_nm);
+  std::int64_t x = draw_length(rng, params.grid_nm, pitch, params.grid_nm);
+  while (x + width <= clip) {
+    const std::int64_t jog_y =
+        draw_length(rng, clip / 4, 3 * clip / 4, params.grid_nm);
+    // Lower vertical leg, horizontal bridge piece, upper vertical leg
+    // shifted by jog_offset: a Z-shaped wire (overlapping rects = union, so
+    // the wire stays connected).
+    add_clamped(pattern, Rect{x, 0, x + width, jog_y + width}, clip);
+    add_clamped(pattern,
+                Rect{x, jog_y, x + jog_offset + width, jog_y + width}, clip);
+    add_clamped(pattern,
+                Rect{x + jog_offset, jog_y, x + jog_offset + width, clip},
+                clip);
+    x += pitch + jog_offset;
+  }
+  return maybe_transpose(std::move(pattern), rng);
+}
+
+Pattern contacts(const PatternParams& params, util::Rng& rng) {
+  Pattern pattern;
+  const std::int64_t clip = params.clip_nm;
+  const std::int64_t side =
+      draw_length(rng, params.min_width, params.max_width, params.grid_nm);
+  const std::int64_t space =
+      draw_length(rng, params.min_space, params.max_space, params.grid_nm);
+  const std::int64_t pitch = side + space;
+  const std::int64_t x0 = draw_length(rng, params.grid_nm, pitch, params.grid_nm);
+  const std::int64_t y0 = draw_length(rng, params.grid_nm, pitch, params.grid_nm);
+  for (std::int64_t y = y0; y + side <= clip; y += pitch) {
+    for (std::int64_t x = x0; x + side <= clip; x += pitch) {
+      // Sparse dropouts keep the array from being perfectly periodic.
+      if (rng.bernoulli(0.85)) {
+        add_clamped(pattern, Rect{x, y, x + side, y + side}, clip);
+      }
+    }
+  }
+  return pattern;
+}
+
+Pattern comb(const PatternParams& params, util::Rng& rng) {
+  Pattern pattern;
+  const std::int64_t clip = params.clip_nm;
+  const std::int64_t width =
+      draw_length(rng, params.min_width, params.max_width, params.grid_nm);
+  const std::int64_t space =
+      draw_length(rng, params.min_space, params.max_space, params.grid_nm);
+  const std::int64_t tip_gap =
+      draw_length(rng, params.min_space, params.max_space, params.grid_nm);
+  const std::int64_t pitch = 2 * (width + space);
+  // Two spines on opposite edges with interdigitated fingers.
+  add_clamped(pattern, Rect{0, 0, width, clip}, clip);
+  add_clamped(pattern, Rect{clip - width, 0, clip, clip}, clip);
+  std::int64_t y = draw_length(rng, params.grid_nm, pitch, params.grid_nm);
+  bool from_left = true;
+  while (y + width <= clip) {
+    if (from_left) {
+      add_clamped(pattern,
+                  Rect{width, y, clip - width - tip_gap, y + width}, clip);
+    } else {
+      add_clamped(pattern,
+                  Rect{width + tip_gap, y, clip - width, y + width}, clip);
+    }
+    from_left = !from_left;
+    y += width + space;
+  }
+  return maybe_transpose(std::move(pattern), rng);
+}
+
+Pattern t_junction(const PatternParams& params, util::Rng& rng) {
+  Pattern pattern;
+  const std::int64_t clip = params.clip_nm;
+  const std::int64_t width =
+      draw_length(rng, params.min_width, params.max_width, params.grid_nm);
+  const std::int64_t space =
+      draw_length(rng, params.min_space, params.max_space, params.grid_nm);
+  // Horizontal bar.
+  const std::int64_t bar_y =
+      draw_length(rng, clip / 3, 2 * clip / 3, params.grid_nm);
+  add_clamped(pattern, Rect{0, bar_y, clip, bar_y + width}, clip);
+  // Stems dropping from the bar, with a parallel runner line below their
+  // tips (the runner-to-stem spacing is the critical dimension).
+  const std::int64_t stem_len =
+      draw_length(rng, clip / 8, clip / 3, params.grid_nm);
+  const std::int64_t pitch = 2 * width + 2 * space;
+  std::int64_t x = draw_length(rng, params.grid_nm, pitch, params.grid_nm);
+  while (x + width <= clip) {
+    add_clamped(pattern,
+                Rect{x, bar_y - stem_len, x + width, bar_y}, clip);
+    x += pitch;
+  }
+  const std::int64_t runner_gap =
+      draw_length(rng, params.min_space, params.max_space, params.grid_nm);
+  const std::int64_t runner_y = bar_y - stem_len - runner_gap - width;
+  add_clamped(pattern, Rect{0, runner_y, clip, runner_y + width}, clip);
+  return maybe_transpose(std::move(pattern), rng);
+}
+
+Pattern generate_pattern(Family family, const PatternParams& params,
+                         util::Rng& rng) {
+  switch (family) {
+    case Family::kDenseLines:
+      return dense_lines(params, rng);
+    case Family::kTipToTip:
+      return tip_to_tip(params, rng);
+    case Family::kJog:
+      return jog(params, rng);
+    case Family::kContacts:
+      return contacts(params, rng);
+    case Family::kComb:
+      return comb(params, rng);
+    case Family::kTJunction:
+      return t_junction(params, rng);
+  }
+  HOTSPOT_CHECK(false) << "unknown family";
+}
+
+}  // namespace hotspot::dataset

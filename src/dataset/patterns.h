@@ -1,0 +1,39 @@
+// Synthetic Manhattan pattern families.
+//
+// These stand in for the ICCAD-2012 contest layouts (DESIGN.md substitution
+// table). Parameter ranges straddle the printability limits of the litho
+// proxy (features of 32-180 nm against a 40 nm PSF), so each family yields a
+// mix of hotspot and non-hotspot instances and the labels are geometrically
+// meaningful: tight tip-to-tip gaps bridge, narrow lines pinch or vanish,
+// small contacts fail to print.
+#pragma once
+
+#include "dataset/sample.h"
+#include "layout/geometry.h"
+#include "util/rng.h"
+
+namespace hotspot::dataset {
+
+// Parameter envelope shared by the family generators. All lengths in nm.
+struct PatternParams {
+  std::int64_t clip_nm = 1024;
+  std::int64_t grid_nm = 8;         // manufacturing grid; coords snap to it
+  std::int64_t min_width = 32;      // drawn linewidth range
+  std::int64_t max_width = 136;
+  std::int64_t min_space = 32;      // drawn spacing/gap range
+  std::int64_t max_space = 200;
+};
+
+// Draws one random pattern of the given family.
+layout::Pattern generate_pattern(Family family, const PatternParams& params,
+                                 util::Rng& rng);
+
+// Individual families (exposed for tests and the full-chip example).
+layout::Pattern dense_lines(const PatternParams& params, util::Rng& rng);
+layout::Pattern tip_to_tip(const PatternParams& params, util::Rng& rng);
+layout::Pattern jog(const PatternParams& params, util::Rng& rng);
+layout::Pattern contacts(const PatternParams& params, util::Rng& rng);
+layout::Pattern comb(const PatternParams& params, util::Rng& rng);
+layout::Pattern t_junction(const PatternParams& params, util::Rng& rng);
+
+}  // namespace hotspot::dataset

@@ -1,0 +1,4 @@
+#include "eval/detector.h"
+
+// Interface-only translation unit: anchors the vtable.
+namespace hotspot::eval {}

@@ -1,0 +1,34 @@
+// Common interface for hotspot detectors so the Table-3 harness can train
+// and compare the paper's method and all three baselines uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "util/rng.h"
+
+namespace hotspot::eval {
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  Detector() = default;
+  Detector(const Detector&) = delete;
+  Detector& operator=(const Detector&) = delete;
+
+  // Method name as it appears in the comparison table.
+  virtual std::string name() const = 0;
+
+  // Trains on the given split. All stochastic choices draw from `rng`.
+  virtual void fit(const dataset::HotspotDataset& train, util::Rng& rng) = 0;
+
+  // Predicted labels (1 = hotspot), one per sample, in dataset order.
+  virtual std::vector<int> predict(const dataset::HotspotDataset& data) = 0;
+};
+
+using DetectorPtr = std::unique_ptr<Detector>;
+
+}  // namespace hotspot::eval

@@ -1,0 +1,42 @@
+#include "eval/evaluation.h"
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace hotspot::eval {
+
+EvaluationRow evaluate_detector(Detector& detector,
+                                const dataset::HotspotDataset& train,
+                                const dataset::HotspotDataset& test,
+                                util::Rng& rng) {
+  EvaluationRow row;
+  row.method = detector.name();
+
+  util::Stopwatch train_timer;
+  detector.fit(train, rng);
+  row.train_seconds = train_timer.seconds();
+
+  util::Stopwatch eval_timer;
+  const std::vector<int> predicted = detector.predict(test);
+  row.eval_seconds = eval_timer.seconds();
+
+  const std::vector<int> actual = test.batch_labels(test.all_indices());
+  row.matrix = confusion(actual, predicted);
+  return row;
+}
+
+util::Table comparison_table(const std::vector<EvaluationRow>& rows,
+                             double litho_seconds_per_instance) {
+  util::Table table({"Method", "FA#", "Runtime (s)", "ODST (s)", "Accu (%)"});
+  for (const auto& row : rows) {
+    table.add_row({row.method,
+                   util::format_count(row.matrix.false_alarm()),
+                   util::format_double(row.eval_seconds, 2),
+                   util::format_double(row.odst(litho_seconds_per_instance), 0),
+                   util::format_double(row.matrix.accuracy() * 100.0, 1)});
+  }
+  return table;
+}
+
+}  // namespace hotspot::eval

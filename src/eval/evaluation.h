@@ -1,0 +1,41 @@
+// Train/evaluate harness producing rows in the paper's Table-3 format:
+// FA# | Runtime (s) | ODST (s) | Accu (%).
+#pragma once
+
+#include "eval/detector.h"
+#include "eval/metrics.h"
+#include "util/table.h"
+
+namespace hotspot::eval {
+
+struct EvaluationRow {
+  std::string method;
+  ConfusionMatrix matrix;
+  double train_seconds = 0.0;
+  double eval_seconds = 0.0;  // total prediction wall time ("Runtime")
+
+  double eval_seconds_per_instance() const {
+    return matrix.total() == 0
+               ? 0.0
+               : eval_seconds / static_cast<double>(matrix.total());
+  }
+
+  // Eq. 3 with the measured per-instance evaluation time.
+  double odst(double litho_seconds_per_instance) const {
+    return matrix.odst(litho_seconds_per_instance,
+                       eval_seconds_per_instance());
+  }
+};
+
+// Fits the detector on `train`, times prediction over `test`, and fills the
+// row.
+EvaluationRow evaluate_detector(Detector& detector,
+                                const dataset::HotspotDataset& train,
+                                const dataset::HotspotDataset& test,
+                                util::Rng& rng);
+
+// Renders rows as the paper's Table 3 (t_ls defaults to the paper's 10 s).
+util::Table comparison_table(const std::vector<EvaluationRow>& rows,
+                             double litho_seconds_per_instance = 10.0);
+
+}  // namespace hotspot::eval

@@ -1,0 +1,54 @@
+#include "eval/metrics.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace hotspot::eval {
+
+void ConfusionMatrix::record(int actual_label, int predicted_label) {
+  HOTSPOT_CHECK(actual_label == 0 || actual_label == 1)
+      << "actual " << actual_label;
+  HOTSPOT_CHECK(predicted_label == 0 || predicted_label == 1)
+      << "predicted " << predicted_label;
+  if (actual_label == 1) {
+    (predicted_label == 1 ? true_positive : false_negative) += 1;
+  } else {
+    (predicted_label == 1 ? false_positive : true_negative) += 1;
+  }
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::int64_t actual_hotspots = true_positive + false_negative;
+  if (actual_hotspots == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(true_positive) /
+         static_cast<double>(actual_hotspots);
+}
+
+double ConfusionMatrix::odst(double litho_seconds_per_instance,
+                             double eval_seconds_per_instance) const {
+  return static_cast<double>(false_positive + true_positive) *
+             litho_seconds_per_instance +
+         static_cast<double>(total()) * eval_seconds_per_instance;
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream out;
+  out << "TP=" << true_positive << " FN=" << false_negative
+      << " FP=" << false_positive << " TN=" << true_negative;
+  return out.str();
+}
+
+ConfusionMatrix confusion(const std::vector<int>& actual,
+                          const std::vector<int>& predicted) {
+  HOTSPOT_CHECK_EQ(actual.size(), predicted.size());
+  ConfusionMatrix matrix;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    matrix.record(actual[i], predicted[i]);
+  }
+  return matrix;
+}
+
+}  // namespace hotspot::eval

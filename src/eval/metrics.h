@@ -1,0 +1,40 @@
+// Hotspot-detection metrics (paper Sec. 2.1, Table 1, Eq. 1-3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hotspot::eval {
+
+// Confusion matrix with the paper's label convention: positive = hotspot.
+struct ConfusionMatrix {
+  std::int64_t true_positive = 0;
+  std::int64_t true_negative = 0;
+  std::int64_t false_positive = 0;
+  std::int64_t false_negative = 0;
+
+  void record(int actual_label, int predicted_label);
+
+  std::int64_t total() const {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+
+  // Eq. 1: accuracy = TP / (TP + FN) — the hotspot detection rate (recall).
+  double accuracy() const;
+
+  // Eq. 2: false alarm = #FP.
+  std::int64_t false_alarm() const { return false_positive; }
+
+  // Eq. 3: ODST = (FP+TP) * t_ls + total * t_ev.
+  double odst(double litho_seconds_per_instance,
+              double eval_seconds_per_instance) const;
+
+  std::string to_string() const;
+};
+
+// Builds a confusion matrix from parallel label vectors.
+ConfusionMatrix confusion(const std::vector<int>& actual,
+                          const std::vector<int>& predicted);
+
+}  // namespace hotspot::eval

@@ -1,0 +1,69 @@
+#include "features/ccs.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace hotspot::features {
+
+std::vector<float> ccs_features(const tensor::Tensor& image,
+                                const CcsSpec& spec) {
+  HOTSPOT_CHECK_EQ(image.rank(), 2);
+  HOTSPOT_CHECK_GT(spec.circles, 0);
+  HOTSPOT_CHECK_GT(spec.segments_per_circle, 0);
+  HOTSPOT_CHECK_GT(spec.samples_per_segment, 0);
+  const std::int64_t h = image.dim(0);
+  const std::int64_t w = image.dim(1);
+  const double cy = static_cast<double>(h - 1) / 2.0;
+  const double cx = static_cast<double>(w - 1) / 2.0;
+  const double max_radius = std::min(cy, cx);
+
+  std::vector<float> features;
+  features.reserve(
+      static_cast<std::size_t>(spec.circles * spec.segments_per_circle));
+  for (std::int64_t c = 0; c < spec.circles; ++c) {
+    // Radii spread from near-centre to the clip edge.
+    const double radius = max_radius * static_cast<double>(c + 1) /
+                          static_cast<double>(spec.circles);
+    for (std::int64_t s = 0; s < spec.segments_per_circle; ++s) {
+      double sum = 0.0;
+      for (std::int64_t k = 0; k < spec.samples_per_segment; ++k) {
+        const double fraction =
+            (static_cast<double>(s) +
+             (static_cast<double>(k) + 0.5) /
+                 static_cast<double>(spec.samples_per_segment)) /
+            static_cast<double>(spec.segments_per_circle);
+        const double angle = 2.0 * std::numbers::pi * fraction;
+        const auto y = static_cast<std::int64_t>(
+            std::lround(cy + radius * std::sin(angle)));
+        const auto x = static_cast<std::int64_t>(
+            std::lround(cx + radius * std::cos(angle)));
+        if (y >= 0 && y < h && x >= 0 && x < w) {
+          sum += static_cast<double>(image.at2(y, x));
+        }
+      }
+      features.push_back(static_cast<float>(
+          sum / static_cast<double>(spec.samples_per_segment)));
+    }
+  }
+  return features;
+}
+
+tensor::Tensor ccs_matrix(const dataset::HotspotDataset& data,
+                          const CcsSpec& spec) {
+  HOTSPOT_CHECK(!data.empty());
+  const auto n = static_cast<std::int64_t>(data.size());
+  const std::int64_t dims = spec.circles * spec.segments_per_circle;
+  tensor::Tensor matrix({n, dims});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto features =
+        ccs_features(data.sample(static_cast<std::size_t>(i)).to_image(), spec);
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      matrix.at2(i, static_cast<std::int64_t>(f)) = features[f];
+    }
+  }
+  return matrix;
+}
+
+}  // namespace hotspot::features

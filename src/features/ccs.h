@@ -1,0 +1,28 @@
+// Concentric-circle-sampling (CCS) features.
+//
+// The ICCAD'16 baseline [14] samples the layout along concentric circles
+// around the clip centre and optimizes the feature set with an
+// information-theoretic criterion. Each circle is divided into arc segments;
+// a feature is the mean pattern coverage over the pixels of one segment.
+#pragma once
+
+#include "dataset/dataset.h"
+#include "tensor/tensor.h"
+
+namespace hotspot::features {
+
+struct CcsSpec {
+  std::int64_t circles = 8;            // number of radii
+  std::int64_t segments_per_circle = 8;  // arc segments per circle
+  std::int64_t samples_per_segment = 8;  // sampled points per segment
+};
+
+// Feature vector of circles*segments values for a [H,W] image.
+std::vector<float> ccs_features(const tensor::Tensor& image,
+                                const CcsSpec& spec);
+
+// Feature matrix [n, circles*segments].
+tensor::Tensor ccs_matrix(const dataset::HotspotDataset& data,
+                          const CcsSpec& spec);
+
+}  // namespace hotspot::features

@@ -1,0 +1,48 @@
+#include "features/density.h"
+
+#include "util/check.h"
+
+namespace hotspot::features {
+
+std::vector<float> density_features(const tensor::Tensor& image,
+                                    std::int64_t grid) {
+  HOTSPOT_CHECK_EQ(image.rank(), 2);
+  HOTSPOT_CHECK_GT(grid, 0);
+  const std::int64_t h = image.dim(0);
+  const std::int64_t w = image.dim(1);
+  HOTSPOT_CHECK_EQ(h % grid, 0);
+  HOTSPOT_CHECK_EQ(w % grid, 0);
+  const std::int64_t cell_h = h / grid;
+  const std::int64_t cell_w = w / grid;
+  const auto cell_area = static_cast<float>(cell_h * cell_w);
+  std::vector<float> features(static_cast<std::size_t>(grid * grid));
+  for (std::int64_t gy = 0; gy < grid; ++gy) {
+    for (std::int64_t gx = 0; gx < grid; ++gx) {
+      float total = 0.0f;
+      for (std::int64_t y = 0; y < cell_h; ++y) {
+        for (std::int64_t x = 0; x < cell_w; ++x) {
+          total += image.at2(gy * cell_h + y, gx * cell_w + x);
+        }
+      }
+      features[static_cast<std::size_t>(gy * grid + gx)] = total / cell_area;
+    }
+  }
+  return features;
+}
+
+tensor::Tensor density_matrix(const dataset::HotspotDataset& data,
+                              std::int64_t grid) {
+  HOTSPOT_CHECK(!data.empty());
+  const auto n = static_cast<std::int64_t>(data.size());
+  tensor::Tensor matrix({n, grid * grid});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto features = density_features(
+        data.sample(static_cast<std::size_t>(i)).to_image(), grid);
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      matrix.at2(i, static_cast<std::int64_t>(f)) = features[f];
+    }
+  }
+  return matrix;
+}
+
+}  // namespace hotspot::features

@@ -1,0 +1,20 @@
+// Local-density features: the clip is divided into a g x g grid and each
+// cell's pattern coverage fraction is one feature. This is the "simplified
+// feature extraction" used by the SPIE'15 AdaBoost baseline [11].
+#pragma once
+
+#include "dataset/dataset.h"
+#include "tensor/tensor.h"
+
+namespace hotspot::features {
+
+// [H,W] binary image -> g*g density vector (row-major cells). H and W must
+// be divisible by g.
+std::vector<float> density_features(const tensor::Tensor& image,
+                                    std::int64_t grid);
+
+// Feature matrix [n, g*g] for a whole dataset.
+tensor::Tensor density_matrix(const dataset::HotspotDataset& data,
+                              std::int64_t grid);
+
+}  // namespace hotspot::features

@@ -1,0 +1,110 @@
+#include "features/mutual_information.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hotspot::features {
+
+double mutual_information(const tensor::Tensor& features, std::int64_t column,
+                          const std::vector<int>& labels, int bins) {
+  HOTSPOT_CHECK_EQ(features.rank(), 2);
+  HOTSPOT_CHECK(column >= 0 && column < features.dim(1))
+      << "column " << column;
+  HOTSPOT_CHECK_EQ(static_cast<std::int64_t>(labels.size()), features.dim(0));
+  HOTSPOT_CHECK_GT(bins, 0);
+  const std::int64_t n = features.dim(0);
+  HOTSPOT_CHECK_GT(n, 0);
+
+  float lo = features.at2(0, column);
+  float hi = lo;
+  for (std::int64_t i = 1; i < n; ++i) {
+    lo = std::min(lo, features.at2(i, column));
+    hi = std::max(hi, features.at2(i, column));
+  }
+  const float span = hi - lo;
+  if (span <= 0.0f) {
+    return 0.0;  // constant feature carries no information
+  }
+
+  // Joint histogram over (bin, label).
+  std::vector<std::int64_t> joint(static_cast<std::size_t>(bins) * 2, 0);
+  std::vector<std::int64_t> bin_count(static_cast<std::size_t>(bins), 0);
+  std::int64_t positives = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    int bin = static_cast<int>((features.at2(i, column) - lo) / span *
+                               static_cast<float>(bins));
+    bin = std::clamp(bin, 0, bins - 1);
+    const int label = labels[static_cast<std::size_t>(i)];
+    HOTSPOT_CHECK(label == 0 || label == 1) << "label " << label;
+    ++joint[static_cast<std::size_t>(bin) * 2 + static_cast<std::size_t>(label)];
+    ++bin_count[static_cast<std::size_t>(bin)];
+    positives += label;
+  }
+
+  const double total = static_cast<double>(n);
+  const double p_label[2] = {(total - static_cast<double>(positives)) / total,
+                             static_cast<double>(positives) / total};
+  double mi = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    const double p_bin =
+        static_cast<double>(bin_count[static_cast<std::size_t>(b)]) / total;
+    if (p_bin == 0.0) {
+      continue;
+    }
+    for (int label = 0; label < 2; ++label) {
+      const double p_joint =
+          static_cast<double>(
+              joint[static_cast<std::size_t>(b) * 2 +
+                    static_cast<std::size_t>(label)]) /
+          total;
+      if (p_joint == 0.0 || p_label[label] == 0.0) {
+        continue;
+      }
+      mi += p_joint * std::log(p_joint / (p_bin * p_label[label]));
+    }
+  }
+  return mi;
+}
+
+std::vector<std::int64_t> select_top_features(const tensor::Tensor& features,
+                                              const std::vector<int>& labels,
+                                              std::int64_t keep, int bins) {
+  HOTSPOT_CHECK_EQ(features.rank(), 2);
+  const std::int64_t dims = features.dim(1);
+  HOTSPOT_CHECK(keep > 0 && keep <= dims)
+      << "keep=" << keep << " of " << dims;
+  std::vector<std::pair<double, std::int64_t>> ranked;
+  ranked.reserve(static_cast<std::size_t>(dims));
+  for (std::int64_t c = 0; c < dims; ++c) {
+    ranked.emplace_back(mutual_information(features, c, labels, bins), c);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::int64_t> selected;
+  selected.reserve(static_cast<std::size_t>(keep));
+  for (std::int64_t i = 0; i < keep; ++i) {
+    selected.push_back(ranked[static_cast<std::size_t>(i)].second);
+  }
+  return selected;
+}
+
+tensor::Tensor project_columns(const tensor::Tensor& features,
+                               const std::vector<std::int64_t>& columns) {
+  HOTSPOT_CHECK_EQ(features.rank(), 2);
+  HOTSPOT_CHECK(!columns.empty());
+  const std::int64_t n = features.dim(0);
+  tensor::Tensor projected({n, static_cast<std::int64_t>(columns.size())});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      HOTSPOT_CHECK(columns[c] >= 0 && columns[c] < features.dim(1))
+          << "column " << columns[c];
+      projected.at2(i, static_cast<std::int64_t>(c)) =
+          features.at2(i, columns[c]);
+    }
+  }
+  return projected;
+}
+
+}  // namespace hotspot::features

@@ -1,0 +1,31 @@
+// Information-theoretic feature selection.
+//
+// The ICCAD'16 baseline ranks candidate features by mutual information with
+// the hotspot label and keeps the most informative subset. Features are
+// discretized into equal-width bins for the MI estimate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hotspot::features {
+
+// MI (nats) between one feature column and binary labels, with values
+// discretized into `bins` equal-width bins over the column's range.
+double mutual_information(const tensor::Tensor& features, std::int64_t column,
+                          const std::vector<int>& labels, int bins = 16);
+
+// Indices of the `keep` columns with the highest MI, in descending MI
+// order.
+std::vector<std::int64_t> select_top_features(const tensor::Tensor& features,
+                                              const std::vector<int>& labels,
+                                              std::int64_t keep,
+                                              int bins = 16);
+
+// Projects a feature matrix onto the selected columns.
+tensor::Tensor project_columns(const tensor::Tensor& features,
+                               const std::vector<std::int64_t>& columns);
+
+}  // namespace hotspot::features

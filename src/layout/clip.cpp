@@ -1,0 +1,26 @@
+#include "layout/clip.h"
+
+#include "util/check.h"
+
+namespace hotspot::layout {
+
+std::vector<Clip> extract_clips(const Pattern& full, std::int64_t size_nm,
+                                std::int64_t step_nm) {
+  HOTSPOT_CHECK_GT(size_nm, 0);
+  HOTSPOT_CHECK_GT(step_nm, 0);
+  std::vector<Clip> clips;
+  if (full.empty()) {
+    return clips;
+  }
+  const Rect box = full.bounding_box();
+  for (std::int64_t y = box.y0; y < box.y1; y += step_nm) {
+    for (std::int64_t x = box.x0; x < box.x1; x += step_nm) {
+      const Rect window{x, y, x + size_nm, y + size_nm};
+      Clip clip{full.clipped_to(window), size_nm};
+      clips.push_back(std::move(clip));
+    }
+  }
+  return clips;
+}
+
+}  // namespace hotspot::layout

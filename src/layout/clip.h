@@ -1,0 +1,34 @@
+// Layout clips: the square windows hotspot detectors classify.
+#pragma once
+
+#include <vector>
+
+#include "layout/geometry.h"
+#include "layout/raster.h"
+
+namespace hotspot::layout {
+
+// A square layout window together with the geometry inside it.
+struct Clip {
+  Pattern pattern;        // geometry, translated to the window's local frame
+  std::int64_t size_nm;   // window edge length
+
+  Rect window() const { return Rect{0, 0, size_nm, size_nm}; }
+
+  // Area-coverage raster of this clip.
+  tensor::Tensor coverage(std::int64_t grid) const {
+    return rasterize_coverage(pattern, window(), grid);
+  }
+  // Binary raster of this clip.
+  tensor::Tensor binary(std::int64_t grid) const {
+    return rasterize_binary(pattern, window(), grid);
+  }
+};
+
+// Slides a size_nm x size_nm window over `full` geometry with the given
+// step, producing one clip per window position covering the layout bounding
+// box. Used by the full-chip scanning example.
+std::vector<Clip> extract_clips(const Pattern& full, std::int64_t size_nm,
+                                std::int64_t step_nm);
+
+}  // namespace hotspot::layout

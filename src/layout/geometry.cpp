@@ -1,0 +1,128 @@
+#include "layout/geometry.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace hotspot::layout {
+
+Rect intersect(const Rect& a, const Rect& b) {
+  Rect result{std::max(a.x0, b.x0), std::max(a.y0, b.y0),
+              std::min(a.x1, b.x1), std::min(a.y1, b.y1)};
+  if (result.empty()) {
+    return Rect{};
+  }
+  return result;
+}
+
+bool overlaps(const Rect& a, const Rect& b) {
+  return a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1;
+}
+
+bool touches(const Rect& a, const Rect& b) {
+  return a.x0 <= b.x1 && b.x0 <= a.x1 && a.y0 <= b.y1 && b.y0 <= a.y1;
+}
+
+Rect bounding_box(const Rect& a, const Rect& b) {
+  if (a.empty()) {
+    return b;
+  }
+  if (b.empty()) {
+    return a;
+  }
+  return Rect{std::min(a.x0, b.x0), std::min(a.y0, b.y0),
+              std::max(a.x1, b.x1), std::max(a.y1, b.y1)};
+}
+
+std::string to_string(const Rect& rect) {
+  std::ostringstream out;
+  out << "Rect(" << rect.x0 << ", " << rect.y0 << ", " << rect.x1 << ", "
+      << rect.y1 << ")";
+  return out.str();
+}
+
+Pattern::Pattern(std::vector<Rect> rects) : rects_(std::move(rects)) {
+  for (const auto& rect : rects_) {
+    HOTSPOT_CHECK(!rect.empty()) << "empty rect in pattern: " << to_string(rect);
+  }
+}
+
+void Pattern::add(const Rect& rect) {
+  HOTSPOT_CHECK(!rect.empty()) << "cannot add empty rect " << to_string(rect);
+  rects_.push_back(rect);
+}
+
+Rect Pattern::bounding_box() const {
+  Rect box{};
+  for (const auto& rect : rects_) {
+    box = layout::bounding_box(box, rect);
+  }
+  return box;
+}
+
+bool Pattern::covers(std::int64_t x, std::int64_t y) const {
+  for (const auto& rect : rects_) {
+    if (rect.contains(x, y)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Pattern::translate(std::int64_t dx, std::int64_t dy) {
+  for (auto& rect : rects_) {
+    rect.x0 += dx;
+    rect.x1 += dx;
+    rect.y0 += dy;
+    rect.y1 += dy;
+  }
+}
+
+Pattern Pattern::clipped_to(const Rect& window) const {
+  Pattern result;
+  for (const auto& rect : rects_) {
+    Rect cut = intersect(rect, window);
+    if (!cut.empty()) {
+      cut.x0 -= window.x0;
+      cut.x1 -= window.x0;
+      cut.y0 -= window.y0;
+      cut.y1 -= window.y0;
+      result.add(cut);
+    }
+  }
+  return result;
+}
+
+int Pattern::connected_component_count() const {
+  // Union-find over rects with touch adjacency; rect counts per clip are
+  // small (tens), so the quadratic pass is fine.
+  const std::size_t n = rects_.size();
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    parent[i] = i;
+  }
+  auto find = [&](std::size_t i) {
+    while (parent[i] != i) {
+      parent[i] = parent[parent[i]];
+      i = parent[i];
+    }
+    return i;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (touches(rects_[i], rects_[j])) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+  int components = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (find(i) == i) {
+      ++components;
+    }
+  }
+  return components;
+}
+
+}  // namespace hotspot::layout

@@ -1,0 +1,64 @@
+#include "litho/components.h"
+
+#include <queue>
+
+#include "util/check.h"
+
+namespace hotspot::litho {
+
+ComponentLabels label_components(const tensor::Tensor& binary) {
+  HOTSPOT_CHECK_EQ(binary.rank(), 2);
+  ComponentLabels result;
+  result.height = binary.dim(0);
+  result.width = binary.dim(1);
+  result.labels.assign(
+      static_cast<std::size_t>(result.height * result.width), -1);
+
+  auto is_set = [&](std::int64_t y, std::int64_t x) {
+    return binary.at2(y, x) >= 0.5f;
+  };
+
+  std::queue<std::pair<std::int64_t, std::int64_t>> frontier;
+  for (std::int64_t sy = 0; sy < result.height; ++sy) {
+    for (std::int64_t sx = 0; sx < result.width; ++sx) {
+      if (!is_set(sy, sx) || result.at(sy, sx) != -1) {
+        continue;
+      }
+      const std::int32_t label = result.count++;
+      result.labels[static_cast<std::size_t>(sy * result.width + sx)] = label;
+      frontier.emplace(sy, sx);
+      while (!frontier.empty()) {
+        const auto [y, x] = frontier.front();
+        frontier.pop();
+        constexpr std::int64_t dy[] = {-1, 1, 0, 0};
+        constexpr std::int64_t dx[] = {0, 0, -1, 1};
+        for (int d = 0; d < 4; ++d) {
+          const std::int64_t ny = y + dy[d];
+          const std::int64_t nx = x + dx[d];
+          if (ny < 0 || ny >= result.height || nx < 0 || nx >= result.width) {
+            continue;
+          }
+          if (!is_set(ny, nx) || result.at(ny, nx) != -1) {
+            continue;
+          }
+          result.labels[static_cast<std::size_t>(ny * result.width + nx)] =
+              label;
+          frontier.emplace(ny, nx);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::int64_t> component_sizes(const ComponentLabels& labels) {
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(labels.count), 0);
+  for (const auto label : labels.labels) {
+    if (label >= 0) {
+      ++sizes[static_cast<std::size_t>(label)];
+    }
+  }
+  return sizes;
+}
+
+}  // namespace hotspot::litho

@@ -1,0 +1,29 @@
+// Connected-component labelling of binary rasters (4-connectivity).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hotspot::litho {
+
+struct ComponentLabels {
+  // Per-pixel label in row-major order; -1 for background.
+  std::vector<std::int32_t> labels;
+  std::int32_t count = 0;
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+
+  std::int32_t at(std::int64_t y, std::int64_t x) const {
+    return labels[static_cast<std::size_t>(y * width + x)];
+  }
+};
+
+// Labels pixels where image >= 0.5 using 4-connectivity BFS.
+ComponentLabels label_components(const tensor::Tensor& binary);
+
+// Pixel count per component.
+std::vector<std::int64_t> component_sizes(const ComponentLabels& labels);
+
+}  // namespace hotspot::litho

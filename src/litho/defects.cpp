@@ -1,0 +1,213 @@
+#include "litho/defects.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "util/check.h"
+
+namespace hotspot::litho {
+
+const char* to_string(DefectType type) {
+  switch (type) {
+    case DefectType::kNone:
+      return "none";
+    case DefectType::kBridge:
+      return "bridge";
+    case DefectType::kOpen:
+      return "open";
+    case DefectType::kPinch:
+      return "pinch";
+    case DefectType::kNecking:
+      return "necking";
+  }
+  return "?";
+}
+
+DefectType DefectReport::primary() const {
+  if (bridge) {
+    return DefectType::kBridge;
+  }
+  if (open) {
+    return DefectType::kOpen;
+  }
+  if (pinch) {
+    return DefectType::kPinch;
+  }
+  if (necking) {
+    return DefectType::kNecking;
+  }
+  return DefectType::kNone;
+}
+
+std::int64_t min_linewidth(const tensor::Tensor& binary,
+                           const tensor::Tensor* restrict_to) {
+  HOTSPOT_CHECK_EQ(binary.rank(), 2);
+  const std::int64_t h = binary.dim(0);
+  const std::int64_t w = binary.dim(1);
+  auto is_set = [&](std::int64_t y, std::int64_t x) {
+    return binary.at2(y, x) >= 0.5f;
+  };
+
+  // Horizontal run length through each pixel.
+  tensor::Tensor hrun({h, w});
+  for (std::int64_t y = 0; y < h; ++y) {
+    std::int64_t x = 0;
+    while (x < w) {
+      if (!is_set(y, x)) {
+        ++x;
+        continue;
+      }
+      std::int64_t end = x;
+      while (end < w && is_set(y, end)) {
+        ++end;
+      }
+      for (std::int64_t i = x; i < end; ++i) {
+        hrun.at2(y, i) = static_cast<float>(end - x);
+      }
+      x = end;
+    }
+  }
+  // Vertical run length.
+  tensor::Tensor vrun({h, w});
+  for (std::int64_t x = 0; x < w; ++x) {
+    std::int64_t y = 0;
+    while (y < h) {
+      if (!is_set(y, x)) {
+        ++y;
+        continue;
+      }
+      std::int64_t end = y;
+      while (end < h && is_set(end, x)) {
+        ++end;
+      }
+      for (std::int64_t i = y; i < end; ++i) {
+        vrun.at2(i, x) = static_cast<float>(end - y);
+      }
+      y = end;
+    }
+  }
+
+  std::int64_t narrowest = std::numeric_limits<std::int64_t>::max();
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      if (!is_set(y, x)) {
+        continue;
+      }
+      if (restrict_to != nullptr && restrict_to->at2(y, x) < 0.5f) {
+        continue;
+      }
+      const auto width = static_cast<std::int64_t>(
+          std::min(hrun.at2(y, x), vrun.at2(y, x)));
+      narrowest = std::min(narrowest, width);
+    }
+  }
+  return narrowest;
+}
+
+tensor::Tensor erode(const tensor::Tensor& binary, std::int64_t radius) {
+  HOTSPOT_CHECK_EQ(binary.rank(), 2);
+  HOTSPOT_CHECK_GE(radius, 0);
+  const std::int64_t h = binary.dim(0);
+  const std::int64_t w = binary.dim(1);
+  tensor::Tensor out({h, w});
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      bool keep = binary.at2(y, x) >= 0.5f;
+      for (std::int64_t dy = -radius; keep && dy <= radius; ++dy) {
+        for (std::int64_t dx = -radius; dx <= radius; ++dx) {
+          const std::int64_t yy = y + dy;
+          const std::int64_t xx = x + dx;
+          if (yy < 0 || yy >= h || xx < 0 || xx >= w) {
+            continue;  // outside counts as set (window cut, not real edge)
+          }
+          if (binary.at2(yy, xx) < 0.5f) {
+            keep = false;
+            break;
+          }
+        }
+      }
+      out.at2(y, x) = keep ? 1.0f : 0.0f;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Shape-fidelity flags of printed vs drawn: opens, pinches, bridges.
+struct MappingFlags {
+  bool open = false;
+  bool pinch = false;
+  bool bridge = false;
+};
+
+MappingFlags map_components(const tensor::Tensor& drawn,
+                            const tensor::Tensor& printed,
+                            std::int64_t min_feature_px) {
+  const ComponentLabels drawn_labels = label_components(drawn);
+  const ComponentLabels printed_labels = label_components(printed);
+  const std::vector<std::int64_t> drawn_sizes = component_sizes(drawn_labels);
+
+  std::vector<std::set<std::int32_t>> drawn_to_printed(
+      static_cast<std::size_t>(drawn_labels.count));
+  std::vector<std::set<std::int32_t>> printed_to_drawn(
+      static_cast<std::size_t>(printed_labels.count));
+  const std::int64_t h = drawn.dim(0);
+  const std::int64_t w = drawn.dim(1);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const std::int32_t d = drawn_labels.at(y, x);
+      const std::int32_t p = printed_labels.at(y, x);
+      if (d >= 0 && p >= 0) {
+        drawn_to_printed[static_cast<std::size_t>(d)].insert(p);
+        printed_to_drawn[static_cast<std::size_t>(p)].insert(d);
+      }
+    }
+  }
+
+  MappingFlags flags;
+  for (std::int32_t d = 0; d < drawn_labels.count; ++d) {
+    const auto& prints = drawn_to_printed[static_cast<std::size_t>(d)];
+    if (prints.empty()) {
+      if (drawn_sizes[static_cast<std::size_t>(d)] >= min_feature_px) {
+        flags.open = true;
+      }
+    } else if (prints.size() >= 2) {
+      flags.pinch = true;
+    }
+  }
+  for (std::int32_t p = 0; p < printed_labels.count; ++p) {
+    if (printed_to_drawn[static_cast<std::size_t>(p)].size() >= 2) {
+      flags.bridge = true;
+    }
+  }
+  return flags;
+}
+
+}  // namespace
+
+DefectReport detect_defects(const tensor::Tensor& drawn,
+                            const tensor::Tensor& printed,
+                            std::int64_t min_width_px,
+                            std::int64_t min_feature_px) {
+  HOTSPOT_CHECK(drawn.same_shape(printed))
+      << "drawn and printed rasters must match";
+  DefectReport report;
+  const MappingFlags base = map_components(drawn, printed, min_feature_px);
+  report.open = base.open;
+  report.pinch = base.pinch;
+  report.bridge = base.bridge;
+
+  // Necking: a shape that printed fine but fails once the printed image is
+  // eroded by the half-CD — i.e. it has a cross-section below the limit.
+  const std::int64_t radius = min_width_px / 2;
+  if (radius > 0 && !base.open && !base.pinch) {
+    const MappingFlags thinned =
+        map_components(drawn, erode(printed, radius), min_feature_px);
+    report.necking = thinned.open || thinned.pinch;
+  }
+  return report;
+}
+
+}  // namespace hotspot::litho

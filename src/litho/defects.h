@@ -1,0 +1,53 @@
+// Printability defect detection: compares the drawn mask against the
+// simulated printed image and reports the classic hotspot failure modes.
+#pragma once
+
+#include "litho/components.h"
+#include "tensor/tensor.h"
+
+namespace hotspot::litho {
+
+enum class DefectType { kNone, kBridge, kOpen, kPinch, kNecking };
+
+const char* to_string(DefectType type);
+
+struct DefectReport {
+  bool bridge = false;   // two drawn shapes print merged
+  bool open = false;     // a drawn shape fails to print at all
+  bool pinch = false;    // a drawn shape prints broken into pieces
+  bool necking = false;  // printed feature narrower than the CD limit
+
+  bool any() const { return bridge || open || pinch || necking; }
+  DefectType primary() const;
+};
+
+// Analyzes printed vs drawn geometry.
+//   - bridge:  a printed component overlaps >= 2 drawn components
+//   - open:    a drawn component (of at least min_feature_px pixels) has no
+//              printed pixels
+//   - pinch:   a drawn component overlaps >= 2 printed components
+//   - necking: after eroding the printed image by min_width_px/2, a drawn
+//              shape that printed fine disconnects or vanishes — i.e. some
+//              printed cross-section is below the CD limit. (Erosion rather
+//              than a raw min-linewidth scan so that ordinary rounded line
+//              tips, which only shorten under erosion, do not trigger.)
+// Drawn components smaller than min_feature_px pixels are ignored for the
+// open check (sub-pixel slivers from window clipping are not real shapes).
+DefectReport detect_defects(const tensor::Tensor& drawn,
+                            const tensor::Tensor& printed,
+                            std::int64_t min_width_px,
+                            std::int64_t min_feature_px = 4);
+
+// Binary erosion with a (2r+1)x(2r+1) square structuring element. Pixels
+// outside the image are treated as set, so shapes touching the border are
+// not eroded from that side (the border is a window cut, not a real edge).
+tensor::Tensor erode(const tensor::Tensor& binary, std::int64_t radius);
+
+// Minimum linewidth over the given binary image, measured as the smaller of
+// the horizontal and vertical run lengths through each set pixel, optionally
+// restricted to pixels also set in `restrict_to` (pass nullptr for no
+// restriction). Returns a large sentinel when no pixel qualifies.
+std::int64_t min_linewidth(const tensor::Tensor& binary,
+                           const tensor::Tensor* restrict_to);
+
+}  // namespace hotspot::litho

@@ -1,0 +1,81 @@
+#include "litho/optics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hotspot::litho {
+
+std::vector<float> gaussian_taps(double sigma_px) {
+  HOTSPOT_CHECK_GT(sigma_px, 0.0);
+  const auto radius = static_cast<std::int64_t>(std::ceil(3.0 * sigma_px));
+  std::vector<float> taps(static_cast<std::size_t>(2 * radius + 1));
+  double total = 0.0;
+  for (std::int64_t i = -radius; i <= radius; ++i) {
+    const double value =
+        std::exp(-0.5 * static_cast<double>(i * i) / (sigma_px * sigma_px));
+    taps[static_cast<std::size_t>(i + radius)] = static_cast<float>(value);
+    total += value;
+  }
+  for (auto& tap : taps) {
+    tap = static_cast<float>(static_cast<double>(tap) / total);
+  }
+  return taps;
+}
+
+tensor::Tensor gaussian_blur(const tensor::Tensor& image, double sigma_px) {
+  HOTSPOT_CHECK_EQ(image.rank(), 2);
+  const std::vector<float> taps = gaussian_taps(sigma_px);
+  const auto radius = static_cast<std::int64_t>(taps.size() / 2);
+  const std::int64_t h = image.dim(0);
+  const std::int64_t w = image.dim(1);
+
+  // Horizontal pass.
+  tensor::Tensor horizontal({h, w});
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (std::int64_t t = -radius; t <= radius; ++t) {
+        const std::int64_t xx = x + t;
+        if (xx < 0 || xx >= w) {
+          continue;  // zero boundary: empty field outside the clip
+        }
+        acc += static_cast<double>(image.at2(y, xx)) *
+               static_cast<double>(taps[static_cast<std::size_t>(t + radius)]);
+      }
+      horizontal.at2(y, x) = static_cast<float>(acc);
+    }
+  }
+
+  // Vertical pass.
+  tensor::Tensor blurred({h, w});
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (std::int64_t t = -radius; t <= radius; ++t) {
+        const std::int64_t yy = y + t;
+        if (yy < 0 || yy >= h) {
+          continue;
+        }
+        acc += static_cast<double>(horizontal.at2(yy, x)) *
+               static_cast<double>(taps[static_cast<std::size_t>(t + radius)]);
+      }
+      blurred.at2(y, x) = static_cast<float>(acc);
+    }
+  }
+  return blurred;
+}
+
+tensor::Tensor aerial_image(const tensor::Tensor& coverage, double sigma_px) {
+  return gaussian_blur(coverage, sigma_px);
+}
+
+tensor::Tensor develop(const tensor::Tensor& intensity, float threshold) {
+  tensor::Tensor printed(intensity.shape());
+  for (std::int64_t i = 0; i < intensity.numel(); ++i) {
+    printed[i] = intensity[i] >= threshold ? 1.0f : 0.0f;
+  }
+  return printed;
+}
+
+}  // namespace hotspot::litho

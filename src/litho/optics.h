@@ -1,0 +1,29 @@
+// Aerial-image optics proxy.
+//
+// The contest's labels come from a full lithography simulator; we substitute
+// a Gaussian point-spread-function model: the aerial intensity is the mask
+// coverage convolved with a Gaussian whose sigma models the optical
+// resolution limit. Combined with a constant-threshold resist this
+// reproduces the failure mechanisms that define hotspots — sub-resolution
+// gaps print bridged, narrow lines print pinched — which is all the labels
+// need (DESIGN.md, substitution table).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace hotspot::litho {
+
+// Normalized 1-D Gaussian taps with radius ceil(3*sigma).
+std::vector<float> gaussian_taps(double sigma_px);
+
+// Separable Gaussian blur of a [H,W] image with zero (empty-field) boundary.
+tensor::Tensor gaussian_blur(const tensor::Tensor& image, double sigma_px);
+
+// Aerial image of a mask coverage raster: Gaussian blur with the process
+// sigma. Intensity stays in [0,1] for coverage inputs.
+tensor::Tensor aerial_image(const tensor::Tensor& coverage, double sigma_px);
+
+// Constant-threshold resist: printed = intensity >= threshold.
+tensor::Tensor develop(const tensor::Tensor& intensity, float threshold);
+
+}  // namespace hotspot::litho

@@ -1,0 +1,77 @@
+#include "litho/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hotspot::litho {
+
+Simulator::Simulator(const SimulatorConfig& config) : config_(config) {
+  HOTSPOT_CHECK_GT(config.grid, 0);
+  HOTSPOT_CHECK_GT(config.sigma_nm, 0.0);
+  HOTSPOT_CHECK(config.resist_threshold > 0.0f &&
+                config.resist_threshold < 1.0f)
+      << "resist threshold " << config.resist_threshold;
+}
+
+double Simulator::sigma_px(std::int64_t clip_size_nm) const {
+  HOTSPOT_CHECK_GT(clip_size_nm, 0);
+  const double nm_per_px = static_cast<double>(clip_size_nm) /
+                           static_cast<double>(config_.grid);
+  return config_.sigma_nm / nm_per_px;
+}
+
+std::int64_t Simulator::margin_px(std::int64_t clip_size_nm) const {
+  if (config_.analysis_margin_px >= 0) {
+    return config_.analysis_margin_px;
+  }
+  const auto margin =
+      static_cast<std::int64_t>(std::ceil(1.5 * sigma_px(clip_size_nm)));
+  // Keep at least half the raster as the analysis core.
+  return std::min(margin, config_.grid / 4);
+}
+
+namespace {
+
+// Central crop removing `margin` pixels on every side.
+tensor::Tensor crop_core(const tensor::Tensor& image, std::int64_t margin) {
+  const std::int64_t h = image.dim(0);
+  const std::int64_t w = image.dim(1);
+  tensor::Tensor core({h - 2 * margin, w - 2 * margin});
+  for (std::int64_t y = 0; y < core.dim(0); ++y) {
+    for (std::int64_t x = 0; x < core.dim(1); ++x) {
+      core.at2(y, x) = image.at2(y + margin, x + margin);
+    }
+  }
+  return core;
+}
+
+}  // namespace
+
+SimulationResult Simulator::simulate(const layout::Clip& clip) const {
+  SimulationResult result;
+  const tensor::Tensor coverage = clip.coverage(config_.grid);
+  result.drawn = tensor::Tensor(coverage.shape());
+  for (std::int64_t i = 0; i < coverage.numel(); ++i) {
+    result.drawn[i] = coverage[i] >= 0.5f ? 1.0f : 0.0f;
+  }
+  result.aerial = aerial_image(coverage, sigma_px(clip.size_nm));
+  result.printed = develop(result.aerial, config_.resist_threshold);
+
+  const double nm_per_px = static_cast<double>(clip.size_nm) /
+                           static_cast<double>(config_.grid);
+  const auto min_width_px = static_cast<std::int64_t>(
+      static_cast<double>(config_.min_width_nm) / nm_per_px);
+  const std::int64_t margin = margin_px(clip.size_nm);
+  result.defects = detect_defects(crop_core(result.drawn, margin),
+                                  crop_core(result.printed, margin),
+                                  min_width_px, config_.min_feature_px);
+  return result;
+}
+
+bool Simulator::is_hotspot(const layout::Clip& clip) const {
+  return simulate(clip).is_hotspot();
+}
+
+}  // namespace hotspot::litho

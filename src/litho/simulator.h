@@ -1,0 +1,56 @@
+// End-to-end lithography proxy: clip geometry -> aerial image -> resist ->
+// defect report. This is the labelling oracle for the synthetic benchmark
+// and the "simulation" whose per-instance cost enters the ODST metric
+// (Eq. 3).
+#pragma once
+
+#include "layout/clip.h"
+#include "litho/defects.h"
+#include "litho/optics.h"
+
+namespace hotspot::litho {
+
+struct SimulatorConfig {
+  std::int64_t grid = 64;        // simulation raster resolution
+  double sigma_nm = 28.0;        // optical PSF sigma
+  float resist_threshold = 0.45f;
+  std::int64_t min_width_nm = 24;   // CD lower limit for necking
+  std::int64_t min_feature_px = 4;  // ignore sub-pixel slivers for opens
+  // Guard band: defects are analyzed only in the clip core, because the
+  // aerial image decays artificially near the window border (the field
+  // outside the clip is unknown). -1 derives ~1.5 PSF sigma automatically.
+  std::int64_t analysis_margin_px = -1;
+};
+
+struct SimulationResult {
+  tensor::Tensor drawn;    // binary mask raster [grid, grid]
+  tensor::Tensor aerial;   // intensity raster
+  tensor::Tensor printed;  // developed resist raster
+  DefectReport defects;
+
+  bool is_hotspot() const { return defects.any(); }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const SimulatorConfig& config);
+
+  // Full simulation of one clip.
+  SimulationResult simulate(const layout::Clip& clip) const;
+
+  // Label only (hotspot / not); the benchmark generator's fast path.
+  bool is_hotspot(const layout::Clip& clip) const;
+
+  const SimulatorConfig& config() const { return config_; }
+
+  // PSF sigma in raster pixels for the given clip size.
+  double sigma_px(std::int64_t clip_size_nm) const;
+
+  // Effective guard band in pixels for the given clip size.
+  std::int64_t margin_px(std::int64_t clip_size_nm) const;
+
+ private:
+  SimulatorConfig config_;
+};
+
+}  // namespace hotspot::litho

@@ -1,0 +1,34 @@
+#include "nn/loss.h"
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace hotspot::nn {
+
+double SoftmaxCrossEntropy::forward(const tensor::Tensor& logits,
+                                    const tensor::Tensor& targets) {
+  return tensor::softmax_cross_entropy(logits, targets, &grad_);
+}
+
+tensor::Tensor make_targets(const std::vector<int>& labels,
+                            float bias_epsilon) {
+  HOTSPOT_CHECK(bias_epsilon >= 0.0f && bias_epsilon < 0.5f)
+      << "bias epsilon " << bias_epsilon;
+  tensor::Tensor targets(
+      {static_cast<std::int64_t>(labels.size()), 2});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int label = labels[i];
+    HOTSPOT_CHECK(label == 0 || label == 1) << "label " << label;
+    const auto row = static_cast<std::int64_t>(i);
+    if (label == 1) {
+      targets.at2(row, 0) = 0.0f;
+      targets.at2(row, 1) = 1.0f;
+    } else {
+      targets.at2(row, 0) = 1.0f - bias_epsilon;
+      targets.at2(row, 1) = bias_epsilon;
+    }
+  }
+  return targets;
+}
+
+}  // namespace hotspot::nn

@@ -1,0 +1,34 @@
+// Softmax cross-entropy loss with the paper's biased-label scheme
+// (Sec. 3.4.3, following DAC'17 [16]).
+//
+// Labels are two-class distributions over [non-hotspot, hotspot]:
+//   hotspot      -> [0, 1]
+//   non-hotspot  -> [1, 0]          during the main training phase
+//   non-hotspot  -> [1-eps, eps]    during the biased finetune phase,
+// which trades false alarms for detection accuracy.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace hotspot::nn {
+
+class SoftmaxCrossEntropy {
+ public:
+  // Computes the mean loss for logits [n,2] and targets [n,2], and stores
+  // d(loss)/d(logits) for gradient().
+  double forward(const tensor::Tensor& logits, const tensor::Tensor& targets);
+
+  // Gradient from the most recent forward().
+  const tensor::Tensor& gradient() const { return grad_; }
+
+ private:
+  tensor::Tensor grad_;
+};
+
+// Builds target rows for the given labels. `bias_epsilon` = 0 yields hard
+// one-hot targets; a positive value smooths the non-hotspot target to
+// [1-eps, eps] while hotspot targets stay [0, 1].
+tensor::Tensor make_targets(const std::vector<int>& labels,
+                            float bias_epsilon);
+
+}  // namespace hotspot::nn

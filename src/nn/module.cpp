@@ -1,0 +1,20 @@
+#include "nn/module.h"
+
+namespace hotspot::nn {
+
+std::int64_t Module::parameter_count() {
+  std::int64_t count = 0;
+  for (Parameter* param : parameters()) {
+    count += param->value.numel();
+  }
+  return count;
+}
+
+void Module::collect_state(const std::string& prefix,
+                           std::vector<NamedTensor>& out) {
+  for (Parameter* param : parameters()) {
+    out.push_back({prefix + param->name, &param->value});
+  }
+}
+
+}  // namespace hotspot::nn

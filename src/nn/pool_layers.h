@@ -1,0 +1,47 @@
+// Pooling layers over NCHW activations.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/pool.h"
+
+namespace hotspot::nn {
+
+class AvgPool2d : public Module {
+ public:
+  explicit AvgPool2d(std::int64_t window, std::int64_t stride = -1);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override;
+
+ private:
+  tensor::PoolSpec spec_;
+  tensor::Shape cached_input_shape_;
+};
+
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(std::int64_t window, std::int64_t stride = -1);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override;
+
+ private:
+  tensor::PoolSpec spec_;
+  tensor::Shape cached_input_shape_;
+  Tensor cached_argmax_;
+};
+
+// [N,C,H,W] -> [N,C]; the head of the residual networks.
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  tensor::Shape cached_input_shape_;
+};
+
+}  // namespace hotspot::nn

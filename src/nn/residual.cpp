@@ -1,0 +1,68 @@
+#include "nn/residual.h"
+
+#include <sstream>
+
+#include "tensor/tensor_ops.h"
+
+namespace hotspot::nn {
+
+ResidualBlock::ResidualBlock(ModulePtr main_path, ModulePtr shortcut)
+    : main_(std::move(main_path)), shortcut_(std::move(shortcut)) {
+  HOTSPOT_CHECK(main_ != nullptr);
+}
+
+Tensor ResidualBlock::forward(const Tensor& input) {
+  Tensor main_out = main_->forward(input);
+  Tensor shortcut_out =
+      shortcut_ != nullptr ? shortcut_->forward(input) : input;
+  HOTSPOT_CHECK(main_out.same_shape(shortcut_out))
+      << "residual sum shape mismatch: main "
+      << tensor::shape_to_string(main_out.shape()) << " vs shortcut "
+      << tensor::shape_to_string(shortcut_out.shape());
+  return tensor::add(main_out, shortcut_out);
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_output) {
+  Tensor grad_input = main_->backward(grad_output);
+  if (shortcut_ != nullptr) {
+    tensor::add_inplace(grad_input, shortcut_->backward(grad_output));
+  } else {
+    tensor::add_inplace(grad_input, grad_output);
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> ResidualBlock::parameters() {
+  std::vector<Parameter*> params = main_->parameters();
+  if (shortcut_ != nullptr) {
+    for (Parameter* param : shortcut_->parameters()) {
+      params.push_back(param);
+    }
+  }
+  return params;
+}
+
+std::string ResidualBlock::name() const {
+  std::ostringstream out;
+  out << "ResidualBlock(main=" << main_->name()
+      << (shortcut_ != nullptr ? ", projection shortcut)" : ", identity)");
+  return out.str();
+}
+
+void ResidualBlock::collect_state(const std::string& prefix,
+                                  std::vector<NamedTensor>& out) {
+  main_->collect_state(prefix + "main.", out);
+  if (shortcut_ != nullptr) {
+    shortcut_->collect_state(prefix + "shortcut.", out);
+  }
+}
+
+void ResidualBlock::set_training(bool training) {
+  Module::set_training(training);
+  main_->set_training(training);
+  if (shortcut_ != nullptr) {
+    shortcut_->set_training(training);
+  }
+}
+
+}  // namespace hotspot::nn

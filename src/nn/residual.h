@@ -1,0 +1,33 @@
+// Residual block: output = main(x) + shortcut(x).
+//
+// The shortcut is the identity when the main path preserves the tensor
+// shape, otherwise a projection (the paper uses a 1x1 binary convolution,
+// Fig. 2).
+#pragma once
+
+#include "nn/module.h"
+
+namespace hotspot::nn {
+
+class ResidualBlock : public Module {
+ public:
+  // `shortcut` may be null for an identity connection.
+  ResidualBlock(ModulePtr main_path, ModulePtr shortcut);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override;
+  void set_training(bool training) override;
+  void collect_state(const std::string& prefix,
+                     std::vector<NamedTensor>& out) override;
+
+  Module& main_path() { return *main_; }
+  bool has_projection() const { return shortcut_ != nullptr; }
+
+ private:
+  ModulePtr main_;
+  ModulePtr shortcut_;
+};
+
+}  // namespace hotspot::nn

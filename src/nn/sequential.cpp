@@ -1,0 +1,72 @@
+#include "nn/sequential.h"
+
+#include <sstream>
+
+namespace hotspot::nn {
+
+Sequential& Sequential::add(ModulePtr module) {
+  HOTSPOT_CHECK(module != nullptr);
+  modules_.push_back(std::move(module));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor current = input;
+  for (auto& module : modules_) {
+    current = module->forward(current);
+  }
+  return current;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor current = grad_output;
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    current = (*it)->backward(current);
+  }
+  return current;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& module : modules_) {
+    for (Parameter* param : module->parameters()) {
+      params.push_back(param);
+    }
+  }
+  return params;
+}
+
+std::string Sequential::name() const {
+  std::ostringstream out;
+  out << "Sequential(" << modules_.size() << " layers)";
+  return out.str();
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& module : modules_) {
+    module->set_training(training);
+  }
+}
+
+void Sequential::collect_state(const std::string& prefix,
+                               std::vector<NamedTensor>& out) {
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    modules_[i]->collect_state(prefix + std::to_string(i) + ".", out);
+  }
+}
+
+Module& Sequential::at(std::size_t index) {
+  HOTSPOT_CHECK_LT(index, modules_.size());
+  return *modules_[index];
+}
+
+std::vector<std::string> Sequential::layer_names() const {
+  std::vector<std::string> names;
+  for (const auto& module : modules_) {
+    names.push_back(module->name());
+  }
+  return names;
+}
+
+}  // namespace hotspot::nn

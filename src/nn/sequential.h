@@ -1,0 +1,38 @@
+// Sequential container: modules applied in order.
+#pragma once
+
+#include "nn/module.h"
+
+namespace hotspot::nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  // Takes ownership; returns *this for chaining.
+  Sequential& add(ModulePtr module);
+
+  template <typename LayerT, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<LayerT>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override;
+  void set_training(bool training) override;
+  void collect_state(const std::string& prefix,
+                     std::vector<NamedTensor>& out) override;
+
+  std::size_t size() const { return modules_.size(); }
+  Module& at(std::size_t index);
+
+  // Per-layer description lines, recursing into nested containers.
+  std::vector<std::string> layer_names() const;
+
+ private:
+  std::vector<ModulePtr> modules_;
+};
+
+}  // namespace hotspot::nn

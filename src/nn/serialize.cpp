@@ -1,0 +1,143 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace hotspot::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x48535054;  // "HSPT"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void write_i64(std::ostream& out, std::int64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void write_string(std::ostream& out, const std::string& text) {
+  write_u32(out, static_cast<std::uint32_t>(text.size()));
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+}
+
+bool read_u32(std::istream& in, std::uint32_t& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  return in.good();
+}
+
+bool read_i64(std::istream& in, std::int64_t& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  return in.good();
+}
+
+bool read_string(std::istream& in, std::string& text) {
+  std::uint32_t length = 0;
+  if (!read_u32(in, length)) {
+    return false;
+  }
+  text.resize(length);
+  in.read(text.data(), static_cast<std::streamsize>(length));
+  return in.good();
+}
+
+}  // namespace
+
+bool save_tensors(const std::string& path,
+                  const std::vector<NamedTensor>& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    HOTSPOT_LOG(kError) << "cannot open " << path << " for writing";
+    return false;
+  }
+  write_u32(out, kMagic);
+  write_u32(out, kVersion);
+  write_u32(out, static_cast<std::uint32_t>(tensors.size()));
+  for (const auto& entry : tensors) {
+    write_string(out, entry.name);
+    const auto& shape = entry.value->shape();
+    write_u32(out, static_cast<std::uint32_t>(shape.size()));
+    for (const auto extent : shape) {
+      write_i64(out, extent);
+    }
+    out.write(reinterpret_cast<const char*>(entry.value->data()),
+              static_cast<std::streamsize>(entry.value->numel() *
+                                           sizeof(float)));
+  }
+  return out.good();
+}
+
+bool load_tensors(const std::string& path,
+                  const std::vector<NamedTensor>& tensors) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    HOTSPOT_LOG(kError) << "cannot open " << path << " for reading";
+    return false;
+  }
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t count = 0;
+  if (!read_u32(in, magic) || magic != kMagic) {
+    HOTSPOT_LOG(kError) << path << ": bad magic";
+    return false;
+  }
+  if (!read_u32(in, version) || version != kVersion) {
+    HOTSPOT_LOG(kError) << path << ": unsupported version " << version;
+    return false;
+  }
+  if (!read_u32(in, count) ||
+      count != static_cast<std::uint32_t>(tensors.size())) {
+    HOTSPOT_LOG(kError) << path << ": tensor count mismatch (file " << count
+                        << ", model " << tensors.size() << ")";
+    return false;
+  }
+  for (const auto& entry : tensors) {
+    std::string name;
+    if (!read_string(in, name) || name != entry.name) {
+      HOTSPOT_LOG(kError) << path << ": expected tensor '" << entry.name
+                          << "', found '" << name << "'";
+      return false;
+    }
+    std::uint32_t rank = 0;
+    if (!read_u32(in, rank)) {
+      return false;
+    }
+    tensor::Shape shape(rank);
+    for (auto& extent : shape) {
+      if (!read_i64(in, extent)) {
+        return false;
+      }
+    }
+    if (shape != entry.value->shape()) {
+      HOTSPOT_LOG(kError) << path << ": shape mismatch for '" << entry.name
+                          << "': file " << tensor::shape_to_string(shape)
+                          << " vs model "
+                          << tensor::shape_to_string(entry.value->shape());
+      return false;
+    }
+    in.read(reinterpret_cast<char*>(entry.value->data()),
+            static_cast<std::streamsize>(entry.value->numel() *
+                                         sizeof(float)));
+    if (!in.good()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool save_checkpoint(const std::string& path, Module& module) {
+  std::vector<NamedTensor> state;
+  module.collect_state("", state);
+  return save_tensors(path, state);
+}
+
+bool load_checkpoint(const std::string& path, Module& module) {
+  std::vector<NamedTensor> state;
+  module.collect_state("", state);
+  return load_tensors(path, state);
+}
+
+}  // namespace hotspot::nn

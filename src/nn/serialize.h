@@ -1,0 +1,30 @@
+// Binary checkpoint format for model state.
+//
+// Layout: magic "HSPT" + version, tensor count, then for each tensor its
+// name, shape, and raw float32 data (little-endian host order). Loading is
+// strict: names, order, and shapes must match the target model, which makes
+// silent architecture drift impossible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace hotspot::nn {
+
+// Writes the module's state (collect_state) to `path`. Returns false on I/O
+// failure.
+bool save_checkpoint(const std::string& path, Module& module);
+
+// Reads a checkpoint written by save_checkpoint into the module. Returns
+// false on I/O failure or on any name/shape mismatch.
+bool load_checkpoint(const std::string& path, Module& module);
+
+// Lower-level entry points used by the model registry and tests.
+bool save_tensors(const std::string& path,
+                  const std::vector<NamedTensor>& tensors);
+bool load_tensors(const std::string& path,
+                  const std::vector<NamedTensor>& tensors);
+
+}  // namespace hotspot::nn

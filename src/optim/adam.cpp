@@ -1,0 +1,49 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hotspot::optim {
+
+Adam::Adam(std::vector<nn::Parameter*> params, float learning_rate,
+           float beta1, float beta2, float epsilon, float weight_decay)
+    : Optimizer(std::move(params), learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  HOTSPOT_CHECK(beta1 >= 0.0f && beta1 < 1.0f) << "beta1=" << beta1;
+  HOTSPOT_CHECK(beta2 >= 0.0f && beta2 < 1.0f) << "beta2=" << beta2;
+  HOTSPOT_CHECK_GT(epsilon, 0.0f);
+  first_moment_.reserve(params_.size());
+  second_moment_.reserve(params_.size());
+  for (const nn::Parameter* param : params_) {
+    first_moment_.emplace_back(param->value.shape());
+    second_moment_.emplace_back(param->value.shape());
+  }
+}
+
+void Adam::step() {
+  const auto t = static_cast<double>(step_count_ + 1);
+  const double bias1 = 1.0 - std::pow(static_cast<double>(beta1_), t);
+  const double bias2 = 1.0 - std::pow(static_cast<double>(beta2_), t);
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    nn::Parameter& param = *params_[p];
+    tensor::Tensor& m = first_moment_[p];
+    tensor::Tensor& v = second_moment_[p];
+    for (std::int64_t i = 0; i < param.value.numel(); ++i) {
+      const float grad = param.grad[i] + weight_decay_ * param.value[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad * grad;
+      const double m_hat = static_cast<double>(m[i]) / bias1;
+      const double v_hat = static_cast<double>(v[i]) / bias2;
+      param.value[i] -= static_cast<float>(
+          static_cast<double>(learning_rate_) * m_hat /
+          (std::sqrt(v_hat) + static_cast<double>(epsilon_)));
+    }
+  }
+  ++step_count_;
+}
+
+}  // namespace hotspot::optim

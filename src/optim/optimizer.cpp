@@ -1,0 +1,42 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hotspot::optim {
+
+Optimizer::Optimizer(std::vector<nn::Parameter*> params, float learning_rate)
+    : params_(std::move(params)), learning_rate_(learning_rate) {
+  HOTSPOT_CHECK(!params_.empty()) << "optimizer needs parameters";
+  HOTSPOT_CHECK_GT(learning_rate, 0.0f);
+}
+
+void Optimizer::zero_grad() {
+  for (nn::Parameter* param : params_) {
+    param->zero_grad();
+  }
+}
+
+void Optimizer::clip_grad_norm(double max_norm) {
+  HOTSPOT_CHECK_GT(max_norm, 0.0);
+  double total = 0.0;
+  for (const nn::Parameter* param : params_) {
+    for (std::int64_t i = 0; i < param->grad.numel(); ++i) {
+      const auto g = static_cast<double>(param->grad[i]);
+      total += g * g;
+    }
+  }
+  const double norm = std::sqrt(total);
+  if (norm <= max_norm) {
+    return;
+  }
+  const auto scale = static_cast<float>(max_norm / norm);
+  for (nn::Parameter* param : params_) {
+    for (std::int64_t i = 0; i < param->grad.numel(); ++i) {
+      param->grad[i] *= scale;
+    }
+  }
+}
+
+}  // namespace hotspot::optim

@@ -1,0 +1,41 @@
+// Optimizer interface: updates a fixed set of parameters from their
+// accumulated gradients. The paper trains with mini-batch gradient descent
+// driven by NAdam (Sec. 3.3 / 3.4.2); SGD and Adam are provided for the
+// baselines and ablations.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace hotspot::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<nn::Parameter*> params, float learning_rate);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update from the current .grad fields, then increments the
+  // step counter. Does not zero gradients; the trainer owns that.
+  virtual void step() = 0;
+
+  void zero_grad();
+
+  float learning_rate() const { return learning_rate_; }
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  std::int64_t step_count() const { return step_count_; }
+
+  // Global L2 gradient-norm clipping; no-op when the norm is under
+  // `max_norm`.
+  void clip_grad_norm(double max_norm);
+
+ protected:
+  std::vector<nn::Parameter*> params_;
+  float learning_rate_;
+  std::int64_t step_count_ = 0;
+};
+
+}  // namespace hotspot::optim

@@ -1,0 +1,38 @@
+#include "optim/sgd.h"
+
+#include "util/check.h"
+
+namespace hotspot::optim {
+
+Sgd::Sgd(std::vector<nn::Parameter*> params, float learning_rate,
+         float momentum, bool nesterov, float weight_decay)
+    : Optimizer(std::move(params), learning_rate),
+      momentum_(momentum),
+      nesterov_(nesterov),
+      weight_decay_(weight_decay) {
+  HOTSPOT_CHECK_GE(momentum, 0.0f);
+  HOTSPOT_CHECK(!nesterov || momentum > 0.0f)
+      << "Nesterov momentum needs momentum > 0";
+  velocity_.reserve(params_.size());
+  for (const nn::Parameter* param : params_) {
+    velocity_.emplace_back(param->value.shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    nn::Parameter& param = *params_[p];
+    tensor::Tensor& vel = velocity_[p];
+    for (std::int64_t i = 0; i < param.value.numel(); ++i) {
+      float grad = param.grad[i] + weight_decay_ * param.value[i];
+      if (momentum_ > 0.0f) {
+        vel[i] = momentum_ * vel[i] + grad;
+        grad = nesterov_ ? grad + momentum_ * vel[i] : vel[i];
+      }
+      param.value[i] -= learning_rate_ * grad;
+    }
+  }
+  ++step_count_;
+}
+
+}  // namespace hotspot::optim

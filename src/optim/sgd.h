@@ -1,0 +1,24 @@
+// Stochastic gradient descent with optional (Nesterov) momentum and weight
+// decay.
+#pragma once
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace hotspot::optim {
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<nn::Parameter*> params, float learning_rate,
+      float momentum = 0.0f, bool nesterov = false, float weight_decay = 0.0f);
+
+  void step() override;
+
+ private:
+  float momentum_;
+  bool nesterov_;
+  float weight_decay_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+}  // namespace hotspot::optim

@@ -1,0 +1,33 @@
+// Type-II discrete cosine transform.
+//
+// Used by the DAC'17 baseline's feature-tensor extraction: the layout clip is
+// divided into blocks, each block is 2-D DCT'd, and the leading (low
+// frequency) coefficients form the feature tensor.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace hotspot::tensor {
+
+// Orthonormal 1-D DCT-II of each row of a rank-2 tensor.
+Tensor dct2_rows(const Tensor& input);
+
+// Orthonormal 2-D DCT-II of a rank-2 tensor (rows then columns).
+Tensor dct2(const Tensor& input);
+
+// Inverse of dct2 (orthonormal DCT-III applied both ways).
+Tensor idct2(const Tensor& input);
+
+// Splits `image` [H,W] into non-overlapping `block`-sized tiles, DCTs each,
+// and keeps the zig-zag-first `coefficients` per tile. Output is
+// [coefficients, H/block, W/block] — channel-major like the DAC'17 feature
+// tensor. H and W must be divisible by `block`.
+Tensor block_dct_features(const Tensor& image, std::int64_t block,
+                          std::int64_t coefficients);
+
+// Zig-zag scan order of a block x block matrix (JPEG order); exposed for
+// tests.
+std::vector<std::pair<std::int64_t, std::int64_t>> zigzag_order(
+    std::int64_t block);
+
+}  // namespace hotspot::tensor

@@ -1,0 +1,143 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hotspot::tensor {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t count = 1;
+  for (const auto extent : shape) {
+    HOTSPOT_CHECK_GE(extent, 0);
+    count *= extent;
+  }
+  return count;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill_value)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), fill_value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  HOTSPOT_CHECK_EQ(static_cast<std::int64_t>(data_.size()),
+                   shape_numel(shape_))
+      << "value count does not match shape " << shape_to_string(shape_);
+}
+
+Tensor Tensor::uniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor result(std::move(shape));
+  for (std::int64_t i = 0; i < result.numel(); ++i) {
+    result[i] = static_cast<float>(
+        rng.uniform(static_cast<double>(lo), static_cast<double>(hi)));
+  }
+  return result;
+}
+
+Tensor Tensor::normal(Shape shape, util::Rng& rng, float mean, float stddev) {
+  Tensor result(std::move(shape));
+  for (std::int64_t i = 0; i < result.numel(); ++i) {
+    result[i] = static_cast<float>(
+        rng.normal(static_cast<double>(mean), static_cast<double>(stddev)));
+  }
+  return result;
+}
+
+std::int64_t Tensor::dim(std::int64_t axis) const {
+  HOTSPOT_CHECK(axis >= 0 && axis < rank())
+      << "axis " << axis << " out of range for rank " << rank();
+  return shape_[static_cast<std::size_t>(axis)];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  HOTSPOT_CHECK_EQ(shape_numel(new_shape), numel())
+      << "cannot reshape " << shape_to_string(shape_) << " to "
+      << shape_to_string(new_shape);
+  Tensor result;
+  result.shape_ = std::move(new_shape);
+  result.data_ = data_;
+  return result;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+double Tensor::sum() const {
+  double total = 0.0;
+  for (const auto value : data_) {
+    total += static_cast<double>(value);
+  }
+  return total;
+}
+
+double Tensor::mean() const {
+  HOTSPOT_CHECK_GT(numel(), 0) << "mean of empty tensor";
+  return sum() / static_cast<double>(numel());
+}
+
+float Tensor::min() const {
+  HOTSPOT_CHECK_GT(numel(), 0) << "min of empty tensor";
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  HOTSPOT_CHECK_GT(numel(), 0) << "max of empty tensor";
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::string Tensor::to_string(int max_elements) const {
+  std::ostringstream out;
+  out << "Tensor" << shape_to_string(shape_) << " {";
+  const auto shown =
+      std::min<std::int64_t>(numel(), static_cast<std::int64_t>(max_elements));
+  for (std::int64_t i = 0; i < shown; ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    out << data_[static_cast<std::size_t>(i)];
+  }
+  if (shown < numel()) {
+    out << ", ... (" << numel() - shown << " more)";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::size_t Tensor::flat_index(
+    std::initializer_list<std::int64_t> indices) const {
+  HOTSPOT_CHECK_EQ(static_cast<std::int64_t>(indices.size()), rank())
+      << "index rank mismatch for shape " << shape_to_string(shape_);
+  std::size_t flat = 0;
+  std::size_t axis = 0;
+  for (const auto index : indices) {
+    const auto extent = shape_[axis];
+    HOTSPOT_CHECK(index >= 0 && index < extent)
+        << "index " << index << " out of range for axis " << axis
+        << " with extent " << extent;
+    flat = flat * static_cast<std::size_t>(extent) +
+           static_cast<std::size_t>(index);
+    ++axis;
+  }
+  return flat;
+}
+
+}  // namespace hotspot::tensor

@@ -1,0 +1,70 @@
+// Invariant and precondition checking.
+//
+// HOTSPOT_CHECK fires on programmer misuse (shape mismatches, out-of-range
+// indices, protocol violations). These are not recoverable conditions, so the
+// failure path prints full context and aborts; it is enabled in all build
+// types because the cost is a predictable branch on cold paths.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace hotspot::util {
+
+[[noreturn]] inline void check_failed(std::string_view condition,
+                                      std::string_view file, int line,
+                                      std::string_view message) {
+  std::cerr << "\n[HOTSPOT_CHECK failed] " << condition << "\n  at " << file
+            << ":" << line;
+  if (!message.empty()) {
+    std::cerr << "\n  " << message;
+  }
+  std::cerr << std::endl;
+  std::abort();
+}
+
+// Builds the failure message lazily: operator<< chains are only evaluated on
+// the failing path.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* condition, const char* file, int line)
+      : condition_(condition), file_(file), line_(line) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    check_failed(condition_, file_, line_, stream_.str());
+  }
+
+ private:
+  const char* condition_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace hotspot::util
+
+#define HOTSPOT_CHECK(condition)                                            \
+  if (condition) {                                                          \
+  } else                                                                    \
+    ::hotspot::util::CheckMessageBuilder(#condition, __FILE__, __LINE__)
+
+#define HOTSPOT_CHECK_EQ(a, b) \
+  HOTSPOT_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define HOTSPOT_CHECK_NE(a, b) \
+  HOTSPOT_CHECK((a) != (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define HOTSPOT_CHECK_LT(a, b) \
+  HOTSPOT_CHECK((a) < (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define HOTSPOT_CHECK_LE(a, b) \
+  HOTSPOT_CHECK((a) <= (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define HOTSPOT_CHECK_GT(a, b) \
+  HOTSPOT_CHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define HOTSPOT_CHECK_GE(a, b) \
+  HOTSPOT_CHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b) << " "

@@ -1,0 +1,37 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+namespace hotspot::util {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+    return;
+  }
+  std::cerr << "[" << level_tag(level) << "] " << message << "\n";
+}
+
+}  // namespace hotspot::util

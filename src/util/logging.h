@@ -1,0 +1,40 @@
+// Minimal leveled logging to stderr.
+//
+// The library is quiet by default (kWarning); trainers and benches raise the
+// level explicitly when progress reporting is wanted.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hotspot::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emits one formatted line; used via the HOTSPOT_LOG macro.
+void log_line(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace hotspot::util
+
+#define HOTSPOT_LOG(level) \
+  ::hotspot::util::LogMessage(::hotspot::util::LogLevel::level)

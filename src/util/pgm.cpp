@@ -1,0 +1,30 @@
+#include "util/pgm.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace hotspot::util {
+
+bool write_pgm(const std::string& path, const tensor::Tensor& image,
+               float lo, float hi) {
+  HOTSPOT_CHECK_EQ(image.rank(), 2);
+  HOTSPOT_CHECK_GT(hi, lo);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    HOTSPOT_LOG(kError) << "cannot open " << path << " for writing";
+    return false;
+  }
+  out << "P5\n" << image.dim(1) << " " << image.dim(0) << "\n255\n";
+  const float scale = 255.0f / (hi - lo);
+  for (std::int64_t i = 0; i < image.numel(); ++i) {
+    const float value = std::clamp((image[i] - lo) * scale, 0.0f, 255.0f);
+    const auto byte = static_cast<unsigned char>(value);
+    out.write(reinterpret_cast<const char*>(&byte), 1);
+  }
+  return out.good();
+}
+
+}  // namespace hotspot::util

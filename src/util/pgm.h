@@ -1,0 +1,17 @@
+// PGM (portable graymap) export for rasters — clip images, aerial
+// intensities, printed shapes. Every image-producing example and debugging
+// session can dump its tensors without an image library.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace hotspot::util {
+
+// Writes a rank-2 tensor as binary PGM (P5), mapping [lo, hi] to 0..255
+// (values are clamped). Returns false on I/O failure.
+bool write_pgm(const std::string& path, const tensor::Tensor& image,
+               float lo = 0.0f, float hi = 1.0f);
+
+}  // namespace hotspot::util

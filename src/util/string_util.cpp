@@ -1,0 +1,77 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace hotspot::util {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t end = text.find(delimiter, begin);
+    if (end == std::string_view::npos) {
+      parts.emplace_back(text.substr(begin));
+      return parts;
+    }
+    parts.emplace_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t first = 0;
+  while (first < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[first]))) {
+    ++first;
+  }
+  std::size_t last = text.size();
+  while (last > first &&
+         std::isspace(static_cast<unsigned char>(text[last - 1]))) {
+    --last;
+  }
+  return text.substr(first, last - first);
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string result;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      result += separator;
+    }
+    result += parts[i];
+  }
+  return result;
+}
+
+std::string format_double(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string format_count(long long value) {
+  const bool negative = value < 0;
+  unsigned long long magnitude =
+      negative ? 0ULL - static_cast<unsigned long long>(value)
+               : static_cast<unsigned long long>(value);
+  std::string digits = std::to_string(magnitude);
+  std::string grouped;
+  grouped.reserve(digits.size() + digits.size() / 3 + 1);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - lead) % 3 == 0) {
+      grouped += ',';
+    }
+    grouped += digits[i];
+  }
+  return negative ? "-" + grouped : grouped;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace hotspot::util

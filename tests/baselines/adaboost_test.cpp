@@ -1,0 +1,101 @@
+#include "baselines/adaboost.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hotspot::baselines {
+namespace {
+
+using tensor::Tensor;
+
+// Concentric-rings data: inner ring positive, outer negative — not linearly
+// separable, so boosting must combine several trees.
+void make_rings(util::Rng& rng, std::int64_t n, Tensor& features,
+                std::vector<int>& labels) {
+  features = Tensor({n, 2});
+  labels.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double radius = i % 2 == 0 ? rng.uniform(0.0, 0.5)
+                                     : rng.uniform(0.8, 1.2);
+    const double angle = rng.uniform(0.0, 6.283);
+    features.at2(i, 0) = static_cast<float>(radius * std::cos(angle));
+    features.at2(i, 1) = static_cast<float>(radius * std::sin(angle));
+    labels[static_cast<std::size_t>(i)] = i % 2 == 0 ? 1 : -1;
+  }
+}
+
+TEST(AdaBoost, LearnsNonlinearBoundary) {
+  util::Rng rng(1);
+  Tensor features;
+  std::vector<int> labels;
+  make_rings(rng, 200, features, labels);
+  AdaBoost model(AdaBoostConfig{30, 2, 16, 0.0});
+  model.fit(features, labels);
+  int correct = 0;
+  for (std::int64_t i = 0; i < features.dim(0); ++i) {
+    correct += model.predict_row(features, i) ==
+                       labels[static_cast<std::size_t>(i)]
+                   ? 1
+                   : 0;
+  }
+  EXPECT_GT(correct, 190);
+}
+
+TEST(AdaBoost, MoreRoundsNotWorseOnTrain) {
+  util::Rng rng(2);
+  Tensor features;
+  std::vector<int> labels;
+  make_rings(rng, 150, features, labels);
+  auto train_error = [&](int rounds) {
+    AdaBoost model(AdaBoostConfig{rounds, 1, 16, 0.0});
+    model.fit(features, labels);
+    int wrong = 0;
+    for (std::int64_t i = 0; i < features.dim(0); ++i) {
+      wrong += model.predict_row(features, i) !=
+                       labels[static_cast<std::size_t>(i)]
+                   ? 1
+                   : 0;
+    }
+    return wrong;
+  };
+  EXPECT_LE(train_error(25), train_error(2));
+}
+
+TEST(AdaBoost, DecisionBiasShiftsOperatingPoint) {
+  util::Rng rng(3);
+  Tensor features;
+  std::vector<int> labels;
+  make_rings(rng, 100, features, labels);
+  AdaBoost neutral(AdaBoostConfig{10, 1, 8, 0.0});
+  neutral.fit(features, labels);
+  AdaBoost biased(AdaBoostConfig{10, 1, 8, 10.0});  // huge positive bias
+  biased.fit(features, labels);
+  int positives = 0;
+  for (std::int64_t i = 0; i < features.dim(0); ++i) {
+    positives += biased.predict_row(features, i) == 1 ? 1 : 0;
+  }
+  EXPECT_EQ(positives, 100);  // bias overwhelms every margin
+}
+
+TEST(AdaBoost, PerfectWeakLearnerStopsEarly) {
+  Tensor features({4, 1}, {0.0f, 0.1f, 0.9f, 1.0f});
+  const std::vector<int> labels{-1, -1, 1, 1};
+  AdaBoost model(AdaBoostConfig{50, 1, 8, 0.0});
+  model.fit(features, labels);
+  EXPECT_EQ(model.round_count(), 1u);  // first stump is perfect
+}
+
+TEST(AdaBoost, DecisionValueMagnitudeReflectsConfidence) {
+  Tensor features({4, 1}, {0.0f, 0.1f, 0.9f, 1.0f});
+  const std::vector<int> labels{-1, -1, 1, 1};
+  AdaBoost model(AdaBoostConfig{10, 1, 8, 0.0});
+  model.fit(features, labels);
+  EXPECT_LT(model.decision_value(features, 0), 0.0);
+  EXPECT_GT(model.decision_value(features, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace hotspot::baselines

@@ -1,0 +1,77 @@
+#include "baselines/dct_cnn.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/generator.h"
+#include "eval/metrics.h"
+
+namespace hotspot::baselines {
+namespace {
+
+dataset::Benchmark small_benchmark() {
+  dataset::BenchmarkConfig config = dataset::iccad2012_config(1.0, 32);
+  config.train.hotspots = 30;
+  config.train.non_hotspots = 90;
+  config.test.hotspots = 15;
+  config.test.non_hotspots = 45;
+  config.seed = 11;
+  return dataset::generate_benchmark(config);
+}
+
+DctCnnConfig fast_config() {
+  DctCnnConfig config = DctCnnConfig::compact(32);
+  config.stage1_channels = 8;
+  config.stage2_channels = 8;
+  config.fc_hidden = 16;
+  config.trainer.epochs = 3;
+  config.trainer.finetune_epochs = 1;
+  return config;
+}
+
+TEST(DctCnn, TrainsAndPredicts) {
+  const auto bench = small_benchmark();
+  DctCnnDetector detector(fast_config());
+  util::Rng rng(1);
+  detector.fit(bench.train, rng);
+  const auto predictions = detector.predict(bench.test);
+  ASSERT_EQ(predictions.size(), bench.test.size());
+  for (const int p : predictions) {
+    EXPECT_TRUE(p == 0 || p == 1);
+  }
+}
+
+TEST(DctCnn, LearnsTrainingSetAboveChance) {
+  const auto bench = small_benchmark();
+  DctCnnConfig config = fast_config();
+  config.trainer.epochs = 6;
+  DctCnnDetector detector(config);
+  util::Rng rng(2);
+  detector.fit(bench.train, rng);
+  const auto cm = eval::confusion(
+      bench.train.batch_labels(bench.train.all_indices()),
+      detector.predict(bench.train));
+  // TPR + TNR must beat coin flipping on its own training data.
+  const double tnr =
+      static_cast<double>(cm.true_negative) /
+      static_cast<double>(cm.true_negative + cm.false_positive);
+  EXPECT_GT(cm.accuracy() + tnr, 1.05);
+}
+
+TEST(DctCnn, NetworkExposedAfterFit) {
+  const auto bench = small_benchmark();
+  DctCnnDetector detector(fast_config());
+  util::Rng rng(3);
+  detector.fit(bench.train, rng);
+  EXPECT_GT(detector.network().parameter_count(), 0);
+}
+
+TEST(DctCnn, PredictBeforeFitDies) {
+  DctCnnDetector detector(fast_config());
+  dataset::HotspotDataset data;
+  data.add(dataset::ClipSample::from_image(tensor::Tensor({32, 32}), 0,
+                                           dataset::Family::kJog));
+  EXPECT_DEATH(detector.predict(data), "HOTSPOT_CHECK");
+}
+
+}  // namespace
+}  // namespace hotspot::baselines

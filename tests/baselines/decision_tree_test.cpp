@@ -1,0 +1,75 @@
+#include "baselines/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace hotspot::baselines {
+namespace {
+
+using tensor::Tensor;
+
+TEST(DecisionTree, StumpSeparatesThresholdedData) {
+  // Label = sign(x - 0.5): one split suffices.
+  const std::int64_t n = 40;
+  Tensor features({n, 1});
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    features.at2(i, 0) = static_cast<float>(i) / static_cast<float>(n);
+    labels[static_cast<std::size_t>(i)] = features.at2(i, 0) > 0.5f ? 1 : -1;
+  }
+  const std::vector<double> weights(static_cast<std::size_t>(n),
+                                    1.0 / static_cast<double>(n));
+  DecisionTree tree;
+  tree.fit(features, labels, weights, /*max_depth=*/1);
+  EXPECT_LT(tree.weighted_error(features, labels, weights), 0.05);
+}
+
+TEST(DecisionTree, DepthTwoSolvesXorLikeData) {
+  // 2-D XOR needs two levels.
+  Tensor features({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  const std::vector<int> labels{-1, 1, 1, -1};
+  const std::vector<double> weights(4, 0.25);
+  DecisionTree stump;
+  stump.fit(features, labels, weights, 1);
+  DecisionTree deep;
+  deep.fit(features, labels, weights, 2);
+  EXPECT_LE(deep.weighted_error(features, labels, weights),
+            stump.weighted_error(features, labels, weights));
+  EXPECT_LT(deep.weighted_error(features, labels, weights), 1e-9);
+}
+
+TEST(DecisionTree, RespectsWeights) {
+  // Two conflicting points; the heavier one wins the leaf label.
+  Tensor features({2, 1}, {0.5f, 0.5f});
+  const std::vector<int> labels{1, -1};
+  DecisionTree tree;
+  tree.fit(features, labels, {0.9, 0.1}, 2);
+  EXPECT_EQ(tree.predict_row(features, 0), 1);
+  tree.fit(features, labels, {0.1, 0.9}, 2);
+  EXPECT_EQ(tree.predict_row(features, 0), -1);
+}
+
+TEST(DecisionTree, ConstantFeaturesYieldMajorityLeaf) {
+  Tensor features({5, 2}, 1.0f);
+  const std::vector<int> labels{1, 1, 1, -1, -1};
+  const std::vector<double> weights(5, 0.2);
+  DecisionTree tree;
+  tree.fit(features, labels, weights, 3);
+  EXPECT_EQ(tree.predict_row(features, 0), 1);
+}
+
+TEST(DecisionTree, PredictBeforeFitDies) {
+  DecisionTree tree;
+  Tensor features({1, 1});
+  EXPECT_DEATH(tree.predict_row(features, 0), "HOTSPOT_CHECK");
+}
+
+TEST(DecisionTree, RejectsBadLabels) {
+  Tensor features({2, 1});
+  DecisionTree tree;
+  EXPECT_DEATH(tree.fit(features, {0, 1}, {0.5, 0.5}, 1), "HOTSPOT_CHECK");
+}
+
+}  // namespace
+}  // namespace hotspot::baselines

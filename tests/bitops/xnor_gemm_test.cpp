@@ -1,0 +1,109 @@
+#include "bitops/xnor_gemm.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace hotspot::bitops {
+namespace {
+
+using tensor::ConvSpec;
+using tensor::Tensor;
+
+TEST(XnorGemm, MatchesSignMatmul) {
+  util::Rng rng(1);
+  const Tensor a = Tensor::normal({5, 130}, rng, 0.0f, 1.0f);
+  const Tensor b = Tensor::normal({7, 130}, rng, 0.0f, 1.0f);
+  const Tensor counts =
+      xnor_gemm(BitMatrix::pack_rows(a), BitMatrix::pack_rows(b));
+  const Tensor expected = tensor::matmul(
+      tensor::sign(a), tensor::transpose2d(tensor::sign(b)));
+  EXPECT_TRUE(tensor::allclose(counts, expected, 1e-4));
+}
+
+TEST(PackPatches, MatchesFloatIm2colSigns) {
+  util::Rng rng(2);
+  const Tensor x = Tensor::normal({2, 3, 6, 6}, rng, 0.0f, 1.0f);
+  for (const ConvSpec spec : {ConvSpec{3, 3, 1, 1}, ConvSpec{3, 3, 2, 1},
+                              ConvSpec{1, 1, 2, 0}, ConvSpec{5, 5, 1, 2}}) {
+    const BitMatrix packed = pack_patches(x, spec);
+    const Tensor reference =
+        tensor::im2col(tensor::sign(x), spec, -1.0f);
+    EXPECT_TRUE(tensor::allclose(packed.unpack(), reference, 0.0))
+        << "kernel " << spec.kernel_h << " stride " << spec.stride;
+  }
+}
+
+TEST(BinaryConvCounts, MatchesFloatSignConv) {
+  util::Rng rng(3);
+  const Tensor x = Tensor::normal({1, 4, 8, 8}, rng, 0.0f, 1.0f);
+  const Tensor w = Tensor::normal({6, 4, 3, 3}, rng, 0.0f, 1.0f);
+  const ConvSpec spec{3, 3, 1, 1};
+  const Tensor counts = binary_conv_counts(x, w, spec);
+  // Reference: float conv of signs with -1 padding via im2col + matmul.
+  const Tensor cols = tensor::im2col(tensor::sign(x), spec, -1.0f);
+  const Tensor wmat = tensor::sign(w).reshaped({6, 4 * 9});
+  const Tensor rows = tensor::matmul(cols, tensor::transpose2d(wmat));
+  for (std::int64_t co = 0; co < 6; ++co) {
+    for (std::int64_t p = 0; p < 64; ++p) {
+      EXPECT_FLOAT_EQ(counts.at4(0, co, p / 8, p % 8), rows.at2(p, co));
+    }
+  }
+}
+
+TEST(ChannelBlockedPacking, OneWordPerChannel) {
+  util::Rng rng(4);
+  const Tensor x = Tensor::normal({1, 3, 4, 4}, rng, 0.0f, 1.0f);
+  const ConvSpec spec{3, 3, 1, 1};
+  const BitMatrix packed = pack_patches_channel_blocked(x, spec);
+  EXPECT_EQ(packed.words_per_row(), 3);
+  EXPECT_EQ(packed.rows(), 16);
+}
+
+TEST(ChannelBlockedPacking, DotsMatchDensePerChannel) {
+  util::Rng rng(5);
+  const Tensor x = Tensor::normal({1, 2, 5, 5}, rng, 0.0f, 1.0f);
+  const Tensor w = Tensor::normal({3, 2, 3, 3}, rng, 0.0f, 1.0f);
+  const ConvSpec spec{3, 3, 1, 1};
+  const BitMatrix patches = pack_patches_channel_blocked(x, spec);
+  const BitMatrix filters = pack_filters_channel_blocked(w);
+
+  // Per-channel dot via bits must equal the float sign conv restricted to
+  // that channel.
+  const Tensor sx = tensor::sign(x);
+  for (std::int64_t p = 0; p < 25; ++p) {
+    for (std::int64_t co = 0; co < 3; ++co) {
+      for (std::int64_t ci = 0; ci < 2; ++ci) {
+        double expected = 0.0;
+        const std::int64_t oy = p / 5;
+        const std::int64_t ox = p % 5;
+        for (std::int64_t ky = 0; ky < 3; ++ky) {
+          for (std::int64_t kx = 0; kx < 3; ++kx) {
+            const std::int64_t iy = oy - 1 + ky;
+            const std::int64_t ix = ox - 1 + kx;
+            const double sv = (iy < 0 || iy >= 5 || ix < 0 || ix >= 5)
+                                  ? -1.0
+                                  : sx.at4(0, ci, iy, ix);
+            expected +=
+                sv * (w.at4(co, ci, ky, kx) >= 0.0f ? 1.0 : -1.0);
+          }
+        }
+        const std::uint64_t pw = patches.row(p)[ci];
+        const std::uint64_t fw = filters.row(co)[ci];
+        const std::int64_t dot = 9 - 2 * std::popcount(pw ^ fw);
+        EXPECT_EQ(dot, static_cast<std::int64_t>(expected))
+            << "p=" << p << " co=" << co << " ci=" << ci;
+      }
+    }
+  }
+}
+
+TEST(ChannelBlockedPackingDeath, RejectsLargeKernels) {
+  util::Rng rng(6);
+  const Tensor x = Tensor::normal({1, 1, 20, 20}, rng, 0.0f, 1.0f);
+  EXPECT_DEATH(pack_patches_channel_blocked(x, ConvSpec{9, 9, 1, 4}),
+               "HOTSPOT_CHECK");
+}
+
+}  // namespace
+}  // namespace hotspot::bitops

@@ -1,0 +1,83 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace hotspot::core {
+namespace {
+
+TEST(CostModel, SingleLayerFloatMacs) {
+  // 16->32 3x3 stride 1 pad 1 on 8x8: 64 positions * 32 * 16*9 MACs.
+  const LayerCost cost = binary_conv_cost(
+      16, 32, 3, 1, 1, 8, 8, bitops::InputScaling::kPerChannel);
+  EXPECT_EQ(cost.output_positions, 64);
+  EXPECT_EQ(cost.float_macs, 64 * 32 * 16 * 9);
+  EXPECT_EQ(cost.float_weight_bytes, 32 * 16 * 9 * 4);
+}
+
+TEST(CostModel, PerChannelWordOps) {
+  const LayerCost cost = binary_conv_cost(
+      16, 32, 3, 1, 1, 8, 8, bitops::InputScaling::kPerChannel);
+  // One word per (position, filter, channel).
+  EXPECT_EQ(cost.packed_word_ops, 64 * 32 * 16);
+  EXPECT_EQ(cost.packed_weight_bytes, 32 * 16 * 8);
+}
+
+TEST(CostModel, DenseWordOpsForScalarMode) {
+  const LayerCost cost = binary_conv_cost(
+      16, 32, 3, 1, 1, 8, 8, bitops::InputScaling::kScalar);
+  // patch = 144 bits -> 3 words per (position, filter).
+  EXPECT_EQ(cost.packed_word_ops, 64 * 32 * 3);
+}
+
+TEST(CostModel, StrideShrinksPositions) {
+  const LayerCost s1 =
+      binary_conv_cost(8, 8, 3, 1, 1, 16, 16, bitops::InputScaling::kNone);
+  const LayerCost s2 =
+      binary_conv_cost(8, 8, 3, 2, 1, 16, 16, bitops::InputScaling::kNone);
+  EXPECT_EQ(s1.output_positions, 256);
+  EXPECT_EQ(s2.output_positions, 64);
+}
+
+TEST(CostModel, NetworkAggregatesAllConvs) {
+  const BrnnConfig config = BrnnConfig::compact(32);
+  const NetworkCost cost = network_cost(config);
+  // stem + 2 per block + projection shortcuts for stages 2 and 3.
+  EXPECT_EQ(cost.layers.size(), 1u + 2u * 3u + 2u);
+  std::int64_t macs = 0;
+  for (const auto& layer : cost.layers) {
+    macs += layer.float_macs;
+  }
+  EXPECT_EQ(macs, cost.float_macs);
+}
+
+TEST(CostModel, StorageReductionIsLargeForWideLayers) {
+  // Dense packing stores kernels at ~1 bit/weight -> close to 32x for
+  // layers whose patch size is a multiple of 64.
+  BrnnConfig config = BrnnConfig::paper();
+  config.scaling = bitops::InputScaling::kScalar;
+  const NetworkCost cost = network_cost(config);
+  EXPECT_GT(cost.storage_reduction(), 20.0);
+  EXPECT_LE(cost.storage_reduction(), 32.0);
+}
+
+TEST(CostModel, ScalarModeArithmeticReductionGrowsWithWidth) {
+  // The Fig. 1 trend: wider layers amortize the per-position overheads and
+  // approach the 64-MACs-per-word limit.
+  auto reduction = [](std::int64_t channels) {
+    const LayerCost cost = binary_conv_cost(
+        channels, channels, 3, 1, 1, 16, 16, bitops::InputScaling::kScalar);
+    return static_cast<double>(cost.float_macs) /
+           static_cast<double>(cost.packed_word_ops + cost.packed_float_ops);
+  };
+  EXPECT_GT(reduction(64), reduction(16));
+  EXPECT_GT(reduction(256), 8.0);  // the paper's 8x is reachable
+}
+
+TEST(CostModel, PaperNetworkDominatedByBinaryOps) {
+  const NetworkCost cost = network_cost(BrnnConfig::paper());
+  EXPECT_GT(cost.float_macs, 0);
+  EXPECT_GT(cost.arithmetic_reduction(), 1.0);
+}
+
+}  // namespace
+}  // namespace hotspot::core

@@ -1,0 +1,104 @@
+#include "dataset/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace hotspot::dataset {
+namespace {
+
+BenchmarkConfig tiny_config() {
+  BenchmarkConfig config = iccad2012_config(1.0, 16);
+  config.train.hotspots = 8;
+  config.train.non_hotspots = 20;
+  config.test.hotspots = 6;
+  config.test.non_hotspots = 10;
+  config.seed = 99;
+  return config;
+}
+
+TEST(Generator, FillsExactQuotas) {
+  const Benchmark bench = generate_benchmark(tiny_config());
+  EXPECT_EQ(bench.train.stats().hotspots, 8);
+  EXPECT_EQ(bench.train.stats().non_hotspots, 20);
+  EXPECT_EQ(bench.test.stats().hotspots, 6);
+  EXPECT_EQ(bench.test.stats().non_hotspots, 10);
+}
+
+TEST(Generator, ImagesHaveConfiguredResolution) {
+  const Benchmark bench = generate_benchmark(tiny_config());
+  EXPECT_EQ(bench.train.image_size(), 16);
+  EXPECT_EQ(bench.test.image_size(), 16);
+}
+
+TEST(Generator, DeterministicAtFixedSeed) {
+  const Benchmark a = generate_benchmark(tiny_config());
+  const Benchmark b = generate_benchmark(tiny_config());
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train.sample(i).pixels, b.train.sample(i).pixels);
+    EXPECT_EQ(a.train.sample(i).label, b.train.sample(i).label);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  BenchmarkConfig other = tiny_config();
+  other.seed = 100;
+  const Benchmark a = generate_benchmark(tiny_config());
+  const Benchmark b = generate_benchmark(other);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.train.size() && !any_difference; ++i) {
+    any_difference = a.train.sample(i).pixels != b.train.sample(i).pixels;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, TJunctionOnlyInTestSplit) {
+  // The unseen-pattern structure of the contest benchmark: training never
+  // contains the held-out family.
+  BenchmarkConfig config = tiny_config();
+  config.test.hotspots = 20;
+  config.test.non_hotspots = 40;
+  const Benchmark bench = generate_benchmark(config);
+  const auto train_stats = bench.train.stats_by_family();
+  EXPECT_EQ(
+      train_stats[static_cast<int>(Family::kTJunction)].total(), 0);
+  const auto test_stats = bench.test.stats_by_family();
+  EXPECT_GT(test_stats[static_cast<int>(Family::kTJunction)].total(), 0);
+}
+
+TEST(Generator, Table2ConfigMatchesPaperAtFullScale) {
+  const BenchmarkConfig config = iccad2012_config(1.0, 128);
+  EXPECT_EQ(config.train.hotspots, 1204);
+  EXPECT_EQ(config.train.non_hotspots, 17096);
+  EXPECT_EQ(config.test.hotspots, 2524);
+  EXPECT_EQ(config.test.non_hotspots, 13503);
+  EXPECT_EQ(config.image_size, 128);
+}
+
+TEST(Generator, ScaledConfigKeepsClassRatio) {
+  const BenchmarkConfig config = iccad2012_config(0.1, 32);
+  const double full_ratio = 1204.0 / 17096.0;
+  const double scaled_ratio =
+      static_cast<double>(config.train.hotspots) /
+      static_cast<double>(config.train.non_hotspots);
+  EXPECT_NEAR(scaled_ratio, full_ratio, 0.02);
+}
+
+TEST(Generator, LabelsComeFromLithoOracle) {
+  // Re-simulate stored clips' hotspot rate: the generator's label stream
+  // must not be constant.
+  const Benchmark bench = generate_benchmark(tiny_config());
+  int hotspots = 0;
+  for (std::size_t i = 0; i < bench.train.size(); ++i) {
+    hotspots += bench.train.sample(i).label;
+  }
+  EXPECT_EQ(hotspots, 8);
+}
+
+TEST(GeneratorDeath, ZeroFamilyWeightsRejected) {
+  BenchmarkConfig config = tiny_config();
+  config.train.family_weights.assign(kFamilyCount, 0.0);
+  EXPECT_DEATH(generate_benchmark(config), "HOTSPOT_CHECK");
+}
+
+}  // namespace
+}  // namespace hotspot::dataset

@@ -1,0 +1,70 @@
+#include "dataset/sample.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace hotspot::dataset {
+namespace {
+
+using tensor::Tensor;
+
+TEST(ClipSample, ImageRoundTrip) {
+  Tensor image({4, 4});
+  image.at2(1, 2) = 1.0f;
+  const ClipSample sample =
+      ClipSample::from_image(image, 1, Family::kTipToTip);
+  EXPECT_EQ(sample.size, 4);
+  EXPECT_EQ(sample.label, 1);
+  EXPECT_EQ(sample.family, Family::kTipToTip);
+  EXPECT_TRUE(tensor::allclose(sample.to_image(), image, 0.0));
+}
+
+TEST(ClipSample, FromImageThresholds) {
+  Tensor image({2, 2}, {0.4f, 0.6f, 0.5f, 0.0f});
+  const ClipSample sample =
+      ClipSample::from_image(image, 0, Family::kDenseLines);
+  EXPECT_EQ(sample.pixels[0], 0);
+  EXPECT_EQ(sample.pixels[1], 1);
+  EXPECT_EQ(sample.pixels[2], 1);  // 0.5 rounds up
+}
+
+TEST(ClipSample, RejectsNonSquare) {
+  EXPECT_DEATH(
+      ClipSample::from_image(Tensor({2, 3}), 0, Family::kJog),
+      "HOTSPOT_CHECK");
+}
+
+TEST(ClipSample, FlipsAreInvolutions) {
+  util::Rng rng(1);
+  Tensor image({6, 6});
+  for (std::int64_t i = 0; i < image.numel(); ++i) {
+    image[i] = rng.bernoulli(0.3) ? 1.0f : 0.0f;
+  }
+  ClipSample sample = ClipSample::from_image(image, 0, Family::kComb);
+  const auto original = sample.pixels;
+  sample.flip_horizontal();
+  sample.flip_horizontal();
+  EXPECT_EQ(sample.pixels, original);
+  sample.flip_vertical();
+  sample.flip_vertical();
+  EXPECT_EQ(sample.pixels, original);
+}
+
+TEST(ClipSample, FlipMovesCorner) {
+  Tensor image({3, 3});
+  image.at2(0, 0) = 1.0f;
+  ClipSample sample = ClipSample::from_image(image, 0, Family::kContacts);
+  sample.flip_horizontal();
+  EXPECT_EQ(sample.to_image().at2(0, 2), 1.0f);
+  sample.flip_vertical();
+  EXPECT_EQ(sample.to_image().at2(2, 2), 1.0f);
+}
+
+TEST(Family, Names) {
+  EXPECT_STREQ(to_string(Family::kDenseLines), "dense-lines");
+  EXPECT_STREQ(to_string(Family::kTJunction), "t-junction");
+}
+
+}  // namespace
+}  // namespace hotspot::dataset

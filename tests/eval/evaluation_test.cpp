@@ -1,0 +1,98 @@
+#include "eval/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/sample.h"
+#include "tensor/tensor.h"
+
+namespace hotspot::eval {
+namespace {
+
+using tensor::Tensor;
+
+// A detector that predicts "hotspot iff more than half the pixels are set";
+// deterministic so the harness numbers are exactly checkable.
+class CoverageDetector : public Detector {
+ public:
+  std::string name() const override { return "coverage"; }
+  void fit(const dataset::HotspotDataset&, util::Rng&) override {
+    fitted_ = true;
+  }
+  std::vector<int> predict(const dataset::HotspotDataset& data) override {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto& sample = data.sample(i);
+      std::int64_t set = 0;
+      for (const auto pixel : sample.pixels) {
+        set += pixel;
+      }
+      out.push_back(set * 2 >
+                            static_cast<std::int64_t>(sample.pixels.size())
+                        ? 1
+                        : 0);
+    }
+    return out;
+  }
+  bool fitted_ = false;
+};
+
+dataset::HotspotDataset make_data() {
+  dataset::HotspotDataset data;
+  // 2 true hotspots (one dense = detected, one sparse = missed), 2
+  // non-hotspots (one dense = false alarm, one sparse = correct).
+  data.add(dataset::ClipSample::from_image(Tensor({4, 4}, 1.0f), 1,
+                                           dataset::Family::kComb));
+  data.add(dataset::ClipSample::from_image(Tensor({4, 4}), 1,
+                                           dataset::Family::kComb));
+  data.add(dataset::ClipSample::from_image(Tensor({4, 4}, 1.0f), 0,
+                                           dataset::Family::kComb));
+  data.add(dataset::ClipSample::from_image(Tensor({4, 4}), 0,
+                                           dataset::Family::kComb));
+  return data;
+}
+
+TEST(EvaluateDetector, FillsRowCorrectly) {
+  CoverageDetector detector;
+  const auto data = make_data();
+  util::Rng rng(1);
+  const EvaluationRow row = evaluate_detector(detector, data, data, rng);
+  EXPECT_TRUE(detector.fitted_);
+  EXPECT_EQ(row.method, "coverage");
+  EXPECT_EQ(row.matrix.true_positive, 1);
+  EXPECT_EQ(row.matrix.false_negative, 1);
+  EXPECT_EQ(row.matrix.false_positive, 1);
+  EXPECT_EQ(row.matrix.true_negative, 1);
+  EXPECT_DOUBLE_EQ(row.matrix.accuracy(), 0.5);
+  EXPECT_GE(row.eval_seconds, 0.0);
+}
+
+TEST(EvaluateDetector, OdstUsesMeasuredEvalTime) {
+  CoverageDetector detector;
+  const auto data = make_data();
+  util::Rng rng(2);
+  const EvaluationRow row = evaluate_detector(detector, data, data, rng);
+  // (FP + TP) * t_ls + total * t_ev with TP=FP=1, total=4.
+  const double expected =
+      2.0 * 10.0 + 4.0 * row.eval_seconds_per_instance();
+  EXPECT_NEAR(row.odst(10.0), expected, 1e-9);
+}
+
+TEST(ComparisonTable, PaperColumnLayout) {
+  EvaluationRow row;
+  row.method = "Ours";
+  row.matrix.true_positive = 10;
+  row.matrix.false_negative = 0;
+  row.matrix.false_positive = 3;
+  row.matrix.true_negative = 100;
+  row.eval_seconds = 1.0;
+  const util::Table table = comparison_table({row});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("FA#"), std::string::npos);
+  EXPECT_NE(text.find("Runtime (s)"), std::string::npos);
+  EXPECT_NE(text.find("ODST (s)"), std::string::npos);
+  EXPECT_NE(text.find("Accu (%)"), std::string::npos);
+  EXPECT_NE(text.find("100.0"), std::string::npos);  // perfect recall
+}
+
+}  // namespace
+}  // namespace hotspot::eval

@@ -1,0 +1,82 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace hotspot::eval {
+namespace {
+
+TEST(ConfusionMatrix, RecordsAllQuadrants) {
+  ConfusionMatrix matrix;
+  matrix.record(1, 1);  // TP
+  matrix.record(1, 0);  // FN
+  matrix.record(0, 1);  // FP
+  matrix.record(0, 0);  // TN
+  EXPECT_EQ(matrix.true_positive, 1);
+  EXPECT_EQ(matrix.false_negative, 1);
+  EXPECT_EQ(matrix.false_positive, 1);
+  EXPECT_EQ(matrix.true_negative, 1);
+  EXPECT_EQ(matrix.total(), 4);
+}
+
+TEST(ConfusionMatrix, AccuracyIsHotspotRecall) {
+  // Eq. 1: accuracy = TP / (TP + FN) — not overall correctness.
+  ConfusionMatrix matrix;
+  matrix.true_positive = 9;
+  matrix.false_negative = 1;
+  matrix.true_negative = 0;  // irrelevant to the metric
+  matrix.false_positive = 100;
+  EXPECT_DOUBLE_EQ(matrix.accuracy(), 0.9);
+}
+
+TEST(ConfusionMatrix, AccuracyZeroWhenNoHotspots) {
+  ConfusionMatrix matrix;
+  matrix.true_negative = 10;
+  EXPECT_DOUBLE_EQ(matrix.accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrix, FalseAlarmIsFpCount) {
+  ConfusionMatrix matrix;
+  matrix.false_positive = 2787;  // the paper's headline FA
+  EXPECT_EQ(matrix.false_alarm(), 2787);
+}
+
+TEST(ConfusionMatrix, OdstMatchesPaperRow) {
+  // Reproduce the paper's "Ours" ODST row: FA 2787, accuracy 99.2% of 2524
+  // hotspots, 60 s total runtime over 16027 instances, t_ls = 10 s.
+  ConfusionMatrix matrix;
+  matrix.true_positive = 2504;  // ~99.2% of 2524
+  matrix.false_negative = 20;
+  matrix.false_positive = 2787;
+  matrix.true_negative = 13503 - 2787;
+  const double t_ev = 60.0 / 16027.0;
+  const double odst = matrix.odst(10.0, t_ev);
+  EXPECT_NEAR(odst, 52970.0, 100.0);
+}
+
+TEST(ConfusionMatrix, RejectsBadLabels) {
+  ConfusionMatrix matrix;
+  EXPECT_DEATH(matrix.record(2, 0), "HOTSPOT_CHECK");
+  EXPECT_DEATH(matrix.record(0, -1), "HOTSPOT_CHECK");
+}
+
+TEST(Confusion, FromVectors) {
+  const ConfusionMatrix matrix =
+      confusion({1, 1, 0, 0, 1}, {1, 0, 0, 1, 1});
+  EXPECT_EQ(matrix.true_positive, 2);
+  EXPECT_EQ(matrix.false_negative, 1);
+  EXPECT_EQ(matrix.false_positive, 1);
+  EXPECT_EQ(matrix.true_negative, 1);
+}
+
+TEST(Confusion, SizeMismatchDies) {
+  EXPECT_DEATH(confusion({1}, {1, 0}), "HOTSPOT_CHECK");
+}
+
+TEST(ConfusionMatrix, ToStringContainsCounts) {
+  ConfusionMatrix matrix;
+  matrix.true_positive = 42;
+  EXPECT_NE(matrix.to_string().find("TP=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hotspot::eval

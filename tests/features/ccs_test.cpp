@@ -1,0 +1,77 @@
+#include "features/ccs.h"
+
+#include <gtest/gtest.h>
+
+namespace hotspot::features {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Ccs, FeatureCountMatchesSpec) {
+  const CcsSpec spec{6, 4, 8};
+  const auto features = ccs_features(Tensor({32, 32}), spec);
+  EXPECT_EQ(features.size(), 24u);
+}
+
+TEST(Ccs, EmptyImageAllZero) {
+  const auto features = ccs_features(Tensor({32, 32}), CcsSpec{});
+  for (const float value : features) {
+    EXPECT_FLOAT_EQ(value, 0.0f);
+  }
+}
+
+TEST(Ccs, FullImageAllOne) {
+  const auto features = ccs_features(Tensor({32, 32}, 1.0f), CcsSpec{});
+  for (const float value : features) {
+    EXPECT_FLOAT_EQ(value, 1.0f);
+  }
+}
+
+TEST(Ccs, ValuesAreCoverageFractions) {
+  util::Rng rng(1);
+  Tensor image({32, 32});
+  for (std::int64_t i = 0; i < image.numel(); ++i) {
+    image[i] = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+  }
+  for (const float value : ccs_features(image, CcsSpec{})) {
+    EXPECT_GE(value, 0.0f);
+    EXPECT_LE(value, 1.0f);
+  }
+}
+
+TEST(Ccs, AngularLocalization) {
+  // Content only on the right half: segments sampling the left half of each
+  // circle stay zero while some right-half segment fires.
+  Tensor image({33, 33});
+  for (std::int64_t y = 0; y < 33; ++y) {
+    for (std::int64_t x = 25; x < 33; ++x) {
+      image.at2(y, x) = 1.0f;
+    }
+  }
+  const CcsSpec spec{4, 8, 8};
+  const auto features = ccs_features(image, spec);
+  float right_mass = 0.0f;
+  float total = 0.0f;
+  for (std::size_t c = 0; c < 4; ++c) {
+    // Segment 0 starts at angle 0 (pointing right).
+    right_mass += features[c * 8 + 0];
+    for (std::size_t s = 0; s < 8; ++s) {
+      total += features[c * 8 + s];
+    }
+  }
+  EXPECT_GT(right_mass, 0.0f);
+  EXPECT_LT(total, 4.0f * 8.0f * 0.5f);
+}
+
+TEST(Ccs, MatrixOverDataset) {
+  dataset::HotspotDataset data;
+  data.add(dataset::ClipSample::from_image(Tensor({16, 16}, 1.0f), 1,
+                                           dataset::Family::kJog));
+  const CcsSpec spec{3, 4, 4};
+  const Tensor matrix = ccs_matrix(data, spec);
+  EXPECT_EQ(matrix.shape(), (tensor::Shape{1, 12}));
+  EXPECT_FLOAT_EQ(matrix.at2(0, 0), 1.0f);
+}
+
+}  // namespace
+}  // namespace hotspot::features

@@ -1,0 +1,60 @@
+#include "features/dct_tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace hotspot::features {
+namespace {
+
+using tensor::Tensor;
+
+TEST(DctTensor, ShapeFollowsSpec) {
+  const DctTensorSpec spec{4, 8};
+  const Tensor features = dct_feature_tensor(Tensor({32, 32}), spec);
+  EXPECT_EQ(features.shape(), (tensor::Shape{8, 8, 8}));
+}
+
+TEST(DctTensor, DcChannelEncodesTileDensity) {
+  const DctTensorSpec spec{4, 4};
+  Tensor image({8, 8});
+  for (std::int64_t y = 0; y < 4; ++y) {
+    for (std::int64_t x = 0; x < 4; ++x) {
+      image.at2(y, x) = 1.0f;  // only the top-left tile is full
+    }
+  }
+  const Tensor features = dct_feature_tensor(image, spec);
+  EXPECT_GT(features.at({0, 0, 0}), 1.0f);
+  EXPECT_NEAR(features.at({0, 0, 1}), 0.0f, 1e-5);
+  EXPECT_NEAR(features.at({0, 1, 0}), 0.0f, 1e-5);
+}
+
+TEST(DctTensor, BatchStacksSamples) {
+  dataset::HotspotDataset data;
+  data.add(dataset::ClipSample::from_image(Tensor({8, 8}, 1.0f), 1,
+                                           dataset::Family::kComb));
+  data.add(dataset::ClipSample::from_image(Tensor({8, 8}), 0,
+                                           dataset::Family::kComb));
+  const DctTensorSpec spec{4, 4};
+  const Tensor batch = dct_feature_batch(data, {0, 1}, spec);
+  EXPECT_EQ(batch.shape(), (tensor::Shape{2, 4, 2, 2}));
+  EXPECT_GT(batch.at4(0, 0, 0, 0), 1.0f);
+  EXPECT_NEAR(batch.at4(1, 0, 0, 0), 0.0f, 1e-6);
+}
+
+TEST(DctTensor, TranslationChangesFeatures) {
+  // Unlike global pooling, block DCT keeps spatial information (the paper's
+  // critique of [16] concerns the DCT truncation, not location): content in
+  // different tiles yields different feature tensors.
+  const DctTensorSpec spec{4, 4};
+  Tensor left({8, 8});
+  Tensor right({8, 8});
+  left.at2(0, 0) = 1.0f;
+  right.at2(0, 7) = 1.0f;
+  const Tensor fl = dct_feature_tensor(left, spec);
+  const Tensor fr = dct_feature_tensor(right, spec);
+  EXPECT_GT(tensor::max_abs_diff(fl, fr), 0.01);
+}
+
+}  // namespace
+}  // namespace hotspot::features

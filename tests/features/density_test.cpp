@@ -1,0 +1,58 @@
+#include "features/density.h"
+
+#include <gtest/gtest.h>
+
+namespace hotspot::features {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Density, UniformImageUniformDensity) {
+  const Tensor image({8, 8}, 1.0f);
+  const auto features = density_features(image, 4);
+  ASSERT_EQ(features.size(), 16u);
+  for (const float value : features) {
+    EXPECT_FLOAT_EQ(value, 1.0f);
+  }
+}
+
+TEST(Density, LocalizedContentLocalizedCell) {
+  Tensor image({8, 8});
+  // Fill only the top-left 4x4 quadrant.
+  for (std::int64_t y = 0; y < 4; ++y) {
+    for (std::int64_t x = 0; x < 4; ++x) {
+      image.at2(y, x) = 1.0f;
+    }
+  }
+  const auto features = density_features(image, 2);
+  EXPECT_FLOAT_EQ(features[0], 1.0f);
+  EXPECT_FLOAT_EQ(features[1], 0.0f);
+  EXPECT_FLOAT_EQ(features[2], 0.0f);
+  EXPECT_FLOAT_EQ(features[3], 0.0f);
+}
+
+TEST(Density, FractionalCoverage) {
+  Tensor image({4, 4});
+  image.at2(0, 0) = 1.0f;  // 1 of 4 pixels in the top-left 2x2 cell
+  const auto features = density_features(image, 2);
+  EXPECT_FLOAT_EQ(features[0], 0.25f);
+}
+
+TEST(Density, MatrixShapeAndContent) {
+  dataset::HotspotDataset data;
+  data.add(dataset::ClipSample::from_image(Tensor({8, 8}, 1.0f), 1,
+                                           dataset::Family::kComb));
+  data.add(dataset::ClipSample::from_image(Tensor({8, 8}), 0,
+                                           dataset::Family::kComb));
+  const Tensor matrix = density_matrix(data, 4);
+  EXPECT_EQ(matrix.shape(), (tensor::Shape{2, 16}));
+  EXPECT_FLOAT_EQ(matrix.at2(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(matrix.at2(1, 0), 0.0f);
+}
+
+TEST(Density, RequiresDivisibleGrid) {
+  EXPECT_DEATH(density_features(Tensor({6, 6}), 4), "HOTSPOT_CHECK");
+}
+
+}  // namespace
+}  // namespace hotspot::features

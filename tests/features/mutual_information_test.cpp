@@ -1,0 +1,102 @@
+#include "features/mutual_information.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace hotspot::features {
+namespace {
+
+using tensor::Tensor;
+
+TEST(MutualInformation, PerfectPredictorHasHighMi) {
+  // Feature equals the label: MI = H(label) = ln 2 for balanced classes.
+  const std::int64_t n = 100;
+  Tensor features({n, 1});
+  std::vector<int> labels(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    labels[static_cast<std::size_t>(i)] = i % 2;
+    features.at2(i, 0) = static_cast<float>(i % 2);
+  }
+  EXPECT_NEAR(mutual_information(features, 0, labels), std::log(2.0), 0.01);
+}
+
+TEST(MutualInformation, ConstantFeatureIsZero) {
+  Tensor features({50, 1}, 3.0f);
+  std::vector<int> labels(50, 0);
+  for (std::size_t i = 0; i < 25; ++i) {
+    labels[i] = 1;
+  }
+  EXPECT_DOUBLE_EQ(mutual_information(features, 0, labels), 0.0);
+}
+
+TEST(MutualInformation, IndependentFeatureNearZero) {
+  util::Rng rng(1);
+  const std::int64_t n = 2000;
+  Tensor features({n, 1});
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    features.at2(i, 0) = static_cast<float>(rng.uniform());
+    labels[static_cast<std::size_t>(i)] = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  EXPECT_LT(mutual_information(features, 0, labels), 0.02);
+}
+
+TEST(MutualInformation, NonNegative) {
+  util::Rng rng(2);
+  const std::int64_t n = 200;
+  Tensor features({n, 3});
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < 3; ++c) {
+      features.at2(i, c) = static_cast<float>(rng.normal());
+    }
+    labels[static_cast<std::size_t>(i)] = rng.bernoulli(0.3) ? 1 : 0;
+  }
+  for (std::int64_t c = 0; c < 3; ++c) {
+    EXPECT_GE(mutual_information(features, c, labels), 0.0);
+  }
+}
+
+TEST(SelectTopFeatures, RanksInformativeFirst) {
+  util::Rng rng(3);
+  const std::int64_t n = 500;
+  Tensor features({n, 3});
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    labels[static_cast<std::size_t>(i)] = label;
+    features.at2(i, 0) = static_cast<float>(rng.uniform());  // noise
+    features.at2(i, 1) = static_cast<float>(label) +
+                         static_cast<float>(rng.normal(0.0, 0.1));  // strong
+    features.at2(i, 2) = static_cast<float>(rng.uniform());  // noise
+  }
+  const auto top = select_top_features(features, labels, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 1);
+}
+
+TEST(SelectTopFeatures, KeepAllReturnsPermutation) {
+  util::Rng rng(4);
+  Tensor features = Tensor::normal({50, 4}, rng, 0.0f, 1.0f);
+  std::vector<int> labels(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    labels[i] = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  const auto all = select_top_features(features, labels, 4);
+  std::set<std::int64_t> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(ProjectColumns, SelectsAndOrders) {
+  Tensor features({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor projected = project_columns(features, {2, 0});
+  EXPECT_EQ(projected.shape(), (tensor::Shape{2, 2}));
+  EXPECT_FLOAT_EQ(projected.at2(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(projected.at2(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(projected.at2(1, 0), 6.0f);
+}
+
+}  // namespace
+}  // namespace hotspot::features

@@ -1,0 +1,67 @@
+#include "litho/components.h"
+
+#include <gtest/gtest.h>
+
+namespace hotspot::litho {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Components, EmptyImageHasNone) {
+  const auto labels = label_components(Tensor({4, 4}));
+  EXPECT_EQ(labels.count, 0);
+}
+
+TEST(Components, SingleBlob) {
+  Tensor image({4, 4});
+  image.at2(1, 1) = image.at2(1, 2) = image.at2(2, 1) = 1.0f;
+  const auto labels = label_components(image);
+  EXPECT_EQ(labels.count, 1);
+  EXPECT_EQ(labels.at(1, 1), labels.at(2, 1));
+  EXPECT_EQ(labels.at(0, 0), -1);
+}
+
+TEST(Components, DiagonalIsNotConnected) {
+  // 4-connectivity: diagonal neighbours are separate shapes.
+  Tensor image({3, 3});
+  image.at2(0, 0) = 1.0f;
+  image.at2(1, 1) = 1.0f;
+  const auto labels = label_components(image);
+  EXPECT_EQ(labels.count, 2);
+}
+
+TEST(Components, MultipleShapesAndSizes) {
+  Tensor image({5, 5});
+  image.at2(0, 0) = 1.0f;
+  for (std::int64_t x = 0; x < 5; ++x) {
+    image.at2(4, x) = 1.0f;
+  }
+  const auto labels = label_components(image);
+  EXPECT_EQ(labels.count, 2);
+  const auto sizes = component_sizes(labels);
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0] + sizes[1], 6);
+}
+
+TEST(Components, FullImageOneComponent) {
+  const auto labels = label_components(Tensor({8, 8}, 1.0f));
+  EXPECT_EQ(labels.count, 1);
+  const auto sizes = component_sizes(labels);
+  EXPECT_EQ(sizes[0], 64);
+}
+
+TEST(Components, SnakePattern) {
+  // An S-shaped path stays one component even when it doubles back.
+  Tensor image({5, 5});
+  for (std::int64_t x = 0; x < 5; ++x) {
+    image.at2(0, x) = 1.0f;
+    image.at2(2, x) = 1.0f;
+    image.at2(4, x) = 1.0f;
+  }
+  image.at2(1, 4) = 1.0f;
+  image.at2(3, 0) = 1.0f;
+  EXPECT_EQ(label_components(image).count, 1);
+}
+
+}  // namespace
+}  // namespace hotspot::litho

@@ -1,0 +1,159 @@
+#include "litho/defects.h"
+
+#include <gtest/gtest.h>
+
+namespace hotspot::litho {
+namespace {
+
+using tensor::Tensor;
+
+// Draws a filled rect on a [h,w] image.
+void draw(Tensor& image, std::int64_t y0, std::int64_t x0, std::int64_t y1,
+          std::int64_t x1) {
+  for (std::int64_t y = y0; y < y1; ++y) {
+    for (std::int64_t x = x0; x < x1; ++x) {
+      image.at2(y, x) = 1.0f;
+    }
+  }
+}
+
+TEST(Defects, CleanPrintHasNoDefects) {
+  Tensor drawn({16, 16});
+  draw(drawn, 2, 2, 14, 8);
+  const DefectReport report = detect_defects(drawn, drawn, 2);
+  EXPECT_FALSE(report.any());
+  EXPECT_EQ(report.primary(), DefectType::kNone);
+}
+
+TEST(Defects, BridgeWhenTwoShapesPrintMerged) {
+  Tensor drawn({16, 16});
+  draw(drawn, 2, 2, 14, 6);
+  draw(drawn, 2, 10, 14, 14);
+  Tensor printed({16, 16});
+  draw(printed, 2, 2, 14, 14);  // merged
+  const DefectReport report = detect_defects(drawn, printed, 0);
+  EXPECT_TRUE(report.bridge);
+  EXPECT_EQ(report.primary(), DefectType::kBridge);
+}
+
+TEST(Defects, OpenWhenShapeVanishes) {
+  Tensor drawn({16, 16});
+  draw(drawn, 2, 2, 14, 6);
+  const Tensor printed({16, 16});
+  const DefectReport report = detect_defects(drawn, printed, 0);
+  EXPECT_TRUE(report.open);
+}
+
+TEST(Defects, SubPixelSliverIgnoredForOpen) {
+  Tensor drawn({16, 16});
+  draw(drawn, 0, 0, 1, 2);  // 2 pixels < min_feature_px
+  const Tensor printed({16, 16});
+  const DefectReport report =
+      detect_defects(drawn, printed, 0, /*min_feature_px=*/4);
+  EXPECT_FALSE(report.open);
+}
+
+TEST(Defects, PinchWhenShapePrintsBroken) {
+  Tensor drawn({16, 16});
+  draw(drawn, 2, 2, 14, 5);
+  Tensor printed({16, 16});
+  draw(printed, 2, 2, 6, 5);
+  draw(printed, 10, 2, 14, 5);  // split in two
+  const DefectReport report = detect_defects(drawn, printed, 0);
+  EXPECT_TRUE(report.pinch);
+}
+
+TEST(Defects, NeckingWhenCrossSectionBelowCd) {
+  // A wire that prints with a 1px-wide waist: fine before erosion, broken
+  // after eroding by min_width/2.
+  Tensor drawn({16, 16});
+  draw(drawn, 2, 4, 14, 10);
+  Tensor printed({16, 16});
+  draw(printed, 2, 4, 7, 10);
+  draw(printed, 9, 4, 14, 10);
+  draw(printed, 7, 6, 9, 7);  // 1px-wide waist joining the halves
+  const DefectReport report = detect_defects(drawn, printed, /*min_width=*/4);
+  EXPECT_FALSE(report.pinch);
+  EXPECT_TRUE(report.necking);
+}
+
+TEST(Defects, RoundedLineTipDoesNotTriggerNecking) {
+  // A printed line with a tapered end only shortens under erosion.
+  Tensor drawn({20, 20});
+  draw(drawn, 2, 6, 18, 12);
+  Tensor printed({20, 20});
+  draw(printed, 4, 6, 18, 12);   // prints slightly short
+  draw(printed, 3, 7, 4, 11);    // tapered tip rows
+  draw(printed, 2, 8, 3, 10);
+  const DefectReport report = detect_defects(drawn, printed, /*min_width=*/4);
+  EXPECT_FALSE(report.necking) << "tip rounding is not a CD violation";
+}
+
+TEST(Erode, ShrinksByRadius) {
+  Tensor image({10, 10});
+  draw(image, 2, 2, 8, 8);  // 6x6 block
+  const Tensor eroded = erode(image, 1);
+  EXPECT_EQ(eroded.at2(3, 3), 1.0f);
+  EXPECT_EQ(eroded.at2(2, 2), 0.0f);
+  EXPECT_NEAR(eroded.sum(), 16.0, 1e-6);  // 4x4 core remains
+}
+
+TEST(Erode, BorderTreatedAsSet) {
+  // A shape touching the image border must not erode from that side.
+  Tensor image({6, 6});
+  draw(image, 0, 0, 6, 3);
+  const Tensor eroded = erode(image, 1);
+  EXPECT_EQ(eroded.at2(0, 0), 1.0f);
+  EXPECT_EQ(eroded.at2(5, 0), 1.0f);
+  EXPECT_EQ(eroded.at2(0, 2), 0.0f);  // interior edge erodes
+}
+
+TEST(Erode, RadiusZeroIsIdentity) {
+  Tensor image({5, 5});
+  draw(image, 1, 1, 3, 3);
+  const Tensor eroded = erode(image, 0);
+  for (std::int64_t i = 0; i < image.numel(); ++i) {
+    EXPECT_EQ(eroded[i], image[i]);
+  }
+}
+
+TEST(MinLinewidth, MeasuresWireWidth) {
+  Tensor image({12, 12});
+  draw(image, 1, 4, 11, 7);  // 3-wide vertical wire
+  EXPECT_EQ(min_linewidth(image, nullptr), 3);
+}
+
+TEST(MinLinewidth, FindsTheNarrowestFeature) {
+  Tensor image({12, 12});
+  draw(image, 1, 1, 11, 6);   // 5-wide block
+  draw(image, 1, 8, 11, 10);  // 2-wide wire elsewhere
+  EXPECT_EQ(min_linewidth(image, nullptr), 2);
+}
+
+TEST(MinLinewidth, RestrictionFiltersPixels) {
+  Tensor image({12, 12});
+  draw(image, 1, 1, 11, 6);
+  draw(image, 1, 8, 11, 10);
+  Tensor only_block({12, 12});
+  draw(only_block, 1, 1, 11, 6);
+  EXPECT_EQ(min_linewidth(image, &only_block), 5);
+}
+
+TEST(MinLinewidth, EmptyImageReturnsSentinel) {
+  EXPECT_GT(min_linewidth(Tensor({8, 8}), nullptr), 1000000);
+}
+
+TEST(Defects, PrimaryOrdering) {
+  DefectReport report;
+  report.necking = true;
+  report.bridge = true;
+  EXPECT_EQ(report.primary(), DefectType::kBridge);
+}
+
+TEST(Defects, TypeNames) {
+  EXPECT_STREQ(to_string(DefectType::kBridge), "bridge");
+  EXPECT_STREQ(to_string(DefectType::kNecking), "necking");
+}
+
+}  // namespace
+}  // namespace hotspot::litho

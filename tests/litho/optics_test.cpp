@@ -1,0 +1,95 @@
+#include "litho/optics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/tensor_ops.h"
+
+namespace hotspot::litho {
+namespace {
+
+using tensor::Tensor;
+
+TEST(GaussianTaps, NormalizedAndSymmetric) {
+  const auto taps = gaussian_taps(1.5);
+  const double total = std::accumulate(taps.begin(), taps.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  for (std::size_t i = 0; i < taps.size() / 2; ++i) {
+    EXPECT_FLOAT_EQ(taps[i], taps[taps.size() - 1 - i]);
+  }
+  // Peak at the centre.
+  EXPECT_EQ(std::max_element(taps.begin(), taps.end()) - taps.begin(),
+            static_cast<std::ptrdiff_t>(taps.size() / 2));
+}
+
+TEST(GaussianBlur, PreservesConstantInterior) {
+  Tensor image({21, 21}, 1.0f);
+  const Tensor blurred = gaussian_blur(image, 1.0);
+  EXPECT_NEAR(blurred.at2(10, 10), 1.0f, 1e-4);
+  // Border decays because the outside field is empty.
+  EXPECT_LT(blurred.at2(0, 0), 0.5f);
+}
+
+TEST(GaussianBlur, MassConservedAwayFromBorders) {
+  Tensor image({31, 31});
+  image.at2(15, 15) = 1.0f;
+  const Tensor blurred = gaussian_blur(image, 2.0);
+  EXPECT_NEAR(blurred.sum(), 1.0, 1e-4);
+  EXPECT_GT(blurred.at2(15, 15), blurred.at2(15, 10));
+}
+
+TEST(GaussianBlur, WiderSigmaSpreadsMore) {
+  Tensor image({31, 31});
+  image.at2(15, 15) = 1.0f;
+  const Tensor narrow = gaussian_blur(image, 1.0);
+  const Tensor wide = gaussian_blur(image, 3.0);
+  EXPECT_GT(narrow.at2(15, 15), wide.at2(15, 15));
+}
+
+TEST(Develop, ThresholdSemantics) {
+  Tensor intensity({3}, {0.2f, 0.45f, 0.9f});
+  const Tensor printed = develop(intensity, 0.45f);
+  EXPECT_EQ(printed[0], 0.0f);
+  EXPECT_EQ(printed[1], 1.0f);  // >= threshold prints
+  EXPECT_EQ(printed[2], 1.0f);
+}
+
+TEST(AerialImage, NarrowLinePeakBelowWideLine) {
+  // The printability mechanism behind pinch/open labels: a narrow line's
+  // peak aerial intensity is lower than a wide line's.
+  Tensor narrow({21, 21});
+  Tensor wide({21, 21});
+  for (std::int64_t y = 0; y < 21; ++y) {
+    narrow.at2(y, 10) = 1.0f;
+    for (std::int64_t x = 8; x <= 12; ++x) {
+      wide.at2(y, x) = 1.0f;
+    }
+  }
+  const double sigma = 2.0;
+  EXPECT_LT(aerial_image(narrow, sigma).at2(10, 10),
+            aerial_image(wide, sigma).at2(10, 10));
+}
+
+TEST(AerialImage, GapIntensityRisesAsGapShrinks) {
+  // The bridging mechanism: mid-gap intensity between two lines grows as
+  // the gap narrows.
+  auto gap_intensity = [](std::int64_t half_gap) {
+    Tensor image({21, 41});
+    for (std::int64_t y = 0; y < 21; ++y) {
+      for (std::int64_t x = 0; x < 41; ++x) {
+        if (x < 20 - half_gap || x > 20 + half_gap) {
+          image.at2(y, x) = 1.0f;
+        }
+      }
+    }
+    return aerial_image(image, 2.0).at2(10, 20);
+  };
+  EXPECT_GT(gap_intensity(1), gap_intensity(3));
+  EXPECT_GT(gap_intensity(3), gap_intensity(6));
+}
+
+}  // namespace
+}  // namespace hotspot::litho

@@ -1,0 +1,116 @@
+#include "litho/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace hotspot::litho {
+namespace {
+
+using layout::Clip;
+using layout::Pattern;
+using layout::Rect;
+
+SimulatorConfig test_config() {
+  SimulatorConfig config;
+  config.grid = 64;
+  config.sigma_nm = 80.0;
+  config.resist_threshold = 0.45f;
+  config.min_width_nm = 64;
+  return config;
+}
+
+Clip line_pair(std::int64_t width, std::int64_t gap) {
+  // Two vertical lines spanning the clip, separated by `gap`.
+  Pattern pattern;
+  const std::int64_t x0 = 400;
+  pattern.add(Rect{x0, 0, x0 + width, 1024});
+  pattern.add(Rect{x0 + width + gap, 0, x0 + 2 * width + gap, 1024});
+  return Clip{std::move(pattern), 1024};
+}
+
+TEST(Simulator, SigmaPixelConversion) {
+  const Simulator sim(test_config());
+  EXPECT_NEAR(sim.sigma_px(1024), 80.0 / 16.0, 1e-9);
+}
+
+TEST(Simulator, WideWellSeparatedLinesAreClean) {
+  const Simulator sim(test_config());
+  const auto result = sim.simulate(line_pair(200, 400));
+  EXPECT_FALSE(result.is_hotspot())
+      << "bridge=" << result.defects.bridge << " open=" << result.defects.open
+      << " pinch=" << result.defects.pinch
+      << " neck=" << result.defects.necking;
+}
+
+TEST(Simulator, TightGapBridges) {
+  const Simulator sim(test_config());
+  const auto result = sim.simulate(line_pair(200, 48));
+  EXPECT_TRUE(result.defects.bridge);
+}
+
+TEST(Simulator, NarrowLineFailsToPrint) {
+  const Simulator sim(test_config());
+  Pattern pattern;
+  pattern.add(Rect{480, 0, 520, 1024});  // 40nm << print limit
+  const auto result = sim.simulate(Clip{std::move(pattern), 1024});
+  EXPECT_TRUE(result.defects.open || result.defects.necking ||
+              result.defects.pinch);
+}
+
+TEST(Simulator, MonotonicGapSeverity) {
+  // Property: if a gap bridges, every smaller gap also bridges.
+  const Simulator sim(test_config());
+  bool bridged_before = false;
+  for (const std::int64_t gap : {400, 280, 160, 96, 48}) {
+    const bool bridged = sim.simulate(line_pair(200, gap)).defects.bridge;
+    EXPECT_TRUE(bridged || !bridged_before)
+        << "gap " << gap << " clean after a larger gap bridged";
+    bridged_before = bridged_before || bridged;
+  }
+  EXPECT_TRUE(bridged_before) << "no gap bridged at all";
+}
+
+TEST(Simulator, MonotonicWidthSeverity) {
+  // Property: if an isolated line of some width fails, every narrower line
+  // fails too.
+  const Simulator sim(test_config());
+  bool failed_before = false;
+  for (const std::int64_t width : {240, 160, 112, 72, 40}) {
+    Pattern pattern;
+    pattern.add(Rect{512 - width / 2, 0, 512 + width / 2, 1024});
+    const bool failed = sim.is_hotspot(Clip{std::move(pattern), 1024});
+    EXPECT_TRUE(failed || !failed_before)
+        << "width " << width << " clean after a wider line failed";
+    failed_before = failed_before || failed;
+  }
+  EXPECT_TRUE(failed_before) << "even a 40nm line printed against an 80nm PSF";
+}
+
+TEST(Simulator, ResultRastersHaveConfiguredGrid) {
+  const Simulator sim(test_config());
+  const auto result = sim.simulate(line_pair(200, 400));
+  EXPECT_EQ(result.drawn.shape(), (tensor::Shape{64, 64}));
+  EXPECT_EQ(result.aerial.shape(), (tensor::Shape{64, 64}));
+  EXPECT_EQ(result.printed.shape(), (tensor::Shape{64, 64}));
+}
+
+TEST(Simulator, GuardBandBounded) {
+  const Simulator sim(test_config());
+  EXPECT_LE(sim.margin_px(1024), test_config().grid / 4);
+  SimulatorConfig explicit_margin = test_config();
+  explicit_margin.analysis_margin_px = 3;
+  EXPECT_EQ(Simulator(explicit_margin).margin_px(1024), 3);
+}
+
+TEST(Simulator, EmptyClipIsClean) {
+  const Simulator sim(test_config());
+  EXPECT_FALSE(sim.is_hotspot(Clip{Pattern(), 1024}));
+}
+
+TEST(Simulator, DeterministicAcrossCalls) {
+  const Simulator sim(test_config());
+  const Clip clip = line_pair(120, 120);
+  EXPECT_EQ(sim.is_hotspot(clip), sim.is_hotspot(clip));
+}
+
+}  // namespace
+}  // namespace hotspot::litho

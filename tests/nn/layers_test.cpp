@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "nn/activation_layers.h"
+#include "nn/batchnorm_layer.h"
+#include "nn/conv_layer.h"
+#include "nn/linear_layer.h"
+#include "nn/pool_layers.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "tensor/tensor_ops.h"
+
+namespace hotspot::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(ReLULayer, ForwardClampsNegatives) {
+  ReLU relu;
+  const Tensor out = relu.forward(Tensor({3}, {-1.0f, 0.0f, 2.0f}));
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 2.0f);
+}
+
+TEST(ReLULayer, BackwardMasksByInput) {
+  ReLU relu;
+  relu.forward(Tensor({3}, {-1.0f, 0.5f, 2.0f}));
+  const Tensor gx = relu.backward(Tensor({3}, {1.0f, 1.0f, 1.0f}));
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);
+}
+
+TEST(SignSTELayer, ForwardBinarizes) {
+  SignSTE layer;
+  const Tensor out = layer.forward(Tensor({3}, {-0.1f, 0.0f, 3.0f}));
+  EXPECT_FLOAT_EQ(out[0], -1.0f);
+  EXPECT_FLOAT_EQ(out[1], 1.0f);
+  EXPECT_FLOAT_EQ(out[2], 1.0f);
+}
+
+TEST(SignSTELayer, BackwardSaturates) {
+  // Eq. 10-11: gradient passes only where |x| < 1.
+  SignSTE layer;
+  layer.forward(Tensor({4}, {-2.0f, -0.5f, 0.5f, 1.5f}));
+  const Tensor gx = layer.backward(Tensor({4}, {1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);
+  EXPECT_FLOAT_EQ(gx[2], 1.0f);
+  EXPECT_FLOAT_EQ(gx[3], 0.0f);
+}
+
+TEST(FlattenLayer, RoundTripShape) {
+  Flatten flatten;
+  util::Rng rng(1);
+  const Tensor x = Tensor::normal({2, 3, 4, 4}, rng, 0.0f, 1.0f);
+  const Tensor flat = flatten.forward(x);
+  EXPECT_EQ(flat.shape(), (tensor::Shape{2, 48}));
+  const Tensor back = flatten.backward(flat);
+  EXPECT_EQ(back.shape(), x.shape());
+}
+
+TEST(DropoutLayer, IdentityInEvalMode) {
+  util::Rng rng(2);
+  Dropout dropout(0.5f, rng);
+  dropout.set_training(false);
+  const Tensor x = Tensor::normal({100}, rng, 0.0f, 1.0f);
+  EXPECT_TRUE(tensor::allclose(dropout.forward(x), x, 0.0));
+}
+
+TEST(DropoutLayer, InvertedScalingKeepsExpectation) {
+  util::Rng rng(3);
+  Dropout dropout(0.5f, rng);
+  dropout.set_training(true);
+  const Tensor x = Tensor::ones({20000});
+  const Tensor out = dropout.forward(x);
+  EXPECT_NEAR(out.mean(), 1.0, 0.05);
+  // Surviving values are scaled by 1/keep.
+  bool saw_two = false;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    saw_two |= out[i] == 2.0f;
+  }
+  EXPECT_TRUE(saw_two);
+}
+
+TEST(BatchNormLayer, NormalizesTrainingBatch) {
+  util::Rng rng(4);
+  BatchNorm2d bn(3);
+  const Tensor x = Tensor::normal({4, 3, 5, 5}, rng, 3.0f, 2.0f);
+  const Tensor out = bn.forward(x);
+  const Tensor mean = tensor::channel_mean(out);
+  const Tensor var = tensor::channel_variance(out, mean);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(mean[c], 0.0f, 1e-4);
+    EXPECT_NEAR(var[c], 1.0f, 1e-2);
+  }
+}
+
+TEST(BatchNormLayer, EvalUsesRunningStatistics) {
+  util::Rng rng(5);
+  BatchNorm2d bn(2, /*momentum=*/0.5f);
+  // Feed several training batches so the running stats adapt.
+  for (int step = 0; step < 20; ++step) {
+    bn.forward(Tensor::normal({8, 2, 4, 4}, rng, 10.0f, 1.0f));
+  }
+  bn.set_training(false);
+  const Tensor out = bn.forward(Tensor({1, 2, 1, 1}, {10.0f, 10.0f}));
+  // 10 is the running mean, so the normalized output is ~0.
+  EXPECT_NEAR(out[0], 0.0f, 0.2f);
+  EXPECT_NEAR(out[1], 0.0f, 0.2f);
+}
+
+TEST(BatchNormLayer, GammaBetaApplied) {
+  BatchNorm2d bn(1);
+  bn.gamma().value[0] = 3.0f;
+  bn.beta().value[0] = 1.0f;
+  const Tensor x({2, 1, 1, 1}, {-1.0f, 1.0f});
+  const Tensor out = bn.forward(x);
+  // Normalized inputs are -1 and +1; out = 3*xhat + 1.
+  EXPECT_NEAR(out[0], -2.0f, 1e-2);
+  EXPECT_NEAR(out[1], 4.0f, 1e-2);
+}
+
+TEST(LinearLayer, KnownAffineMap) {
+  util::Rng rng(6);
+  Linear linear(2, 2, true, rng);
+  linear.weight().value = Tensor({2, 2}, {1, 2, 3, 4});
+  linear.bias().value = Tensor({2}, {10, 20});
+  const Tensor out = linear.forward(Tensor({1, 2}, {1, 1}));
+  EXPECT_FLOAT_EQ(out.at2(0, 0), 13.0f);
+  EXPECT_FLOAT_EQ(out.at2(0, 1), 27.0f);
+}
+
+TEST(Conv2dLayer, ShapeAndParameterCount) {
+  util::Rng rng(7);
+  Conv2d conv(3, 8, 3, 1, 1, true, rng);
+  EXPECT_EQ(conv.parameter_count(), 8 * 3 * 3 * 3 + 8);
+  const Tensor out = conv.forward(Tensor({2, 3, 6, 6}));
+  EXPECT_EQ(out.shape(), (tensor::Shape{2, 8, 6, 6}));
+}
+
+TEST(Sequential, ComposesForwardAndBackward) {
+  util::Rng rng(8);
+  Sequential net;
+  net.emplace<Linear>(4, 3, true, rng);
+  net.emplace<ReLU>();
+  net.emplace<Linear>(3, 2, true, rng);
+  EXPECT_EQ(net.size(), 3u);
+  const Tensor x = Tensor::normal({5, 4}, rng, 0.0f, 1.0f);
+  const Tensor out = net.forward(x);
+  EXPECT_EQ(out.shape(), (tensor::Shape{5, 2}));
+  const Tensor gx = net.backward(Tensor::ones(out.shape()));
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(Sequential, TrainingFlagPropagates) {
+  util::Rng rng(9);
+  Sequential net;
+  net.emplace<BatchNorm2d>(2);
+  net.set_training(false);
+  EXPECT_FALSE(net.at(0).training());
+  net.set_training(true);
+  EXPECT_TRUE(net.at(0).training());
+}
+
+TEST(Residual, IdentityShortcutAddsInput) {
+  auto main_path = std::make_unique<Sequential>();  // empty = identity
+  ResidualBlock block(std::move(main_path), nullptr);
+  const Tensor x({1, 1, 1, 2}, {1.0f, 2.0f});
+  const Tensor out = block.forward(x);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);  // x + x
+  EXPECT_FLOAT_EQ(out[1], 4.0f);
+}
+
+TEST(Residual, BackwardSumsBothPaths) {
+  auto main_path = std::make_unique<Sequential>();
+  ResidualBlock block(std::move(main_path), nullptr);
+  block.forward(Tensor({1, 1, 1, 1}, {1.0f}));
+  const Tensor gx = block.backward(Tensor({1, 1, 1, 1}, {1.0f}));
+  EXPECT_FLOAT_EQ(gx[0], 2.0f);  // gradient through main + identity
+}
+
+TEST(Residual, ProjectionShortcutChangesShape) {
+  util::Rng rng(10);
+  auto main_path = std::make_unique<Sequential>();
+  main_path->emplace<Conv2d>(2, 4, 3, 2, 1, false, rng);
+  auto shortcut = std::make_unique<Conv2d>(2, 4, 1, 2, 0, false, rng);
+  ResidualBlock block(std::move(main_path), std::move(shortcut));
+  EXPECT_TRUE(block.has_projection());
+  const Tensor out = block.forward(Tensor({1, 2, 8, 8}));
+  EXPECT_EQ(out.shape(), (tensor::Shape{1, 4, 4, 4}));
+}
+
+TEST(Module, ParameterCountAggregates) {
+  util::Rng rng(11);
+  Sequential net;
+  net.emplace<Linear>(10, 5, true, rng);   // 55
+  net.emplace<Linear>(5, 2, false, rng);   // 10
+  EXPECT_EQ(net.parameter_count(), 65);
+}
+
+TEST(Module, ZeroGradClearsAccumulation) {
+  util::Rng rng(12);
+  Linear linear(2, 2, true, rng);
+  linear.forward(Tensor({1, 2}, {1, 1}));
+  linear.backward(Tensor({1, 2}, {1, 1}));
+  EXPECT_GT(tensor::l1_norm(linear.weight().grad), 0.0);
+  linear.zero_grad();
+  EXPECT_EQ(tensor::l1_norm(linear.weight().grad), 0.0);
+}
+
+}  // namespace
+}  // namespace hotspot::nn

@@ -1,0 +1,66 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace hotspot::nn {
+namespace {
+
+TEST(MakeTargets, HardLabels) {
+  const tensor::Tensor targets = make_targets({0, 1, 0}, 0.0f);
+  EXPECT_EQ(targets.shape(), (tensor::Shape{3, 2}));
+  EXPECT_FLOAT_EQ(targets.at2(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(targets.at2(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(targets.at2(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(targets.at2(1, 1), 1.0f);
+}
+
+TEST(MakeTargets, BiasedNonHotspotOnly) {
+  // Sec. 3.4.3: non-hotspot -> [1-eps, eps]; hotspot stays [0, 1].
+  const tensor::Tensor targets = make_targets({0, 1}, 0.2f);
+  EXPECT_FLOAT_EQ(targets.at2(0, 0), 0.8f);
+  EXPECT_FLOAT_EQ(targets.at2(0, 1), 0.2f);
+  EXPECT_FLOAT_EQ(targets.at2(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(targets.at2(1, 1), 1.0f);
+}
+
+TEST(MakeTargets, RejectsBadInput) {
+  EXPECT_DEATH(make_targets({2}, 0.0f), "HOTSPOT_CHECK");
+  EXPECT_DEATH(make_targets({0}, 0.6f), "HOTSPOT_CHECK");
+}
+
+TEST(SoftmaxCrossEntropy, LossAndGradientShape) {
+  SoftmaxCrossEntropy loss;
+  const tensor::Tensor logits({2, 2}, {2.0f, -2.0f, -2.0f, 2.0f});
+  const tensor::Tensor targets = make_targets({0, 1}, 0.0f);
+  const double value = loss.forward(logits, targets);
+  // Confident-correct predictions: small loss.
+  EXPECT_LT(value, 0.1);
+  EXPECT_EQ(loss.gradient().shape(), logits.shape());
+}
+
+TEST(SoftmaxCrossEntropy, BiasedTargetsShiftOptimum) {
+  // With eps-smoothed non-hotspot targets, the loss at a confident
+  // non-hotspot prediction is higher than with hard targets: the bias term
+  // penalizes total confidence against the hotspot class.
+  SoftmaxCrossEntropy loss;
+  const tensor::Tensor logits({1, 2}, {6.0f, -6.0f});
+  const double hard = loss.forward(logits, make_targets({0}, 0.0f));
+  const double biased = loss.forward(logits, make_targets({0}, 0.2f));
+  EXPECT_GT(biased, hard);
+}
+
+TEST(SoftmaxCrossEntropy, GradientPushesTowardTarget) {
+  SoftmaxCrossEntropy loss;
+  const tensor::Tensor logits({1, 2}, {0.0f, 0.0f});
+  loss.forward(logits, make_targets({1}, 0.0f));
+  // Hotspot target: gradient decreases logit 0 and increases logit 1.
+  EXPECT_GT(loss.gradient().at2(0, 0), 0.0f);
+  EXPECT_LT(loss.gradient().at2(0, 1), 0.0f);
+}
+
+}  // namespace
+}  // namespace hotspot::nn

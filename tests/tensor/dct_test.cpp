@@ -1,0 +1,90 @@
+#include "tensor/dct.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "tensor/tensor_ops.h"
+
+namespace hotspot::tensor {
+namespace {
+
+TEST(Dct, ConstantImageHasOnlyDcTerm) {
+  Tensor image({4, 4}, 2.0f);
+  const Tensor spectrum = dct2(image);
+  // Orthonormal DCT: DC = mean * sqrt(H*W) = 2 * 4 = 8.
+  EXPECT_NEAR(spectrum.at2(0, 0), 8.0f, 1e-5);
+  for (std::int64_t i = 1; i < spectrum.numel(); ++i) {
+    EXPECT_NEAR(spectrum[i], 0.0f, 1e-5);
+  }
+}
+
+TEST(Dct, RoundTrip) {
+  util::Rng rng(5);
+  const Tensor image = Tensor::normal({8, 6}, rng, 0.0f, 1.0f);
+  const Tensor back = idct2(dct2(image));
+  EXPECT_TRUE(allclose(back, image, 1e-4));
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  util::Rng rng(6);
+  const Tensor image = Tensor::normal({8, 8}, rng, 0.0f, 1.0f);
+  const Tensor spectrum = dct2(image);
+  EXPECT_NEAR(l2_norm(image), l2_norm(spectrum), 1e-3);
+}
+
+TEST(Dct, RowTransformMatchesCosine) {
+  // Single row [1, 0, 0, 0]: DCT coefficients are the basis column.
+  Tensor row({1, 4}, {1, 0, 0, 0});
+  const Tensor spectrum = dct2_rows(row);
+  EXPECT_NEAR(spectrum.at2(0, 0), std::sqrt(1.0 / 4.0), 1e-6);
+  EXPECT_NEAR(spectrum.at2(0, 1),
+              std::sqrt(2.0 / 4.0) * std::cos(std::numbers::pi * 0.5 / 4.0),
+              1e-6);
+}
+
+TEST(Zigzag, OrderForBlock3) {
+  const auto order = zigzag_order(3);
+  ASSERT_EQ(order.size(), 9u);
+  EXPECT_EQ(order[0], (std::pair<std::int64_t, std::int64_t>{0, 0}));
+  EXPECT_EQ(order[1], (std::pair<std::int64_t, std::int64_t>{0, 1}));
+  EXPECT_EQ(order[2], (std::pair<std::int64_t, std::int64_t>{1, 0}));
+  EXPECT_EQ(order[3], (std::pair<std::int64_t, std::int64_t>{2, 0}));
+  EXPECT_EQ(order.back(), (std::pair<std::int64_t, std::int64_t>{2, 2}));
+}
+
+TEST(Zigzag, VisitsEveryCellOnce) {
+  const auto order = zigzag_order(5);
+  std::set<std::pair<std::int64_t, std::int64_t>> seen(order.begin(),
+                                                       order.end());
+  EXPECT_EQ(seen.size(), 25u);
+}
+
+TEST(BlockDct, ShapeAndDcChannel) {
+  Tensor image({8, 8}, 1.0f);
+  const Tensor features = block_dct_features(image, 4, 6);
+  EXPECT_EQ(features.shape(), (Shape{6, 2, 2}));
+  // DC of each constant 4x4 tile = 1 * 4 = 4.
+  EXPECT_NEAR(features.at({0, 0, 0}), 4.0f, 1e-5);
+  EXPECT_NEAR(features.at({1, 1, 1}), 0.0f, 1e-5);
+}
+
+TEST(BlockDct, RejectsNonDivisibleImage) {
+  Tensor image({6, 6});
+  EXPECT_DEATH(block_dct_features(image, 4, 4), "HOTSPOT_CHECK");
+}
+
+TEST(BlockDct, DistinguishesTileContent) {
+  Tensor image({8, 8});
+  for (std::int64_t x = 0; x < 4; ++x) {
+    image.at2(0, x) = 1.0f;  // content only in the top-left tile
+  }
+  const Tensor features = block_dct_features(image, 4, 4);
+  EXPECT_GT(std::fabs(features.at({0, 0, 0})), 0.1f);
+  EXPECT_NEAR(features.at({0, 1, 1}), 0.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace hotspot::tensor

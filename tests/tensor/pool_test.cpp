@@ -1,0 +1,85 @@
+#include "tensor/pool.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace hotspot::tensor {
+namespace {
+
+TEST(AvgPool, KnownValues) {
+  Tensor x({1, 1, 2, 2}, {1, 3, 5, 7});
+  const Tensor out = avg_pool2d(x, PoolSpec{2, 2});
+  EXPECT_EQ(out.dim(2), 1);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 4.0f);
+}
+
+TEST(AvgPool, PartialWindowAveragesActualExtent) {
+  Tensor x({1, 1, 3, 3}, {1, 1, 4, 1, 1, 4, 7, 7, 10});
+  const Tensor out = avg_pool2d(x, PoolSpec{2, 2});
+  // 3x3 with window 2 stride 2 -> out 1x1? (3-2)/2+1 = 1. Single window.
+  EXPECT_EQ(out.dim(2), 1);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 1.0f);
+}
+
+TEST(AvgPoolBackward, DistributesEvenly) {
+  Tensor g({1, 1, 1, 1}, {4.0f});
+  const Tensor gx = avg_pool2d_backward(g, {1, 1, 2, 2}, PoolSpec{2, 2});
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(gx[i], 1.0f);
+  }
+}
+
+TEST(MaxPool, SelectsMaximumAndArgmax) {
+  Tensor x({1, 1, 2, 2}, {1, 9, 5, 7});
+  Tensor argmax;
+  const Tensor out = max_pool2d(x, PoolSpec{2, 2}, &argmax);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 9.0f);
+  EXPECT_FLOAT_EQ(argmax.at4(0, 0, 0, 0), 1.0f);  // flat index 0*2+1
+}
+
+TEST(MaxPoolBackward, RoutesToArgmax) {
+  Tensor x({1, 1, 2, 2}, {1, 9, 5, 7});
+  Tensor argmax;
+  max_pool2d(x, PoolSpec{2, 2}, &argmax);
+  Tensor g({1, 1, 1, 1}, {3.0f});
+  const Tensor gx =
+      max_pool2d_backward(g, argmax, {1, 1, 2, 2}, PoolSpec{2, 2});
+  EXPECT_FLOAT_EQ(gx[1], 3.0f);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+}
+
+TEST(MaxPool, TiesPickFirst) {
+  Tensor x({1, 1, 2, 2}, {5, 5, 5, 5});
+  Tensor argmax;
+  max_pool2d(x, PoolSpec{2, 2}, &argmax);
+  EXPECT_FLOAT_EQ(argmax.at4(0, 0, 0, 0), 0.0f);
+}
+
+TEST(GlobalAvgPool, AveragesPlane) {
+  Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 10, 10, 10, 10});
+  const Tensor out = global_avg_pool(x);
+  EXPECT_EQ(out.rank(), 2);
+  EXPECT_FLOAT_EQ(out.at2(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(out.at2(0, 1), 10.0f);
+}
+
+TEST(GlobalAvgPoolBackward, UniformShare) {
+  Tensor g({1, 1}, {8.0f});
+  const Tensor gx = global_avg_pool_backward(g, {1, 1, 2, 2});
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(gx[i], 2.0f);
+  }
+}
+
+TEST(Pools, StrideSmallerThanWindow) {
+  util::Rng rng(1);
+  const Tensor x = Tensor::normal({1, 1, 5, 5}, rng, 0.0f, 1.0f);
+  const Tensor out = avg_pool2d(x, PoolSpec{3, 2});
+  EXPECT_EQ(out.dim(2), 2);
+  EXPECT_EQ(out.dim(3), 2);
+}
+
+}  // namespace
+}  // namespace hotspot::tensor

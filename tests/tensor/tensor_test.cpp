@@ -1,0 +1,101 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace hotspot::tensor {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({4}, 2.5f);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t[i], 2.5f);
+  }
+}
+
+TEST(Tensor, ValueConstructorChecksCount) {
+  Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at2(1, 1), 4.0f);
+  EXPECT_DEATH(Tensor({2, 2}, std::vector<float>{1.0f}), "HOTSPOT_CHECK");
+}
+
+TEST(Tensor, ShapeQueries) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.rank(), 4);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(3), 5);
+  EXPECT_EQ(t.numel(), 120);
+  EXPECT_DEATH(t.dim(4), "HOTSPOT_CHECK");
+}
+
+TEST(Tensor, MultiDimAccessRowMajor) {
+  Tensor t({2, 3});
+  t.at({1, 2}) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);  // row-major: 1*3 + 2
+  EXPECT_EQ(t.at2(1, 2), 7.0f);
+}
+
+TEST(Tensor, At4MatchesFlatLayout) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, OutOfRangeIndexDies) {
+  Tensor t({2, 2});
+  EXPECT_DEATH(t.at({2, 0}), "HOTSPOT_CHECK");
+  EXPECT_DEATH((void)t[4], "HOTSPOT_CHECK");
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at2(2, 1), 6.0f);
+  EXPECT_DEATH(t.reshaped({4, 2}), "HOTSPOT_CHECK");
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {1.0f, -2.0f, 3.0f, -4.0f});
+  EXPECT_DOUBLE_EQ(t.sum(), -2.0);
+  EXPECT_DOUBLE_EQ(t.mean(), -0.5);
+  EXPECT_EQ(t.min(), -4.0f);
+  EXPECT_EQ(t.max(), 3.0f);
+}
+
+TEST(Tensor, RandomConstructorsRespectBounds) {
+  util::Rng rng(3);
+  const Tensor u = Tensor::uniform({1000}, rng, -2.0f, 2.0f);
+  EXPECT_GE(u.min(), -2.0f);
+  EXPECT_LT(u.max(), 2.0f);
+  const Tensor n = Tensor::normal({5000}, rng, 1.0f, 0.5f);
+  EXPECT_NEAR(n.mean(), 1.0, 0.05);
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b = a;
+  b[0] = 99.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(Tensor, ShapeNumel) {
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_numel({0}), 0);
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+}
+
+TEST(Tensor, ToStringTruncates) {
+  Tensor t({100});
+  const std::string text = t.to_string(4);
+  EXPECT_NE(text.find("96 more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hotspot::tensor

@@ -1,0 +1,47 @@
+#include "util/pgm.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+namespace hotspot::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+TEST(Pgm, HeaderAndPayload) {
+  tensor::Tensor image({2, 3});
+  image.at2(0, 0) = 1.0f;
+  image.at2(1, 2) = 0.5f;
+  const std::string path = std::string(::testing::TempDir()) + "/img.pgm";
+  ASSERT_TRUE(write_pgm(path, image));
+  const std::string contents = read_file(path);
+  EXPECT_EQ(contents.substr(0, 3), "P5\n");
+  EXPECT_NE(contents.find("3 2\n255\n"), std::string::npos);
+  // 6 payload bytes after the header.
+  const auto header_end = contents.find("255\n") + 4;
+  ASSERT_EQ(contents.size() - header_end, 6u);
+  EXPECT_EQ(static_cast<unsigned char>(contents[header_end]), 255);
+  EXPECT_EQ(static_cast<unsigned char>(contents[header_end + 5]), 127);
+}
+
+TEST(Pgm, ClampsOutOfRange) {
+  tensor::Tensor image({1, 2}, {-5.0f, 9.0f});
+  const std::string path = std::string(::testing::TempDir()) + "/clamp.pgm";
+  ASSERT_TRUE(write_pgm(path, image));
+  const std::string contents = read_file(path);
+  const auto header_end = contents.find("255\n") + 4;
+  EXPECT_EQ(static_cast<unsigned char>(contents[header_end]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(contents[header_end + 1]), 255);
+}
+
+TEST(Pgm, BadPathFails) {
+  EXPECT_FALSE(write_pgm("/nonexistent/dir/x.pgm", tensor::Tensor({2, 2})));
+}
+
+}  // namespace
+}  // namespace hotspot::util

@@ -1,0 +1,173 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace hotspot::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.uniform();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    total += rng.uniform();
+  }
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto value = rng.uniform_int(3, 7);
+    EXPECT_GE(value, 3);
+    EXPECT_LE(value, 7);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit in 1000 draws
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(42, 42), 42);
+  }
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto value = rng.uniform_int(-10, -1);
+    EXPECT_GE(value, -10);
+    EXPECT_LE(value, -1);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double value = rng.normal();
+    sum += value;
+    sum_sq += value * value;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.normal(5.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ForkDecorrelated) {
+  Rng parent(21);
+  Rng child_a = parent.fork(1);
+  Rng child_b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child_a.next_u64() == child_b.next_u64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng p1(33);
+  Rng p2(33);
+  Rng c1 = p1.fork(9);
+  Rng c2 = p2.fork(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(c1.next_u64(), c2.next_u64());
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(23);
+  const auto perm = rng.permutation(100);
+  std::set<std::size_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 100u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 99u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> values{1, 2, 3, 4, 5, 6};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, ZeroSeedStillWorks) {
+  Rng rng(0);
+  // xoshiro must not collapse to the all-zero state.
+  bool any_nonzero = false;
+  for (int i = 0; i < 10; ++i) {
+    any_nonzero |= rng.next_u64() != 0;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+}  // namespace
+}  // namespace hotspot::util

@@ -1,0 +1,65 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace hotspot::util {
+namespace {
+
+TEST(Split, Basic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoDelimiter) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(FormatDouble, Decimals) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.5, 3), "2.500");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(FormatCount, ThousandsSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(17096), "17,096");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(-2524), "-2,524");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("hotspot", "hot"));
+  EXPECT_TRUE(starts_with("hotspot", ""));
+  EXPECT_FALSE(starts_with("hot", "hotspot"));
+  EXPECT_FALSE(starts_with("hotspot", "spot"));
+}
+
+}  // namespace
+}  // namespace hotspot::util

@@ -1,0 +1,38 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace hotspot::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"Method", "Accu"});
+  table.add_row({"Ours", "99.2"});
+  table.add_row({"DAC'17", "98.2"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("| Method "), std::string::npos);
+  EXPECT_NE(text.find("| Ours   "), std::string::npos);
+  EXPECT_NE(text.find("99.2"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  table.add_row({"3", "4"});
+  EXPECT_EQ(table.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, RowCount) {
+  Table table({"x"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(TableDeath, RejectsMismatchedRow) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.add_row({"only-one"}), "HOTSPOT_CHECK");
+}
+
+}  // namespace
+}  // namespace hotspot::util
