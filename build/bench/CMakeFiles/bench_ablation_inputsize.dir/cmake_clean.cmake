@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_inputsize.dir/bench_ablation_inputsize.cpp.o"
+  "CMakeFiles/bench_ablation_inputsize.dir/bench_ablation_inputsize.cpp.o.d"
+  "bench_ablation_inputsize"
+  "bench_ablation_inputsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inputsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

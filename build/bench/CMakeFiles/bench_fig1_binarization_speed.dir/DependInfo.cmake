@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_binarization_speed.cpp" "bench/CMakeFiles/bench_fig1_binarization_speed.dir/bench_fig1_binarization_speed.cpp.o" "gcc" "bench/CMakeFiles/bench_fig1_binarization_speed.dir/bench_fig1_binarization_speed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hotspot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hotspot_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitops/CMakeFiles/hotspot_bitops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hotspot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hotspot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/hotspot_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hotspot_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/hotspot_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/hotspot_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hotspot_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

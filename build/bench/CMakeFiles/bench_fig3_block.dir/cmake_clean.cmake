@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_block.dir/bench_fig3_block.cpp.o"
+  "CMakeFiles/bench_fig3_block.dir/bench_fig3_block.cpp.o.d"
+  "bench_fig3_block"
+  "bench_fig3_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_inference.dir/deploy_inference.cpp.o"
+  "CMakeFiles/deploy_inference.dir/deploy_inference.cpp.o.d"
+  "deploy_inference"
+  "deploy_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

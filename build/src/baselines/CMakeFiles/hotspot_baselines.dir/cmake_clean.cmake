@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_baselines.dir/adaboost.cpp.o"
+  "CMakeFiles/hotspot_baselines.dir/adaboost.cpp.o.d"
+  "CMakeFiles/hotspot_baselines.dir/adaboost_detector.cpp.o"
+  "CMakeFiles/hotspot_baselines.dir/adaboost_detector.cpp.o.d"
+  "CMakeFiles/hotspot_baselines.dir/dct_cnn.cpp.o"
+  "CMakeFiles/hotspot_baselines.dir/dct_cnn.cpp.o.d"
+  "CMakeFiles/hotspot_baselines.dir/decision_tree.cpp.o"
+  "CMakeFiles/hotspot_baselines.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/hotspot_baselines.dir/online_learner.cpp.o"
+  "CMakeFiles/hotspot_baselines.dir/online_learner.cpp.o.d"
+  "libhotspot_baselines.a"
+  "libhotspot_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

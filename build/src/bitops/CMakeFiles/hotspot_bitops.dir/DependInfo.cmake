@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitops/bit_matrix.cpp" "src/bitops/CMakeFiles/hotspot_bitops.dir/bit_matrix.cpp.o" "gcc" "src/bitops/CMakeFiles/hotspot_bitops.dir/bit_matrix.cpp.o.d"
+  "/root/repo/src/bitops/scaling.cpp" "src/bitops/CMakeFiles/hotspot_bitops.dir/scaling.cpp.o" "gcc" "src/bitops/CMakeFiles/hotspot_bitops.dir/scaling.cpp.o.d"
+  "/root/repo/src/bitops/xnor_gemm.cpp" "src/bitops/CMakeFiles/hotspot_bitops.dir/xnor_gemm.cpp.o" "gcc" "src/bitops/CMakeFiles/hotspot_bitops.dir/xnor_gemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/hotspot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hotspot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_bitops.dir/bit_matrix.cpp.o"
+  "CMakeFiles/hotspot_bitops.dir/bit_matrix.cpp.o.d"
+  "CMakeFiles/hotspot_bitops.dir/scaling.cpp.o"
+  "CMakeFiles/hotspot_bitops.dir/scaling.cpp.o.d"
+  "CMakeFiles/hotspot_bitops.dir/xnor_gemm.cpp.o"
+  "CMakeFiles/hotspot_bitops.dir/xnor_gemm.cpp.o.d"
+  "libhotspot_bitops.a"
+  "libhotspot_bitops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_bitops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

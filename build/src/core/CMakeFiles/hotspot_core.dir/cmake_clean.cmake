@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_core.dir/binary_conv.cpp.o"
+  "CMakeFiles/hotspot_core.dir/binary_conv.cpp.o.d"
+  "CMakeFiles/hotspot_core.dir/bnn_detector.cpp.o"
+  "CMakeFiles/hotspot_core.dir/bnn_detector.cpp.o.d"
+  "CMakeFiles/hotspot_core.dir/brnn.cpp.o"
+  "CMakeFiles/hotspot_core.dir/brnn.cpp.o.d"
+  "CMakeFiles/hotspot_core.dir/cost_model.cpp.o"
+  "CMakeFiles/hotspot_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hotspot_core.dir/trainer.cpp.o"
+  "CMakeFiles/hotspot_core.dir/trainer.cpp.o.d"
+  "libhotspot_core.a"
+  "libhotspot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_dataset.dir/dataset.cpp.o"
+  "CMakeFiles/hotspot_dataset.dir/dataset.cpp.o.d"
+  "CMakeFiles/hotspot_dataset.dir/generator.cpp.o"
+  "CMakeFiles/hotspot_dataset.dir/generator.cpp.o.d"
+  "CMakeFiles/hotspot_dataset.dir/patterns.cpp.o"
+  "CMakeFiles/hotspot_dataset.dir/patterns.cpp.o.d"
+  "CMakeFiles/hotspot_dataset.dir/sample.cpp.o"
+  "CMakeFiles/hotspot_dataset.dir/sample.cpp.o.d"
+  "libhotspot_dataset.a"
+  "libhotspot_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/detector.cpp" "src/eval/CMakeFiles/hotspot_eval.dir/detector.cpp.o" "gcc" "src/eval/CMakeFiles/hotspot_eval.dir/detector.cpp.o.d"
+  "/root/repo/src/eval/evaluation.cpp" "src/eval/CMakeFiles/hotspot_eval.dir/evaluation.cpp.o" "gcc" "src/eval/CMakeFiles/hotspot_eval.dir/evaluation.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/hotspot_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/hotspot_eval.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataset/CMakeFiles/hotspot_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/hotspot_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hotspot_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hotspot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hotspot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

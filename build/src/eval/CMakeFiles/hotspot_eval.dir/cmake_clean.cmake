@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_eval.dir/detector.cpp.o"
+  "CMakeFiles/hotspot_eval.dir/detector.cpp.o.d"
+  "CMakeFiles/hotspot_eval.dir/evaluation.cpp.o"
+  "CMakeFiles/hotspot_eval.dir/evaluation.cpp.o.d"
+  "CMakeFiles/hotspot_eval.dir/metrics.cpp.o"
+  "CMakeFiles/hotspot_eval.dir/metrics.cpp.o.d"
+  "libhotspot_eval.a"
+  "libhotspot_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

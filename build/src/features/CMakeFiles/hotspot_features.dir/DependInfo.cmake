@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/ccs.cpp" "src/features/CMakeFiles/hotspot_features.dir/ccs.cpp.o" "gcc" "src/features/CMakeFiles/hotspot_features.dir/ccs.cpp.o.d"
+  "/root/repo/src/features/dct_tensor.cpp" "src/features/CMakeFiles/hotspot_features.dir/dct_tensor.cpp.o" "gcc" "src/features/CMakeFiles/hotspot_features.dir/dct_tensor.cpp.o.d"
+  "/root/repo/src/features/density.cpp" "src/features/CMakeFiles/hotspot_features.dir/density.cpp.o" "gcc" "src/features/CMakeFiles/hotspot_features.dir/density.cpp.o.d"
+  "/root/repo/src/features/mutual_information.cpp" "src/features/CMakeFiles/hotspot_features.dir/mutual_information.cpp.o" "gcc" "src/features/CMakeFiles/hotspot_features.dir/mutual_information.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataset/CMakeFiles/hotspot_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/hotspot_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hotspot_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hotspot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hotspot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

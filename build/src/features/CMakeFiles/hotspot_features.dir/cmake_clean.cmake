@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_features.dir/ccs.cpp.o"
+  "CMakeFiles/hotspot_features.dir/ccs.cpp.o.d"
+  "CMakeFiles/hotspot_features.dir/dct_tensor.cpp.o"
+  "CMakeFiles/hotspot_features.dir/dct_tensor.cpp.o.d"
+  "CMakeFiles/hotspot_features.dir/density.cpp.o"
+  "CMakeFiles/hotspot_features.dir/density.cpp.o.d"
+  "CMakeFiles/hotspot_features.dir/mutual_information.cpp.o"
+  "CMakeFiles/hotspot_features.dir/mutual_information.cpp.o.d"
+  "libhotspot_features.a"
+  "libhotspot_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

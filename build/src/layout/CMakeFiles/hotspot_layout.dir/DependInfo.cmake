@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/clip.cpp" "src/layout/CMakeFiles/hotspot_layout.dir/clip.cpp.o" "gcc" "src/layout/CMakeFiles/hotspot_layout.dir/clip.cpp.o.d"
+  "/root/repo/src/layout/geometry.cpp" "src/layout/CMakeFiles/hotspot_layout.dir/geometry.cpp.o" "gcc" "src/layout/CMakeFiles/hotspot_layout.dir/geometry.cpp.o.d"
+  "/root/repo/src/layout/raster.cpp" "src/layout/CMakeFiles/hotspot_layout.dir/raster.cpp.o" "gcc" "src/layout/CMakeFiles/hotspot_layout.dir/raster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/hotspot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hotspot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_layout.dir/clip.cpp.o"
+  "CMakeFiles/hotspot_layout.dir/clip.cpp.o.d"
+  "CMakeFiles/hotspot_layout.dir/geometry.cpp.o"
+  "CMakeFiles/hotspot_layout.dir/geometry.cpp.o.d"
+  "CMakeFiles/hotspot_layout.dir/raster.cpp.o"
+  "CMakeFiles/hotspot_layout.dir/raster.cpp.o.d"
+  "libhotspot_layout.a"
+  "libhotspot_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

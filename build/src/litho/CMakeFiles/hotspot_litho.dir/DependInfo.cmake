@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/litho/components.cpp" "src/litho/CMakeFiles/hotspot_litho.dir/components.cpp.o" "gcc" "src/litho/CMakeFiles/hotspot_litho.dir/components.cpp.o.d"
+  "/root/repo/src/litho/defects.cpp" "src/litho/CMakeFiles/hotspot_litho.dir/defects.cpp.o" "gcc" "src/litho/CMakeFiles/hotspot_litho.dir/defects.cpp.o.d"
+  "/root/repo/src/litho/optics.cpp" "src/litho/CMakeFiles/hotspot_litho.dir/optics.cpp.o" "gcc" "src/litho/CMakeFiles/hotspot_litho.dir/optics.cpp.o.d"
+  "/root/repo/src/litho/simulator.cpp" "src/litho/CMakeFiles/hotspot_litho.dir/simulator.cpp.o" "gcc" "src/litho/CMakeFiles/hotspot_litho.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/hotspot_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hotspot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hotspot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

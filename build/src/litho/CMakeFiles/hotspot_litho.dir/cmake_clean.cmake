@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_litho.dir/components.cpp.o"
+  "CMakeFiles/hotspot_litho.dir/components.cpp.o.d"
+  "CMakeFiles/hotspot_litho.dir/defects.cpp.o"
+  "CMakeFiles/hotspot_litho.dir/defects.cpp.o.d"
+  "CMakeFiles/hotspot_litho.dir/optics.cpp.o"
+  "CMakeFiles/hotspot_litho.dir/optics.cpp.o.d"
+  "CMakeFiles/hotspot_litho.dir/simulator.cpp.o"
+  "CMakeFiles/hotspot_litho.dir/simulator.cpp.o.d"
+  "libhotspot_litho.a"
+  "libhotspot_litho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation_layers.cpp" "src/nn/CMakeFiles/hotspot_nn.dir/activation_layers.cpp.o" "gcc" "src/nn/CMakeFiles/hotspot_nn.dir/activation_layers.cpp.o.d"
+  "/root/repo/src/nn/batchnorm_layer.cpp" "src/nn/CMakeFiles/hotspot_nn.dir/batchnorm_layer.cpp.o" "gcc" "src/nn/CMakeFiles/hotspot_nn.dir/batchnorm_layer.cpp.o.d"
+  "/root/repo/src/nn/conv_layer.cpp" "src/nn/CMakeFiles/hotspot_nn.dir/conv_layer.cpp.o" "gcc" "src/nn/CMakeFiles/hotspot_nn.dir/conv_layer.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/hotspot_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/hotspot_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/linear_layer.cpp" "src/nn/CMakeFiles/hotspot_nn.dir/linear_layer.cpp.o" "gcc" "src/nn/CMakeFiles/hotspot_nn.dir/linear_layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/hotspot_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/hotspot_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/hotspot_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/hotspot_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/pool_layers.cpp" "src/nn/CMakeFiles/hotspot_nn.dir/pool_layers.cpp.o" "gcc" "src/nn/CMakeFiles/hotspot_nn.dir/pool_layers.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/hotspot_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/hotspot_nn.dir/residual.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/hotspot_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/hotspot_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/hotspot_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/hotspot_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/hotspot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hotspot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_nn.dir/activation_layers.cpp.o"
+  "CMakeFiles/hotspot_nn.dir/activation_layers.cpp.o.d"
+  "CMakeFiles/hotspot_nn.dir/batchnorm_layer.cpp.o"
+  "CMakeFiles/hotspot_nn.dir/batchnorm_layer.cpp.o.d"
+  "CMakeFiles/hotspot_nn.dir/conv_layer.cpp.o"
+  "CMakeFiles/hotspot_nn.dir/conv_layer.cpp.o.d"
+  "CMakeFiles/hotspot_nn.dir/init.cpp.o"
+  "CMakeFiles/hotspot_nn.dir/init.cpp.o.d"
+  "CMakeFiles/hotspot_nn.dir/linear_layer.cpp.o"
+  "CMakeFiles/hotspot_nn.dir/linear_layer.cpp.o.d"
+  "CMakeFiles/hotspot_nn.dir/loss.cpp.o"
+  "CMakeFiles/hotspot_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/hotspot_nn.dir/module.cpp.o"
+  "CMakeFiles/hotspot_nn.dir/module.cpp.o.d"
+  "CMakeFiles/hotspot_nn.dir/pool_layers.cpp.o"
+  "CMakeFiles/hotspot_nn.dir/pool_layers.cpp.o.d"
+  "CMakeFiles/hotspot_nn.dir/residual.cpp.o"
+  "CMakeFiles/hotspot_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/hotspot_nn.dir/sequential.cpp.o"
+  "CMakeFiles/hotspot_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/hotspot_nn.dir/serialize.cpp.o"
+  "CMakeFiles/hotspot_nn.dir/serialize.cpp.o.d"
+  "libhotspot_nn.a"
+  "libhotspot_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/adam.cpp" "src/optim/CMakeFiles/hotspot_optim.dir/adam.cpp.o" "gcc" "src/optim/CMakeFiles/hotspot_optim.dir/adam.cpp.o.d"
+  "/root/repo/src/optim/lr_scheduler.cpp" "src/optim/CMakeFiles/hotspot_optim.dir/lr_scheduler.cpp.o" "gcc" "src/optim/CMakeFiles/hotspot_optim.dir/lr_scheduler.cpp.o.d"
+  "/root/repo/src/optim/nadam.cpp" "src/optim/CMakeFiles/hotspot_optim.dir/nadam.cpp.o" "gcc" "src/optim/CMakeFiles/hotspot_optim.dir/nadam.cpp.o.d"
+  "/root/repo/src/optim/optimizer.cpp" "src/optim/CMakeFiles/hotspot_optim.dir/optimizer.cpp.o" "gcc" "src/optim/CMakeFiles/hotspot_optim.dir/optimizer.cpp.o.d"
+  "/root/repo/src/optim/sgd.cpp" "src/optim/CMakeFiles/hotspot_optim.dir/sgd.cpp.o" "gcc" "src/optim/CMakeFiles/hotspot_optim.dir/sgd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hotspot_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hotspot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hotspot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_optim.dir/adam.cpp.o"
+  "CMakeFiles/hotspot_optim.dir/adam.cpp.o.d"
+  "CMakeFiles/hotspot_optim.dir/lr_scheduler.cpp.o"
+  "CMakeFiles/hotspot_optim.dir/lr_scheduler.cpp.o.d"
+  "CMakeFiles/hotspot_optim.dir/nadam.cpp.o"
+  "CMakeFiles/hotspot_optim.dir/nadam.cpp.o.d"
+  "CMakeFiles/hotspot_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/hotspot_optim.dir/optimizer.cpp.o.d"
+  "CMakeFiles/hotspot_optim.dir/sgd.cpp.o"
+  "CMakeFiles/hotspot_optim.dir/sgd.cpp.o.d"
+  "libhotspot_optim.a"
+  "libhotspot_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/conv.cpp" "src/tensor/CMakeFiles/hotspot_tensor.dir/conv.cpp.o" "gcc" "src/tensor/CMakeFiles/hotspot_tensor.dir/conv.cpp.o.d"
+  "/root/repo/src/tensor/dct.cpp" "src/tensor/CMakeFiles/hotspot_tensor.dir/dct.cpp.o" "gcc" "src/tensor/CMakeFiles/hotspot_tensor.dir/dct.cpp.o.d"
+  "/root/repo/src/tensor/pool.cpp" "src/tensor/CMakeFiles/hotspot_tensor.dir/pool.cpp.o" "gcc" "src/tensor/CMakeFiles/hotspot_tensor.dir/pool.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/hotspot_tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/hotspot_tensor.dir/tensor.cpp.o.d"
+  "/root/repo/src/tensor/tensor_ops.cpp" "src/tensor/CMakeFiles/hotspot_tensor.dir/tensor_ops.cpp.o" "gcc" "src/tensor/CMakeFiles/hotspot_tensor.dir/tensor_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hotspot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_tensor.dir/conv.cpp.o"
+  "CMakeFiles/hotspot_tensor.dir/conv.cpp.o.d"
+  "CMakeFiles/hotspot_tensor.dir/dct.cpp.o"
+  "CMakeFiles/hotspot_tensor.dir/dct.cpp.o.d"
+  "CMakeFiles/hotspot_tensor.dir/pool.cpp.o"
+  "CMakeFiles/hotspot_tensor.dir/pool.cpp.o.d"
+  "CMakeFiles/hotspot_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/hotspot_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/hotspot_tensor.dir/tensor_ops.cpp.o"
+  "CMakeFiles/hotspot_tensor.dir/tensor_ops.cpp.o.d"
+  "libhotspot_tensor.a"
+  "libhotspot_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

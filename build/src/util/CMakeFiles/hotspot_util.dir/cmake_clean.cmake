@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_util.dir/logging.cpp.o"
+  "CMakeFiles/hotspot_util.dir/logging.cpp.o.d"
+  "CMakeFiles/hotspot_util.dir/pgm.cpp.o"
+  "CMakeFiles/hotspot_util.dir/pgm.cpp.o.d"
+  "CMakeFiles/hotspot_util.dir/rng.cpp.o"
+  "CMakeFiles/hotspot_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hotspot_util.dir/string_util.cpp.o"
+  "CMakeFiles/hotspot_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/hotspot_util.dir/table.cpp.o"
+  "CMakeFiles/hotspot_util.dir/table.cpp.o.d"
+  "libhotspot_util.a"
+  "libhotspot_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_test.dir/baselines/adaboost_test.cpp.o"
+  "CMakeFiles/baselines_test.dir/baselines/adaboost_test.cpp.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/dct_cnn_test.cpp.o"
+  "CMakeFiles/baselines_test.dir/baselines/dct_cnn_test.cpp.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/decision_tree_test.cpp.o"
+  "CMakeFiles/baselines_test.dir/baselines/decision_tree_test.cpp.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/online_learner_test.cpp.o"
+  "CMakeFiles/baselines_test.dir/baselines/online_learner_test.cpp.o.d"
+  "baselines_test"
+  "baselines_test.pdb"
+  "baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitops_test.dir/bitops/bit_matrix_test.cpp.o"
+  "CMakeFiles/bitops_test.dir/bitops/bit_matrix_test.cpp.o.d"
+  "CMakeFiles/bitops_test.dir/bitops/property_sweep_test.cpp.o"
+  "CMakeFiles/bitops_test.dir/bitops/property_sweep_test.cpp.o.d"
+  "CMakeFiles/bitops_test.dir/bitops/scaling_test.cpp.o"
+  "CMakeFiles/bitops_test.dir/bitops/scaling_test.cpp.o.d"
+  "CMakeFiles/bitops_test.dir/bitops/xnor_gemm_test.cpp.o"
+  "CMakeFiles/bitops_test.dir/bitops/xnor_gemm_test.cpp.o.d"
+  "bitops_test"
+  "bitops_test.pdb"
+  "bitops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

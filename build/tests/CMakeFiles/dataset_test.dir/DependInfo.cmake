@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dataset/dataset_test.cpp" "tests/CMakeFiles/dataset_test.dir/dataset/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/dataset_test.dir/dataset/dataset_test.cpp.o.d"
+  "/root/repo/tests/dataset/generator_test.cpp" "tests/CMakeFiles/dataset_test.dir/dataset/generator_test.cpp.o" "gcc" "tests/CMakeFiles/dataset_test.dir/dataset/generator_test.cpp.o.d"
+  "/root/repo/tests/dataset/patterns_test.cpp" "tests/CMakeFiles/dataset_test.dir/dataset/patterns_test.cpp.o" "gcc" "tests/CMakeFiles/dataset_test.dir/dataset/patterns_test.cpp.o.d"
+  "/root/repo/tests/dataset/sample_test.cpp" "tests/CMakeFiles/dataset_test.dir/dataset/sample_test.cpp.o" "gcc" "tests/CMakeFiles/dataset_test.dir/dataset/sample_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hotspot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hotspot_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hotspot_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/hotspot_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/hotspot_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/hotspot_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hotspot_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/hotspot_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hotspot_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitops/CMakeFiles/hotspot_bitops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hotspot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hotspot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_test.dir/features/ccs_test.cpp.o"
+  "CMakeFiles/features_test.dir/features/ccs_test.cpp.o.d"
+  "CMakeFiles/features_test.dir/features/dct_tensor_test.cpp.o"
+  "CMakeFiles/features_test.dir/features/dct_tensor_test.cpp.o.d"
+  "CMakeFiles/features_test.dir/features/density_test.cpp.o"
+  "CMakeFiles/features_test.dir/features/density_test.cpp.o.d"
+  "CMakeFiles/features_test.dir/features/mutual_information_test.cpp.o"
+  "CMakeFiles/features_test.dir/features/mutual_information_test.cpp.o.d"
+  "features_test"
+  "features_test.pdb"
+  "features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
