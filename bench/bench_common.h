@@ -9,7 +9,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 namespace hotspot::bench {
 
@@ -25,6 +28,90 @@ inline long env_long(const char* name, long fallback) {
 
 inline double bench_scale() { return env_double("HOTSPOT_BENCH_SCALE", 0.05); }
 inline long bench_image_size() { return env_long("HOTSPOT_BENCH_LS", 32); }
+
+// Minimal machine-readable result emitter shared by the bench harnesses.
+// Builds one JSON object of scalar fields plus optional nested arrays, so
+// each bench can drop a BENCH_<name>.json next to its stdout table and the
+// perf trajectory can be tracked run over run.
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return set_raw(key, buffer);
+  }
+  JsonObject& set(const std::string& key, long value) {
+    return set_raw(key, std::to_string(value));
+  }
+  JsonObject& set(const std::string& key, int value) {
+    return set_raw(key, std::to_string(value));
+  }
+  JsonObject& set(const std::string& key, bool value) {
+    return set_raw(key, value ? "true" : "false");
+  }
+  JsonObject& set(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') {
+        quoted += '\\';
+      }
+      quoted += c;
+    }
+    quoted += '"';
+    return set_raw(key, quoted);
+  }
+  JsonObject& set(const std::string& key, const char* value) {
+    return set(key, std::string(value));
+  }
+  // Preformatted JSON (a nested object or array built by the caller).
+  JsonObject& set_raw(const std::string& key, const std::string& json) {
+    entries_.emplace_back(key, json);
+    return *this;
+  }
+
+  std::string str() const {
+    std::ostringstream out;
+    out << "{";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (i > 0) {
+        out << ", ";
+      }
+      out << "\"" << entries_[i].first << "\": " << entries_[i].second;
+    }
+    out << "}";
+    return out.str();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+inline std::string json_array(const std::vector<JsonObject>& items) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    out << items[i].str();
+  }
+  out << "]";
+  return out.str();
+}
+
+// Writes the object to `path` and reports the emission on stdout so bench
+// logs record where the machine-readable copy went.
+inline bool write_json_result(const std::string& path,
+                              const JsonObject& result) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << result.str() << "\n";
+  std::printf("[json] wrote %s\n", path.c_str());
+  return true;
+}
 
 inline void print_header(const char* experiment, const char* paper_result) {
   std::printf("==============================================================\n");

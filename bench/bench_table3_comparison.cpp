@@ -7,6 +7,7 @@
 // (the paper used a GTX 1060); the binarization speedup itself is measured
 // at matched shapes in bench_fig1 and as the packed-vs-float model ratio
 // printed at the end.
+#include <algorithm>
 #include <cstdio>
 
 #include "baselines/adaboost_detector.h"
@@ -16,6 +17,7 @@
 #include "core/bnn_detector.h"
 #include "dataset/generator.h"
 #include "eval/evaluation.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 int main() {
@@ -94,5 +96,43 @@ int main() {
               "the ratio growing with width toward the paper's regime.)\n",
               static_cast<long long>(bnn_config.model.stem_filters),
               static_cast<long long>(bnn_config.model.block_filters.back()));
+
+  // Thread scaling on the deployment path, next to the paper's 60 s figure:
+  // the packed sweep at one pool thread vs the configured width.
+  const int configured_threads = util::parallel_threads();
+  model.set_backend(core::Backend::kPacked);
+  util::set_parallel_threads(1);
+  const double packed_1t = time_backend(core::Backend::kPacked);
+  util::set_parallel_threads(std::max(configured_threads, 1));
+  const double packed_mt = time_backend(core::Backend::kPacked);
+  std::printf("Packed inference, %zu clips: 1 thread %.3fs, %d thread(s) "
+              "%.3fs -> %.2fx (paper: 60 s full benchmark on a GTX 1060)\n",
+              head.size(), packed_1t, configured_threads, packed_mt,
+              packed_mt > 0.0 ? packed_1t / packed_mt : 0.0);
+
+  std::vector<bench::JsonObject> measured;
+  for (const auto& row : rows) {
+    bench::JsonObject entry;
+    entry.set("method", row.method)
+        .set("false_alarms", static_cast<long>(row.matrix.false_alarm()))
+        .set("train_seconds", row.train_seconds)
+        .set("eval_seconds", row.eval_seconds)
+        .set("accuracy", row.matrix.accuracy())
+        .set("threads", row.threads);
+    measured.push_back(entry);
+  }
+  bench::JsonObject result;
+  result.set("bench", "table3_comparison")
+      .set("image_size", ls)
+      .set("scale", bench::bench_scale())
+      .set("clips_timed", static_cast<long>(head.size()))
+      .set("float_sim_seconds", float_s)
+      .set("packed_seconds", packed_s)
+      .set("packed_seconds_1_thread", packed_1t)
+      .set("packed_seconds_multi_thread", packed_mt)
+      .set("threads", configured_threads)
+      .set("paper_runtime_seconds", 60.0)
+      .set_raw("measured", bench::json_array(measured));
+  bench::write_json_result("BENCH_table3.json", result);
   return 0;
 }

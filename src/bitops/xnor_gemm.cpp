@@ -1,6 +1,54 @@
 #include "bitops/xnor_gemm.h"
 
+#include <algorithm>
+#include <bit>
+
+#include "util/parallel.h"
+
 namespace hotspot::bitops {
+namespace {
+
+// Register-blocked tile shape: kRowTile rows of A against kColTile rows of B
+// keeps kRowTile*kColTile popcount accumulators plus the A words live across
+// the shared inner word loop, so each loaded word feeds several XNOR dots
+// instead of one. All accumulation is integer, so the result is exact and
+// independent of how the output is tiled or partitioned across threads.
+constexpr std::int64_t kRowTile = 2;
+constexpr std::int64_t kColTile = 4;
+
+// One full-width strip: out[i][0..n) for a single row of A, itself blocked
+// kColTile columns at a time.
+void gemm_row_strip(const BitMatrix& a, const BitMatrix& b, std::int64_t i,
+                    float* crow) {
+  const std::int64_t n = b.rows();
+  const std::int64_t words = a.words_per_row();
+  const std::int64_t bits = a.cols();
+  const std::uint64_t* arow = a.row(i);
+  std::int64_t j = 0;
+  for (; j + kColTile <= n; j += kColTile) {
+    const std::uint64_t* b0 = b.row(j);
+    const std::uint64_t* b1 = b.row(j + 1);
+    const std::uint64_t* b2 = b.row(j + 2);
+    const std::uint64_t* b3 = b.row(j + 3);
+    std::int64_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+    for (std::int64_t w = 0; w < words; ++w) {
+      const std::uint64_t aw = arow[w];
+      acc0 += std::popcount(aw ^ b0[w]);
+      acc1 += std::popcount(aw ^ b1[w]);
+      acc2 += std::popcount(aw ^ b2[w]);
+      acc3 += std::popcount(aw ^ b3[w]);
+    }
+    crow[j] = static_cast<float>(bits - 2 * acc0);
+    crow[j + 1] = static_cast<float>(bits - 2 * acc1);
+    crow[j + 2] = static_cast<float>(bits - 2 * acc2);
+    crow[j + 3] = static_cast<float>(bits - 2 * acc3);
+  }
+  for (; j < n; ++j) {
+    crow[j] = static_cast<float>(xnor_dot(arow, b.row(j), words, bits));
+  }
+}
+
+}  // namespace
 
 tensor::Tensor xnor_gemm(const BitMatrix& a, const BitMatrix& b) {
   HOTSPOT_CHECK_EQ(a.cols(), b.cols()) << "xnor_gemm inner dimension";
@@ -9,13 +57,58 @@ tensor::Tensor xnor_gemm(const BitMatrix& a, const BitMatrix& b) {
   const std::int64_t words = a.words_per_row();
   const std::int64_t bits = a.cols();
   tensor::Tensor out({m, n});
-  for (std::int64_t i = 0; i < m; ++i) {
-    const std::uint64_t* arow = a.row(i);
-    for (std::int64_t j = 0; j < n; ++j) {
-      out.at2(i, j) =
-          static_cast<float>(xnor_dot(arow, b.row(j), words, bits));
+  float* c = out.data();
+  util::parallel_for(0, m, /*grain=*/kRowTile * 4, [&](std::int64_t i_lo,
+                                                       std::int64_t i_hi) {
+    std::int64_t i = i_lo;
+    for (; i + kRowTile <= i_hi; i += kRowTile) {
+      const std::uint64_t* a0 = a.row(i);
+      const std::uint64_t* a1 = a.row(i + 1);
+      float* c0 = c + i * n;
+      float* c1 = c0 + n;
+      std::int64_t j = 0;
+      for (; j + kColTile <= n; j += kColTile) {
+        const std::uint64_t* b0 = b.row(j);
+        const std::uint64_t* b1 = b.row(j + 1);
+        const std::uint64_t* b2 = b.row(j + 2);
+        const std::uint64_t* b3 = b.row(j + 3);
+        std::int64_t acc00 = 0, acc01 = 0, acc02 = 0, acc03 = 0;
+        std::int64_t acc10 = 0, acc11 = 0, acc12 = 0, acc13 = 0;
+        for (std::int64_t w = 0; w < words; ++w) {
+          const std::uint64_t aw0 = a0[w];
+          const std::uint64_t aw1 = a1[w];
+          const std::uint64_t bw0 = b0[w];
+          const std::uint64_t bw1 = b1[w];
+          const std::uint64_t bw2 = b2[w];
+          const std::uint64_t bw3 = b3[w];
+          acc00 += std::popcount(aw0 ^ bw0);
+          acc01 += std::popcount(aw0 ^ bw1);
+          acc02 += std::popcount(aw0 ^ bw2);
+          acc03 += std::popcount(aw0 ^ bw3);
+          acc10 += std::popcount(aw1 ^ bw0);
+          acc11 += std::popcount(aw1 ^ bw1);
+          acc12 += std::popcount(aw1 ^ bw2);
+          acc13 += std::popcount(aw1 ^ bw3);
+        }
+        c0[j] = static_cast<float>(bits - 2 * acc00);
+        c0[j + 1] = static_cast<float>(bits - 2 * acc01);
+        c0[j + 2] = static_cast<float>(bits - 2 * acc02);
+        c0[j + 3] = static_cast<float>(bits - 2 * acc03);
+        c1[j] = static_cast<float>(bits - 2 * acc10);
+        c1[j + 1] = static_cast<float>(bits - 2 * acc11);
+        c1[j + 2] = static_cast<float>(bits - 2 * acc12);
+        c1[j + 3] = static_cast<float>(bits - 2 * acc13);
+      }
+      for (; j < n; ++j) {
+        const std::uint64_t* brow = b.row(j);
+        c0[j] = static_cast<float>(xnor_dot(a0, brow, words, bits));
+        c1[j] = static_cast<float>(xnor_dot(a1, brow, words, bits));
+      }
     }
-  }
+    for (; i < i_hi; ++i) {
+      gemm_row_strip(a, b, i, c + i * n);
+    }
+  });
   return out;
 }
 
@@ -35,40 +128,43 @@ BitMatrix pack_patches(const tensor::Tensor& input,
   const std::int64_t out_w =
       tensor::conv_out_extent(w, spec.kernel_w, spec.stride, spec.pad);
   const std::int64_t patch = cin * spec.kernel_h * spec.kernel_w;
-  BitMatrix packed(n * out_h * out_w, patch);
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t oy = 0; oy < out_h; ++oy) {
-      for (std::int64_t ox = 0; ox < out_w; ++ox) {
-        const std::int64_t row_index = (ni * out_h + oy) * out_w + ox;
-        std::uint64_t* words = packed.row(row_index);
-        const std::int64_t iy0 = oy * spec.stride - spec.pad;
-        const std::int64_t ix0 = ox * spec.stride - spec.pad;
-        std::int64_t bit = 0;
-        std::uint64_t word = 0;  // register accumulator, flushed per word
-        for (std::int64_t ci = 0; ci < cin; ++ci) {
-          const float* plane = input.data() + (ni * cin + ci) * h * w;
-          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
-            const std::int64_t iy = iy0 + ky;
-            const bool row_inside = iy >= 0 && iy < h;
-            const float* line = plane + iy * w;
-            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx, ++bit) {
-              const std::int64_t ix = ix0 + kx;
-              if (row_inside && ix >= 0 && ix < w && line[ix] >= 0.0f) {
-                word |= std::uint64_t{1} << (bit & 63);
-              }
-              if ((bit & 63) == 63) {
-                words[bit >> 6] = word;
-                word = 0;
-              }
+  const std::int64_t positions = out_h * out_w;
+  BitMatrix packed(n * positions, patch);
+  util::parallel_for(0, n * positions, /*grain=*/32, [&](std::int64_t lo,
+                                                         std::int64_t hi) {
+    for (std::int64_t row_index = lo; row_index < hi; ++row_index) {
+      const std::int64_t ni = row_index / positions;
+      const std::int64_t p = row_index % positions;
+      const std::int64_t oy = p / out_w;
+      const std::int64_t ox = p % out_w;
+      std::uint64_t* words = packed.row(row_index);
+      const std::int64_t iy0 = oy * spec.stride - spec.pad;
+      const std::int64_t ix0 = ox * spec.stride - spec.pad;
+      std::int64_t bit = 0;
+      std::uint64_t word = 0;  // register accumulator, flushed per word
+      for (std::int64_t ci = 0; ci < cin; ++ci) {
+        const float* plane = input.data() + (ni * cin + ci) * h * w;
+        for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+          const std::int64_t iy = iy0 + ky;
+          const bool row_inside = iy >= 0 && iy < h;
+          const float* line = plane + iy * w;
+          for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx, ++bit) {
+            const std::int64_t ix = ix0 + kx;
+            if (row_inside && ix >= 0 && ix < w && line[ix] >= 0.0f) {
+              word |= std::uint64_t{1} << (bit & 63);
+            }
+            if ((bit & 63) == 63) {
+              words[bit >> 6] = word;
+              word = 0;
             }
           }
         }
-        if ((bit & 63) != 0) {
-          words[bit >> 6] = word;
-        }
+      }
+      if ((bit & 63) != 0) {
+        words[bit >> 6] = word;
       }
     }
-  }
+  });
   return packed;
 }
 
@@ -92,34 +188,39 @@ BitMatrix pack_patches_channel_blocked(const tensor::Tensor& input,
       tensor::conv_out_extent(h, spec.kernel_h, spec.stride, spec.pad);
   const std::int64_t out_w =
       tensor::conv_out_extent(w, spec.kernel_w, spec.stride, spec.pad);
+  const std::int64_t positions = out_h * out_w;
   // One 64-bit word per channel: cols = cin * 64 keeps words_per_row = cin.
-  BitMatrix packed(n * out_h * out_w, cin * 64);
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t oy = 0; oy < out_h; ++oy) {
-      for (std::int64_t ox = 0; ox < out_w; ++ox) {
-        const std::int64_t row_index = (ni * out_h + oy) * out_w + ox;
-        std::uint64_t* words = packed.row(row_index);
-        const std::int64_t iy0 = oy * spec.stride - spec.pad;
-        const std::int64_t ix0 = ox * spec.stride - spec.pad;
-        for (std::int64_t ci = 0; ci < cin; ++ci) {
-          std::uint64_t word = 0;
-          std::int64_t bit = 0;
-          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
-            const std::int64_t iy = iy0 + ky;
-            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx, ++bit) {
-              const std::int64_t ix = ix0 + kx;
-              const bool inside = iy >= 0 && iy < h && ix >= 0 && ix < w;
-              // Padding is -1 (bit 0); inside bits follow sign(value).
-              if (inside && input.at4(ni, ci, iy, ix) >= 0.0f) {
-                word |= std::uint64_t{1} << bit;
-              }
+  BitMatrix packed(n * positions, cin * 64);
+  util::parallel_for(0, n * positions, /*grain=*/32, [&](std::int64_t lo,
+                                                         std::int64_t hi) {
+    for (std::int64_t row_index = lo; row_index < hi; ++row_index) {
+      const std::int64_t ni = row_index / positions;
+      const std::int64_t p = row_index % positions;
+      const std::int64_t oy = p / out_w;
+      const std::int64_t ox = p % out_w;
+      std::uint64_t* words = packed.row(row_index);
+      const std::int64_t iy0 = oy * spec.stride - spec.pad;
+      const std::int64_t ix0 = ox * spec.stride - spec.pad;
+      for (std::int64_t ci = 0; ci < cin; ++ci) {
+        const float* plane = input.data() + (ni * cin + ci) * h * w;
+        std::uint64_t word = 0;
+        std::int64_t bit = 0;
+        for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+          const std::int64_t iy = iy0 + ky;
+          const bool row_inside = iy >= 0 && iy < h;
+          const float* line = plane + iy * w;
+          for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx, ++bit) {
+            const std::int64_t ix = ix0 + kx;
+            // Padding is -1 (bit 0); inside bits follow sign(value).
+            if (row_inside && ix >= 0 && ix < w && line[ix] >= 0.0f) {
+              word |= std::uint64_t{1} << bit;
             }
           }
-          words[ci] = word;
         }
+        words[ci] = word;
       }
     }
-  }
+  });
   return packed;
 }
 
@@ -168,14 +269,20 @@ tensor::Tensor binary_conv_counts(const tensor::Tensor& input,
 
   tensor::Tensor out({n, cout, out_h, out_w});
   const std::int64_t positions = out_h * out_w;
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t p = 0; p < positions; ++p) {
+  // Transpose [n*positions, cout] rows into NCHW planes; rows are disjoint
+  // per chunk so the scatter is safe and order-independent.
+  util::parallel_for(0, n * positions, /*grain=*/64, [&](std::int64_t lo,
+                                                         std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t ni = row / positions;
+      const std::int64_t p = row % positions;
+      const float* src = counts.data() + row * cout;
+      float* dst = out.data() + ni * cout * positions + p;
       for (std::int64_t co = 0; co < cout; ++co) {
-        out.at4(ni, co, p / out_w, p % out_w) =
-            counts.at2(ni * positions + p, co);
+        dst[co * positions] = src[co];
       }
     }
-  }
+  });
   return out;
 }
 

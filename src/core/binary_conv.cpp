@@ -6,6 +6,7 @@
 
 #include "nn/init.h"
 #include "tensor/tensor_ops.h"
+#include "util/parallel.h"
 
 namespace hotspot::core {
 
@@ -52,13 +53,16 @@ Tensor BinaryConv2d::forward_float_sim(const Tensor& input) {
   cached_alpha_w_ = bitops::weight_scales(weight_.value);
   const Tensor wmat = weight_.value.reshaped({out_channels_, patch});
   cached_weight_tilde_ = Tensor({out_channels_, patch});
-  for (std::int64_t co = 0; co < out_channels_; ++co) {
-    const float alpha = cached_alpha_w_[co];
-    for (std::int64_t i = 0; i < patch; ++i) {
-      cached_weight_tilde_.at2(co, i) =
-          wmat.at2(co, i) >= 0.0f ? alpha : -alpha;
+  util::parallel_for(0, out_channels_, /*grain=*/1, [&](std::int64_t co_lo,
+                                                        std::int64_t co_hi) {
+    for (std::int64_t co = co_lo; co < co_hi; ++co) {
+      const float alpha = cached_alpha_w_[co];
+      for (std::int64_t i = 0; i < patch; ++i) {
+        cached_weight_tilde_.at2(co, i) =
+            wmat.at2(co, i) >= 0.0f ? alpha : -alpha;
+      }
     }
-  }
+  });
 
   // Binarized input patches; padding is -1 so it stays in the alphabet.
   Tensor cols = tensor::im2col(tensor::sign(input), spec_, -1.0f);
@@ -69,18 +73,21 @@ Tensor BinaryConv2d::forward_float_sim(const Tensor& input) {
       // Fold alpha_T(c, position) into the patch matrix: equivalent to the
       // per-channel Eq.-15 sum but expressible as one GEMM.
       cached_alpha_ = bitops::input_scales_per_channel(input, spec_);
-      for (std::int64_t ni = 0; ni < n; ++ni) {
-        for (std::int64_t p = 0; p < positions; ++p) {
-          const std::int64_t row = ni * positions + p;
-          for (std::int64_t ci = 0; ci < in_channels_; ++ci) {
-            const float alpha =
-                cached_alpha_.at4(ni, ci, p / out_w, p % out_w);
-            for (std::int64_t k = 0; k < kk; ++k) {
-              cols.at2(row, ci * kk + k) *= alpha;
+      util::parallel_for(
+          0, n * positions, /*grain=*/32,
+          [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t row = lo; row < hi; ++row) {
+              const std::int64_t ni = row / positions;
+              const std::int64_t p = row % positions;
+              for (std::int64_t ci = 0; ci < in_channels_; ++ci) {
+                const float alpha =
+                    cached_alpha_.at4(ni, ci, p / out_w, p % out_w);
+                for (std::int64_t k = 0; k < kk; ++k) {
+                  cols.at2(row, ci * kk + k) *= alpha;
+                }
+              }
             }
-          }
-        }
-      }
+          });
       break;
     }
     case bitops::InputScaling::kScalar:
@@ -96,24 +103,29 @@ Tensor BinaryConv2d::forward_float_sim(const Tensor& input) {
       tensor::matmul(cached_cols_, tensor::transpose2d(cached_weight_tilde_));
 
   Tensor output({n, out_channels_, out_h, out_w});
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t p = 0; p < positions; ++p) {
-      const std::int64_t row = ni * positions + p;
+  util::parallel_for(0, n * positions, /*grain=*/64, [&](std::int64_t lo,
+                                                         std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t ni = row / positions;
+      const std::int64_t p = row % positions;
       const float post =
           scaling_ == bitops::InputScaling::kScalar
               ? cached_alpha_.at4(ni, 0, p / out_w, p % out_w)
               : 1.0f;
+      const float* src = out_rows.data() + row * out_channels_;
+      float* dst = output.data() + ni * out_channels_ * positions + p;
       for (std::int64_t co = 0; co < out_channels_; ++co) {
-        output.at4(ni, co, p / out_w, p % out_w) =
-            out_rows.at2(row, co) * post;
+        dst[co * positions] = src[co] * post;
       }
     }
-  }
+  });
   return output;
 }
 
 Tensor BinaryConv2d::backward(const Tensor& grad_output) {
-  invalidate_packed_cache();  // weights are about to change
+  // No cache invalidation here: the packed-filter cache is keyed on the
+  // weight Parameter's version, which the optimizer bumps when it actually
+  // applies the update.
   HOTSPOT_CHECK_EQ(grad_output.rank(), 4);
   HOTSPOT_CHECK_EQ(grad_output.dim(1), out_channels_);
   HOTSPOT_CHECK(cached_input_.numel() > 0)
@@ -128,63 +140,76 @@ Tensor BinaryConv2d::backward(const Tensor& grad_output) {
   // Gradient w.r.t. the GEMM output rows; the scalar-mode position factor
   // distributes onto them.
   Tensor grad_rows({n * positions, out_channels_});
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t p = 0; p < positions; ++p) {
-      const std::int64_t row = ni * positions + p;
+  util::parallel_for(0, n * positions, /*grain=*/64, [&](std::int64_t lo,
+                                                         std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t ni = row / positions;
+      const std::int64_t p = row % positions;
       const float post =
           scaling_ == bitops::InputScaling::kScalar
               ? cached_alpha_.at4(ni, 0, p / out_w, p % out_w)
               : 1.0f;
+      const float* src = grad_output.data() + ni * out_channels_ * positions + p;
+      float* dst = grad_rows.data() + row * out_channels_;
       for (std::int64_t co = 0; co < out_channels_; ++co) {
-        grad_rows.at2(row, co) =
-            grad_output.at4(ni, co, p / out_w, p % out_w) * post;
+        dst[co] = src[co * positions] * post;
       }
     }
-  }
+  });
 
   // dl/dW~ = grad_rows^T @ cols, then Eq. 13 maps it to the real weights.
   const Tensor grad_wtilde =
       tensor::matmul(tensor::transpose2d(grad_rows), cached_cols_);
   const Tensor wmat = weight_.value.reshaped({out_channels_, patch});
   const auto inv_n = 1.0f / static_cast<float>(patch);
-  for (std::int64_t co = 0; co < out_channels_; ++co) {
-    const float alpha = cached_alpha_w_[co];
-    for (std::int64_t i = 0; i < patch; ++i) {
-      const float w = wmat.at2(co, i);
-      const float ste = std::fabs(w) < 1.0f ? alpha : 0.0f;
-      weight_.grad[co * patch + i] += grad_wtilde.at2(co, i) * (inv_n + ste);
+  util::parallel_for(0, out_channels_, /*grain=*/1, [&](std::int64_t co_lo,
+                                                        std::int64_t co_hi) {
+    for (std::int64_t co = co_lo; co < co_hi; ++co) {
+      const float alpha = cached_alpha_w_[co];
+      for (std::int64_t i = 0; i < patch; ++i) {
+        const float w = wmat.at2(co, i);
+        const float ste = std::fabs(w) < 1.0f ? alpha : 0.0f;
+        weight_.grad[co * patch + i] += grad_wtilde.at2(co, i) * (inv_n + ste);
+      }
     }
-  }
+  });
 
   // dl/dcols; per-channel mode removes the folded alpha_T factor.
   Tensor grad_cols = tensor::matmul(grad_rows, cached_weight_tilde_);
   if (scaling_ == bitops::InputScaling::kPerChannel) {
-    for (std::int64_t ni = 0; ni < n; ++ni) {
-      for (std::int64_t p = 0; p < positions; ++p) {
-        const std::int64_t row = ni * positions + p;
-        for (std::int64_t ci = 0; ci < in_channels_; ++ci) {
-          const float alpha = cached_alpha_.at4(ni, ci, p / out_w, p % out_w);
-          for (std::int64_t k = 0; k < kk; ++k) {
-            grad_cols.at2(row, ci * kk + k) *= alpha;
+    util::parallel_for(
+        0, n * positions, /*grain=*/32, [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t row = lo; row < hi; ++row) {
+            const std::int64_t ni = row / positions;
+            const std::int64_t p = row % positions;
+            for (std::int64_t ci = 0; ci < in_channels_; ++ci) {
+              const float alpha =
+                  cached_alpha_.at4(ni, ci, p / out_w, p % out_w);
+              for (std::int64_t k = 0; k < kk; ++k) {
+                grad_cols.at2(row, ci * kk + k) *= alpha;
+              }
+            }
           }
-        }
-      }
-    }
+        });
   }
 
   // Through im2col, then the input STE (Eq. 10-11).
   const Tensor grad_sign =
       tensor::col2im(grad_cols, cached_input_.shape(), spec_);
   Tensor grad_input(cached_input_.shape());
-  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
-    grad_input[i] =
-        std::fabs(cached_input_[i]) < 1.0f ? grad_sign[i] : 0.0f;
-  }
+  util::parallel_for(0, grad_input.numel(), /*grain=*/4096,
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       for (std::int64_t i = lo; i < hi; ++i) {
+                         grad_input[i] = std::fabs(cached_input_[i]) < 1.0f
+                                             ? grad_sign[i]
+                                             : 0.0f;
+                       }
+                     });
   return grad_input;
 }
 
 void BinaryConv2d::refresh_packed_cache() {
-  if (packed_cache_valid_) {
+  if (packed_weight_version_ == weight_.version) {
     return;
   }
   packed_alpha_w_ = bitops::weight_scales(weight_.value);
@@ -192,7 +217,7 @@ void BinaryConv2d::refresh_packed_cache() {
       scaling_ == bitops::InputScaling::kPerChannel
           ? bitops::pack_filters_channel_blocked(weight_.value)
           : bitops::pack_filters(weight_.value);
-  packed_cache_valid_ = true;
+  packed_weight_version_ = weight_.version;
 }
 
 Tensor BinaryConv2d::forward_packed(const Tensor& input) {
@@ -213,10 +238,14 @@ Tensor BinaryConv2d::forward_packed(const Tensor& input) {
         bitops::pack_patches_channel_blocked(input, spec_);
     const Tensor alpha_t = bitops::input_scales_per_channel(input, spec_);
     const std::int64_t kk = spec_.kernel_h * spec_.kernel_w;
-    std::vector<float> alpha_row(static_cast<std::size_t>(in_channels_));
-    for (std::int64_t ni = 0; ni < n; ++ni) {
-      for (std::int64_t p = 0; p < positions; ++p) {
-        const std::uint64_t* prow = patches.row(ni * positions + p);
+    util::parallel_for(0, n * positions, /*grain=*/32, [&](std::int64_t lo,
+                                                           std::int64_t hi) {
+      // Per-chunk scratch for the gathered scales; chunks never share it.
+      std::vector<float> alpha_row(static_cast<std::size_t>(in_channels_));
+      for (std::int64_t row = lo; row < hi; ++row) {
+        const std::int64_t ni = row / positions;
+        const std::int64_t p = row % positions;
+        const std::uint64_t* prow = patches.row(row);
         // Gather this position's per-channel scales contiguously once; the
         // filter loop below reads them out_channels_ times.
         const float* asrc =
@@ -236,7 +265,7 @@ Tensor BinaryConv2d::forward_packed(const Tensor& input) {
           out_base[co * positions] = acc * alpha_w[co];
         }
       }
-    }
+    });
     return output;
   }
 
@@ -247,16 +276,20 @@ Tensor BinaryConv2d::forward_packed(const Tensor& input) {
   const bool scalar = scaling_ == bitops::InputScaling::kScalar;
   const Tensor alpha =
       scalar ? bitops::input_scales_scalar(input, spec_) : Tensor();
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t p = 0; p < positions; ++p) {
+  util::parallel_for(0, n * positions, /*grain=*/64, [&](std::int64_t lo,
+                                                         std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t ni = row / positions;
+      const std::int64_t p = row % positions;
       const float post =
           scalar ? alpha.at4(ni, 0, p / out_w, p % out_w) : 1.0f;
+      const float* src = counts.data() + row * out_channels_;
+      float* dst = output.data() + ni * out_channels_ * positions + p;
       for (std::int64_t co = 0; co < out_channels_; ++co) {
-        output.at4(ni, co, p / out_w, p % out_w) =
-            counts.at2(ni * positions + p, co) * alpha_w[co] * post;
+        dst[co * positions] = src[co] * alpha_w[co] * post;
       }
     }
-  }
+  });
   return output;
 }
 

@@ -46,10 +46,11 @@ class BinaryConv2d : public nn::Module {
   void set_backend(Backend backend) { backend_ = backend; }
   Backend backend() const { return backend_; }
 
-  // Drops the cached packed weights; called automatically when training
-  // touches the layer, and by anything that mutates the weight tensor
-  // directly (e.g. checkpoint loading).
-  void invalidate_packed_cache() { packed_cache_valid_ = false; }
+  // Drops the cached packed weights. Optimizer updates are tracked
+  // automatically through the weight Parameter's version counter; this is
+  // only needed by code that mutates the weight tensor directly without
+  // bumping it (e.g. checkpoint loading).
+  void invalidate_packed_cache() { packed_weight_version_ = kNoPackedCache; }
   void set_training(bool training) override {
     nn::Module::set_training(training);
     invalidate_packed_cache();
@@ -80,9 +81,11 @@ class BinaryConv2d : public nn::Module {
   Tensor cached_weight_tilde_;  // [Cout, n] rows of alpha_W * sign(W)
   Tensor cached_alpha_w_;     // [Cout]
 
-  // Packed-inference weight cache: filters change only when training does,
-  // so they are packed once per deployment, not per batch.
-  bool packed_cache_valid_ = false;
+  // Packed-inference weight cache, keyed on the weight Parameter's version:
+  // filters are re-packed only after the weights actually change (optimizer
+  // step or explicit invalidation), not on every forward call.
+  static constexpr std::uint64_t kNoPackedCache = ~std::uint64_t{0};
+  std::uint64_t packed_weight_version_ = kNoPackedCache;
   bitops::BitMatrix packed_filters_;
   Tensor packed_alpha_w_;
 };

@@ -32,7 +32,10 @@ void BnnHotspotDetector::fit(const dataset::HotspotDataset& train,
 std::vector<int> BnnHotspotDetector::predict(
     const dataset::HotspotDataset& data) {
   HOTSPOT_CHECK(model_.has_value()) << "predict() before fit()";
-  return predict_labels(*model_, data, config_.trainer.batch_size);
+  const int batch = config_.inference_batch_size > 0
+                        ? config_.inference_batch_size
+                        : config_.trainer.batch_size;
+  return predict_labels(*model_, data, batch);
 }
 
 BrnnModel& BnnHotspotDetector::model() {

@@ -14,6 +14,10 @@ struct BnnDetectorConfig {
   BrnnConfig model;
   TrainerConfig trainer;
   Backend inference_backend = Backend::kPacked;
+  // Batch size used by predict(). Larger inference batches amortize patch
+  // packing and feed the XNOR-GEMM bigger tiles than the training batch
+  // size; 0 falls back to trainer.batch_size.
+  int inference_batch_size = 64;
 
   // Sized for CI-scale benchmarks on `image_size` clips.
   static BnnDetectorConfig compact(std::int64_t image_size);

@@ -4,6 +4,7 @@
 
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace hotspot::core {
 
@@ -150,8 +151,7 @@ std::vector<int> predict_labels(nn::Module& model,
   HOTSPOT_CHECK_GT(batch_size, 0);
   model.set_training(false);
   const std::vector<std::size_t> all = data.all_indices();
-  std::vector<int> labels;
-  labels.reserve(all.size());
+  std::vector<int> labels(all.size());
   for (std::size_t begin = 0; begin < all.size();
        begin += static_cast<std::size_t>(batch_size)) {
     const std::size_t end =
@@ -160,9 +160,22 @@ std::vector<int> predict_labels(nn::Module& model,
                                          all.begin() + end);
     const tensor::Tensor logits =
         model.forward(batch_builder(data, batch, nullptr));
-    for (const auto row : tensor::argmax_rows(logits)) {
-      labels.push_back(static_cast<int>(row));
-    }
+    // Per-sample argmax; each chunk writes its own slice of `labels`.
+    const std::int64_t classes = logits.dim(1);
+    util::parallel_for(
+        0, logits.dim(0), /*grain=*/64, [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t row = lo; row < hi; ++row) {
+            const float* logit_row = logits.data() + row * classes;
+            std::int64_t best = 0;
+            for (std::int64_t c = 1; c < classes; ++c) {
+              if (logit_row[c] > logit_row[best]) {
+                best = c;
+              }
+            }
+            labels[begin + static_cast<std::size_t>(row)] =
+                static_cast<int>(best);
+          }
+        });
   }
   return labels;
 }

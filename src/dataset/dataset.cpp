@@ -4,6 +4,7 @@
 
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace hotspot::dataset {
 
@@ -56,22 +57,36 @@ tensor::Tensor HotspotDataset::batch_images(
   const std::int64_t ls = image_size();
   tensor::Tensor batch(
       {static_cast<std::int64_t>(indices.size()), 1, ls, ls});
+  // Augmentation decisions come from a shared sequential RNG stream, so draw
+  // them up front in index order; the per-sample flip + rasterized copy is
+  // then data-parallel (each sample owns one batch plane).
+  std::vector<std::uint8_t> flip_h(indices.size(), 0);
+  std::vector<std::uint8_t> flip_v(indices.size(), 0);
   for (std::size_t b = 0; b < indices.size(); ++b) {
     HOTSPOT_CHECK_LT(indices[b], samples_.size());
-    ClipSample view = samples_[indices[b]];  // copy: flips are destructive
     if (augment_rng != nullptr) {
-      if (augment_rng->bernoulli(0.5)) {
-        view.flip_horizontal();
-      }
-      if (augment_rng->bernoulli(0.5)) {
-        view.flip_vertical();
-      }
-    }
-    float* dst = batch.data() + static_cast<std::int64_t>(b) * ls * ls;
-    for (std::size_t i = 0; i < view.pixels.size(); ++i) {
-      dst[i] = view.pixels[i] ? 1.0f : 0.0f;
+      flip_h[b] = augment_rng->bernoulli(0.5) ? 1 : 0;
+      flip_v[b] = augment_rng->bernoulli(0.5) ? 1 : 0;
     }
   }
+  util::parallel_for(
+      0, static_cast<std::int64_t>(indices.size()), /*grain=*/4,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t b = lo; b < hi; ++b) {
+          const auto bu = static_cast<std::size_t>(b);
+          ClipSample view = samples_[indices[bu]];  // copy: flips mutate
+          if (flip_h[bu] != 0) {
+            view.flip_horizontal();
+          }
+          if (flip_v[bu] != 0) {
+            view.flip_vertical();
+          }
+          float* dst = batch.data() + b * ls * ls;
+          for (std::size_t i = 0; i < view.pixels.size(); ++i) {
+            dst[i] = view.pixels[i] ? 1.0f : 0.0f;
+          }
+        }
+      });
   return batch;
 }
 

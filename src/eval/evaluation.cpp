@@ -1,6 +1,7 @@
 #include "eval/evaluation.h"
 
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -12,6 +13,7 @@ EvaluationRow evaluate_detector(Detector& detector,
                                 util::Rng& rng) {
   EvaluationRow row;
   row.method = detector.name();
+  row.threads = util::parallel_threads();
 
   util::Stopwatch train_timer;
   detector.fit(train, rng);

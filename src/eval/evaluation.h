@@ -13,6 +13,7 @@ struct EvaluationRow {
   ConfusionMatrix matrix;
   double train_seconds = 0.0;
   double eval_seconds = 0.0;  // total prediction wall time ("Runtime")
+  int threads = 1;            // pool width the timings were measured at
 
   double eval_seconds_per_instance() const {
     return matrix.total() == 0

@@ -26,7 +26,11 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
 }
 
 Tensor Conv2d::forward(const Tensor& input) {
-  cached_input_ = input;
+  // The input copy is only needed by backward(); inference-mode forwards
+  // (e.g. the float baselines' predict sweeps) skip it.
+  if (training()) {
+    cached_input_ = input;
+  }
   return tensor::conv2d(input, weight_.value,
                         with_bias_ ? &bias_.value : nullptr, spec_);
 }

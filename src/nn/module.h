@@ -29,6 +29,11 @@ struct Parameter {
   std::string name;
   Tensor value;
   Tensor grad;
+  // Incremented on every mutation of `value` (optimizer steps, checkpoint
+  // loads). Consumers that derive state from the weights — e.g. the packed
+  // BitMatrix filter cache in BinaryConv2d — key their cache on this counter
+  // instead of re-deriving per call.
+  std::uint64_t version = 0;
 
   Parameter() = default;
   Parameter(std::string param_name, Tensor initial)
@@ -37,6 +42,7 @@ struct Parameter {
         grad(value.shape()) {}
 
   void zero_grad() { grad.fill(0.0f); }
+  void bump_version() { ++version; }
 };
 
 class Module {

@@ -43,7 +43,7 @@ void Adam::step() {
           (std::sqrt(v_hat) + static_cast<double>(epsilon_)));
     }
   }
-  ++step_count_;
+  finish_step();
 }
 
 }  // namespace hotspot::optim

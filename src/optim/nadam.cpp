@@ -53,7 +53,7 @@ void NAdam::step() {
           (std::sqrt(v_hat) + static_cast<double>(epsilon_)));
     }
   }
-  ++step_count_;
+  finish_step();
 }
 
 }  // namespace hotspot::optim

@@ -12,6 +12,13 @@ Optimizer::Optimizer(std::vector<nn::Parameter*> params, float learning_rate)
   HOTSPOT_CHECK_GT(learning_rate, 0.0f);
 }
 
+void Optimizer::finish_step() {
+  for (nn::Parameter* param : params_) {
+    param->bump_version();
+  }
+  ++step_count_;
+}
+
 void Optimizer::zero_grad() {
   for (nn::Parameter* param : params_) {
     param->zero_grad();

@@ -33,6 +33,11 @@ class Optimizer {
   void clip_grad_norm(double max_norm);
 
  protected:
+  // Called by step() implementations after applying the update: advances the
+  // step counter and bumps every parameter's version so weight-derived
+  // caches (e.g. packed binary filters) know to refresh.
+  void finish_step();
+
   std::vector<nn::Parameter*> params_;
   float learning_rate_;
   std::int64_t step_count_ = 0;

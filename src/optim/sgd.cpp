@@ -32,7 +32,7 @@ void Sgd::step() {
       param.value[i] -= learning_rate_ * grad;
     }
   }
-  ++step_count_;
+  finish_step();
 }
 
 }  // namespace hotspot::optim

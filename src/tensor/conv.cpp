@@ -1,6 +1,7 @@
 #include "tensor/conv.h"
 
 #include "tensor/tensor_ops.h"
+#include "util/parallel.h"
 
 namespace hotspot::tensor {
 
@@ -22,26 +23,32 @@ Tensor im2col(const Tensor& input, const ConvSpec& spec, float pad_value) {
   const std::int64_t out_h = conv_out_extent(h, spec.kernel_h, spec.stride, spec.pad);
   const std::int64_t out_w = conv_out_extent(w, spec.kernel_w, spec.stride, spec.pad);
   const std::int64_t patch = c * spec.kernel_h * spec.kernel_w;
-  Tensor cols({n * out_h * out_w, patch});
-  float* dst = cols.data();
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t oy = 0; oy < out_h; ++oy) {
-      for (std::int64_t ox = 0; ox < out_w; ++ox) {
-        const std::int64_t iy0 = oy * spec.stride - spec.pad;
-        const std::int64_t ix0 = ox * spec.stride - spec.pad;
-        for (std::int64_t ci = 0; ci < c; ++ci) {
-          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
-            const std::int64_t iy = iy0 + ky;
-            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
-              const std::int64_t ix = ix0 + kx;
-              const bool inside = iy >= 0 && iy < h && ix >= 0 && ix < w;
-              *dst++ = inside ? input.at4(ni, ci, iy, ix) : pad_value;
-            }
+  const std::int64_t positions = out_h * out_w;
+  Tensor cols({n * positions, patch});
+  // Each patch row is written by exactly one chunk, so rows can be filled in
+  // parallel without synchronization.
+  util::parallel_for(0, n * positions, /*grain=*/16, [&](std::int64_t lo,
+                                                         std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t ni = row / positions;
+      const std::int64_t p = row % positions;
+      const std::int64_t oy = p / out_w;
+      const std::int64_t ox = p % out_w;
+      const std::int64_t iy0 = oy * spec.stride - spec.pad;
+      const std::int64_t ix0 = ox * spec.stride - spec.pad;
+      float* dst = cols.data() + row * patch;
+      for (std::int64_t ci = 0; ci < c; ++ci) {
+        for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+          const std::int64_t iy = iy0 + ky;
+          for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
+            const std::int64_t ix = ix0 + kx;
+            const bool inside = iy >= 0 && iy < h && ix >= 0 && ix < w;
+            *dst++ = inside ? input.at4(ni, ci, iy, ix) : pad_value;
           }
         }
       }
     }
-  }
+  });
   return cols;
 }
 
@@ -58,27 +65,35 @@ Tensor col2im(const Tensor& cols, const Shape& input_shape,
   HOTSPOT_CHECK_EQ(cols.dim(0), n * out_h * out_w);
   HOTSPOT_CHECK_EQ(cols.dim(1), c * spec.kernel_h * spec.kernel_w);
   Tensor image(input_shape);
-  const float* src = cols.data();
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t oy = 0; oy < out_h; ++oy) {
-      for (std::int64_t ox = 0; ox < out_w; ++ox) {
-        const std::int64_t iy0 = oy * spec.stride - spec.pad;
-        const std::int64_t ix0 = ox * spec.stride - spec.pad;
-        for (std::int64_t ci = 0; ci < c; ++ci) {
-          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
-            const std::int64_t iy = iy0 + ky;
-            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
-              const std::int64_t ix = ix0 + kx;
-              const float value = *src++;
-              if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
-                image.at4(ni, ci, iy, ix) += value;
+  const std::int64_t positions = out_h * out_w;
+  const std::int64_t patch = c * spec.kernel_h * spec.kernel_w;
+  // Overlapping patches of one sample accumulate into the same pixels, so
+  // parallelism is over samples: each sample's plane is touched by exactly
+  // one chunk, and the accumulation order within a sample is fixed.
+  util::parallel_for(0, n, /*grain=*/1, [&](std::int64_t n_lo,
+                                            std::int64_t n_hi) {
+    for (std::int64_t ni = n_lo; ni < n_hi; ++ni) {
+      const float* src = cols.data() + ni * positions * patch;
+      for (std::int64_t oy = 0; oy < out_h; ++oy) {
+        for (std::int64_t ox = 0; ox < out_w; ++ox) {
+          const std::int64_t iy0 = oy * spec.stride - spec.pad;
+          const std::int64_t ix0 = ox * spec.stride - spec.pad;
+          for (std::int64_t ci = 0; ci < c; ++ci) {
+            for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+              const std::int64_t iy = iy0 + ky;
+              for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
+                const std::int64_t ix = ix0 + kx;
+                const float value = *src++;
+                if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                  image.at4(ni, ci, iy, ix) += value;
+                }
               }
             }
           }
         }
       }
     }
-  }
+  });
   return image;
 }
 
@@ -104,18 +119,19 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
 
   Tensor out({n, cout, out_h, out_w});
   const std::int64_t positions = out_h * out_w;
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t p = 0; p < positions; ++p) {
-      const std::int64_t row = ni * positions + p;
+  util::parallel_for(0, n * positions, /*grain=*/64, [&](std::int64_t lo,
+                                                         std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t ni = row / positions;
+      const std::int64_t p = row % positions;
+      const float* src = prod.data() + row * cout;
+      float* dst = out.data() + ni * cout * positions + p;
       for (std::int64_t co = 0; co < cout; ++co) {
-        float value = prod.at2(row, co);
-        if (bias != nullptr) {
-          value += (*bias)[co];
-        }
-        out.at4(ni, co, p / out_w, p % out_w) = value;
+        dst[co * positions] =
+            bias != nullptr ? src[co] + (*bias)[co] : src[co];
       }
     }
-  }
+  });
   return out;
 }
 
@@ -135,14 +151,18 @@ void conv2d_backward(const Tensor& input, const Tensor& weight,
 
   // Rearrange grad_output to the im2col row layout [n*oh*ow, cout].
   Tensor grad_rows({n * positions, cout});
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t co = 0; co < cout; ++co) {
-      for (std::int64_t p = 0; p < positions; ++p) {
-        grad_rows.at2(ni * positions + p, co) =
-            grad_output.at4(ni, co, p / out_w, p % out_w);
+  util::parallel_for(0, n * positions, /*grain=*/64, [&](std::int64_t lo,
+                                                         std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t ni = row / positions;
+      const std::int64_t p = row % positions;
+      const float* src = grad_output.data() + ni * cout * positions + p;
+      float* dst = grad_rows.data() + row * cout;
+      for (std::int64_t co = 0; co < cout; ++co) {
+        dst[co] = src[co * positions];
       }
     }
-  }
+  });
 
   if (grad_weight != nullptr) {
     const Tensor cols = im2col(input, spec);  // [n*oh*ow, patch]
@@ -153,13 +173,18 @@ void conv2d_backward(const Tensor& input, const Tensor& weight,
 
   if (grad_bias != nullptr) {
     *grad_bias = Tensor({cout});
-    for (std::int64_t co = 0; co < cout; ++co) {
-      double total = 0.0;
-      for (std::int64_t r = 0; r < n * positions; ++r) {
-        total += static_cast<double>(grad_rows.at2(r, co));
+    // Parallel over output channels: each channel's reduction runs start to
+    // finish inside one chunk, keeping the summation order fixed.
+    util::parallel_for(0, cout, /*grain=*/1, [&](std::int64_t co_lo,
+                                                 std::int64_t co_hi) {
+      for (std::int64_t co = co_lo; co < co_hi; ++co) {
+        double total = 0.0;
+        for (std::int64_t r = 0; r < n * positions; ++r) {
+          total += static_cast<double>(grad_rows.at2(r, co));
+        }
+        (*grad_bias)[co] = static_cast<float>(total);
       }
-      (*grad_bias)[co] = static_cast<float>(total);
-    }
+    });
   }
 
   if (grad_input != nullptr) {

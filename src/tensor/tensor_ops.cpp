@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace hotspot::tensor {
 namespace {
 
@@ -144,19 +146,25 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* pc = out.data();
   // ikj loop order keeps the innermost access contiguous for b and c.
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aval = pa[i * k + kk];
-      if (aval == 0.0f) {
-        continue;
-      }
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        crow[j] += aval * brow[j];
+  // Parallel over rows of the output: each row's k-loop runs in its fixed
+  // order inside one chunk, so results are bit-identical at any thread
+  // count.
+  util::parallel_for(0, m, /*grain=*/8, [&](std::int64_t i_lo,
+                                            std::int64_t i_hi) {
+    for (std::int64_t i = i_lo; i < i_hi; ++i) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float aval = pa[i * k + kk];
+        if (aval == 0.0f) {
+          continue;
+        }
+        const float* brow = pb + kk * n;
+        float* crow = pc + i * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          crow[j] += aval * brow[j];
+        }
       }
     }
-  }
+  });
   return out;
 }
 

@@ -1,0 +1,45 @@
+// Persistent thread pool with a deterministic parallel_for.
+//
+// Partitioning is a pure function of (range, grain) — never of the thread
+// count — so a loop body that writes disjoint outputs per index (or reduces
+// entirely within one index) produces bit-identical results at any thread
+// count. Chunks are handed to threads dynamically for load balance; only the
+// *assignment* varies between runs, never the chunk boundaries or the
+// iteration order inside a chunk.
+//
+// The pool is process-global and lazy: no threads are spawned until the
+// first parallel_for that could use more than one, so single-threaded
+// configurations pay nothing. The worker count defaults to the hardware
+// concurrency and can be overridden with the HOTSPOT_NUM_THREADS environment
+// variable or set_parallel_threads() at runtime (benches sweep it).
+//
+// Nested parallel_for calls (a loop body calling a parallel kernel) execute
+// the inner loop inline on the calling worker, so composition is safe and
+// still deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace hotspot::util {
+
+// Loop body: processes the half-open index range [chunk_begin, chunk_end).
+using ParallelChunkFn = std::function<void(std::int64_t, std::int64_t)>;
+
+// Number of threads the pool is configured to use (>= 1).
+int parallel_threads();
+
+// Reconfigures the pool to `threads` (clamped to >= 1). Must not be called
+// from inside a parallel region. Overrides HOTSPOT_NUM_THREADS.
+void set_parallel_threads(int threads);
+
+// Splits [begin, end) into chunks of at least `grain` indices and runs
+// `fn(chunk_begin, chunk_end)` over every chunk, using the calling thread
+// plus the pool workers. Runs inline when the range is small, the pool has
+// one thread, or the caller is already inside a parallel region. Exceptions
+// thrown by `fn` are rethrown (first one wins) on the calling thread after
+// the loop completes.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const ParallelChunkFn& fn);
+
+}  // namespace hotspot::util

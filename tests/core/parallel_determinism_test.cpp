@@ -1,0 +1,139 @@
+// Determinism guarantee of the threaded hot paths: every kernel wired into
+// util::parallel_for must produce bit-identical outputs at any pool width,
+// because partitioning depends only on (range, grain) and each index's
+// arithmetic runs in a fixed order within its chunk.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bitops/xnor_gemm.h"
+#include "core/brnn.h"
+#include "tensor/conv.h"
+#include "tensor/tensor_ops.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace hotspot::core {
+namespace {
+
+using tensor::Tensor;
+
+// Thread counts the suite sweeps; 4+ exceeds CI hardware on purpose — the
+// guarantee is about partitioning, not about the machine.
+const std::vector<int> kThreadCounts{1, 2, 4, 7};
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::set_parallel_threads(previous_); }
+  int previous_ = util::parallel_threads();
+};
+
+void expect_bit_identical(const Tensor& a, const Tensor& b,
+                          const char* label, int threads) {
+  ASSERT_TRUE(a.same_shape(b)) << label << " threads=" << threads;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << label << " threads=" << threads << " i=" << i;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, XnorGemmBitIdenticalAcrossThreadCounts) {
+  util::Rng rng(11);
+  // Ragged shapes exercise both the 2x4 tile body and the scalar edges.
+  const Tensor a_src = Tensor::uniform({37, 130}, rng, -1.0f, 1.0f);
+  const Tensor b_src = Tensor::uniform({13, 130}, rng, -1.0f, 1.0f);
+  const bitops::BitMatrix a = bitops::BitMatrix::pack_rows(a_src);
+  const bitops::BitMatrix b = bitops::BitMatrix::pack_rows(b_src);
+
+  util::set_parallel_threads(1);
+  const Tensor reference = bitops::xnor_gemm(a, b);
+  for (const int threads : kThreadCounts) {
+    util::set_parallel_threads(threads);
+    expect_bit_identical(bitops::xnor_gemm(a, b), reference, "xnor_gemm",
+                         threads);
+  }
+}
+
+TEST_F(ParallelDeterminismTest, BinaryConvCountsBitIdentical) {
+  util::Rng rng(12);
+  const Tensor input = Tensor::uniform({3, 4, 9, 9}, rng, -1.0f, 1.0f);
+  const Tensor weight = Tensor::uniform({6, 4, 3, 3}, rng, -1.0f, 1.0f);
+  const tensor::ConvSpec spec{3, 3, 1, 1};
+
+  util::set_parallel_threads(1);
+  const Tensor reference = bitops::binary_conv_counts(input, weight, spec);
+  for (const int threads : kThreadCounts) {
+    util::set_parallel_threads(threads);
+    expect_bit_identical(bitops::binary_conv_counts(input, weight, spec),
+                         reference, "binary_conv_counts", threads);
+  }
+}
+
+TEST_F(ParallelDeterminismTest, FloatConvBitIdentical) {
+  util::Rng rng(13);
+  const Tensor input = Tensor::uniform({2, 3, 8, 8}, rng, -1.0f, 1.0f);
+  const Tensor weight = Tensor::uniform({5, 3, 3, 3}, rng, -0.5f, 0.5f);
+  const Tensor bias = Tensor::uniform({5}, rng, -0.1f, 0.1f);
+  const tensor::ConvSpec spec{3, 3, 1, 1};
+
+  util::set_parallel_threads(1);
+  const Tensor reference = tensor::conv2d(input, weight, &bias, spec);
+  for (const int threads : kThreadCounts) {
+    util::set_parallel_threads(threads);
+    expect_bit_identical(tensor::conv2d(input, weight, &bias, spec),
+                         reference, "conv2d", threads);
+  }
+}
+
+TEST_F(ParallelDeterminismTest, BrnnForwardBitIdenticalBothBackends) {
+  util::Rng rng(14);
+  BrnnModel model(BrnnConfig::compact(32), rng);
+  model.set_training(false);
+  const Tensor images = Tensor::uniform({6, 1, 32, 32}, rng, -1.0f, 1.0f);
+
+  for (const Backend backend : {Backend::kPacked, Backend::kFloatSim}) {
+    model.set_backend(backend);
+    util::set_parallel_threads(1);
+    const Tensor reference = model.forward(images);
+    const std::vector<int> reference_labels = model.predict(images);
+    for (const int threads : kThreadCounts) {
+      util::set_parallel_threads(threads);
+      expect_bit_identical(model.forward(images), reference, "brnn_forward",
+                           threads);
+      EXPECT_EQ(model.predict(images), reference_labels)
+          << "backend=" << static_cast<int>(backend)
+          << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, TrainingStepBitIdenticalAcrossThreadCounts) {
+  // One forward/backward through the float-sim path (the trainer's
+  // mini-batch loop) must also be partition-independent.
+  const Tensor images = [] {
+    util::Rng rng(15);
+    return Tensor::uniform({4, 1, 32, 32}, rng, -1.0f, 1.0f);
+  }();
+  auto run = [&](int threads) {
+    util::set_parallel_threads(threads);
+    util::Rng rng(16);
+    BrnnModel model(BrnnConfig::compact(32), rng);
+    model.set_training(true);
+    const Tensor logits = model.forward(images);
+    model.zero_grad();
+    model.backward(Tensor::ones(logits.shape()));
+    std::vector<float> grads;
+    for (nn::Parameter* param : model.parameters()) {
+      for (std::int64_t i = 0; i < param->grad.numel(); ++i) {
+        grads.push_back(param->grad[i]);
+      }
+    }
+    return grads;
+  };
+  const std::vector<float> reference = run(1);
+  for (const int threads : {2, 4}) {
+    EXPECT_EQ(run(threads), reference) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace hotspot::core
