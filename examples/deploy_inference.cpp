@@ -20,8 +20,17 @@ int main(int argc, char** argv) {
   // same configuration quickstart trained.
   util::Rng rng(0);
   core::BrnnModel model(core::BrnnConfig::compact(kImageSize), rng);
-  if (!nn::load_checkpoint(path, model)) {
-    std::printf("Could not load %s — run ./quickstart first.\n", path);
+  // Refuse to run on anything but a fully validated checkpoint: a missing,
+  // truncated, or bit-flipped file must never silently classify with
+  // uninitialized weights.
+  if (const nn::LoadResult loaded = nn::load_checkpoint(path, model);
+      !loaded.ok()) {
+    std::fprintf(stderr, "error: cannot load checkpoint (%s): %s\n",
+                 nn::io_status_name(loaded.status), loaded.message.c_str());
+    if (loaded.status == nn::IoStatus::kMissing) {
+      std::fprintf(stderr, "Run ./quickstart first to train and save %s.\n",
+                   path);
+    }
     return 1;
   }
   model.set_training(false);

@@ -52,11 +52,18 @@ int main(int argc, char** argv) {
               row.eval_seconds);
   std::printf("  ODST (t_ls = 10 s): %.0f s\n", row.odst(10.0));
 
-  // 4. Persist the trained model for deploy_inference.
+  // 4. Persist the trained model for deploy_inference. The write is atomic
+  //    (tmp + fsync + rename), so a crash here cannot leave a torn file; a
+  //    reported failure means the model was NOT saved and the run must not
+  //    pretend otherwise.
   const char* path = "quickstart_model.bin";
-  if (nn::save_checkpoint(path, detector.model())) {
-    std::printf("\nSaved trained model to %s (run ./deploy_inference next).\n",
-                path);
+  if (const nn::SaveResult saved = nn::save_checkpoint(path, detector.model());
+      !saved.ok()) {
+    std::fprintf(stderr, "error: failed to save model (%s): %s\n",
+                 nn::io_status_name(saved.status), saved.message.c_str());
+    return 1;
   }
+  std::printf("\nSaved trained model to %s (run ./deploy_inference next).\n",
+              path);
   return 0;
 }

@@ -1,12 +1,184 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
 namespace hotspot::core {
+namespace {
+
+constexpr char kTrainerStateBlob[] = "trainer_state";
+constexpr std::uint32_t kTrainerStateVersion = 1;
+constexpr std::uint64_t kMaxHistoryEntries = 1u << 20;
+
+// Raw little-endian (host-order) scalar packing for the checkpoint metadata
+// blob. memcpy round trips preserve every bit, which the resume-determinism
+// guarantee depends on.
+class BlobWriter {
+ public:
+  template <typename T>
+  void scalar(T value) {
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+    bytes_.insert(bytes_.end(), bytes, bytes + sizeof(T));
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class BlobReader {
+ public:
+  explicit BlobReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  template <typename T>
+  bool scalar(T& value) {
+    if (bytes_.size() - pos_ < sizeof(T)) {
+      return false;
+    }
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+// Length-prefixed index list; the count is validated against the bytes that
+// actually follow before any allocation.
+void encode_indices(BlobWriter& writer, const std::vector<std::size_t>& list) {
+  writer.scalar(static_cast<std::uint64_t>(list.size()));
+  for (const std::size_t index : list) {
+    writer.scalar(static_cast<std::uint64_t>(index));
+  }
+}
+
+bool decode_indices(BlobReader& reader, std::vector<std::size_t>& list) {
+  std::uint64_t count = 0;
+  if (!reader.scalar(count) ||
+      count > reader.remaining() / sizeof(std::uint64_t)) {
+    return false;
+  }
+  list.resize(static_cast<std::size_t>(count));
+  for (std::size_t& index : list) {
+    std::uint64_t value = 0;
+    if (!reader.scalar(value)) {
+      return false;
+    }
+    index = static_cast<std::size_t>(value);
+  }
+  return true;
+}
+
+// Everything the metadata blob carries besides the tensors. The split index
+// lists travel with the checkpoint because the original split consumed
+// training-stream draws: storing the result (instead of replaying the
+// draws) is what lets a resumed run continue the restored RNG stream
+// bit-for-bit.
+struct TrainerStateBlob {
+  util::RngState rng;
+  std::int64_t optimizer_step = 0;
+  float learning_rate = 0.0f;
+  optim::PlateauDecay::State scheduler;
+  double best_validation_loss = 0.0;
+  std::vector<std::size_t> validation_indices;
+  std::vector<std::size_t> training_indices;  // pre-oversample base list
+  std::vector<EpochStats> history;
+};
+
+std::vector<std::uint8_t> encode_trainer_state(const TrainerStateBlob& state) {
+  BlobWriter writer;
+  writer.scalar(kTrainerStateVersion);
+  for (const std::uint64_t word : state.rng.words) {
+    writer.scalar(word);
+  }
+  writer.scalar(state.rng.spare_normal);
+  writer.scalar(static_cast<std::uint8_t>(state.rng.has_spare_normal));
+  writer.scalar(state.optimizer_step);
+  writer.scalar(state.learning_rate);
+  writer.scalar(state.scheduler.best_metric);
+  writer.scalar(static_cast<std::int32_t>(state.scheduler.stall_count));
+  writer.scalar(state.best_validation_loss);
+  encode_indices(writer, state.validation_indices);
+  encode_indices(writer, state.training_indices);
+  writer.scalar(static_cast<std::uint64_t>(state.history.size()));
+  for (const EpochStats& stats : state.history) {
+    writer.scalar(static_cast<std::int32_t>(stats.epoch));
+    writer.scalar(static_cast<std::uint8_t>(stats.finetune));
+    writer.scalar(stats.train_loss);
+    writer.scalar(stats.validation_loss);
+    writer.scalar(stats.learning_rate);
+    writer.scalar(static_cast<std::int32_t>(stats.numeric_events));
+    writer.scalar(static_cast<std::int32_t>(stats.skipped_batches));
+  }
+  return writer.take();
+}
+
+bool decode_trainer_state(const std::vector<std::uint8_t>& bytes,
+                          TrainerStateBlob& state) {
+  BlobReader reader(bytes);
+  std::uint32_t version = 0;
+  if (!reader.scalar(version) || version != kTrainerStateVersion) {
+    return false;
+  }
+  std::uint8_t has_spare = 0;
+  for (std::uint64_t& word : state.rng.words) {
+    if (!reader.scalar(word)) {
+      return false;
+    }
+  }
+  if (!reader.scalar(state.rng.spare_normal) || !reader.scalar(has_spare)) {
+    return false;
+  }
+  state.rng.has_spare_normal = has_spare != 0;
+  std::int32_t stall_count = 0;
+  if (!reader.scalar(state.optimizer_step) ||
+      !reader.scalar(state.learning_rate) ||
+      !reader.scalar(state.scheduler.best_metric) ||
+      !reader.scalar(stall_count) ||
+      !reader.scalar(state.best_validation_loss)) {
+    return false;
+  }
+  state.scheduler.stall_count = stall_count;
+  if (!decode_indices(reader, state.validation_indices) ||
+      !decode_indices(reader, state.training_indices)) {
+    return false;
+  }
+  std::uint64_t count = 0;
+  if (!reader.scalar(count) || count > kMaxHistoryEntries) {
+    return false;
+  }
+  state.history.resize(static_cast<std::size_t>(count));
+  for (EpochStats& stats : state.history) {
+    std::int32_t epoch = 0, numeric_events = 0, skipped = 0;
+    std::uint8_t finetune = 0;
+    if (!reader.scalar(epoch) || !reader.scalar(finetune) ||
+        !reader.scalar(stats.train_loss) ||
+        !reader.scalar(stats.validation_loss) ||
+        !reader.scalar(stats.learning_rate) || !reader.scalar(numeric_events) ||
+        !reader.scalar(skipped)) {
+      return false;
+    }
+    stats.epoch = epoch;
+    stats.finetune = finetune != 0;
+    stats.numeric_events = numeric_events;
+    stats.skipped_batches = skipped;
+  }
+  return reader.exhausted();
+}
+
+}  // namespace
 
 BatchBuilder image_batch_builder() {
   return [](const dataset::HotspotDataset& data,
@@ -29,11 +201,15 @@ Trainer::Trainer(nn::Module& model, const TrainerConfig& config,
   HOTSPOT_CHECK(config.validation_fraction >= 0.0 &&
                 config.validation_fraction < 1.0)
       << "validation fraction " << config.validation_fraction;
+  if (!config.checkpoint_path.empty()) {
+    HOTSPOT_CHECK_GE(config.checkpoint_every, 1);
+  }
 }
 
-double Trainer::run_epoch(const dataset::HotspotDataset& data,
-                          const std::vector<std::size_t>& indices,
-                          float bias_epsilon, util::Rng& rng) {
+void Trainer::run_epoch(const dataset::HotspotDataset& data,
+                        const std::vector<std::size_t>& indices,
+                        float bias_epsilon, util::Rng& rng,
+                        EpochStats& stats) {
   model_.set_training(true);
   std::vector<std::size_t> order = indices;
   rng.shuffle(order);
@@ -51,17 +227,46 @@ double Trainer::run_epoch(const dataset::HotspotDataset& data,
         nn::make_targets(data.batch_labels(batch), bias_epsilon);
 
     const tensor::Tensor logits = model_.forward(images);
-    total_loss += loss_.forward(logits, targets);
-    ++batches;
+    const double batch_loss = loss_.forward(logits, targets);
 
-    model_.zero_grad();
-    model_.backward(loss_.gradient());
-    if (config_.grad_clip > 0.0) {
-      optimizer_.clip_grad_norm(config_.grad_clip);
+    const bool guard = config_.numeric_policy != NumericPolicy::kOff;
+    bool healthy = !guard || std::isfinite(batch_loss);
+    double norm = 0.0;
+    if (healthy) {
+      model_.zero_grad();
+      model_.backward(loss_.gradient());
+      if (guard || config_.grad_clip > 0.0) {
+        norm = optimizer_.grad_norm();
+        healthy = !guard || std::isfinite(norm);
+      }
+    }
+    if (!healthy) {
+      // Poisoned batch: never apply the update; contain per policy.
+      ++stats.numeric_events;
+      ++stats.skipped_batches;
+      if (config_.numeric_policy == NumericPolicy::kHalveLr) {
+        optimizer_.set_learning_rate(optimizer_.learning_rate() * 0.5f);
+      } else if (config_.numeric_policy == NumericPolicy::kRollback) {
+        rollback_to_last_checkpoint();
+      }
+      if (config_.verbose) {
+        HOTSPOT_LOG(kWarning)
+            << "non-finite " << (std::isfinite(batch_loss) ? "gradients" : "loss")
+            << " in epoch " << stats.epoch << "; update dropped";
+      }
+      continue;
+    }
+
+    total_loss += batch_loss;
+    ++batches;
+    if (config_.grad_clip > 0.0 && norm > config_.grad_clip) {
+      optimizer_.scale_gradients(
+          static_cast<float>(config_.grad_clip / norm));
     }
     optimizer_.step();
   }
-  return batches == 0 ? 0.0 : total_loss / static_cast<double>(batches);
+  stats.train_loss =
+      batches == 0 ? 0.0 : total_loss / static_cast<double>(batches);
 }
 
 double Trainer::evaluate_loss(const dataset::HotspotDataset& data,
@@ -89,16 +294,132 @@ double Trainer::evaluate_loss(const dataset::HotspotDataset& data,
   return total_loss / static_cast<double>(batches);
 }
 
+nn::SaveResult Trainer::save_training_checkpoint(
+    const std::string& path, const optim::PlateauDecay& scheduler,
+    const std::vector<EpochStats>& history) {
+  std::vector<nn::NamedTensor> tensors;
+  model_.collect_state("", tensors);
+  optim::OptimizerState optimizer_state = optimizer_.state();
+  for (const nn::NamedTensor& slot : optimizer_state.slots) {
+    tensors.push_back(slot);
+  }
+
+  TrainerStateBlob state;
+  state.rng = rng_.save_state();
+  state.optimizer_step = optimizer_state.step_count;
+  state.learning_rate = optimizer_state.learning_rate;
+  state.scheduler = scheduler.state();
+  state.best_validation_loss = best_validation_loss_;
+  state.validation_indices = split_validation_;
+  state.training_indices = split_training_;
+  state.history = history;
+
+  std::vector<nn::NamedBlob> blobs(1);
+  blobs[0].name = kTrainerStateBlob;
+  blobs[0].bytes = encode_trainer_state(state);
+  return nn::save_archive(path, tensors, blobs);
+}
+
+nn::LoadResult Trainer::resume_from(const std::string& path) {
+  std::vector<nn::NamedTensor> tensors;
+  model_.collect_state("", tensors);
+  optim::OptimizerState optimizer_state = optimizer_.state();
+  for (const nn::NamedTensor& slot : optimizer_state.slots) {
+    tensors.push_back(slot);
+  }
+  std::vector<nn::NamedBlob> blobs(1);
+  blobs[0].name = kTrainerStateBlob;
+  const nn::LoadResult result = nn::load_archive(path, tensors, &blobs);
+  if (!result.ok()) {
+    return result;
+  }
+  TrainerStateBlob state;
+  if (!decode_trainer_state(blobs[0].bytes, state)) {
+    return nn::LoadResult::failure(
+        nn::IoStatus::kCorrupt, path + ": undecodable trainer state blob");
+  }
+  if (state.history.size() >
+      static_cast<std::size_t>(config_.epochs + config_.finetune_epochs)) {
+    return nn::LoadResult::failure(
+        nn::IoStatus::kShapeMismatch,
+        path + ": checkpoint has more epochs than the configured schedule");
+  }
+
+  rng_.load_state(state.rng);
+  optimizer_state.step_count = state.optimizer_step;
+  optimizer_state.learning_rate = state.learning_rate;
+  optimizer_.load_state(optimizer_state);
+  scheduler_state_ = state.scheduler;
+  have_scheduler_state_ = true;
+  best_validation_loss_ = state.best_validation_loss;
+  split_validation_ = std::move(state.validation_indices);
+  split_training_ = std::move(state.training_indices);
+  resume_history_ = std::move(state.history);
+  resumed_ = true;
+  last_checkpoint_ = path;
+  // The tensors were written in place; weight-derived caches must refresh.
+  for (nn::Parameter* param : model_.parameters()) {
+    param->bump_version();
+  }
+  return result;
+}
+
+void Trainer::rollback_to_last_checkpoint() {
+  if (last_checkpoint_.empty()) {
+    return;  // nothing saved yet: containment degrades to skip-batch
+  }
+  std::vector<nn::NamedTensor> tensors;
+  model_.collect_state("", tensors);
+  optim::OptimizerState optimizer_state = optimizer_.state();
+  for (const nn::NamedTensor& slot : optimizer_state.slots) {
+    tensors.push_back(slot);
+  }
+  std::vector<nn::NamedBlob> blobs(1);
+  blobs[0].name = kTrainerStateBlob;
+  const nn::LoadResult result =
+      nn::load_archive(last_checkpoint_, tensors, &blobs);
+  TrainerStateBlob state;
+  if (!result.ok() || !decode_trainer_state(blobs[0].bytes, state)) {
+    HOTSPOT_LOG(kWarning) << "rollback to " << last_checkpoint_
+                          << " failed: " << result.message;
+    return;
+  }
+  // Weights and moments are restored; the RNG stream and history keep
+  // running so the epoch loop's bookkeeping stays consistent.
+  optimizer_state.step_count = state.optimizer_step;
+  optimizer_state.learning_rate = state.learning_rate;
+  optimizer_.load_state(optimizer_state);
+  for (nn::Parameter* param : model_.parameters()) {
+    param->bump_version();
+  }
+}
+
 std::vector<EpochStats> Trainer::train(const dataset::HotspotDataset& data) {
   HOTSPOT_CHECK(!data.empty()) << "cannot train on an empty dataset";
-  // Split off a validation slice for the plateau scheduler.
-  std::vector<std::size_t> all = data.all_indices(&rng_);
-  const auto validation_count = static_cast<std::size_t>(
-      static_cast<double>(all.size()) * config_.validation_fraction);
-  const std::vector<std::size_t> validation(all.begin(),
-                                            all.begin() + validation_count);
-  std::vector<std::size_t> training(all.begin() + validation_count,
-                                    all.end());
+  // Split off a validation slice for the plateau scheduler. A resumed run
+  // reuses the checkpointed split instead of re-drawing it: the original
+  // draw already advanced the training stream, and replaying it against the
+  // restored stream would desynchronize every epoch after the checkpoint.
+  if (resumed_) {
+    for (const std::size_t index : split_validation_) {
+      HOTSPOT_CHECK(index < data.size())
+          << "checkpoint split index " << index
+          << " out of range; resumed against a different dataset?";
+    }
+    for (const std::size_t index : split_training_) {
+      HOTSPOT_CHECK(index < data.size())
+          << "checkpoint split index " << index
+          << " out of range; resumed against a different dataset?";
+    }
+  } else {
+    std::vector<std::size_t> all = data.all_indices(&rng_);
+    const auto validation_count = static_cast<std::size_t>(
+        static_cast<double>(all.size()) * config_.validation_fraction);
+    split_validation_.assign(all.begin(), all.begin() + validation_count);
+    split_training_.assign(all.begin() + validation_count, all.end());
+  }
+  const std::vector<std::size_t>& validation = split_validation_;
+  std::vector<std::size_t> training = split_training_;
   HOTSPOT_CHECK(!training.empty()) << "validation split consumed all data";
   HOTSPOT_CHECK_GE(config_.hotspot_oversample, 1);
   if (config_.hotspot_oversample > 1) {
@@ -114,13 +435,26 @@ std::vector<EpochStats> Trainer::train(const dataset::HotspotDataset& data) {
 
   optim::PlateauDecay scheduler(optimizer_, config_.plateau_factor,
                                 config_.plateau_patience);
-  std::vector<EpochStats> history;
-  auto run_phase = [&](int epochs, float bias, bool finetune) {
+  if (have_scheduler_state_) {
+    scheduler.load_state(scheduler_state_);
+  }
+  std::vector<EpochStats> history =
+      resumed_ ? std::move(resume_history_) : std::vector<EpochStats>{};
+  resume_history_.clear();
+  const std::size_t total_epochs =
+      static_cast<std::size_t>(config_.epochs + config_.finetune_epochs);
+
+  auto run_phase = [&](int phase_start, int epochs, float bias,
+                       bool finetune) {
     for (int epoch = 0; epoch < epochs; ++epoch) {
+      const int global_epoch = phase_start + epoch;
+      if (static_cast<int>(history.size()) > global_epoch) {
+        continue;  // completed before the checkpoint we resumed from
+      }
       EpochStats stats;
-      stats.epoch = static_cast<int>(history.size());
+      stats.epoch = global_epoch;
       stats.finetune = finetune;
-      stats.train_loss = run_epoch(data, training, bias, rng_);
+      run_epoch(data, training, bias, rng_, stats);
       stats.validation_loss = validation.empty()
                                   ? stats.train_loss
                                   : evaluate_loss(data, validation);
@@ -133,13 +467,40 @@ std::vector<EpochStats> Trainer::train(const dataset::HotspotDataset& data) {
                            << " lr=" << stats.learning_rate;
       }
       history.push_back(stats);
+
+      if (stats.validation_loss < best_validation_loss_) {
+        best_validation_loss_ = stats.validation_loss;
+        if (!config_.checkpoint_path.empty()) {
+          const nn::SaveResult saved = nn::save_checkpoint(
+              config_.checkpoint_path + ".best", model_);
+          if (!saved.ok()) {
+            HOTSPOT_LOG(kWarning)
+                << "best-model snapshot failed: " << saved.message;
+          }
+        }
+      }
+      if (!config_.checkpoint_path.empty() &&
+          (history.size() % static_cast<std::size_t>(config_.checkpoint_every) ==
+               0 ||
+           history.size() == total_epochs)) {
+        const nn::SaveResult saved = save_training_checkpoint(
+            config_.checkpoint_path, scheduler, history);
+        if (saved.ok()) {
+          last_checkpoint_ = config_.checkpoint_path;
+        } else {
+          // Training is healthier than the disk: keep going; the previous
+          // snapshot (if any) is still intact thanks to the atomic write.
+          HOTSPOT_LOG(kWarning) << "checkpoint failed: " << saved.message;
+        }
+      }
     }
   };
 
   // Main phase with hard labels (Algorithm 1), then the biased finetune
   // (Sec. 3.4.3).
-  run_phase(config_.epochs, 0.0f, /*finetune=*/false);
-  run_phase(config_.finetune_epochs, config_.bias_epsilon, /*finetune=*/true);
+  run_phase(0, config_.epochs, 0.0f, /*finetune=*/false);
+  run_phase(config_.epochs, config_.finetune_epochs, config_.bias_epsilon,
+            /*finetune=*/true);
   model_.set_training(false);
   return history;
 }

@@ -9,17 +9,42 @@
 // The trainer is model-agnostic (anything producing [n,2] logits) and the
 // batch builder is pluggable so the DAC'17 baseline can feed DCT feature
 // tensors through the same loop.
+//
+// Fault tolerance: with `checkpoint_path` set the trainer writes an atomic
+// snapshot every `checkpoint_every` epochs carrying the model tensors, NAdam
+// moment buffers, LR-scheduler progress, the RNG stream, epoch counters, and
+// the per-epoch history. resume_from() restores all of it, and because the
+// train/validation split travels with the checkpoint (instead of being
+// re-drawn against the restored stream), a resumed train() replays the
+// remaining epochs bit-identically to an uninterrupted run. A per-batch
+// numeric-health guard watches the loss and
+// gradient norm for NaN/Inf and applies a configurable containment policy.
 #pragma once
 
 #include <functional>
+#include <limits>
+#include <string>
 
 #include "dataset/dataset.h"
 #include "nn/loss.h"
 #include "nn/module.h"
+#include "nn/serialize.h"
 #include "optim/lr_scheduler.h"
 #include "optim/nadam.h"
 
 namespace hotspot::core {
+
+// What to do when a batch produces a non-finite loss or gradient norm. Every
+// policy except kOff refuses to apply the poisoned update; they differ in
+// how aggressively they contain the blow-up.
+enum class NumericPolicy {
+  kOff,       // no detection: apply the update (pre-guard behaviour)
+  kSkipBatch, // drop the update, keep going
+  kHalveLr,   // drop the update and halve the learning rate
+  kRollback,  // drop the update and reload the last saved checkpoint's
+              // weights + optimizer moments (falls back to kSkipBatch when
+              // no checkpoint exists yet)
+};
 
 struct TrainerConfig {
   int batch_size = 32;
@@ -39,6 +64,17 @@ struct TrainerConfig {
   double grad_clip = 5.0;          // 0 disables clipping
   std::uint64_t seed = 1;
   bool verbose = false;
+
+  // NaN/Inf containment (see NumericPolicy). Detection costs one gradient-
+  // norm pass per batch, which the default grad_clip already pays.
+  NumericPolicy numeric_policy = NumericPolicy::kSkipBatch;
+
+  // Empty disables periodic checkpoints. When set, a full training snapshot
+  // is written atomically to this path every `checkpoint_every` epochs (and
+  // after the final epoch), and the best-validation model so far is kept at
+  // "<checkpoint_path>.best".
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
 };
 
 struct EpochStats {
@@ -47,6 +83,10 @@ struct EpochStats {
   double train_loss = 0.0;
   double validation_loss = 0.0;
   float learning_rate = 0.0f;
+  // Numeric-health guard activity: batches whose loss/gradients came back
+  // NaN/Inf, and batches whose update was dropped in response.
+  int numeric_events = 0;
+  int skipped_batches = 0;
 };
 
 // Assembles the model-input tensor for the given sample indices.
@@ -63,18 +103,43 @@ class Trainer {
           BatchBuilder batch_builder = image_batch_builder());
 
   // Runs the main phase then the biased finetune phase; returns per-epoch
-  // statistics (main epochs first).
+  // statistics (main epochs first). After resume_from(), already-completed
+  // epochs are skipped and their stats are returned verbatim, so the full
+  // history is identical to an uninterrupted run.
   std::vector<EpochStats> train(const dataset::HotspotDataset& data);
 
+  // Restores a snapshot written by a previous run with the same config,
+  // model architecture, and dataset. Call before train(). Returns a typed
+  // error (missing / truncated / corrupt / shape mismatch) on failure; the
+  // trainer is left untouched unless the result is ok().
+  nn::LoadResult resume_from(const std::string& path);
+
+  // Path of the newest successfully written snapshot ("" until one exists;
+  // resume_from() seeds it with the resumed path).
+  const std::string& last_checkpoint_path() const { return last_checkpoint_; }
+
+  // Lowest validation loss observed so far (+inf before the first epoch).
+  double best_validation_loss() const { return best_validation_loss_; }
+
  private:
-  // One pass over `indices` with the given label bias; returns mean loss.
-  double run_epoch(const dataset::HotspotDataset& data,
-                   const std::vector<std::size_t>& indices,
-                   float bias_epsilon, util::Rng& rng);
+  // One pass over `indices` with the given label bias; fills stats.
+  void run_epoch(const dataset::HotspotDataset& data,
+                 const std::vector<std::size_t>& indices, float bias_epsilon,
+                 util::Rng& rng, EpochStats& stats);
 
   // Mean loss over `indices` without updates (validation).
   double evaluate_loss(const dataset::HotspotDataset& data,
                        const std::vector<std::size_t>& indices);
+
+  // Atomic full-state snapshot (model + optimizer + scheduler + RNG +
+  // history).
+  nn::SaveResult save_training_checkpoint(
+      const std::string& path, const optim::PlateauDecay& scheduler,
+      const std::vector<EpochStats>& history);
+
+  // kRollback containment: reload weights and optimizer state from
+  // last_checkpoint_, leaving the RNG stream and history untouched.
+  void rollback_to_last_checkpoint();
 
   nn::Module& model_;
   TrainerConfig config_;
@@ -82,6 +147,18 @@ class Trainer {
   optim::NAdam optimizer_;
   nn::SoftmaxCrossEntropy loss_;
   util::Rng rng_;
+
+  std::string last_checkpoint_;
+  double best_validation_loss_ = std::numeric_limits<double>::infinity();
+  bool resumed_ = false;
+  std::vector<EpochStats> resume_history_;
+  optim::PlateauDecay::State scheduler_state_{};
+  bool have_scheduler_state_ = false;
+  // Train/validation split of the in-progress run. The fresh path draws it
+  // from the training stream; resume_from() restores it from the checkpoint
+  // (the training list is the pre-oversample base).
+  std::vector<std::size_t> split_validation_;
+  std::vector<std::size_t> split_training_;
 };
 
 // Batched inference over a whole dataset; returns predicted labels in

@@ -1,143 +1,514 @@
 #include "nn/serialize.h"
 
-#include <cstdint>
-#include <fstream>
+#include <unistd.h>
 
-#include "util/logging.h"
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
 
 namespace hotspot::nn {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x48535054;  // "HSPT"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kFormatVersion = 2;
 
-void write_u32(std::ostream& out, std::uint32_t value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+// Hard sanity caps. A well-formed checkpoint is nowhere near these; a file
+// that claims to exceed them is damaged or hostile, and we reject it before
+// allocating anything it asked for.
+constexpr std::uint32_t kMaxSectionEntries = 1u << 20;
+constexpr std::uint32_t kMaxNameLength = 4096;
+constexpr std::uint32_t kMaxRank = 8;
+constexpr std::int64_t kMaxElements = std::int64_t{1} << 36;
+
+// magic + version + tensor_count + blob_count + crc footer.
+constexpr std::int64_t kMinArchiveBytes = 20;
+
+// Writes the archive to "<path>.tmp"; finalize() publishes it with an
+// atomic rename. Any earlier exit (error, injected fault, destructor)
+// leaves the target path untouched and removes the temp file.
+class ArchiveWriter {
+ public:
+  explicit ArchiveWriter(std::string path)
+      : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+    file_ = std::fopen(tmp_path_.c_str(), "wb");
+    if (file_ == nullptr) {
+      error_ = tmp_path_ + ": cannot open for writing";
+    }
+  }
+
+  ~ArchiveWriter() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      std::remove(tmp_path_.c_str());
+    }
+  }
+
+  bool ok() const { return file_ != nullptr && error_.empty(); }
+
+  bool write(const void* data, std::size_t size) {
+    if (!ok()) {
+      return false;
+    }
+    if (util::fault_should_fail(util::FaultPoint::kCheckpointWrite)) {
+      // Simulate a crash mid-write: part of the chunk reaches the file, the
+      // rest never does.
+      std::fwrite(data, 1, size / 2, file_);
+      error_ = tmp_path_ + ": injected write fault";
+      return false;
+    }
+    if (std::fwrite(data, 1, size, file_) != size) {
+      error_ = tmp_path_ + ": write failed";
+      return false;
+    }
+    crc_.update(data, size);
+    return true;
+  }
+
+  bool write_u32(std::uint32_t value) { return write(&value, sizeof(value)); }
+  bool write_u64(std::uint64_t value) { return write(&value, sizeof(value)); }
+  bool write_i64(std::int64_t value) { return write(&value, sizeof(value)); }
+
+  bool write_string(const std::string& text) {
+    return write_u32(static_cast<std::uint32_t>(text.size())) &&
+           write(text.data(), text.size());
+  }
+
+  SaveResult finalize() {
+    // The footer is the CRC of everything before it.
+    const std::uint32_t crc = crc_.value();
+    if (!write(&crc, sizeof(crc))) {
+      return fail();
+    }
+    if (util::fault_should_fail(util::FaultPoint::kCheckpointFlush)) {
+      error_ = tmp_path_ + ": injected flush fault";
+      return fail();
+    }
+    if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+      error_ = tmp_path_ + ": flush/fsync failed";
+      return fail();
+    }
+    const bool closed = std::fclose(file_) == 0;
+    file_ = nullptr;  // destructor must not double-close or remove
+    if (!closed) {
+      error_ = tmp_path_ + ": close failed";
+      std::remove(tmp_path_.c_str());
+      return SaveResult::failure(IoStatus::kWriteFailed, error_);
+    }
+    if (util::fault_should_fail(util::FaultPoint::kCheckpointRename)) {
+      error_ = path_ + ": injected rename fault";
+      std::remove(tmp_path_.c_str());
+      return SaveResult::failure(IoStatus::kWriteFailed, error_);
+    }
+    if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+      error_ = path_ + ": rename from temp failed";
+      std::remove(tmp_path_.c_str());
+      return SaveResult::failure(IoStatus::kWriteFailed, error_);
+    }
+    return SaveResult::success();
+  }
+
+  SaveResult fail() const {
+    return SaveResult::failure(IoStatus::kWriteFailed, error_);
+  }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::FILE* file_ = nullptr;
+  util::Crc32 crc_;
+  std::string error_;
+};
+
+// Sequential reader over the payload (everything before the CRC footer).
+// Every read is bounds-checked against the real file size, so no length
+// field from disk can drive a read — or an allocation — past the data that
+// actually exists.
+class ArchiveReader {
+ public:
+  explicit ArchiveReader(const std::string& path)
+      : file_size_(util::file_size_of(path)) {
+    if (file_size_ >= 0) {
+      in_.open(path, std::ios::binary);
+    }
+    payload_size_ = file_size_ < kMinArchiveBytes
+                        ? 0
+                        : file_size_ - static_cast<std::int64_t>(sizeof(std::uint32_t));
+  }
+
+  bool opened() const { return file_size_ >= 0 && in_.is_open(); }
+  std::int64_t file_size() const { return file_size_; }
+  std::int64_t remaining() const { return payload_size_ - consumed_; }
+
+  bool read(void* out, std::size_t size) {
+    if (static_cast<std::int64_t>(size) > remaining()) {
+      return false;
+    }
+    in_.read(static_cast<char*>(out), static_cast<std::streamsize>(size));
+    if (!in_.good()) {
+      return false;
+    }
+    crc_.update(out, size);
+    consumed_ += static_cast<std::int64_t>(size);
+    return true;
+  }
+
+  bool read_u32(std::uint32_t& value) { return read(&value, sizeof(value)); }
+  bool read_u64(std::uint64_t& value) { return read(&value, sizeof(value)); }
+  bool read_i64(std::int64_t& value) { return read(&value, sizeof(value)); }
+
+  // Consumes `size` bytes without storing them (still checksummed).
+  bool skip(std::int64_t size) {
+    char scratch[4096];
+    while (size > 0) {
+      const auto chunk = static_cast<std::size_t>(
+          size < static_cast<std::int64_t>(sizeof(scratch))
+              ? size
+              : static_cast<std::int64_t>(sizeof(scratch)));
+      if (!read(scratch, chunk)) {
+        return false;
+      }
+      size -= static_cast<std::int64_t>(chunk);
+    }
+    return true;
+  }
+
+  // Reads the footer, which sits outside the checksummed payload.
+  bool read_footer(std::uint32_t& value) {
+    in_.read(reinterpret_cast<char*>(&value), sizeof(value));
+    return in_.good();
+  }
+
+  std::uint32_t crc() const { return crc_.value(); }
+
+ private:
+  std::int64_t file_size_;
+  std::int64_t payload_size_ = 0;
+  std::int64_t consumed_ = 0;
+  std::ifstream in_;
+  util::Crc32 crc_;
+};
+
+LoadResult fail(IoStatus status, const std::string& path,
+                const std::string& detail) {
+  return LoadResult::failure(status, path + ": " + detail);
 }
 
-void write_i64(std::ostream& out, std::int64_t value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
-
-void write_string(std::ostream& out, const std::string& text) {
-  write_u32(out, static_cast<std::uint32_t>(text.size()));
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
-}
-
-bool read_u32(std::istream& in, std::uint32_t& value) {
-  in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  return in.good();
-}
-
-bool read_i64(std::istream& in, std::int64_t& value) {
-  in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  return in.good();
-}
-
-bool read_string(std::istream& in, std::string& text) {
+// Reads a length-prefixed string, validating the length against both the
+// name cap and the bytes actually left in the file before resizing.
+LoadResult read_name(ArchiveReader& reader, const std::string& path,
+                     std::string& text) {
   std::uint32_t length = 0;
-  if (!read_u32(in, length)) {
-    return false;
+  if (!reader.read_u32(length)) {
+    return fail(IoStatus::kTruncated, path, "file ends inside a name length");
+  }
+  if (length > kMaxNameLength) {
+    std::ostringstream detail;
+    detail << "name length " << length << " exceeds cap " << kMaxNameLength;
+    return fail(IoStatus::kCorrupt, path, detail.str());
+  }
+  if (static_cast<std::int64_t>(length) > reader.remaining()) {
+    return fail(IoStatus::kTruncated, path, "file ends inside a name");
   }
   text.resize(length);
-  in.read(text.data(), static_cast<std::streamsize>(length));
-  return in.good();
+  if (!reader.read(text.data(), length)) {
+    return fail(IoStatus::kTruncated, path, "file ends inside a name");
+  }
+  return LoadResult::success();
 }
 
 }  // namespace
 
-bool save_tensors(const std::string& path,
-                  const std::vector<NamedTensor>& tensors) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    HOTSPOT_LOG(kError) << "cannot open " << path << " for writing";
-    return false;
+const char* io_status_name(IoStatus status) {
+  switch (status) {
+    case IoStatus::kOk:
+      return "ok";
+    case IoStatus::kMissing:
+      return "missing";
+    case IoStatus::kTruncated:
+      return "truncated";
+    case IoStatus::kCorrupt:
+      return "corrupt";
+    case IoStatus::kBadFormat:
+      return "bad-format";
+    case IoStatus::kShapeMismatch:
+      return "shape-mismatch";
+    case IoStatus::kWriteFailed:
+      return "write-failed";
   }
-  write_u32(out, kMagic);
-  write_u32(out, kVersion);
-  write_u32(out, static_cast<std::uint32_t>(tensors.size()));
-  for (const auto& entry : tensors) {
-    write_string(out, entry.name);
-    const auto& shape = entry.value->shape();
-    write_u32(out, static_cast<std::uint32_t>(shape.size()));
-    for (const auto extent : shape) {
-      write_i64(out, extent);
-    }
-    out.write(reinterpret_cast<const char*>(entry.value->data()),
-              static_cast<std::streamsize>(entry.value->numel() *
-                                           sizeof(float)));
-  }
-  return out.good();
+  return "unknown";
 }
 
-bool load_tensors(const std::string& path,
-                  const std::vector<NamedTensor>& tensors) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    HOTSPOT_LOG(kError) << "cannot open " << path << " for reading";
-    return false;
+SaveResult save_archive(const std::string& path,
+                        const std::vector<NamedTensor>& tensors,
+                        const std::vector<NamedBlob>& blobs) {
+  HOTSPOT_CHECK(tensors.size() <= kMaxSectionEntries);
+  HOTSPOT_CHECK(blobs.size() <= kMaxSectionEntries);
+  ArchiveWriter writer(path);
+  if (!writer.ok()) {
+    return writer.fail();
   }
-  std::uint32_t magic = 0;
-  std::uint32_t version = 0;
-  std::uint32_t count = 0;
-  if (!read_u32(in, magic) || magic != kMagic) {
-    HOTSPOT_LOG(kError) << path << ": bad magic";
-    return false;
-  }
-  if (!read_u32(in, version) || version != kVersion) {
-    HOTSPOT_LOG(kError) << path << ": unsupported version " << version;
-    return false;
-  }
-  if (!read_u32(in, count) ||
-      count != static_cast<std::uint32_t>(tensors.size())) {
-    HOTSPOT_LOG(kError) << path << ": tensor count mismatch (file " << count
-                        << ", model " << tensors.size() << ")";
-    return false;
+  if (!writer.write_u32(kMagic) || !writer.write_u32(kFormatVersion) ||
+      !writer.write_u32(static_cast<std::uint32_t>(tensors.size())) ||
+      !writer.write_u32(static_cast<std::uint32_t>(blobs.size()))) {
+    return writer.fail();
   }
   for (const auto& entry : tensors) {
-    std::string name;
-    if (!read_string(in, name) || name != entry.name) {
-      HOTSPOT_LOG(kError) << path << ": expected tensor '" << entry.name
-                          << "', found '" << name << "'";
-      return false;
+    HOTSPOT_CHECK(entry.value != nullptr) << "null tensor '" << entry.name << "'";
+    HOTSPOT_CHECK(entry.name.size() <= kMaxNameLength);
+    const auto& shape = entry.value->shape();
+    HOTSPOT_CHECK(shape.size() <= kMaxRank)
+        << "rank " << shape.size() << " for '" << entry.name << "'";
+    if (!writer.write_string(entry.name) ||
+        !writer.write_u32(static_cast<std::uint32_t>(shape.size()))) {
+      return writer.fail();
     }
-    std::uint32_t rank = 0;
-    if (!read_u32(in, rank)) {
-      return false;
-    }
-    tensor::Shape shape(rank);
-    for (auto& extent : shape) {
-      if (!read_i64(in, extent)) {
-        return false;
+    for (const auto extent : shape) {
+      if (!writer.write_i64(extent)) {
+        return writer.fail();
       }
     }
-    if (shape != entry.value->shape()) {
-      HOTSPOT_LOG(kError) << path << ": shape mismatch for '" << entry.name
-                          << "': file " << tensor::shape_to_string(shape)
-                          << " vs model "
-                          << tensor::shape_to_string(entry.value->shape());
-      return false;
-    }
-    in.read(reinterpret_cast<char*>(entry.value->data()),
-            static_cast<std::streamsize>(entry.value->numel() *
-                                         sizeof(float)));
-    if (!in.good()) {
-      return false;
+    if (!writer.write(entry.value->data(),
+                      static_cast<std::size_t>(entry.value->numel()) *
+                          sizeof(float))) {
+      return writer.fail();
     }
   }
-  return true;
+  for (const auto& blob : blobs) {
+    HOTSPOT_CHECK(blob.name.size() <= kMaxNameLength);
+    if (!writer.write_string(blob.name) ||
+        !writer.write_u64(blob.bytes.size()) ||
+        !writer.write(blob.bytes.data(), blob.bytes.size())) {
+      return writer.fail();
+    }
+  }
+  return writer.finalize();
 }
 
-bool save_checkpoint(const std::string& path, Module& module) {
+LoadResult load_archive(const std::string& path,
+                        const std::vector<NamedTensor>& tensors,
+                        std::vector<NamedBlob>* blobs) {
+  ArchiveReader reader(path);
+  if (!reader.opened()) {
+    return fail(IoStatus::kMissing, path, "cannot open for reading");
+  }
+  if (reader.file_size() < kMinArchiveBytes) {
+    std::ostringstream detail;
+    detail << "only " << reader.file_size() << " bytes; smaller than any valid archive";
+    return fail(IoStatus::kTruncated, path, detail.str());
+  }
+
+  std::uint32_t magic = 0, version = 0, tensor_count = 0, blob_count = 0;
+  if (!reader.read_u32(magic) || !reader.read_u32(version) ||
+      !reader.read_u32(tensor_count) || !reader.read_u32(blob_count)) {
+    return fail(IoStatus::kTruncated, path, "file ends inside the header");
+  }
+  if (magic != kMagic) {
+    return fail(IoStatus::kBadFormat, path, "not an HSPT checkpoint (bad magic)");
+  }
+  if (version != kFormatVersion) {
+    std::ostringstream detail;
+    detail << "unsupported format version " << version << " (expected "
+           << kFormatVersion << ")";
+    return fail(IoStatus::kBadFormat, path, detail.str());
+  }
+  if (tensor_count > kMaxSectionEntries || blob_count > kMaxSectionEntries) {
+    return fail(IoStatus::kCorrupt, path, "implausible section count");
+  }
+  // Full-state loads (blobs requested) demand an exact tensor count. Model-
+  // only loads accept extra trailing tensors so that a deployment
+  // load_checkpoint() can read the model out of a full training snapshot,
+  // which appends optimizer moment buffers after the model tensors; the
+  // extras are still structurally validated and checksummed below.
+  if (blobs != nullptr ? tensor_count != tensors.size()
+                       : tensor_count < tensors.size()) {
+    std::ostringstream detail;
+    detail << "tensor count mismatch (file " << tensor_count << ", model "
+           << tensors.size() << ")";
+    return fail(IoStatus::kShapeMismatch, path, detail.str());
+  }
+  if (blobs != nullptr && blob_count != blobs->size()) {
+    std::ostringstream detail;
+    detail << "blob count mismatch (file " << blob_count << ", expected "
+           << blobs->size() << ")";
+    return fail(IoStatus::kShapeMismatch, path, detail.str());
+  }
+
+  for (const auto& entry : tensors) {
+    std::string name;
+    if (const LoadResult result = read_name(reader, path, name); !result) {
+      return result;
+    }
+    if (name != entry.name) {
+      return fail(IoStatus::kShapeMismatch, path,
+                  "expected tensor '" + entry.name + "', found '" + name + "'");
+    }
+    std::uint32_t rank = 0;
+    if (!reader.read_u32(rank)) {
+      return fail(IoStatus::kTruncated, path,
+                  "file ends inside '" + name + "' rank");
+    }
+    if (rank > kMaxRank) {
+      std::ostringstream detail;
+      detail << "rank " << rank << " for '" << name << "' exceeds cap "
+             << kMaxRank;
+      return fail(IoStatus::kCorrupt, path, detail.str());
+    }
+    tensor::Shape shape(rank);
+    std::int64_t numel = 1;
+    for (auto& extent : shape) {
+      if (!reader.read_i64(extent)) {
+        return fail(IoStatus::kTruncated, path,
+                    "file ends inside '" + name + "' shape");
+      }
+      if (extent < 0 || (extent != 0 && numel > kMaxElements / extent)) {
+        return fail(IoStatus::kCorrupt, path,
+                    "implausible extent in '" + name + "' shape");
+      }
+      numel *= extent;
+    }
+    if (shape != entry.value->shape()) {
+      return fail(IoStatus::kShapeMismatch, path,
+                  "shape mismatch for '" + name + "': file " +
+                      tensor::shape_to_string(shape) + " vs model " +
+                      tensor::shape_to_string(entry.value->shape()));
+    }
+    const std::int64_t bytes = numel * static_cast<std::int64_t>(sizeof(float));
+    if (bytes > reader.remaining()) {
+      return fail(IoStatus::kTruncated, path,
+                  "file ends inside '" + name + "' data");
+    }
+    if (!reader.read(entry.value->data(), static_cast<std::size_t>(bytes))) {
+      return fail(IoStatus::kTruncated, path,
+                  "file ends inside '" + name + "' data");
+    }
+  }
+
+  // Trailing tensors a model-only load does not ask for (e.g. optimizer
+  // moments in a training snapshot): validate their structure with the same
+  // caps, then skip the data so it still feeds the checksum.
+  for (std::uint32_t index = static_cast<std::uint32_t>(tensors.size());
+       index < tensor_count; ++index) {
+    std::string name;
+    if (const LoadResult result = read_name(reader, path, name); !result) {
+      return result;
+    }
+    std::uint32_t rank = 0;
+    if (!reader.read_u32(rank)) {
+      return fail(IoStatus::kTruncated, path,
+                  "file ends inside '" + name + "' rank");
+    }
+    if (rank > kMaxRank) {
+      std::ostringstream detail;
+      detail << "rank " << rank << " for '" << name << "' exceeds cap "
+             << kMaxRank;
+      return fail(IoStatus::kCorrupt, path, detail.str());
+    }
+    std::int64_t numel = 1;
+    for (std::uint32_t axis = 0; axis < rank; ++axis) {
+      std::int64_t extent = 0;
+      if (!reader.read_i64(extent)) {
+        return fail(IoStatus::kTruncated, path,
+                    "file ends inside '" + name + "' shape");
+      }
+      if (extent < 0 || (extent != 0 && numel > kMaxElements / extent)) {
+        return fail(IoStatus::kCorrupt, path,
+                    "implausible extent in '" + name + "' shape");
+      }
+      numel *= extent;
+    }
+    const std::int64_t bytes = numel * static_cast<std::int64_t>(sizeof(float));
+    if (bytes > reader.remaining() || !reader.skip(bytes)) {
+      return fail(IoStatus::kTruncated, path,
+                  "file ends inside '" + name + "' data");
+    }
+  }
+
+  for (std::uint32_t index = 0; index < blob_count; ++index) {
+    std::string name;
+    if (const LoadResult result = read_name(reader, path, name); !result) {
+      return result;
+    }
+    std::uint64_t byte_count = 0;
+    if (!reader.read_u64(byte_count)) {
+      return fail(IoStatus::kTruncated, path,
+                  "file ends inside blob '" + name + "' length");
+    }
+    if (byte_count > static_cast<std::uint64_t>(reader.remaining())) {
+      return fail(IoStatus::kTruncated, path,
+                  "file ends inside blob '" + name + "'");
+    }
+    if (blobs == nullptr) {
+      if (!reader.skip(static_cast<std::int64_t>(byte_count))) {
+        return fail(IoStatus::kTruncated, path,
+                    "file ends inside blob '" + name + "'");
+      }
+      continue;
+    }
+    NamedBlob& expected = (*blobs)[index];
+    if (name != expected.name) {
+      return fail(IoStatus::kShapeMismatch, path,
+                  "expected blob '" + expected.name + "', found '" + name +
+                      "'");
+    }
+    expected.bytes.resize(static_cast<std::size_t>(byte_count));
+    if (!reader.read(expected.bytes.data(),
+                     static_cast<std::size_t>(byte_count))) {
+      return fail(IoStatus::kTruncated, path,
+                  "file ends inside blob '" + name + "'");
+    }
+  }
+
+  if (reader.remaining() != 0) {
+    std::ostringstream detail;
+    detail << reader.remaining() << " trailing bytes after the blob section";
+    return fail(IoStatus::kCorrupt, path, detail.str());
+  }
+  std::uint32_t stored_crc = 0;
+  if (!reader.read_footer(stored_crc)) {
+    return fail(IoStatus::kTruncated, path, "file ends inside the CRC footer");
+  }
+  if (stored_crc != reader.crc()) {
+    std::ostringstream detail;
+    detail << "checksum mismatch (stored " << std::hex << stored_crc
+           << ", computed " << reader.crc() << ")";
+    return fail(IoStatus::kCorrupt, path, detail.str());
+  }
+  return LoadResult::success();
+}
+
+SaveResult save_tensors(const std::string& path,
+                        const std::vector<NamedTensor>& tensors) {
+  return save_archive(path, tensors, {});
+}
+
+LoadResult load_tensors(const std::string& path,
+                        const std::vector<NamedTensor>& tensors) {
+  return load_archive(path, tensors, nullptr);
+}
+
+SaveResult save_checkpoint(const std::string& path, Module& module) {
   std::vector<NamedTensor> state;
   module.collect_state("", state);
   return save_tensors(path, state);
 }
 
-bool load_checkpoint(const std::string& path, Module& module) {
+LoadResult load_checkpoint(const std::string& path, Module& module) {
   std::vector<NamedTensor> state;
   module.collect_state("", state);
-  return load_tensors(path, state);
+  const LoadResult result = load_tensors(path, state);
+  if (result.ok()) {
+    // Loaded weights invalidate anything derived from the old values (e.g.
+    // packed binary filter caches keyed on the parameter version).
+    for (Parameter* param : module.parameters()) {
+      param->bump_version();
+    }
+  }
+  return result;
 }
 
 }  // namespace hotspot::nn

@@ -1,11 +1,33 @@
-// Binary checkpoint format for model state.
+// Crash-safe binary checkpoint format for model and training state.
 //
-// Layout: magic "HSPT" + version, tensor count, then for each tensor its
-// name, shape, and raw float32 data (little-endian host order). Loading is
-// strict: names, order, and shapes must match the target model, which makes
-// silent architecture drift impossible.
+// Archive layout (format version 2, little-endian host order):
+//
+//   u32 magic "HSPT" | u32 version | u32 tensor_count | u32 blob_count
+//   tensor_count x { u32 name_len, name, u32 rank, i64 extents[rank],
+//                    f32 data[numel] }
+//   blob_count   x { u32 name_len, name, u64 byte_count, bytes }
+//   u32 crc32 over every preceding byte (IEEE 802.3 / zlib polynomial)
+//
+// Robustness guarantees:
+//   * Every length / count / extent read from disk is validated against hard
+//     caps AND the actual file size before any allocation or read — a
+//     truncated or bit-flipped file yields a typed error, never an attacker-
+//     controlled allocation or an abort.
+//   * The CRC footer distinguishes bit rot in payload bytes from genuine
+//     data, so a flipped weight bit is kCorrupt, not a silently-wrong model.
+//   * Writes are atomic: the archive is written to "<path>.tmp", flushed,
+//     fsync'ed, and renamed over the target. A crash (or injected fault, see
+//     util/fault_injection.h) at any point leaves the previous file — or no
+//     file — fully intact; readers can never observe a torn archive at
+//     `path`.
+//   * Loading is strict: tensor names, order, and shapes must match the
+//     target model, making silent architecture drift impossible. The blob
+//     section carries non-tensor training state (optimizer counters, RNG
+//     streams); model-only loads skip it, so a deployment can read just the
+//     weights out of a full training checkpoint.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -13,18 +35,73 @@
 
 namespace hotspot::nn {
 
-// Writes the module's state (collect_state) to `path`. Returns false on I/O
-// failure.
-bool save_checkpoint(const std::string& path, Module& module);
+// Why an I/O operation failed; lets callers distinguish "no checkpoint yet"
+// from "checkpoint damaged" from "wrong architecture".
+enum class IoStatus {
+  kOk = 0,
+  kMissing,        // file does not exist / cannot be opened
+  kTruncated,      // file ends before the data it declares
+  kCorrupt,        // CRC mismatch, implausible field, or trailing bytes
+  kBadFormat,      // not an HSPT archive / unsupported version
+  kShapeMismatch,  // tensor names/shapes do not match the target model
+  kWriteFailed,    // write, flush, or rename failed (or was fault-injected)
+};
 
-// Reads a checkpoint written by save_checkpoint into the module. Returns
-// false on I/O failure or on any name/shape mismatch.
-bool load_checkpoint(const std::string& path, Module& module);
+const char* io_status_name(IoStatus status);
 
-// Lower-level entry points used by the model registry and tests.
-bool save_tensors(const std::string& path,
-                  const std::vector<NamedTensor>& tensors);
-bool load_tensors(const std::string& path,
-                  const std::vector<NamedTensor>& tensors);
+// Typed result for checkpoint I/O. Converts to bool (true = success) so
+// existing `if (!load_checkpoint(...))` call sites keep working.
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::string message;  // human-readable detail for logs / CLI errors
+
+  bool ok() const { return status == IoStatus::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  static IoResult success() { return {}; }
+  static IoResult failure(IoStatus status, std::string message) {
+    return {status, std::move(message)};
+  }
+};
+
+using LoadResult = IoResult;
+using SaveResult = IoResult;
+
+// An opaque named byte payload stored alongside tensors (optimizer moments
+// metadata, RNG state, epoch counters, ...).
+struct NamedBlob {
+  std::string name;
+  std::vector<std::uint8_t> bytes;
+};
+
+// Writes tensors + blobs to `path` atomically (tmp + flush + fsync +
+// rename).
+SaveResult save_archive(const std::string& path,
+                        const std::vector<NamedTensor>& tensors,
+                        const std::vector<NamedBlob>& blobs);
+
+// Reads an archive into `tensors` (names/order/shapes must match the start
+// of the file's tensor section). When `blobs` is non-null this is a
+// full-state load: the tensor count must match exactly and the blob
+// entries' names declare the expected blob section, whose `bytes` are
+// filled. When null this is a model-only load: validated trailing tensors
+// (a training snapshot's optimizer moments) and the blob section are
+// skipped, but still CRC-verified. On any failure the tensors may be
+// partially written — callers must treat the model as unusable unless ok().
+LoadResult load_archive(const std::string& path,
+                        const std::vector<NamedTensor>& tensors,
+                        std::vector<NamedBlob>* blobs);
+
+// Tensor-only convenience wrappers (blob section empty on save, ignored on
+// load).
+SaveResult save_tensors(const std::string& path,
+                        const std::vector<NamedTensor>& tensors);
+LoadResult load_tensors(const std::string& path,
+                        const std::vector<NamedTensor>& tensors);
+
+// Writes / reads the module's state (collect_state). load_checkpoint also
+// accepts full training checkpoints, reading just the model tensors.
+SaveResult save_checkpoint(const std::string& path, Module& module);
+LoadResult load_checkpoint(const std::string& path, Module& module);
 
 }  // namespace hotspot::nn

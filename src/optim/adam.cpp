@@ -24,6 +24,17 @@ Adam::Adam(std::vector<nn::Parameter*> params, float learning_rate,
   }
 }
 
+OptimizerState Adam::state() {
+  OptimizerState snapshot = Optimizer::state();
+  snapshot.slots.reserve(2 * params_.size());
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    snapshot.slots.push_back({"adam.m." + std::to_string(p), &first_moment_[p]});
+    snapshot.slots.push_back(
+        {"adam.v." + std::to_string(p), &second_moment_[p]});
+  }
+  return snapshot;
+}
+
 void Adam::step() {
   const auto t = static_cast<double>(step_count_ + 1);
   const double bias1 = 1.0 - std::pow(static_cast<double>(beta1_), t);

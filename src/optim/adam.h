@@ -14,6 +14,9 @@ class Adam : public Optimizer {
 
   void step() override;
 
+  // Moment estimates as "adam.m.<i>" / "adam.v.<i>" checkpoint slots.
+  OptimizerState state() override;
+
  protected:
   float beta1_;
   float beta2_;

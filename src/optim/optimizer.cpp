@@ -25,8 +25,7 @@ void Optimizer::zero_grad() {
   }
 }
 
-void Optimizer::clip_grad_norm(double max_norm) {
-  HOTSPOT_CHECK_GT(max_norm, 0.0);
+double Optimizer::grad_norm() const {
   double total = 0.0;
   for (const nn::Parameter* param : params_) {
     for (std::int64_t i = 0; i < param->grad.numel(); ++i) {
@@ -34,16 +33,38 @@ void Optimizer::clip_grad_norm(double max_norm) {
       total += g * g;
     }
   }
-  const double norm = std::sqrt(total);
-  if (norm <= max_norm) {
-    return;
-  }
-  const auto scale = static_cast<float>(max_norm / norm);
+  return std::sqrt(total);
+}
+
+void Optimizer::scale_gradients(float scale) {
   for (nn::Parameter* param : params_) {
     for (std::int64_t i = 0; i < param->grad.numel(); ++i) {
       param->grad[i] *= scale;
     }
   }
+}
+
+void Optimizer::clip_grad_norm(double max_norm) {
+  HOTSPOT_CHECK_GT(max_norm, 0.0);
+  const double norm = grad_norm();
+  if (norm <= max_norm) {
+    return;
+  }
+  scale_gradients(static_cast<float>(max_norm / norm));
+}
+
+OptimizerState Optimizer::state() {
+  OptimizerState snapshot;
+  snapshot.step_count = step_count_;
+  snapshot.learning_rate = learning_rate_;
+  return snapshot;
+}
+
+void Optimizer::load_state(const OptimizerState& snapshot) {
+  HOTSPOT_CHECK_GE(snapshot.step_count, 0);
+  HOTSPOT_CHECK_GT(snapshot.learning_rate, 0.0f);
+  step_count_ = snapshot.step_count;
+  learning_rate_ = snapshot.learning_rate;
 }
 
 }  // namespace hotspot::optim

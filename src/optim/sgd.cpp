@@ -19,6 +19,17 @@ Sgd::Sgd(std::vector<nn::Parameter*> params, float learning_rate,
   }
 }
 
+OptimizerState Sgd::state() {
+  OptimizerState snapshot = Optimizer::state();
+  if (momentum_ > 0.0f) {
+    snapshot.slots.reserve(params_.size());
+    for (std::size_t p = 0; p < params_.size(); ++p) {
+      snapshot.slots.push_back({"sgd.v." + std::to_string(p), &velocity_[p]});
+    }
+  }
+  return snapshot;
+}
+
 void Sgd::step() {
   for (std::size_t p = 0; p < params_.size(); ++p) {
     nn::Parameter& param = *params_[p];

@@ -14,6 +14,10 @@ class Sgd : public Optimizer {
 
   void step() override;
 
+  // Momentum velocities as "sgd.v.<i>" checkpoint slots (empty when
+  // momentum is disabled).
+  OptimizerState state() override;
+
  private:
   float momentum_;
   bool nesterov_;

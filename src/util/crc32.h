@@ -1,0 +1,32 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) for checkpoint
+// integrity footers. Table-driven, incremental: feed chunks through
+// Crc32::update and read the running value at any point, or hash a whole
+// buffer with crc32_of. A stored CRC lets the loader distinguish "file is
+// structurally plausible but bit-rotted" from "file matches what was
+// written", which is the difference between a typed kCorrupt error and
+// silently training on flipped weights.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hotspot::util {
+
+class Crc32 {
+ public:
+  // Folds `size` bytes at `data` into the running checksum.
+  void update(const void* data, std::size_t size);
+
+  // Checksum of everything fed so far (final xor applied).
+  std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+  void reset() { state_ = 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+// One-shot convenience over a contiguous buffer.
+std::uint32_t crc32_of(const void* data, std::size_t size);
+
+}  // namespace hotspot::util

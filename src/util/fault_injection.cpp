@@ -1,0 +1,121 @@
+#include "util/fault_injection.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <sys/stat.h>
+
+#include "util/check.h"
+
+namespace hotspot::util {
+namespace {
+
+struct PointState {
+  // Remaining probes before the point fires; 0 = disarmed.
+  std::atomic<int> countdown{0};
+  std::atomic<int> trips{0};
+  std::atomic<int> probes{0};
+};
+
+PointState g_points[kFaultPointCount];
+
+PointState& state_for(FaultPoint point) {
+  const int index = static_cast<int>(point);
+  HOTSPOT_CHECK(index >= 0 && index < kFaultPointCount)
+      << "unknown fault point " << index;
+  return g_points[index];
+}
+
+}  // namespace
+
+const char* fault_point_name(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kCheckpointWrite:
+      return "checkpoint-write";
+    case FaultPoint::kCheckpointFlush:
+      return "checkpoint-flush";
+    case FaultPoint::kCheckpointRename:
+      return "checkpoint-rename";
+  }
+  return "unknown";
+}
+
+void fault_arm(FaultPoint point, int countdown) {
+  HOTSPOT_CHECK_GE(countdown, 1);
+  state_for(point).countdown.store(countdown, std::memory_order_relaxed);
+}
+
+void fault_clear(FaultPoint point) {
+  PointState& state = state_for(point);
+  state.countdown.store(0, std::memory_order_relaxed);
+  state.trips.store(0, std::memory_order_relaxed);
+  state.probes.store(0, std::memory_order_relaxed);
+}
+
+void fault_clear_all() {
+  for (int i = 0; i < kFaultPointCount; ++i) {
+    fault_clear(static_cast<FaultPoint>(i));
+  }
+}
+
+bool fault_should_fail(FaultPoint point) {
+  PointState& state = state_for(point);
+  state.probes.fetch_add(1, std::memory_order_relaxed);
+  // Fast path: unarmed points never fail and never write.
+  if (state.countdown.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  if (state.countdown.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    state.trips.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+int fault_trip_count(FaultPoint point) {
+  return state_for(point).trips.load(std::memory_order_relaxed);
+}
+
+int fault_probe_count(FaultPoint point) {
+  return state_for(point).probes.load(std::memory_order_relaxed);
+}
+
+std::int64_t file_size_of(const std::string& path) {
+  struct stat info {};
+  if (::stat(path.c_str(), &info) != 0) {
+    return -1;
+  }
+  return static_cast<std::int64_t>(info.st_size);
+}
+
+bool corrupt_truncate(const std::string& path, std::int64_t new_size) {
+  const std::int64_t size = file_size_of(path);
+  if (size < 0 || new_size < 0 || new_size > size) {
+    return false;
+  }
+  return ::truncate(path.c_str(), static_cast<off_t>(new_size)) == 0;
+}
+
+bool corrupt_flip_bit(const std::string& path, std::int64_t byte_offset,
+                      int bit) {
+  if (bit < 0 || bit > 7) {
+    return false;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    return false;
+  }
+  bool ok = false;
+  unsigned char byte = 0;
+  if (std::fseek(file, static_cast<long>(byte_offset), SEEK_SET) == 0 &&
+      std::fread(&byte, 1, 1, file) == 1) {
+    byte = static_cast<unsigned char>(byte ^ (1u << bit));
+    ok = std::fseek(file, static_cast<long>(byte_offset), SEEK_SET) == 0 &&
+         std::fwrite(&byte, 1, 1, file) == 1;
+  }
+  std::fclose(file);
+  return ok;
+}
+
+}  // namespace hotspot::util

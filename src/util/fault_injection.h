@@ -1,0 +1,84 @@
+// Deterministic fault injection for crash-safety tests.
+//
+// Production code sprinkles named failure points through its I/O paths
+// (`fault_should_fail(FaultPoint::kCheckpointWrite)` before each write, and
+// so on). In normal operation every probe returns false at the cost of one
+// relaxed atomic load. Tests arm a point with a countdown: the N-th probe of
+// that point reports failure, which the instrumented code turns into the
+// same error path a real ENOSPC / crash / yanked disk would take. Because
+// the countdown selects *which* probe fires, a loop over countdown values
+// simulates a crash at every interruption point of a multi-step operation —
+// exactly what the checkpoint atomicity tests need.
+//
+// The harness also bundles file-corruption helpers (truncation, single-bit
+// flips) so integrity tests can damage a checkpoint the way torn writes and
+// bit rot do, without hand-rolling file surgery in every test.
+//
+// State is global and thread-safe; tests must call fault_clear_all() (or use
+// the ScopedFaultInjection RAII guard) so armed faults never leak across
+// test cases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hotspot::util {
+
+// Failure points instrumented in production code. Keep in sync with
+// fault_point_name().
+enum class FaultPoint {
+  kCheckpointWrite = 0,   // any payload write to the temp file
+  kCheckpointFlush = 1,   // the flush/fsync before publishing
+  kCheckpointRename = 2,  // the atomic rename that publishes the file
+};
+inline constexpr int kFaultPointCount = 3;
+
+const char* fault_point_name(FaultPoint point);
+
+// Arms `point` so that its `countdown`-th probe (1-based) fails. Until then
+// probes pass; after firing the point disarms itself, so at most one failure
+// per arm call. countdown must be >= 1.
+void fault_arm(FaultPoint point, int countdown);
+
+// Disarms one point / every point.
+void fault_clear(FaultPoint point);
+void fault_clear_all();
+
+// Probe called by instrumented code. Returns true exactly when an armed
+// countdown reaches zero; always false for unarmed points.
+bool fault_should_fail(FaultPoint point);
+
+// Number of times `point` has fired since the last clear — lets tests assert
+// that the simulated crash actually happened.
+int fault_trip_count(FaultPoint point);
+
+// Total probes observed on `point` since the last clear (fired or not).
+// Tests use this to discover how many interruption points an operation has,
+// then sweep countdown = 1..N.
+int fault_probe_count(FaultPoint point);
+
+// RAII guard: clears all fault state on construction and destruction so a
+// test cannot leak armed faults into its neighbours.
+class ScopedFaultInjection {
+ public:
+  ScopedFaultInjection() { fault_clear_all(); }
+  ~ScopedFaultInjection() { fault_clear_all(); }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+// --- File corruption helpers -------------------------------------------
+
+// Size of `path` in bytes, or -1 if it cannot be stat'ed.
+std::int64_t file_size_of(const std::string& path);
+
+// Truncates `path` to `new_size` bytes (must be <= current size). Returns
+// false if the file is missing or the OS call fails.
+bool corrupt_truncate(const std::string& path, std::int64_t new_size);
+
+// Flips bit `bit` (0-7) of byte `byte_offset` in place. Returns false if the
+// offset is out of range or I/O fails.
+bool corrupt_flip_bit(const std::string& path, std::int64_t byte_offset,
+                      int bit);
+
+}  // namespace hotspot::util

@@ -1,0 +1,482 @@
+// Crash-safety guarantees of the training loop:
+//  * resumed training is bit-identical to uninterrupted training,
+//  * a simulated crash at any injected failure point during a checkpoint
+//    save leaves a fully loadable file (old or new, never torn),
+//  * the numeric-health guard contains NaN/Inf batches per policy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "nn/activation_layers.h"
+#include "nn/linear_layer.h"
+#include "nn/sequential.h"
+#include "nn/serialize.h"
+#include "util/fault_injection.h"
+
+namespace hotspot::core {
+namespace {
+
+using tensor::Tensor;
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// Same easy task the trainer tests use: label = "more than half the pixels
+// set"; learnable by a linear probe in a few epochs.
+dataset::HotspotDataset coverage_dataset(std::size_t count, util::Rng& rng) {
+  dataset::HotspotDataset data;
+  for (std::size_t i = 0; i < count; ++i) {
+    Tensor image({8, 8});
+    const double density = rng.uniform(0.0, 1.0);
+    for (std::int64_t p = 0; p < image.numel(); ++p) {
+      image[p] = rng.bernoulli(density) ? 1.0f : 0.0f;
+    }
+    const int label = image.sum() > 32.0 ? 1 : 0;
+    data.add(dataset::ClipSample::from_image(image, label,
+                                             dataset::Family::kContacts));
+  }
+  return data;
+}
+
+nn::Sequential linear_probe(std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Sequential net;
+  net.emplace<nn::Flatten>();
+  net.emplace<nn::Linear>(64, 2, true, rng);
+  return net;
+}
+
+TrainerConfig full_schedule() {
+  TrainerConfig config;
+  config.epochs = 4;
+  config.finetune_epochs = 2;
+  config.learning_rate = 0.05f;
+  config.seed = 17;
+  return config;
+}
+
+std::vector<float> flat_state(nn::Module& net) {
+  std::vector<nn::NamedTensor> state;
+  net.collect_state("", state);
+  std::vector<float> values;
+  for (const auto& entry : state) {
+    const float* data = entry.value->data();
+    values.insert(values.end(), data, data + entry.value->numel());
+  }
+  return values;
+}
+
+void expect_bit_identical_stats(const std::vector<EpochStats>& a,
+                                const std::vector<EpochStats>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].epoch, b[i].epoch);
+    EXPECT_EQ(a[i].finetune, b[i].finetune);
+    // EXPECT_EQ on doubles is exact comparison — bit-identical, not close.
+    EXPECT_EQ(a[i].train_loss, b[i].train_loss) << "epoch " << i;
+    EXPECT_EQ(a[i].validation_loss, b[i].validation_loss) << "epoch " << i;
+    EXPECT_EQ(a[i].learning_rate, b[i].learning_rate) << "epoch " << i;
+    EXPECT_EQ(a[i].numeric_events, b[i].numeric_events);
+    EXPECT_EQ(a[i].skipped_batches, b[i].skipped_batches);
+  }
+}
+
+// Trains the first `kill_after` epochs of `full` (same seed, same phases)
+// with per-epoch checkpointing, simulating a run killed right after the
+// snapshot. Returns the checkpoint path.
+std::string train_until_killed(const dataset::HotspotDataset& data,
+                               const TrainerConfig& full, int kill_after,
+                               const char* file_name) {
+  TrainerConfig partial = full;
+  if (kill_after <= full.epochs) {
+    partial.epochs = kill_after;
+    partial.finetune_epochs = 0;
+  } else {
+    partial.finetune_epochs = kill_after - full.epochs;
+  }
+  partial.checkpoint_path = temp_path(file_name);
+  partial.checkpoint_every = 1;
+  nn::Sequential net = linear_probe(1);
+  Trainer trainer(net, partial);
+  trainer.train(data);
+  return partial.checkpoint_path;
+}
+
+TEST(CheckpointResume, ResumeIsBitIdenticalMidMainPhase) {
+  util::Rng data_rng(4);
+  const auto data = coverage_dataset(120, data_rng);
+  const TrainerConfig full = full_schedule();
+
+  nn::Sequential straight_net = linear_probe(1);
+  Trainer straight(straight_net, full);
+  const auto straight_history = straight.train(data);
+
+  const std::string checkpoint =
+      train_until_killed(data, full, /*kill_after=*/2, "resume_main.ckpt");
+
+  // Different init seed: every learned value must come from the checkpoint.
+  nn::Sequential resumed_net = linear_probe(99);
+  Trainer resumed(resumed_net, full);
+  const nn::LoadResult loaded = resumed.resume_from(checkpoint);
+  ASSERT_TRUE(loaded.ok()) << loaded.message;
+  const auto resumed_history = resumed.train(data);
+
+  expect_bit_identical_stats(straight_history, resumed_history);
+  EXPECT_EQ(flat_state(straight_net), flat_state(resumed_net));
+}
+
+TEST(CheckpointResume, ResumeIsBitIdenticalInsideFinetunePhase) {
+  util::Rng data_rng(5);
+  const auto data = coverage_dataset(100, data_rng);
+  const TrainerConfig full = full_schedule();
+
+  nn::Sequential straight_net = linear_probe(1);
+  Trainer straight(straight_net, full);
+  const auto straight_history = straight.train(data);
+
+  const std::string checkpoint = train_until_killed(
+      data, full, /*kill_after=*/full.epochs + 1, "resume_finetune.ckpt");
+
+  nn::Sequential resumed_net = linear_probe(42);
+  Trainer resumed(resumed_net, full);
+  ASSERT_TRUE(resumed.resume_from(checkpoint).ok());
+  const auto resumed_history = resumed.train(data);
+
+  expect_bit_identical_stats(straight_history, resumed_history);
+  EXPECT_EQ(flat_state(straight_net), flat_state(resumed_net));
+}
+
+TEST(CheckpointResume, ResumeFromFinishedRunReplaysHistoryWithoutTraining) {
+  util::Rng data_rng(6);
+  const auto data = coverage_dataset(80, data_rng);
+  TrainerConfig config = full_schedule();
+  config.checkpoint_path = temp_path("resume_finished.ckpt");
+  config.checkpoint_every = 1;
+
+  nn::Sequential net = linear_probe(1);
+  Trainer trainer(net, config);
+  const auto history = trainer.train(data);
+  const auto weights = flat_state(net);
+
+  nn::Sequential other = linear_probe(2);
+  Trainer replay(other, config);
+  ASSERT_TRUE(replay.resume_from(config.checkpoint_path).ok());
+  const auto replayed = replay.train(data);
+  expect_bit_identical_stats(history, replayed);
+  EXPECT_EQ(weights, flat_state(other));
+}
+
+TEST(CheckpointResume, TypedErrorsForBadCheckpoints) {
+  util::Rng data_rng(7);
+  const auto data = coverage_dataset(60, data_rng);
+  nn::Sequential net = linear_probe(1);
+  Trainer trainer(net, full_schedule());
+  EXPECT_EQ(trainer.resume_from(temp_path("no_such.ckpt")).status,
+            nn::IoStatus::kMissing);
+
+  // A model-only checkpoint is not a training snapshot: the blob section is
+  // missing, which must surface as a typed mismatch, not a crash.
+  const std::string model_only = temp_path("model_only.ckpt");
+  ASSERT_TRUE(nn::save_checkpoint(model_only, net).ok());
+  EXPECT_EQ(trainer.resume_from(model_only).status,
+            nn::IoStatus::kShapeMismatch);
+}
+
+TEST(CheckpointResume, ModelOnlyLoadReadsTrainingCheckpoint) {
+  // Deployment path: load_checkpoint() must be able to pull just the model
+  // tensors out of a full training snapshot (blob section skipped).
+  util::Rng data_rng(8);
+  const auto data = coverage_dataset(60, data_rng);
+  TrainerConfig config = full_schedule();
+  config.epochs = 2;
+  config.finetune_epochs = 0;
+  config.checkpoint_path = temp_path("deployable.ckpt");
+  nn::Sequential net = linear_probe(1);
+  Trainer trainer(net, config);
+  trainer.train(data);
+
+  nn::Sequential fresh = linear_probe(33);
+  const nn::LoadResult loaded =
+      nn::load_checkpoint(config.checkpoint_path, fresh);
+  ASSERT_TRUE(loaded.ok()) << loaded.message;
+  EXPECT_EQ(flat_state(net), flat_state(fresh));
+}
+
+TEST(CheckpointResume, BestModelSnapshotTracksLowestValidationLoss) {
+  util::Rng data_rng(9);
+  const auto data = coverage_dataset(120, data_rng);
+  TrainerConfig config = full_schedule();
+  config.checkpoint_path = temp_path("with_best.ckpt");
+  nn::Sequential net = linear_probe(1);
+  Trainer trainer(net, config);
+  const auto history = trainer.train(data);
+
+  double lowest = std::numeric_limits<double>::infinity();
+  for (const auto& stats : history) {
+    lowest = std::min(lowest, stats.validation_loss);
+  }
+  EXPECT_EQ(trainer.best_validation_loss(), lowest);
+
+  nn::Sequential best = linear_probe(2);
+  EXPECT_TRUE(
+      nn::load_checkpoint(config.checkpoint_path + ".best", best).ok());
+}
+
+// --- Fault-injection: atomicity of checkpoint saves ---------------------
+
+std::vector<nn::NamedBlob> one_blob(const char* name, std::size_t size) {
+  std::vector<nn::NamedBlob> blobs(1);
+  blobs[0].name = name;
+  blobs[0].bytes.assign(size, 0x5a);
+  return blobs;
+}
+
+TEST(CheckpointFaultInjection, EveryWriteInterruptionLeavesOldFileIntact) {
+  util::ScopedFaultInjection guard;
+  const std::string path = temp_path("fault_atomic.ckpt");
+
+  Tensor old_value({4, 4}, 1.5f);
+  Tensor new_value({4, 4}, -2.25f);
+  const std::vector<nn::NamedTensor> old_tensors = {{"w", &old_value}};
+  const std::vector<nn::NamedTensor> new_tensors = {{"w", &new_value}};
+  const auto blobs = one_blob("meta", 256);
+
+  ASSERT_TRUE(nn::save_archive(path, old_tensors, blobs).ok());
+
+  // Discover how many write() calls one save issues, then crash at each.
+  util::fault_clear_all();
+  ASSERT_TRUE(nn::save_archive(temp_path("fault_probe.ckpt"), new_tensors,
+                               blobs)
+                  .ok());
+  const int write_probes =
+      util::fault_probe_count(util::FaultPoint::kCheckpointWrite);
+  ASSERT_GT(write_probes, 4);
+
+  for (int countdown = 1; countdown <= write_probes; ++countdown) {
+    util::fault_clear_all();
+    util::fault_arm(util::FaultPoint::kCheckpointWrite, countdown);
+    const nn::SaveResult result = nn::save_archive(path, new_tensors, blobs);
+    EXPECT_EQ(result.status, nn::IoStatus::kWriteFailed)
+        << "countdown " << countdown;
+    EXPECT_EQ(util::fault_trip_count(util::FaultPoint::kCheckpointWrite), 1);
+
+    // The published file must still be the complete old version.
+    util::fault_clear_all();
+    Tensor reloaded({4, 4});
+    const std::vector<nn::NamedTensor> into = {{"w", &reloaded}};
+    auto reread = one_blob("meta", 0);
+    const nn::LoadResult loaded = nn::load_archive(path, into, &reread);
+    ASSERT_TRUE(loaded.ok()) << "countdown " << countdown << ": "
+                             << loaded.message;
+    for (std::int64_t i = 0; i < reloaded.numel(); ++i) {
+      ASSERT_EQ(reloaded[i], 1.5f);
+    }
+    ASSERT_EQ(reread[0].bytes.size(), 256u);
+  }
+}
+
+TEST(CheckpointFaultInjection, FlushAndRenameFaultsLeaveOldFileIntact) {
+  util::ScopedFaultInjection guard;
+  const std::string path = temp_path("fault_flush_rename.ckpt");
+
+  Tensor old_value({8}, 3.0f);
+  Tensor new_value({8}, 4.0f);
+  const std::vector<nn::NamedTensor> old_tensors = {{"w", &old_value}};
+  const std::vector<nn::NamedTensor> new_tensors = {{"w", &new_value}};
+  ASSERT_TRUE(nn::save_tensors(path, old_tensors).ok());
+
+  for (const auto point : {util::FaultPoint::kCheckpointFlush,
+                           util::FaultPoint::kCheckpointRename}) {
+    util::fault_clear_all();
+    util::fault_arm(point, 1);
+    const nn::SaveResult result = nn::save_tensors(path, new_tensors);
+    EXPECT_EQ(result.status, nn::IoStatus::kWriteFailed)
+        << util::fault_point_name(point);
+    EXPECT_EQ(util::fault_trip_count(point), 1);
+
+    util::fault_clear_all();
+    Tensor reloaded({8});
+    const std::vector<nn::NamedTensor> into = {{"w", &reloaded}};
+    ASSERT_TRUE(nn::load_tensors(path, into).ok());
+    for (std::int64_t i = 0; i < reloaded.numel(); ++i) {
+      ASSERT_EQ(reloaded[i], 3.0f);
+    }
+  }
+
+  // With faults cleared the next save publishes the new version atomically.
+  util::fault_clear_all();
+  ASSERT_TRUE(nn::save_tensors(path, new_tensors).ok());
+  Tensor reloaded({8});
+  const std::vector<nn::NamedTensor> into = {{"w", &reloaded}};
+  ASSERT_TRUE(nn::load_tensors(path, into).ok());
+  EXPECT_EQ(reloaded[0], 4.0f);
+}
+
+TEST(CheckpointFaultInjection, FirstSaveFailureLeavesNoFileBehind) {
+  util::ScopedFaultInjection guard;
+  const std::string path = temp_path("fault_first_save.ckpt");
+  std::remove(path.c_str());
+  Tensor value({4}, 1.0f);
+  const std::vector<nn::NamedTensor> tensors = {{"w", &value}};
+
+  util::fault_arm(util::FaultPoint::kCheckpointRename, 1);
+  EXPECT_FALSE(nn::save_tensors(path, tensors).ok());
+  EXPECT_EQ(util::file_size_of(path), -1);
+  EXPECT_EQ(util::file_size_of(path + ".tmp"), -1)
+      << "temp file must not litter the checkpoint directory";
+}
+
+TEST(CheckpointFaultInjection, TrainingSurvivesCheckpointFaults) {
+  // A mid-training checkpoint failure must not kill the run, and the
+  // previous snapshot must stay loadable.
+  util::ScopedFaultInjection guard;
+  util::Rng data_rng(10);
+  const auto data = coverage_dataset(80, data_rng);
+  TrainerConfig config = full_schedule();
+  config.epochs = 3;
+  config.finetune_epochs = 0;
+  config.checkpoint_path = temp_path("fault_training.ckpt");
+  config.checkpoint_every = 1;
+
+  nn::Sequential net = linear_probe(1);
+  Trainer trainer(net, config);
+  // Fail the entire second snapshot (first probe of its rename).
+  util::fault_arm(util::FaultPoint::kCheckpointRename, 2);
+  const auto history = trainer.train(data);
+  EXPECT_EQ(history.size(), 3u);
+
+  util::fault_clear_all();
+  nn::Sequential resumed_net = linear_probe(2);
+  Trainer resumed(resumed_net, config);
+  EXPECT_TRUE(resumed.resume_from(config.checkpoint_path).ok());
+}
+
+// --- Numeric-health guard ----------------------------------------------
+
+// Wraps the default builder; poisons the images of chosen training batches
+// (validation and inference pass a null augment rng and stay clean).
+BatchBuilder poisoning_builder(std::vector<int> poisoned_calls) {
+  auto calls = std::make_shared<int>(0);
+  auto poison = std::make_shared<std::vector<int>>(std::move(poisoned_calls));
+  return [calls, poison](const dataset::HotspotDataset& data,
+                         const std::vector<std::size_t>& indices,
+                         util::Rng* augment_rng) {
+    tensor::Tensor images = data.batch_images(indices, augment_rng);
+    if (augment_rng != nullptr) {
+      const int call = (*calls)++;
+      for (const int target : *poison) {
+        if (call == target) {
+          images.fill(std::numeric_limits<float>::quiet_NaN());
+        }
+      }
+    }
+    return images;
+  };
+}
+
+TrainerConfig guard_config(NumericPolicy policy) {
+  TrainerConfig config;
+  config.epochs = 3;
+  config.finetune_epochs = 0;
+  config.learning_rate = 0.05f;
+  config.validation_fraction = 0.1;
+  config.seed = 5;
+  config.numeric_policy = policy;
+  return config;
+}
+
+TEST(NumericHealth, SkipBatchContainsNaNAndReportsIt) {
+  util::Rng data_rng(11);
+  const auto data = coverage_dataset(100, data_rng);
+  nn::Sequential net = linear_probe(1);
+  Trainer trainer(net, guard_config(NumericPolicy::kSkipBatch),
+                  poisoning_builder({1, 4}));
+  const auto history = trainer.train(data);
+
+  int events = 0;
+  int skipped = 0;
+  for (const auto& stats : history) {
+    events += stats.numeric_events;
+    skipped += stats.skipped_batches;
+    EXPECT_TRUE(std::isfinite(stats.train_loss));
+    EXPECT_TRUE(std::isfinite(stats.validation_loss));
+  }
+  EXPECT_EQ(events, 2);
+  EXPECT_EQ(skipped, 2);
+  for (const float value : flat_state(net)) {
+    ASSERT_TRUE(std::isfinite(value));
+  }
+}
+
+TEST(NumericHealth, OffPolicyLetsNaNPoisonTheModel) {
+  // The pre-guard behaviour, kept as an explicit opt-out: without detection
+  // a single NaN batch corrupts the weights for good.
+  util::Rng data_rng(11);
+  const auto data = coverage_dataset(100, data_rng);
+  nn::Sequential net = linear_probe(1);
+  Trainer trainer(net, guard_config(NumericPolicy::kOff),
+                  poisoning_builder({1}));
+  const auto history = trainer.train(data);
+  EXPECT_FALSE(std::isfinite(history.back().train_loss));
+}
+
+TEST(NumericHealth, HalveLrPolicyCutsTheRate) {
+  util::Rng data_rng(12);
+  const auto data = coverage_dataset(100, data_rng);
+  nn::Sequential net = linear_probe(1);
+  TrainerConfig config = guard_config(NumericPolicy::kHalveLr);
+  Trainer trainer(net, config, poisoning_builder({2}));
+  const auto history = trainer.train(data);
+  EXPECT_LE(history.back().learning_rate, config.learning_rate * 0.5f);
+  for (const float value : flat_state(net)) {
+    ASSERT_TRUE(std::isfinite(value));
+  }
+}
+
+TEST(NumericHealth, RollbackPolicyRestoresLastCheckpointWeights) {
+  util::Rng data_rng(13);
+  const auto data = coverage_dataset(100, data_rng);
+  nn::Sequential net = linear_probe(1);
+  TrainerConfig config = guard_config(NumericPolicy::kRollback);
+  config.checkpoint_path = temp_path("rollback.ckpt");
+  config.checkpoint_every = 1;
+  // Poison a batch in epoch 2, after a checkpoint exists.
+  Trainer trainer(net, config, poisoning_builder({4}));
+  const auto history = trainer.train(data);
+
+  int events = 0;
+  for (const auto& stats : history) {
+    events += stats.numeric_events;
+    EXPECT_TRUE(std::isfinite(stats.train_loss));
+  }
+  EXPECT_EQ(events, 1);
+  for (const float value : flat_state(net)) {
+    ASSERT_TRUE(std::isfinite(value));
+  }
+}
+
+TEST(NumericHealth, HealthyTrainingIsUnchangedByTheGuard) {
+  // With no NaNs the guard must be invisible: identical history and weights
+  // with detection on and off.
+  util::Rng data_rng(14);
+  const auto data = coverage_dataset(100, data_rng);
+  auto run = [&](NumericPolicy policy) {
+    nn::Sequential net = linear_probe(1);
+    Trainer trainer(net, guard_config(policy));
+    const auto history = trainer.train(data);
+    return std::make_pair(history, flat_state(net));
+  };
+  const auto with_guard = run(NumericPolicy::kSkipBatch);
+  const auto without_guard = run(NumericPolicy::kOff);
+  expect_bit_identical_stats(with_guard.first, without_guard.first);
+  EXPECT_EQ(with_guard.second, without_guard.second);
+}
+
+}  // namespace
+}  // namespace hotspot::core
