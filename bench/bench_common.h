@@ -14,6 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace hotspot::bench {
 
 inline double env_double(const char* name, double fallback) {
@@ -100,9 +104,14 @@ inline std::string json_array(const std::vector<JsonObject>& items) {
 }
 
 // Writes the object to `path` and reports the emission on stdout so bench
-// logs record where the machine-readable copy went.
-inline bool write_json_result(const std::string& path,
-                              const JsonObject& result) {
+// logs record where the machine-readable copy went. Every emission carries a
+// "metrics" section — the process-wide registry snapshot plus any collected
+// trace spans — so BENCH_*.json records cache behaviour and layer timing
+// alongside the headline numbers.
+inline bool write_json_result(const std::string& path, JsonObject result) {
+  result.set_raw("metrics",
+                 obs::to_json(obs::MetricsRegistry::global().snapshot(),
+                              obs::collect_span_report()));
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());

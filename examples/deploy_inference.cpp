@@ -3,17 +3,45 @@
 // the workflow of shipping the detector into a physical-verification flow.
 //
 //   ./examples/quickstart && ./examples/deploy_inference quickstart_model.bin
+//
+// With --metrics-out <path>, per-layer trace spans are enabled and a JSON
+// metrics snapshot (registry + span aggregates for the packed run) is
+// written on exit:
+//
+//   ./examples/deploy_inference quickstart_model.bin --metrics-out metrics.json
 #include <cstdio>
+#include <string>
 
 #include "core/brnn.h"
 #include "dataset/generator.h"
 #include "nn/serialize.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/stopwatch.h"
 
 int main(int argc, char** argv) {
   using namespace hotspot;
-  const char* path = argc > 1 ? argv[1] : "quickstart_model.bin";
+  std::string model_path = "quickstart_model.bin";
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --metrics-out requires a path\n");
+        return 2;
+      }
+      metrics_out = argv[++i];
+    } else {
+      model_path = arg;
+    }
+  }
+  // Span recording costs one clock read per instrumented scope; leave it
+  // off unless a snapshot was requested.
+  if (!metrics_out.empty()) {
+    obs::set_trace_enabled(true);
+  }
   constexpr std::int64_t kImageSize = 32;
 
   // The checkpoint format is strict about architecture, so construct the
@@ -23,13 +51,13 @@ int main(int argc, char** argv) {
   // Refuse to run on anything but a fully validated checkpoint: a missing,
   // truncated, or bit-flipped file must never silently classify with
   // uninitialized weights.
-  if (const nn::LoadResult loaded = nn::load_checkpoint(path, model);
+  if (const nn::LoadResult loaded = nn::load_checkpoint(model_path, model);
       !loaded.ok()) {
     std::fprintf(stderr, "error: cannot load checkpoint (%s): %s\n",
                  nn::io_status_name(loaded.status), loaded.message.c_str());
     if (loaded.status == nn::IoStatus::kMissing) {
       std::fprintf(stderr, "Run ./quickstart first to train and save %s.\n",
-                   path);
+                   model_path.c_str());
     }
     return 1;
   }
@@ -37,7 +65,8 @@ int main(int argc, char** argv) {
   model.set_backend(core::Backend::kPacked);
   std::printf("Loaded %s (%lld parameters; conv weights deploy as 1 bit "
               "each).\n\n",
-              path, static_cast<long long>(model.parameter_count()));
+              model_path.c_str(),
+              static_cast<long long>(model.parameter_count()));
 
   // Classify freshly generated clips and time both engines.
   const dataset::BenchmarkConfig config =
@@ -49,9 +78,17 @@ int main(int argc, char** argv) {
   const tensor::Tensor images = clips.batch_images(indices);
 
   model.forward(images);  // warm-up packs the weights
+  obs::reset_spans();     // scope the span report to the timed runs
   util::Stopwatch packed_timer;
-  const auto labels = model.predict(images);
+  std::vector<int> labels;
+  {
+    obs::TraceSpan inference_span("inference.total");
+    labels = model.predict(images);
+  }
   const double packed_seconds = packed_timer.seconds();
+  // Span aggregates of the packed run alone, before the float-sim reference
+  // re-enters the same layers.
+  const obs::SpanReport packed_spans = obs::collect_span_report();
 
   model.set_backend(core::Backend::kFloatSim);
   util::Stopwatch float_timer;
@@ -72,5 +109,35 @@ int main(int argc, char** argv) {
   std::printf("Float-sim reference:  %.3f s -> binarization speedup %.1fx "
               "at these (CI-scale) channel widths\n",
               float_seconds, float_seconds / packed_seconds);
+
+  if (!metrics_out.empty()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    registry.gauge("inference.packed_seconds").set(packed_seconds);
+    registry.gauge("inference.float_sim_seconds").set(float_seconds);
+    registry.gauge("inference.clips")
+        .set(static_cast<double>(labels.size()));
+
+    // Sanity-check the instrumentation itself: the per-layer spans should
+    // account for (nearly) all of the measured packed inference wall time.
+    double layer_seconds = 0.0;
+    for (const auto& [name, stat] : packed_spans.spans) {
+      if (name.rfind("brnn.layer.", 0) == 0) {
+        layer_seconds += stat.total_seconds;
+      }
+    }
+    std::printf("Per-layer spans cover %.3f s of %.3f s measured packed "
+                "inference (%.1f%%).\n",
+                layer_seconds, packed_seconds,
+                packed_seconds > 0.0 ? 100.0 * layer_seconds / packed_seconds
+                                     : 0.0);
+
+    if (!obs::write_metrics_json(metrics_out, registry.snapshot(),
+                                 packed_spans)) {
+      std::fprintf(stderr, "error: failed to write metrics to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::printf("Wrote metrics snapshot to %s\n", metrics_out.c_str());
+  }
   return 0;
 }

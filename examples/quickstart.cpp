@@ -1,23 +1,45 @@
 // Quickstart: generate a small benchmark, train the binarized residual
 // network, evaluate it with the paper's metrics, and save the model.
 //
-//   ./examples/quickstart [scale]
+//   ./examples/quickstart [scale] [--metrics-out <path>]
 //
 // `scale` is the fraction of the paper's Table-2 sample counts to generate
 // (default 0.02 so the whole run takes well under a minute on one core).
+// `--metrics-out` enables trace spans and writes a JSON metrics snapshot
+// (per-epoch training metrics, layer/phase timings, ODST components).
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "core/bnn_detector.h"
 #include "dataset/generator.h"
 #include "eval/evaluation.h"
 #include "nn/serialize.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 int main(int argc, char** argv) {
   using namespace hotspot;
   util::set_log_level(util::LogLevel::kInfo);
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+  double scale = 0.02;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --metrics-out requires a path\n");
+        return 2;
+      }
+      metrics_out = argv[++i];
+    } else {
+      scale = std::atof(arg.c_str());
+    }
+  }
+  if (!metrics_out.empty()) {
+    obs::set_trace_enabled(true);
+  }
   constexpr std::int64_t kImageSize = 32;
 
   // 1. Synthesize an ICCAD-2012-like benchmark: Manhattan clips labelled by
@@ -65,5 +87,16 @@ int main(int argc, char** argv) {
   }
   std::printf("\nSaved trained model to %s (run ./deploy_inference next).\n",
               path);
+
+  if (!metrics_out.empty()) {
+    if (!obs::write_metrics_json(metrics_out,
+                                 obs::MetricsRegistry::global().snapshot(),
+                                 obs::collect_span_report())) {
+      std::fprintf(stderr, "error: failed to write metrics to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::printf("Wrote metrics snapshot to %s\n", metrics_out.c_str());
+  }
   return 0;
 }

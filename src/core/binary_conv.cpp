@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "nn/init.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/parallel.h"
 
@@ -209,9 +211,17 @@ Tensor BinaryConv2d::backward(const Tensor& grad_output) {
 }
 
 void BinaryConv2d::refresh_packed_cache() {
+  // Resolved once: the registry lookup takes a lock, the increments do not.
+  static obs::Counter& cache_hits =
+      obs::MetricsRegistry::global().counter("binary_conv.pack_cache.hit");
+  static obs::Counter& cache_misses =
+      obs::MetricsRegistry::global().counter("binary_conv.pack_cache.miss");
   if (packed_weight_version_ == weight_.version) {
+    cache_hits.increment();
     return;
   }
+  cache_misses.increment();
+  HOTSPOT_TRACE_SPAN("binary_conv.pack_filters");
   packed_alpha_w_ = bitops::weight_scales(weight_.value);
   packed_filters_ =
       scaling_ == bitops::InputScaling::kPerChannel
@@ -234,9 +244,14 @@ Tensor BinaryConv2d::forward_packed(const Tensor& input) {
   if (scaling_ == bitops::InputScaling::kPerChannel) {
     // Channel-blocked lanes: one word per channel so each per-channel dot is
     // a single XOR + popcount, scaled by alpha_T(c, position) (Eq. 14-15).
-    const bitops::BitMatrix patches =
-        bitops::pack_patches_channel_blocked(input, spec_);
-    const Tensor alpha_t = bitops::input_scales_per_channel(input, spec_);
+    bitops::BitMatrix patches;
+    Tensor alpha_t;
+    {
+      HOTSPOT_TRACE_SPAN("binary_conv.pack");
+      patches = bitops::pack_patches_channel_blocked(input, spec_);
+      alpha_t = bitops::input_scales_per_channel(input, spec_);
+    }
+    HOTSPOT_TRACE_SPAN("binary_conv.gemm");
     const std::int64_t kk = spec_.kernel_h * spec_.kernel_w;
     util::parallel_for(0, n * positions, /*grain=*/32, [&](std::int64_t lo,
                                                            std::int64_t hi) {
@@ -271,8 +286,17 @@ Tensor BinaryConv2d::forward_packed(const Tensor& input) {
 
   // Dense lanes: the whole patch packed contiguously, one popcount chain per
   // (position, filter) pair.
-  const bitops::BitMatrix patches = bitops::pack_patches(input, spec_);
-  const Tensor counts = bitops::xnor_gemm(patches, packed_filters_);
+  bitops::BitMatrix patches;
+  {
+    HOTSPOT_TRACE_SPAN("binary_conv.pack");
+    patches = bitops::pack_patches(input, spec_);
+  }
+  Tensor counts;
+  {
+    HOTSPOT_TRACE_SPAN("binary_conv.gemm");
+    counts = bitops::xnor_gemm(patches, packed_filters_);
+  }
+  HOTSPOT_TRACE_SPAN("binary_conv.unpack");
   const bool scalar = scaling_ == bitops::InputScaling::kScalar;
   const Tensor alpha =
       scalar ? bitops::input_scales_scalar(input, spec_) : Tensor();

@@ -4,6 +4,7 @@
 
 #include "nn/pool_layers.h"
 #include "nn/residual.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace hotspot::core {
@@ -29,8 +30,10 @@ BrnnModel::BrnnModel(const BrnnConfig& config, util::Rng& rng)
   // Stem.
   net_.add(conv_block(config.input_channels, config.stem_filters, 3,
                       config.stem_stride, 1, rng));
+  layer_labels_.push_back("brnn.layer.stem");
   if (config.stem_pool) {
     net_.emplace<nn::MaxPool2d>(2);
+    layer_labels_.push_back("brnn.layer.stem_pool");
   }
 
   // Residual stages.
@@ -48,13 +51,18 @@ BrnnModel::BrnnModel(const BrnnConfig& config, util::Rng& rng)
     }
     net_.add(std::make_unique<nn::ResidualBlock>(std::move(main_path),
                                                  std::move(shortcut)));
+    layer_labels_.push_back("brnn.layer.block" + std::to_string(stage + 1));
     channels = filters;
   }
 
   // Head: calibrate, pool, classify.
   net_.emplace<nn::BatchNorm2d>(channels);
+  layer_labels_.push_back("brnn.layer.head_bn");
   net_.emplace<nn::GlobalAvgPool>();
+  layer_labels_.push_back("brnn.layer.head_pool");
   net_.add(std::make_unique<nn::Linear>(channels, 2, /*with_bias=*/true, rng));
+  layer_labels_.push_back("brnn.layer.head_fc");
+  HOTSPOT_CHECK_EQ(layer_labels_.size(), net_.size());
 }
 
 nn::ModulePtr BrnnModel::conv_block(std::int64_t in, std::int64_t out,
@@ -74,7 +82,16 @@ tensor::Tensor BrnnModel::forward(const Tensor& input) {
   HOTSPOT_CHECK_EQ(input.dim(1), config_.input_channels);
   HOTSPOT_CHECK_EQ(input.dim(2), config_.image_size);
   HOTSPOT_CHECK_EQ(input.dim(3), config_.image_size);
-  return net_.forward(input);
+  // Unrolled net_.forward() with one trace span per top-level layer;
+  // backward still runs through net_.backward(), which is equivalent
+  // because each module caches its own forward state.
+  HOTSPOT_TRACE_SPAN("brnn.forward");
+  Tensor current = input;
+  for (std::size_t i = 0; i < net_.size(); ++i) {
+    obs::TraceSpan span(layer_labels_[i]);
+    current = net_.at(i).forward(current);
+  }
+  return current;
 }
 
 tensor::Tensor BrnnModel::backward(const Tensor& grad_output) {

@@ -67,6 +67,12 @@ class BrnnModel : public nn::Module {
   // Per-layer description lines of the top-level graph.
   std::vector<std::string> architecture() const { return net_.layer_names(); }
 
+  // Stable per-layer trace-span labels ("brnn.layer.stem", ...), parallel
+  // to the top-level modules of net(); forward() opens one span per entry.
+  const std::vector<std::string>& layer_labels() const {
+    return layer_labels_;
+  }
+
   // Convenience: argmax labels for an image batch (eval mode must be set by
   // the caller).
   std::vector<int> predict(const Tensor& images);
@@ -81,6 +87,7 @@ class BrnnModel : public nn::Module {
   BrnnConfig config_;
   nn::Sequential net_;
   std::vector<BinaryConv2d*> binary_convs_;
+  std::vector<std::string> layer_labels_;
 };
 
 }  // namespace hotspot::core

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/stopwatch.h"
 
 namespace hotspot::core {
 namespace {
@@ -180,6 +183,25 @@ bool decode_trainer_state(const std::vector<std::uint8_t>& bytes,
 
 }  // namespace
 
+namespace {
+
+// Per-epoch training health, readable by any attached exporter. Gauges hold
+// the latest epoch; the counters in run_epoch accumulate across epochs.
+void publish_epoch_metrics(const EpochStats& stats) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("trainer.epochs").increment();
+  registry.gauge("trainer.epoch").set(stats.epoch);
+  registry.gauge("trainer.train_loss").set(stats.train_loss);
+  registry.gauge("trainer.validation_loss").set(stats.validation_loss);
+  registry.gauge("trainer.learning_rate").set(stats.learning_rate);
+  registry.gauge("trainer.finetune_phase").set(stats.finetune ? 1.0 : 0.0);
+  registry
+      .histogram("trainer.epoch_seconds", obs::default_duration_buckets())
+      .observe(stats.epoch_seconds);
+}
+
+}  // namespace
+
 BatchBuilder image_batch_builder() {
   return [](const dataset::HotspotDataset& data,
             const std::vector<std::size_t>& indices,
@@ -210,6 +232,13 @@ void Trainer::run_epoch(const dataset::HotspotDataset& data,
                         const std::vector<std::size_t>& indices,
                         float bias_epsilon, util::Rng& rng,
                         EpochStats& stats) {
+  static obs::Counter& step_counter =
+      obs::MetricsRegistry::global().counter("trainer.steps");
+  static obs::Counter& numeric_event_counter =
+      obs::MetricsRegistry::global().counter("trainer.numeric_events");
+  static obs::Counter& skipped_batch_counter =
+      obs::MetricsRegistry::global().counter("trainer.skipped_batches");
+  HOTSPOT_TRACE_SPAN("trainer.epoch");
   model_.set_training(true);
   std::vector<std::size_t> order = indices;
   rng.shuffle(order);
@@ -244,6 +273,8 @@ void Trainer::run_epoch(const dataset::HotspotDataset& data,
       // Poisoned batch: never apply the update; contain per policy.
       ++stats.numeric_events;
       ++stats.skipped_batches;
+      numeric_event_counter.increment();
+      skipped_batch_counter.increment();
       if (config_.numeric_policy == NumericPolicy::kHalveLr) {
         optimizer_.set_learning_rate(optimizer_.learning_rate() * 0.5f);
       } else if (config_.numeric_policy == NumericPolicy::kRollback) {
@@ -264,6 +295,8 @@ void Trainer::run_epoch(const dataset::HotspotDataset& data,
           static_cast<float>(config_.grad_clip / norm));
     }
     optimizer_.step();
+    ++stats.steps;
+    step_counter.increment();
   }
   stats.train_loss =
       batches == 0 ? 0.0 : total_loss / static_cast<double>(batches);
@@ -274,6 +307,7 @@ double Trainer::evaluate_loss(const dataset::HotspotDataset& data,
   if (indices.empty()) {
     return 0.0;
   }
+  HOTSPOT_TRACE_SPAN("trainer.validation");
   model_.set_training(false);
   double total_loss = 0.0;
   std::int64_t batches = 0;
@@ -454,12 +488,15 @@ std::vector<EpochStats> Trainer::train(const dataset::HotspotDataset& data) {
       EpochStats stats;
       stats.epoch = global_epoch;
       stats.finetune = finetune;
+      util::Stopwatch epoch_timer;
       run_epoch(data, training, bias, rng_, stats);
       stats.validation_loss = validation.empty()
                                   ? stats.train_loss
                                   : evaluate_loss(data, validation);
+      stats.epoch_seconds = epoch_timer.seconds();
       scheduler.observe(stats.validation_loss);
       stats.learning_rate = optimizer_.learning_rate();
+      publish_epoch_metrics(stats);
       if (config_.verbose) {
         HOTSPOT_LOG(kInfo) << (finetune ? "finetune" : "train") << " epoch "
                            << stats.epoch << ": loss=" << stats.train_loss

@@ -87,6 +87,11 @@ struct EpochStats {
   // NaN/Inf, and batches whose update was dropped in response.
   int numeric_events = 0;
   int skipped_batches = 0;
+  // Optimizer steps actually applied this epoch (skipped batches excluded).
+  int steps = 0;
+  // Wall time of the epoch (training pass + validation). Measured, not
+  // checkpointed: epochs replayed from a resume report 0.
+  double epoch_seconds = 0.0;
 };
 
 // Assembles the model-input tensor for the given sample indices.

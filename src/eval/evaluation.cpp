@@ -1,11 +1,37 @@
 #include "eval/evaluation.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace hotspot::eval {
+namespace {
+
+// Publishes the row's Table-3 numbers and the ODST (Eq. 3) components as
+// gauges, so a metrics snapshot taken after an evaluation carries the same
+// quantities the printed table shows. t_ls-dependent ODST itself is left to
+// consumers: odst = (flagged * t_ls) + (total_instances *
+// eval_seconds_per_instance).
+void publish_row_metrics(const EvaluationRow& row) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.gauge("eval.train_seconds").set(row.train_seconds);
+  registry.gauge("eval.runtime_seconds").set(row.eval_seconds);
+  registry.gauge("eval.accuracy").set(row.matrix.accuracy());
+  registry.gauge("eval.false_alarm")
+      .set(static_cast<double>(row.matrix.false_alarm()));
+  registry.gauge("eval.odst.flagged")
+      .set(static_cast<double>(row.matrix.false_positive +
+                               row.matrix.true_positive));
+  registry.gauge("eval.odst.total_instances")
+      .set(static_cast<double>(row.matrix.total()));
+  registry.gauge("eval.odst.eval_seconds_per_instance")
+      .set(row.eval_seconds_per_instance());
+}
+
+}  // namespace
 
 EvaluationRow evaluate_detector(Detector& detector,
                                 const dataset::HotspotDataset& train,
@@ -16,15 +42,23 @@ EvaluationRow evaluate_detector(Detector& detector,
   row.threads = util::parallel_threads();
 
   util::Stopwatch train_timer;
-  detector.fit(train, rng);
+  {
+    HOTSPOT_TRACE_SPAN("eval.fit");
+    detector.fit(train, rng);
+  }
   row.train_seconds = train_timer.seconds();
 
   util::Stopwatch eval_timer;
-  const std::vector<int> predicted = detector.predict(test);
+  std::vector<int> predicted;
+  {
+    HOTSPOT_TRACE_SPAN("eval.predict");
+    predicted = detector.predict(test);
+  }
   row.eval_seconds = eval_timer.seconds();
 
   const std::vector<int> actual = test.batch_labels(test.all_indices());
   row.matrix = confusion(actual, predicted);
+  publish_row_metrics(row);
   return row;
 }
 

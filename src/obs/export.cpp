@@ -1,0 +1,150 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace hotspot::obs {
+namespace {
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      escaped += '\\';
+    }
+    escaped += c;
+  }
+  return escaped;
+}
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; dots and dashes in our
+// registry names map to underscores.
+std::string prometheus_name(const std::string& name) {
+  std::string sanitized = name;
+  for (char& c : sanitized) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  return sanitized;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot, const SpanReport& spans) {
+  std::ostringstream out;
+  out << "{\"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSample& sample = snapshot.counters[i];
+    out << (i > 0 ? ", " : "") << "\"" << json_escape(sample.name)
+        << "\": " << sample.value;
+  }
+  out << "}, \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSample& sample = snapshot.gauges[i];
+    out << (i > 0 ? ", " : "") << "\"" << json_escape(sample.name)
+        << "\": " << format_double(sample.value);
+  }
+  out << "}, \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& sample = snapshot.histograms[i];
+    out << (i > 0 ? ", " : "") << "\"" << json_escape(sample.name)
+        << "\": {\"bounds\": [";
+    for (std::size_t b = 0; b < sample.bounds.size(); ++b) {
+      out << (b > 0 ? ", " : "") << format_double(sample.bounds[b]);
+    }
+    out << "], \"buckets\": [";
+    for (std::size_t b = 0; b < sample.buckets.size(); ++b) {
+      out << (b > 0 ? ", " : "") << sample.buckets[b];
+    }
+    out << "], \"count\": " << sample.count
+        << ", \"sum\": " << format_double(sample.sum) << "}";
+  }
+  out << "}, \"spans\": {";
+  for (std::size_t i = 0; i < spans.spans.size(); ++i) {
+    const auto& [name, stat] = spans.spans[i];
+    out << (i > 0 ? ", " : "") << "\"" << json_escape(name)
+        << "\": {\"count\": " << stat.count
+        << ", \"total_seconds\": " << format_double(stat.total_seconds)
+        << ", \"self_seconds\": " << format_double(stat.self_seconds) << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot,
+                          const SpanReport& spans) {
+  std::ostringstream out;
+  for (const CounterSample& sample : snapshot.counters) {
+    const std::string name = prometheus_name(sample.name);
+    out << "# TYPE " << name << " counter\n"
+        << name << " " << sample.value << "\n";
+  }
+  for (const GaugeSample& sample : snapshot.gauges) {
+    const std::string name = prometheus_name(sample.name);
+    out << "# TYPE " << name << " gauge\n"
+        << name << " " << format_double(sample.value) << "\n";
+  }
+  for (const HistogramSample& sample : snapshot.histograms) {
+    const std::string name = prometheus_name(sample.name);
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < sample.bounds.size(); ++b) {
+      cumulative += sample.buckets[b];
+      out << name << "_bucket{le=\"" << format_double(sample.bounds[b])
+          << "\"} " << cumulative << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << sample.count << "\n"
+        << name << "_sum " << format_double(sample.sum) << "\n"
+        << name << "_count " << sample.count << "\n";
+  }
+  if (!spans.spans.empty()) {
+    out << "# TYPE hotspot_span_seconds gauge\n";
+    for (const auto& [name, stat] : spans.spans) {
+      out << "hotspot_span_seconds{span=\"" << name << "\"} "
+          << format_double(stat.total_seconds) << "\n";
+    }
+    out << "# TYPE hotspot_span_self_seconds gauge\n";
+    for (const auto& [name, stat] : spans.spans) {
+      out << "hotspot_span_self_seconds{span=\"" << name << "\"} "
+          << format_double(stat.self_seconds) << "\n";
+    }
+    out << "# TYPE hotspot_span_count gauge\n";
+    for (const auto& [name, stat] : spans.spans) {
+      out << "hotspot_span_count{span=\"" << name << "\"} " << stat.count
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+bool write_metrics_json(const std::string& path,
+                        const MetricsSnapshot& snapshot,
+                        const SpanReport& spans) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    HOTSPOT_LOG(kError) << "cannot open " << path << " for metrics export";
+    return false;
+  }
+  out << to_json(snapshot, spans) << "\n";
+  out.flush();
+  if (!out.good()) {
+    HOTSPOT_LOG(kError) << "short write exporting metrics to " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hotspot::obs

@@ -1,0 +1,33 @@
+// Exporters for metrics snapshots and span reports (DESIGN.md §10).
+//
+// Two text formats:
+//   to_json        - one JSON object with "counters" / "gauges" /
+//                    "histograms" / "spans" sections; the format the bench
+//                    emitters embed and --metrics-out writes.
+//   to_prometheus  - Prometheus text exposition (metric names sanitized to
+//                    [a-zA-Z0-9_], histogram buckets cumulated with "le"
+//                    labels, spans as hotspot_span_* families).
+//
+// Output is deterministic: instruments are emitted in name order and
+// doubles are formatted with "%.9g", so golden tests can compare strings.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hotspot::obs {
+
+std::string to_json(const MetricsSnapshot& snapshot, const SpanReport& spans);
+
+std::string to_prometheus(const MetricsSnapshot& snapshot,
+                          const SpanReport& spans);
+
+// Writes to_json() plus a trailing newline to `path`; logs and returns
+// false on any stream failure (open, write, or close).
+bool write_metrics_json(const std::string& path,
+                        const MetricsSnapshot& snapshot,
+                        const SpanReport& spans);
+
+}  // namespace hotspot::obs

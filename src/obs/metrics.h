@@ -1,0 +1,159 @@
+// Process-wide metrics registry (DESIGN.md §10).
+//
+// Three instrument kinds, all safe to update concurrently from pool workers:
+//   Counter   - monotonically increasing uint64 (events, cache hits).
+//   Gauge     - last-written double (losses, learning rate, ODST terms).
+//   Histogram - fixed upper-bound buckets + count + sum (durations).
+//
+// The update fast path is lock-free: one relaxed atomic RMW per
+// Counter::increment / Histogram::observe and a relaxed store per
+// Gauge::set. The registry mutex is taken only when an instrument is first
+// resolved by name or when a snapshot is cut, so hot code resolves its
+// instruments once (function-local static reference) and then never touches
+// a lock. Instrument references stay valid for the process lifetime;
+// reset() zeroes values without invalidating them.
+//
+// MetricsSnapshot is a point-in-time copy; delta_since() subtracts an
+// earlier snapshot (counters and histograms diff, gauges keep the newer
+// value), which is how per-epoch and per-inference windows are reported
+// without resetting the registry under concurrent writers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hotspot::obs {
+
+namespace detail {
+// fetch_add for atomic<double> via CAS; C++20's native floating fetch_add
+// is not guaranteed lock-free everywhere, and this loop is exact either way.
+inline void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+class Counter {
+ public:
+  void increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) { detail::atomic_add(value_, delta); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Histogram with Prometheus "le" semantics: bucket i counts observations
+// <= bounds[i]; one extra overflow bucket catches everything above the last
+// bound. Bucket counts are stored non-cumulative; exporters cumulate.
+class Histogram {
+ public:
+  // `bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::size_t bucket_count() const { return bounds_.size() + 1; }
+  std::uint64_t bucket(std::size_t index) const;
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Wall-time bucket boundaries (seconds) shared by duration histograms.
+std::vector<double> default_duration_buckets();
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1, non-cumulative
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;      // sorted by name
+  std::vector<GaugeSample> gauges;          // sorted by name
+  std::vector<HistogramSample> histograms;  // sorted by name
+
+  // This snapshot minus `earlier`: counters and histogram buckets/count/sum
+  // subtract (instruments absent from `earlier` diff against zero); gauges
+  // keep this snapshot's value. Instruments only in `earlier` are dropped.
+  MetricsSnapshot delta_since(const MetricsSnapshot& earlier) const;
+
+  const CounterSample* find_counter(const std::string& name) const;
+  const GaugeSample* find_gauge(const std::string& name) const;
+  const HistogramSample* find_histogram(const std::string& name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry all built-in instrumentation reports to.
+  static MetricsRegistry& global();
+
+  // Resolve-or-create by name; the returned reference is valid for the
+  // registry's lifetime. Re-registering a histogram name must use the same
+  // bounds.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& bounds);
+
+  MetricsSnapshot snapshot() const;
+
+  // Zeroes every instrument's value; references stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hotspot::obs

@@ -1,0 +1,152 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace hotspot::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_trace_enabled{false};
+
+struct ActiveSpan {
+  std::string name;
+  Clock::time_point start;
+  double child_seconds = 0.0;
+};
+
+// One buffer per thread. The open-span stack is touched only by the owning
+// thread; the aggregated stats map is shared with collect_span_report() /
+// reset_spans() and guarded by the buffer mutex (locked only when a span
+// closes, never on the disabled path).
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::map<std::string, SpanStat> stats;
+  std::vector<ActiveSpan> stack;
+};
+
+struct BufferDirectory {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+BufferDirectory& directory() {
+  // Leaked: pool workers may close spans during static destruction.
+  static BufferDirectory* dir = new BufferDirectory();
+  return *dir;
+}
+
+ThreadBuffer& local_buffer() {
+  // The directory keeps a shared_ptr too, so a thread's recorded spans
+  // survive the thread itself.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    BufferDirectory& dir = directory();
+    std::lock_guard<std::mutex> lock(dir.mutex);
+    dir.buffers.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+void set_trace_enabled(bool enabled) {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool trace_enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+const SpanStat* SpanReport::find(const std::string& name) const {
+  for (const auto& [span_name, stat] : spans) {
+    if (span_name == name) {
+      return &stat;
+    }
+  }
+  return nullptr;
+}
+
+double SpanReport::total_self_seconds() const {
+  double total = 0.0;
+  for (const auto& [name, stat] : spans) {
+    total += stat.self_seconds;
+  }
+  return total;
+}
+
+SpanReport collect_span_report() {
+  std::map<std::string, SpanStat> merged;
+  BufferDirectory& dir = directory();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(dir.mutex);
+    buffers = dir.buffers;
+  }
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    for (const auto& [name, stat] : buffer->stats) {
+      SpanStat& into = merged[name];
+      into.count += stat.count;
+      into.total_seconds += stat.total_seconds;
+      into.self_seconds += stat.self_seconds;
+    }
+  }
+  SpanReport report;
+  report.spans.assign(merged.begin(), merged.end());
+  return report;
+}
+
+void reset_spans() {
+  BufferDirectory& dir = directory();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(dir.mutex);
+    buffers = dir.buffers;
+  }
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->stats.clear();
+  }
+}
+
+TraceSpan::TraceSpan(const char* name) { open(name); }
+
+TraceSpan::TraceSpan(const std::string& name) { open(name.c_str()); }
+
+void TraceSpan::open(const char* name) {
+  if (!g_trace_enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  ThreadBuffer& buffer = local_buffer();
+  buffer.stack.push_back({name, Clock::now(), 0.0});
+  active_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) {
+    return;
+  }
+  const Clock::time_point end = Clock::now();
+  ThreadBuffer& buffer = local_buffer();
+  ActiveSpan span = std::move(buffer.stack.back());
+  buffer.stack.pop_back();
+  const double elapsed =
+      std::chrono::duration<double>(end - span.start).count();
+  if (!buffer.stack.empty()) {
+    buffer.stack.back().child_seconds += elapsed;
+  }
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  SpanStat& stat = buffer.stats[span.name];
+  stat.count += 1;
+  stat.total_seconds += elapsed;
+  stat.self_seconds += std::max(0.0, elapsed - span.child_seconds);
+}
+
+}  // namespace hotspot::obs

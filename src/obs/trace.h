@@ -1,0 +1,81 @@
+// RAII wall-time trace spans (DESIGN.md §10).
+//
+// A TraceSpan times the scope it lives in and records (count, total wall
+// time, self time = total minus nested spans) into a per-thread buffer keyed
+// by span name. collect_span_report() merges every thread's buffer into one
+// aggregated report — there is no per-event log, so span cost and memory are
+// O(distinct names), not O(events).
+//
+// Tracing is compiled in but off by default: when disabled, constructing a
+// span reads one relaxed atomic and does nothing else, so instrumented hot
+// paths (per-layer forward, packing, GEMM) stay effectively free until an
+// exporter flips set_trace_enabled(true). Spans never touch model state,
+// RNG, or arithmetic, so deterministic results are unaffected either way
+// (pinned by parallel_determinism_test).
+//
+// Usage:
+//   void forward() {
+//     HOTSPOT_TRACE_SPAN("brnn.forward");   // whole function
+//     {
+//       HOTSPOT_TRACE_SPAN("binary_conv.pack");  // nested phase
+//       pack();
+//     }
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hotspot::obs {
+
+// Global switch; safe to flip from any thread. Spans already open keep the
+// enablement they saw at construction.
+void set_trace_enabled(bool enabled);
+bool trace_enabled();
+
+struct SpanStat {
+  std::uint64_t count = 0;
+  double total_seconds = 0.0;  // inclusive of nested spans
+  double self_seconds = 0.0;   // exclusive: total minus direct children
+};
+
+struct SpanReport {
+  std::vector<std::pair<std::string, SpanStat>> spans;  // sorted by name
+
+  const SpanStat* find(const std::string& name) const;
+  // Sum of self times = total traced wall time without double counting.
+  double total_self_seconds() const;
+};
+
+// Merges every thread's span buffer (open spans are not included).
+SpanReport collect_span_report();
+
+// Clears all recorded spans on every thread; open spans still record when
+// they close.
+void reset_spans();
+
+class TraceSpan {
+ public:
+  // The name is copied when the span opens; any lifetime works.
+  explicit TraceSpan(const char* name);
+  explicit TraceSpan(const std::string& name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void open(const char* name);
+  bool active_ = false;
+};
+
+}  // namespace hotspot::obs
+
+#define HOTSPOT_TRACE_CONCAT_INNER(a, b) a##b
+#define HOTSPOT_TRACE_CONCAT(a, b) HOTSPOT_TRACE_CONCAT_INNER(a, b)
+// Times the enclosing scope under `name` (string literal or std::string).
+#define HOTSPOT_TRACE_SPAN(name)                                     \
+  ::hotspot::obs::TraceSpan HOTSPOT_TRACE_CONCAT(hotspot_trace_span_, \
+                                                 __LINE__)(name)

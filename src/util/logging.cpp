@@ -1,11 +1,21 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace hotspot::util {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// Serializes the final stream write: HOTSPOT_LOG is reachable from
+// parallel_for workers, and without the lock concurrent messages interleave
+// partial lines on stderr.
+std::mutex& log_mutex() {
+  static std::mutex* mutex = new std::mutex();  // leaked: usable at exit
+  return *mutex;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -23,15 +33,26 @@ const char* level_tag(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) {
     return;
   }
-  std::cerr << "[" << level_tag(level) << "] " << message << "\n";
+  // Compose the whole line first so the critical section is one write.
+  std::string line;
+  line.reserve(message.size() + 5);
+  line += '[';
+  line += level_tag(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr << line;
 }
 
 }  // namespace hotspot::util

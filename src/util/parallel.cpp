@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace hotspot::util {
 namespace {
@@ -36,16 +39,14 @@ struct Job {
   std::exception_ptr error;
 };
 
-int env_thread_count() {
-  const char* value = std::getenv("HOTSPOT_NUM_THREADS");
-  if (value != nullptr) {
-    const long parsed = std::atol(value);
-    if (parsed >= 1) {
-      return static_cast<int>(parsed);
-    }
-  }
+int default_thread_count() {
   const unsigned hardware = std::thread::hardware_concurrency();
   return hardware >= 1 ? static_cast<int>(hardware) : 1;
+}
+
+int env_thread_count() {
+  return parse_thread_count(std::getenv("HOTSPOT_NUM_THREADS"),
+                            default_thread_count());
 }
 
 class ThreadPool {
@@ -174,6 +175,25 @@ class ThreadPool {
 };
 
 }  // namespace
+
+int parse_thread_count(const char* text, int fallback) {
+  if (text == nullptr || *text == '\0') {
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text, &end, 10);
+  const bool overflow = errno == ERANGE ||
+                        parsed > static_cast<long>(
+                                     std::numeric_limits<int>::max());
+  if (end == text || *end != '\0' || overflow || parsed < 1) {
+    HOTSPOT_LOG(kWarning) << "invalid thread count '" << text
+                          << "' (HOTSPOT_NUM_THREADS): expected a positive "
+                             "integer; using " << fallback;
+    return fallback;
+  }
+  return static_cast<int>(parsed);
+}
 
 int parallel_threads() { return ThreadPool::instance().num_threads(); }
 

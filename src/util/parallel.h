@@ -29,6 +29,13 @@ using ParallelChunkFn = std::function<void(std::int64_t, std::int64_t)>;
 // Number of threads the pool is configured to use (>= 1).
 int parallel_threads();
 
+// Parses a thread-count override (the HOTSPOT_NUM_THREADS format): a plain
+// base-10 positive integer. Returns `fallback` — with a logged warning —
+// for zero, negative, overflowing, or non-numeric input, so a typo in the
+// environment can never misconfigure the pool. nullptr/empty input returns
+// `fallback` silently (the variable is simply unset).
+int parse_thread_count(const char* text, int fallback);
+
 // Reconfigures the pool to `threads` (clamped to >= 1). Must not be called
 // from inside a parallel region. Overrides HOTSPOT_NUM_THREADS.
 void set_parallel_threads(int threads);

@@ -1,7 +1,9 @@
 #include "util/pgm.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <string>
 
 #include "util/check.h"
 #include "util/logging.h"
@@ -18,13 +20,26 @@ bool write_pgm(const std::string& path, const tensor::Tensor& image,
     return false;
   }
   out << "P5\n" << image.dim(1) << " " << image.dim(0) << "\n255\n";
+  if (!out.good()) {
+    HOTSPOT_LOG(kError) << "write failure on " << path << " (header)";
+    return false;
+  }
   const float scale = 255.0f / (hi - lo);
+  std::string payload(static_cast<std::size_t>(image.numel()), '\0');
   for (std::int64_t i = 0; i < image.numel(); ++i) {
     const float value = std::clamp((image[i] - lo) * scale, 0.0f, 255.0f);
-    const auto byte = static_cast<unsigned char>(value);
-    out.write(reinterpret_cast<const char*>(&byte), 1);
+    // Round to nearest: truncation would map e.g. 254.9 down to 254 and
+    // bias every mid-range intensity half a level dark.
+    payload[static_cast<std::size_t>(i)] =
+        static_cast<char>(static_cast<unsigned char>(std::lround(value)));
   }
-  return out.good();
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  if (!out.good()) {
+    HOTSPOT_LOG(kError) << "write failure on " << path << " (payload)";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace hotspot::util

@@ -53,6 +53,35 @@ TEST(ConfusionMatrix, OdstMatchesPaperRow) {
   EXPECT_NEAR(odst, 52970.0, 100.0);
 }
 
+TEST(ConfusionMatrix, OdstZeroOnEmptyMatrix) {
+  // No instances at all: no litho simulation, no scan time.
+  const ConfusionMatrix matrix;
+  EXPECT_DOUBLE_EQ(matrix.odst(10.0, 0.5), 0.0);
+}
+
+TEST(ConfusionMatrix, OdstWithZeroHotspotsIsScanTimeOnly) {
+  // All-clear layout with nothing flagged: ODST reduces to total * t_ev.
+  ConfusionMatrix matrix;
+  matrix.true_negative = 1000;
+  EXPECT_DOUBLE_EQ(matrix.odst(10.0, 0.01), 1000 * 0.01);
+}
+
+TEST(ConfusionMatrix, OdstCountsFlaggedInstancesOnly) {
+  // Eq. 3 charges t_ls for every flagged clip (TP + FP), not for misses.
+  ConfusionMatrix matrix;
+  matrix.true_positive = 3;
+  matrix.false_positive = 2;
+  matrix.false_negative = 4;
+  matrix.true_negative = 1;
+  EXPECT_DOUBLE_EQ(matrix.odst(10.0, 0.0), 50.0);
+}
+
+TEST(ConfusionMatrix, AccuracyZeroOnEmptyMatrix) {
+  const ConfusionMatrix matrix;
+  EXPECT_DOUBLE_EQ(matrix.accuracy(), 0.0);
+  EXPECT_EQ(matrix.total(), 0);
+}
+
 TEST(ConfusionMatrix, RejectsBadLabels) {
   ConfusionMatrix matrix;
   EXPECT_DEATH(matrix.record(2, 0), "HOTSPOT_CHECK");

@@ -1,0 +1,237 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace hotspot::obs {
+namespace {
+
+TEST(Counter, IncrementAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.increment();
+  counter.increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  // The whole point of the atomic fast path: no lost updates under
+  // contention from pool workers.
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("stress");
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 50000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        counter.increment();
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(Gauge, SetAddValue) {
+  Gauge gauge;
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.add(0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(Gauge, ConcurrentAddsAreExact) {
+  // add() is a CAS loop; with a power-of-two delta every add is exact in
+  // double arithmetic, so the total must come out bit-exact.
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&gauge] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        gauge.add(0.25);
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  EXPECT_DOUBLE_EQ(gauge.value(), kThreads * kAddsPerThread * 0.25);
+}
+
+TEST(Histogram, LeBucketSemantics) {
+  // Prometheus "le": an observation equal to a bound lands in that bound's
+  // bucket; above the last bound goes to the overflow bucket.
+  Histogram histogram({1.0, 2.0, 4.0});
+  histogram.observe(0.5);  // <= 1.0
+  histogram.observe(1.0);  // <= 1.0 (boundary is inclusive)
+  histogram.observe(1.5);  // <= 2.0
+  histogram.observe(4.0);  // <= 4.0
+  histogram.observe(9.0);  // overflow
+  ASSERT_EQ(histogram.bucket_count(), 4u);
+  EXPECT_EQ(histogram.bucket(0), 2u);
+  EXPECT_EQ(histogram.bucket(1), 1u);
+  EXPECT_EQ(histogram.bucket(2), 1u);
+  EXPECT_EQ(histogram.bucket(3), 1u);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+  EXPECT_EQ(histogram.bucket(0), 0u);
+}
+
+TEST(Histogram, ConcurrentObservationsKeepExactCount) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("stress", default_duration_buckets());
+  constexpr int kThreads = 4;
+  constexpr int kObservationsPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&histogram, t] {
+      for (int i = 0; i < kObservationsPerThread; ++i) {
+        histogram.observe(0.001 * (t + 1));
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kObservationsPerThread);
+  std::uint64_t bucketed = 0;
+  for (std::size_t b = 0; b < histogram.bucket_count(); ++b) {
+    bucketed += histogram.bucket(b);
+  }
+  EXPECT_EQ(bucketed, histogram.count());
+}
+
+TEST(HistogramDeath, RejectsBadBounds) {
+  EXPECT_DEATH(Histogram({}), "HOTSPOT_CHECK");
+  EXPECT_DEATH(Histogram({1.0, 1.0}), "HOTSPOT_CHECK");
+  EXPECT_DEATH(Histogram({2.0, 1.0}), "HOTSPOT_CHECK");
+}
+
+TEST(MetricsRegistry, ResolvesSameInstrumentByName) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("hits");
+  Counter& b = registry.counter("hits");
+  EXPECT_EQ(&a, &b);
+  a.increment();
+  EXPECT_EQ(b.value(), 1u);
+  // Distinct kinds share a namespace-per-kind, not one global namespace.
+  registry.gauge("hits").set(3.0);
+  EXPECT_EQ(registry.counter("hits").value(), 1u);
+}
+
+TEST(MetricsRegistry, ConcurrentResolutionIsSafe) {
+  // First-touch registration races: many threads resolving the same names
+  // must converge on one instrument each and lose no updates.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      for (int i = 0; i < kIterations; ++i) {
+        registry.counter("shared." + std::to_string(i % 4)).increment();
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  std::uint64_t total = 0;
+  for (int i = 0; i < 4; ++i) {
+    total += registry.counter("shared." + std::to_string(i)).value();
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kIterations);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("z.last").increment(3);
+  registry.counter("a.first").increment(1);
+  registry.gauge("loss").set(0.125);
+  registry.histogram("latency", {1.0, 2.0}).observe(1.5);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "a.first");
+  EXPECT_EQ(snapshot.counters[1].name, "z.last");
+  ASSERT_NE(snapshot.find_counter("z.last"), nullptr);
+  EXPECT_EQ(snapshot.find_counter("z.last")->value, 3u);
+  EXPECT_EQ(snapshot.find_counter("missing"), nullptr);
+  ASSERT_NE(snapshot.find_gauge("loss"), nullptr);
+  EXPECT_DOUBLE_EQ(snapshot.find_gauge("loss")->value, 0.125);
+  const HistogramSample* histogram = snapshot.find_histogram("latency");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->count, 1u);
+  ASSERT_EQ(histogram->buckets.size(), 3u);
+  EXPECT_EQ(histogram->buckets[1], 1u);
+}
+
+TEST(MetricsRegistry, DeltaSinceSubtractsCountersAndKeepsGauges) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("steps");
+  Gauge& gauge = registry.gauge("loss");
+  Histogram& histogram = registry.histogram("seconds", {1.0});
+  counter.increment(10);
+  gauge.set(5.0);
+  histogram.observe(0.5);
+  const MetricsSnapshot before = registry.snapshot();
+  counter.increment(7);
+  gauge.set(2.0);
+  histogram.observe(0.5);
+  histogram.observe(3.0);
+  registry.counter("new.after").increment(1);
+  const MetricsSnapshot delta = registry.snapshot().delta_since(before);
+  EXPECT_EQ(delta.find_counter("steps")->value, 7u);
+  // Instruments born inside the window diff against zero.
+  EXPECT_EQ(delta.find_counter("new.after")->value, 1u);
+  // Gauges are level values, not rates: the newer reading wins.
+  EXPECT_DOUBLE_EQ(delta.find_gauge("loss")->value, 2.0);
+  const HistogramSample* diffed = delta.find_histogram("seconds");
+  ASSERT_NE(diffed, nullptr);
+  EXPECT_EQ(diffed->count, 2u);
+  EXPECT_EQ(diffed->buckets[0], 1u);
+  EXPECT_EQ(diffed->buckets[1], 1u);
+  EXPECT_DOUBLE_EQ(diffed->sum, 3.5);
+}
+
+TEST(MetricsRegistry, ResetZeroesWithoutInvalidatingReferences) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("events");
+  counter.increment(9);
+  registry.gauge("level").set(4.0);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge("level").value(), 0.0);
+  counter.increment();  // the old reference still reaches the live metric
+  EXPECT_EQ(registry.counter("events").value(), 1u);
+}
+
+TEST(MetricsRegistry, GlobalIsASingleton) {
+  MetricsRegistry& a = MetricsRegistry::global();
+  MetricsRegistry& b = MetricsRegistry::global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace hotspot::obs

@@ -1,0 +1,160 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace hotspot::obs {
+namespace {
+
+// Every test starts from a clean slate and leaves tracing off.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_trace_enabled(true);
+    reset_spans();
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    reset_spans();
+  }
+};
+
+void spin_for(std::chrono::microseconds duration) {
+  const auto deadline = std::chrono::steady_clock::now() + duration;
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+TEST_F(TraceTest, RecordsCountAndElapsedTime) {
+  for (int i = 0; i < 3; ++i) {
+    HOTSPOT_TRACE_SPAN("unit");
+    spin_for(std::chrono::microseconds(200));
+  }
+  const SpanReport report = collect_span_report();
+  const SpanStat* stat = report.find("unit");
+  ASSERT_NE(stat, nullptr);
+  EXPECT_EQ(stat->count, 3u);
+  EXPECT_GE(stat->total_seconds, 3 * 200e-6);
+  // A leaf span has no children, so self time equals total time.
+  EXPECT_DOUBLE_EQ(stat->self_seconds, stat->total_seconds);
+}
+
+TEST_F(TraceTest, NestedSpansSplitSelfFromTotal) {
+  {
+    HOTSPOT_TRACE_SPAN("outer");
+    spin_for(std::chrono::microseconds(300));
+    {
+      HOTSPOT_TRACE_SPAN("inner");
+      spin_for(std::chrono::microseconds(300));
+    }
+  }
+  const SpanReport report = collect_span_report();
+  const SpanStat* outer = report.find("outer");
+  const SpanStat* inner = report.find("inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // Outer time is inclusive of inner; self excludes it.
+  EXPECT_GE(outer->total_seconds, inner->total_seconds);
+  EXPECT_GE(outer->self_seconds, 0.0);
+  EXPECT_LE(outer->self_seconds, outer->total_seconds);
+  EXPECT_NEAR(outer->self_seconds,
+              outer->total_seconds - inner->total_seconds,
+              1e-4);
+  // Sum of selves never double-counts nesting.
+  EXPECT_LE(report.total_self_seconds(), outer->total_seconds + 1e-4);
+}
+
+TEST_F(TraceTest, RecursiveSpansAggregateUnderOneName) {
+  // Same name nested in itself (recursive layers): counts add, and the
+  // inner occurrence's time is not double-charged to self.
+  {
+    HOTSPOT_TRACE_SPAN("recurse");
+    {
+      HOTSPOT_TRACE_SPAN("recurse");
+      spin_for(std::chrono::microseconds(200));
+    }
+  }
+  const SpanReport report = collect_span_report();
+  const SpanStat* stat = report.find("recurse");
+  ASSERT_NE(stat, nullptr);
+  EXPECT_EQ(stat->count, 2u);
+  EXPECT_LE(stat->self_seconds, stat->total_seconds);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  set_trace_enabled(false);
+  {
+    HOTSPOT_TRACE_SPAN("ghost");
+    spin_for(std::chrono::microseconds(100));
+  }
+  const SpanReport report = collect_span_report();
+  EXPECT_EQ(report.find("ghost"), nullptr);
+  EXPECT_TRUE(report.spans.empty());
+}
+
+TEST_F(TraceTest, ResetClearsRecordedSpans) {
+  {
+    HOTSPOT_TRACE_SPAN("before");
+  }
+  reset_spans();
+  {
+    HOTSPOT_TRACE_SPAN("after");
+  }
+  const SpanReport report = collect_span_report();
+  EXPECT_EQ(report.find("before"), nullptr);
+  ASSERT_NE(report.find("after"), nullptr);
+  EXPECT_EQ(report.find("after")->count, 1u);
+}
+
+TEST_F(TraceTest, MergesSpansAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        HOTSPOT_TRACE_SPAN("shared.work");
+        spin_for(std::chrono::microseconds(10));
+      }
+      TraceSpan own("thread." + std::to_string(t));
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  // Buffers outlive their threads: collect after every worker has exited.
+  const SpanReport report = collect_span_report();
+  const SpanStat* shared = report.find("shared.work");
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->count,
+            static_cast<std::uint64_t>(kThreads) * kSpansPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    const SpanStat* own = report.find("thread." + std::to_string(t));
+    ASSERT_NE(own, nullptr) << "thread " << t;
+    EXPECT_EQ(own->count, 1u);
+  }
+}
+
+TEST_F(TraceTest, ReportIsSortedByName) {
+  {
+    HOTSPOT_TRACE_SPAN("zz");
+  }
+  {
+    HOTSPOT_TRACE_SPAN("aa");
+  }
+  {
+    HOTSPOT_TRACE_SPAN("mm");
+  }
+  const SpanReport report = collect_span_report();
+  ASSERT_EQ(report.spans.size(), 3u);
+  EXPECT_EQ(report.spans[0].first, "aa");
+  EXPECT_EQ(report.spans[1].first, "mm");
+  EXPECT_EQ(report.spans[2].first, "zz");
+}
+
+}  // namespace
+}  // namespace hotspot::obs

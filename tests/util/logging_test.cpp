@@ -1,0 +1,87 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hotspot::util {
+namespace {
+
+// Restores the global level so test ordering cannot leak verbosity.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_ = log_level();
+};
+
+TEST_F(LoggingTest, DropsMessagesBelowLevel) {
+  set_log_level(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  HOTSPOT_LOG(kInfo) << "should be dropped";
+  HOTSPOT_LOG(kWarning) << "should appear";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("should be dropped"), std::string::npos);
+  EXPECT_NE(captured.find("[W] should appear"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FormatsTagAndNewline) {
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  HOTSPOT_LOG(kDebug) << "d";
+  HOTSPOT_LOG(kInfo) << "i";
+  HOTSPOT_LOG(kError) << "e";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured, "[D] d\n[I] i\n[E] e\n");
+}
+
+TEST_F(LoggingTest, ConcurrentWritersNeverInterleaveLines) {
+  // log_line used to stream tag and message as separate << calls, so two
+  // pool workers could interleave mid-line. Hammer it from several threads
+  // and require every captured line to be exactly one writer's line.
+  set_log_level(LogLevel::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kLinesPerThread = 200;
+  ::testing::internal::CaptureStderr();
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kLinesPerThread; ++i) {
+        HOTSPOT_LOG(kInfo) << "worker=" << t << " line=" << i
+                           << " padding-to-make-tearing-visible";
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+
+  std::set<std::string> expected;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kLinesPerThread; ++i) {
+      std::ostringstream line;
+      line << "[I] worker=" << t << " line=" << i
+           << " padding-to-make-tearing-visible";
+      expected.insert(line.str());
+    }
+  }
+
+  std::istringstream stream(captured);
+  std::string line;
+  int count = 0;
+  while (std::getline(stream, line)) {
+    ASSERT_EQ(expected.count(line), 1u) << "torn or duplicated line: " << line;
+    expected.erase(line);
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kLinesPerThread);
+  EXPECT_TRUE(expected.empty()) << expected.size() << " lines never appeared";
+}
+
+}  // namespace
+}  // namespace hotspot::util

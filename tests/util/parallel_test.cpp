@@ -139,5 +139,35 @@ TEST_F(ParallelTest, SetParallelThreadsClampsToOne) {
   EXPECT_EQ(parallel_threads(), 2);
 }
 
+TEST(ParseThreadCount, AcceptsPositiveIntegers) {
+  EXPECT_EQ(parse_thread_count("1", 7), 1);
+  EXPECT_EQ(parse_thread_count("4", 7), 4);
+  EXPECT_EQ(parse_thread_count("128", 7), 128);
+}
+
+TEST(ParseThreadCount, UnsetFallsBackSilently) {
+  EXPECT_EQ(parse_thread_count(nullptr, 7), 7);
+  EXPECT_EQ(parse_thread_count("", 7), 7);
+}
+
+TEST(ParseThreadCount, RejectsNonPositiveValues) {
+  // HOTSPOT_NUM_THREADS=0 used to seed a zero-width pool; it must fall back.
+  EXPECT_EQ(parse_thread_count("0", 7), 7);
+  EXPECT_EQ(parse_thread_count("-3", 7), 7);
+}
+
+TEST(ParseThreadCount, RejectsGarbage) {
+  EXPECT_EQ(parse_thread_count("abc", 7), 7);
+  EXPECT_EQ(parse_thread_count("4x", 7), 7);
+  EXPECT_EQ(parse_thread_count("x4", 7), 7);
+  EXPECT_EQ(parse_thread_count("4.5", 7), 7);
+  EXPECT_EQ(parse_thread_count(" ", 7), 7);
+}
+
+TEST(ParseThreadCount, RejectsOverflow) {
+  EXPECT_EQ(parse_thread_count("99999999999999999999", 7), 7);
+  EXPECT_EQ(parse_thread_count("2147483648", 7), 7);  // INT_MAX + 1
+}
+
 }  // namespace
 }  // namespace hotspot::util

@@ -26,7 +26,25 @@ TEST(Pgm, HeaderAndPayload) {
   const auto header_end = contents.find("255\n") + 4;
   ASSERT_EQ(contents.size() - header_end, 6u);
   EXPECT_EQ(static_cast<unsigned char>(contents[header_end]), 255);
-  EXPECT_EQ(static_cast<unsigned char>(contents[header_end + 5]), 127);
+  // 0.5 * 255 = 127.5 rounds to nearest, not down.
+  EXPECT_EQ(static_cast<unsigned char>(contents[header_end + 5]), 128);
+}
+
+TEST(Pgm, RoundsToNearestNotTruncates) {
+  // 254.9/255 used to truncate to 254; rounding must yield 255. Likewise
+  // 0.4/255 stays 0 while 0.6/255 becomes 1.
+  tensor::Tensor image({1, 3});
+  image.at2(0, 0) = 254.9f / 255.0f;
+  image.at2(0, 1) = 0.4f / 255.0f;
+  image.at2(0, 2) = 0.6f / 255.0f;
+  const std::string path = std::string(::testing::TempDir()) + "/round.pgm";
+  ASSERT_TRUE(write_pgm(path, image));
+  const std::string contents = read_file(path);
+  const auto header_end = contents.find("255\n") + 4;
+  ASSERT_EQ(contents.size() - header_end, 3u);
+  EXPECT_EQ(static_cast<unsigned char>(contents[header_end]), 255);
+  EXPECT_EQ(static_cast<unsigned char>(contents[header_end + 1]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(contents[header_end + 2]), 1);
 }
 
 TEST(Pgm, ClampsOutOfRange) {
