@@ -80,8 +80,10 @@ void DctCnnDetector::fit(const dataset::HotspotDataset& train,
 
 std::vector<int> DctCnnDetector::predict(const dataset::HotspotDataset& data) {
   HOTSPOT_CHECK(net_.has_value()) << "predict() before fit()";
-  return core::predict_labels(*net_, data, config_.trainer.batch_size,
-                              dct_builder());
+  const int batch = config_.inference_batch_size > 0
+                        ? config_.inference_batch_size
+                        : config_.trainer.batch_size;
+  return core::predict_labels(*net_, data, batch, dct_builder());
 }
 
 nn::Sequential& DctCnnDetector::network() {

@@ -38,6 +38,24 @@ std::vector<int> BnnHotspotDetector::predict(
   return predict_labels(*model_, data, batch);
 }
 
+std::vector<int> BnnHotspotDetector::predict_batch(
+    const tensor::Tensor& images) {
+  HOTSPOT_CHECK(model_.has_value()) << "predict_batch() before fit()";
+  HOTSPOT_CHECK_EQ(images.rank(), 4)
+      << "predict_batch expects [n, 1, ls, ls] images";
+  HOTSPOT_CHECK_EQ(images.dim(2), config_.model.image_size)
+      << "image size does not match the model configuration";
+  model_->set_training(false);
+  return model_->predict(images);
+}
+
+std::function<std::vector<int>(const tensor::Tensor&)>
+BnnHotspotDetector::classifier() {
+  return [this](const tensor::Tensor& images) {
+    return predict_batch(images);
+  };
+}
+
 BrnnModel& BnnHotspotDetector::model() {
   HOTSPOT_CHECK(model_.has_value()) << "model() before fit()";
   return *model_;

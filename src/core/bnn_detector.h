@@ -2,6 +2,7 @@
 // used by the Table-3 comparison harness.
 #pragma once
 
+#include <functional>
 #include <optional>
 
 #include "core/brnn.h"
@@ -30,6 +31,18 @@ class BnnHotspotDetector : public eval::Detector {
   std::string name() const override { return "Ours (BNN)"; }
   void fit(const dataset::HotspotDataset& train, util::Rng& rng) override;
   std::vector<int> predict(const dataset::HotspotDataset& data) override;
+
+  // Batch-feed API: classifies a prepared [n, 1, ls, ls] {0,1} image batch
+  // directly, without materializing a HotspotDataset. This is what the
+  // streaming scan pipeline feeds — the caller owns batching, so dedup and
+  // double buffering happen upstream. Per-sample outputs are independent of
+  // batch composition (scaling, BN eval stats, and the packed GEMM are all
+  // per-sample), so any batching of the same images yields identical labels.
+  std::vector<int> predict_batch(const tensor::Tensor& images);
+
+  // The batch-feed API packaged as a scan::ScanPipeline-compatible
+  // callable. Valid as long as the detector outlives the callable.
+  std::function<std::vector<int>(const tensor::Tensor&)> classifier();
 
   // Available after fit().
   BrnnModel& model();

@@ -8,6 +8,11 @@ std::vector<Clip> extract_clips(const Pattern& full, std::int64_t size_nm,
                                 std::int64_t step_nm) {
   HOTSPOT_CHECK_GT(size_nm, 0);
   HOTSPOT_CHECK_GT(step_nm, 0);
+  // A step beyond the window edge would silently skip stripes of geometry
+  // between consecutive windows — a scan that "passes" without ever seeing
+  // part of the chip. Reject the combination outright.
+  HOTSPOT_CHECK_LE(step_nm, size_nm)
+      << "step_nm > size_nm leaves uncovered stripes between windows";
   std::vector<Clip> clips;
   if (full.empty()) {
     return clips;

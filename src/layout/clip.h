@@ -27,7 +27,10 @@ struct Clip {
 
 // Slides a size_nm x size_nm window over `full` geometry with the given
 // step, producing one clip per window position covering the layout bounding
-// box. Used by the full-chip scanning example.
+// box. Requires step_nm <= size_nm: a larger step would leave uncovered
+// stripes between windows, so the combination is rejected (HOTSPOT_CHECK).
+// Eagerly materializes every window — O(windows x rects) memory; full-chip
+// scans should use scan::ClipWindowStream instead.
 std::vector<Clip> extract_clips(const Pattern& full, std::int64_t size_nm,
                                 std::int64_t step_nm);
 

@@ -1,0 +1,42 @@
+#include "scan/dedup_cache.h"
+
+namespace hotspot::scan {
+
+std::uint64_t hash_raster(const RasterKey& pixels) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+  for (const std::uint8_t byte : pixels) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;  // FNV prime
+  }
+  // Mix in the length so "all zeros, n pixels" and "all zeros, m pixels"
+  // differ even though the byte stream hash would not.
+  hash ^= static_cast<std::uint64_t>(pixels.size());
+  hash *= 1099511628211ULL;
+  return hash;
+}
+
+std::int64_t RasterDedupCache::find(std::uint64_t hash,
+                                    const RasterKey& pixels) const {
+  const auto bucket = buckets_.find(hash);
+  if (bucket == buckets_.end()) {
+    return -1;
+  }
+  for (const Keyed& keyed : bucket->second) {
+    if (keyed.pixels == pixels) {
+      return keyed.entry;
+    }
+  }
+  return -1;
+}
+
+bool RasterDedupCache::insert(std::uint64_t hash, RasterKey pixels,
+                              std::int64_t entry) {
+  if (max_entries_ != 0 && size_ >= max_entries_) {
+    return false;
+  }
+  buckets_[hash].push_back(Keyed{std::move(pixels), entry});
+  ++size_;
+  return true;
+}
+
+}  // namespace hotspot::scan

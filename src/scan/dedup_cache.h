@@ -1,0 +1,56 @@
+// Raster-keyed verdict dedup for full-chip scans (DESIGN.md §11).
+//
+// Tiled chips repeat their window rasters heavily; two windows with the
+// same binary raster must get the same verdict from a deterministic
+// detector, so the scan only pays inference once per distinct raster. The
+// cache keys on the raw {0,1} pixel bytes: a 64-bit FNV-1a hash picks the
+// bucket and a full byte comparison confirms the match, so a hash collision
+// can never replay the wrong verdict — the bit-identical guarantee survives.
+//
+// The cache is single-writer (the scan producer); it is not thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace hotspot::scan {
+
+using RasterKey = std::vector<std::uint8_t>;
+
+// FNV-1a over the pixel bytes.
+std::uint64_t hash_raster(const RasterKey& pixels);
+
+class RasterDedupCache {
+ public:
+  // `max_entries` bounds the number of distinct rasters remembered;
+  // 0 = unlimited. When full, new rasters are classified but not cached
+  // (scan results stay exact, the hit rate just degrades).
+  explicit RasterDedupCache(std::size_t max_entries = 0)
+      : max_entries_(max_entries) {}
+
+  // Entry id for `pixels`, or -1 when the raster has not been seen.
+  std::int64_t find(std::uint64_t hash, const RasterKey& pixels) const;
+
+  // Remembers `pixels` under `entry` (an id the caller allocates, e.g. a
+  // slot in its verdict table). Returns false when the cache is full and
+  // the raster was dropped.
+  bool insert(std::uint64_t hash, RasterKey pixels, std::int64_t entry);
+
+  std::size_t size() const { return size_; }
+  std::size_t max_entries() const { return max_entries_; }
+
+ private:
+  struct Keyed {
+    RasterKey pixels;
+    std::int64_t entry = 0;
+  };
+
+  std::size_t max_entries_;
+  std::size_t size_ = 0;
+  // Bucketed by hash; each bucket holds the full keys so collisions are
+  // resolved by comparison, never assumed away.
+  std::unordered_map<std::uint64_t, std::vector<Keyed>> buckets_;
+};
+
+}  // namespace hotspot::scan

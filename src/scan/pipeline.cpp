@@ -1,0 +1,279 @@
+#include "scan/pipeline.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "scan/dedup_cache.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace hotspot::scan {
+namespace {
+
+struct BatchPlan {
+  tensor::Tensor images;        // [count, 1, grid, grid]
+  std::int64_t base_entry = 0;  // first entry id covered by this batch
+  std::int64_t count = 0;
+};
+
+// Bounded handoff between the raster producer and the inference consumer.
+// Capacity 2 keeps one finished batch staged while the next is assembled —
+// the double buffer — without letting the producer run unboundedly ahead.
+class BatchQueue {
+ public:
+  // Returns false when the consumer aborted and the batch was not taken.
+  bool push(BatchPlan plan) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_push_.wait(lock, [&] { return aborted_ || queue_.size() < 2; });
+    if (aborted_) {
+      return false;
+    }
+    queue_.push_back(std::move(plan));
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  std::optional<BatchPlan> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_pop_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    BatchPlan plan = std::move(queue_.front());
+    queue_.pop_front();
+    cv_push_.notify_one();
+    return plan;
+  }
+
+  // Producer is done; pending batches still drain.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    cv_pop_.notify_all();
+  }
+
+  // Consumer failed; unblock and stop the producer.
+  void abort() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+    closed_ = true;
+    cv_push_.notify_all();
+    cv_pop_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_push_;
+  std::condition_variable cv_pop_;
+  std::deque<BatchPlan> queue_;
+  bool closed_ = false;
+  bool aborted_ = false;
+};
+
+// Walks the window grid in scan order, rasterizing and deduplicating into
+// fixed-size batches of distinct rasters. Single-threaded by design (see
+// pipeline.h); next_batch() is the producer's only entry point.
+class BatchProducer {
+ public:
+  BatchProducer(const ScanConfig& config, const layout::Pattern& chip,
+                ScanStats& stats)
+      : config_(config),
+        stream_(chip, config.window_nm,
+                config.step_nm > 0 ? config.step_nm : config.window_nm),
+        cache_(config.dedup_max_entries),
+        stats_(stats) {
+    window_entry_.assign(static_cast<std::size_t>(stream_.window_count()), 0);
+  }
+
+  const ClipWindowStream& stream() const { return stream_; }
+  const std::vector<std::int64_t>& window_entry() const {
+    return window_entry_;
+  }
+
+  // Assembles the next batch of distinct rasters. Returns false when the
+  // window grid is exhausted and no windows remain.
+  bool next_batch(BatchPlan& out) {
+    HOTSPOT_TRACE_SPAN("scan.batch.rasterize");
+    util::Stopwatch timer;
+    const std::int64_t grid = config_.grid;
+    const std::int64_t pixels_per_window = grid * grid;
+    std::vector<float> slots;
+    const std::int64_t remaining = stream_.window_count() - windows_seen_;
+    slots.reserve(static_cast<std::size_t>(
+        std::min<std::int64_t>(config_.batch_size, remaining) *
+        pixels_per_window));
+    const std::int64_t base_entry = next_entry_;
+    std::int64_t count = 0;
+    std::int64_t windows_in_batch = 0;
+    std::int64_t hits_in_batch = 0;
+    WindowRef ref;
+    while (count < config_.batch_size && stream_.next(ref)) {
+      ++windows_in_batch;
+      const layout::Clip clip = stream_.materialize(ref);
+      const tensor::Tensor raster = clip.binary(grid);
+      RasterKey pixels(static_cast<std::size_t>(pixels_per_window));
+      const float* src = raster.data();
+      for (std::int64_t i = 0; i < pixels_per_window; ++i) {
+        pixels[static_cast<std::size_t>(i)] = src[i] != 0.0f ? 1 : 0;
+      }
+      std::uint64_t hash = 0;
+      if (config_.dedup) {
+        hash = hash_raster(pixels);
+        const std::int64_t cached = cache_.find(hash, pixels);
+        if (cached >= 0) {
+          window_entry_[static_cast<std::size_t>(ref.index)] = cached;
+          ++hits_in_batch;
+          continue;
+        }
+      }
+      window_entry_[static_cast<std::size_t>(ref.index)] = next_entry_;
+      for (const std::uint8_t pixel : pixels) {
+        slots.push_back(static_cast<float>(pixel));
+      }
+      if (config_.dedup) {
+        cache_.insert(hash, std::move(pixels), next_entry_);
+      }
+      ++next_entry_;
+      ++count;
+    }
+    stats_.raster_seconds += timer.seconds();
+    stats_.windows += windows_in_batch;
+    windows_seen_ += windows_in_batch;
+    stats_.dedup_hits += hits_in_batch;
+    static obs::Counter& windows_counter =
+        obs::MetricsRegistry::global().counter("scan.windows");
+    static obs::Counter& hits_counter =
+        obs::MetricsRegistry::global().counter("scan.dedup.hits");
+    static obs::Counter& misses_counter =
+        obs::MetricsRegistry::global().counter("scan.dedup.misses");
+    windows_counter.increment(static_cast<std::uint64_t>(windows_in_batch));
+    hits_counter.increment(static_cast<std::uint64_t>(hits_in_batch));
+    misses_counter.increment(static_cast<std::uint64_t>(count));
+    if (count == 0) {
+      return false;
+    }
+    out.images = tensor::Tensor({count, 1, grid, grid}, std::move(slots));
+    out.base_entry = base_entry;
+    out.count = count;
+    return true;
+  }
+
+ private:
+  ScanConfig config_;
+  ClipWindowStream stream_;
+  RasterDedupCache cache_;
+  ScanStats& stats_;
+  std::vector<std::int64_t> window_entry_;  // window index -> entry id
+  std::int64_t next_entry_ = 0;
+  std::int64_t windows_seen_ = 0;
+};
+
+}  // namespace
+
+ScanPipeline::ScanPipeline(const ScanConfig& config,
+                           BatchClassifier classifier)
+    : config_(config), classifier_(std::move(classifier)) {
+  HOTSPOT_CHECK_GT(config_.window_nm, 0);
+  HOTSPOT_CHECK_GE(config_.step_nm, 0);
+  HOTSPOT_CHECK_GT(config_.grid, 0);
+  HOTSPOT_CHECK_GT(config_.batch_size, 0);
+  HOTSPOT_CHECK(classifier_ != nullptr) << "scan needs a classifier";
+}
+
+ScanResult ScanPipeline::scan(const layout::Pattern& chip) {
+  util::Stopwatch total_timer;
+  ScanResult result;
+  BatchProducer producer(config_, chip, result.stats);
+  const ClipWindowStream& stream = producer.stream();
+  result.cols = stream.cols();
+  result.rows = stream.rows();
+  result.origin_x = stream.origin_x();
+  result.origin_y = stream.origin_y();
+  result.window_nm = stream.size_nm();
+  result.step_nm = stream.step_nm();
+  const std::int64_t window_count = stream.window_count();
+
+  // One verdict slot per *distinct* raster; windows map into it through
+  // window_entry. Sized for the worst case (no duplicates).
+  std::vector<int> entry_verdicts(static_cast<std::size_t>(window_count), 0);
+
+  static obs::Counter& batches_counter =
+      obs::MetricsRegistry::global().counter("scan.batches");
+  auto classify_batch = [&](const BatchPlan& plan) {
+    HOTSPOT_TRACE_SPAN("scan.batch.infer");
+    util::Stopwatch timer;
+    const std::vector<int> verdicts = classifier_(plan.images);
+    HOTSPOT_CHECK_EQ(static_cast<std::int64_t>(verdicts.size()), plan.count)
+        << "classifier returned the wrong number of labels";
+    for (std::int64_t i = 0; i < plan.count; ++i) {
+      entry_verdicts[static_cast<std::size_t>(plan.base_entry + i)] =
+          verdicts[static_cast<std::size_t>(i)];
+    }
+    result.stats.infer_seconds += timer.seconds();
+    ++result.stats.batches;
+    batches_counter.increment();
+  };
+
+  if (config_.pipelined && window_count > 0) {
+    // Producer on a helper thread, classifier on the calling thread (the
+    // thread pool's single client). The queue is the double buffer.
+    BatchQueue queue;
+    std::exception_ptr producer_error;
+    std::thread producer_thread([&] {
+      try {
+        BatchPlan plan;
+        while (producer.next_batch(plan)) {
+          if (!queue.push(std::move(plan))) {
+            return;  // consumer aborted
+          }
+        }
+      } catch (...) {
+        producer_error = std::current_exception();
+      }
+      queue.close();
+    });
+    try {
+      while (std::optional<BatchPlan> plan = queue.pop()) {
+        classify_batch(*plan);
+      }
+    } catch (...) {
+      queue.abort();
+      producer_thread.join();
+      throw;
+    }
+    producer_thread.join();
+    if (producer_error) {
+      std::rethrow_exception(producer_error);
+    }
+  } else {
+    BatchPlan plan;
+    while (producer.next_batch(plan)) {
+      classify_batch(plan);
+    }
+  }
+
+  // Replay verdicts back onto the window grid.
+  result.labels.resize(static_cast<std::size_t>(window_count));
+  const std::vector<std::int64_t>& window_entry = producer.window_entry();
+  for (std::int64_t w = 0; w < window_count; ++w) {
+    result.labels[static_cast<std::size_t>(w)] =
+        entry_verdicts[static_cast<std::size_t>(
+            window_entry[static_cast<std::size_t>(w)])];
+  }
+  result.stats.unique_windows = result.stats.windows - result.stats.dedup_hits;
+  result.regions = merge_flagged_windows(
+      result.labels, result.cols, result.rows, result.origin_x,
+      result.origin_y, result.window_nm, result.step_nm);
+  result.stats.total_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace hotspot::scan

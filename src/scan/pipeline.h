@@ -1,0 +1,117 @@
+// Streaming full-chip scan pipeline (DESIGN.md §11).
+//
+// Replaces the eager extract-everything-then-predict scan with a bounded-
+// memory pipeline:
+//
+//   ClipWindowStream -> rasterize -> dedup -> batch -> classifier
+//        (lazy)         (producer)   (cache)  (double-buffered)
+//
+// The producer walks the window grid in scan order, rasterizes each window
+// and folds duplicate rasters through RasterDedupCache, so each *distinct*
+// raster occupies exactly one batch slot and pays inference exactly once.
+// In pipelined mode the producer runs on a helper thread and assembles
+// batch N+1 while the classifier — which internally fans out on
+// util::parallel_for's pool — consumes batch N on the calling thread, so
+// rasterization hides behind inference. Rasterization itself stays serial
+// on the producer: the pool serves one client at a time, and the classifier
+// is that client.
+//
+// Batch composition is a pure function of scan order and the dedup state —
+// never of timing or thread count — and the detector's per-window outputs
+// are independent of batch composition, so scan results are bit-identical
+// across pipelined/sequential modes and any HOTSPOT_NUM_THREADS setting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "layout/geometry.h"
+#include "scan/region.h"
+#include "scan/window_stream.h"
+#include "tensor/tensor.h"
+
+namespace hotspot::scan {
+
+struct ScanConfig {
+  std::int64_t window_nm = 0;  // window edge length (required, > 0)
+  std::int64_t step_nm = 0;    // scan stride; 0 = window_nm (non-overlapping)
+  std::int64_t grid = 32;      // raster resolution fed to the classifier
+  int batch_size = 64;         // distinct rasters per inference batch
+  bool dedup = true;           // raster dedup cache on/off
+  std::size_t dedup_max_entries = 0;  // 0 = unlimited
+  bool pipelined = true;       // overlap rasterization with inference
+};
+
+struct ScanStats {
+  std::int64_t windows = 0;         // window positions scanned
+  std::int64_t unique_windows = 0;  // rasters that paid inference
+  std::int64_t dedup_hits = 0;      // windows served from the cache
+  std::int64_t batches = 0;         // inference batches issued
+  double raster_seconds = 0.0;      // producer time (rasterize + dedup)
+  double infer_seconds = 0.0;       // classifier time
+  double total_seconds = 0.0;       // wall time of the whole scan
+
+  double dedup_hit_rate() const {
+    return windows == 0 ? 0.0
+                        : static_cast<double>(dedup_hits) /
+                              static_cast<double>(windows);
+  }
+};
+
+struct ScanResult {
+  // One verdict per window in scan order (iy * cols + ix); 1 = hotspot.
+  std::vector<int> labels;
+  // Flagged windows merged into connected regions (8-connectivity).
+  std::vector<HotspotRegion> regions;
+  ScanStats stats;
+
+  // Window grid the labels are indexed by.
+  std::int64_t cols = 0;
+  std::int64_t rows = 0;
+  std::int64_t origin_x = 0;
+  std::int64_t origin_y = 0;
+  std::int64_t window_nm = 0;
+  std::int64_t step_nm = 0;
+
+  std::int64_t flagged_count() const {
+    std::int64_t count = 0;
+    for (const int label : labels) {
+      count += label != 0 ? 1 : 0;
+    }
+    return count;
+  }
+
+  // Eq. 3 over the whole scan: flagged windows pay litho, every window pays
+  // detector evaluation.
+  double odst(double litho_seconds_per_window,
+              double eval_seconds_per_window) const {
+    return static_cast<double>(flagged_count()) * litho_seconds_per_window +
+           static_cast<double>(labels.size()) * eval_seconds_per_window;
+  }
+};
+
+class ScanPipeline {
+ public:
+  // Classifies a [n, 1, grid, grid] {0,1} image batch into n labels
+  // (1 = hotspot). Must be deterministic and per-sample independent —
+  // BnnHotspotDetector::classifier() and BrnnModel::predict qualify.
+  using BatchClassifier = std::function<std::vector<int>(
+      const tensor::Tensor&)>;
+
+  ScanPipeline(const ScanConfig& config, BatchClassifier classifier);
+
+  const ScanConfig& config() const { return config_; }
+
+  // Sweeps the window grid over `chip` and returns per-window verdicts,
+  // merged hotspot regions, and scan statistics. Also bumps the
+  // scan.windows / scan.dedup.{hits,misses} / scan.batches counters in
+  // obs::MetricsRegistry::global().
+  ScanResult scan(const layout::Pattern& chip);
+
+ private:
+  ScanConfig config_;
+  BatchClassifier classifier_;
+};
+
+}  // namespace hotspot::scan

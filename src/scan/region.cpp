@@ -1,0 +1,63 @@
+#include "scan/region.h"
+
+#include "util/check.h"
+
+namespace hotspot::scan {
+
+std::vector<HotspotRegion> merge_flagged_windows(
+    const std::vector<int>& labels, std::int64_t cols, std::int64_t rows,
+    std::int64_t origin_x, std::int64_t origin_y, std::int64_t size_nm,
+    std::int64_t step_nm) {
+  HOTSPOT_CHECK_EQ(static_cast<std::int64_t>(labels.size()), cols * rows)
+      << "labels must cover the whole window grid";
+  std::vector<HotspotRegion> regions;
+  if (labels.empty()) {
+    return regions;
+  }
+  std::vector<char> visited(labels.size(), 0);
+  std::vector<std::int64_t> frontier;
+  for (std::int64_t seed = 0; seed < static_cast<std::int64_t>(labels.size());
+       ++seed) {
+    if (labels[static_cast<std::size_t>(seed)] == 0 ||
+        visited[static_cast<std::size_t>(seed)] != 0) {
+      continue;
+    }
+    // Flood fill from the seed over flagged 8-neighbours.
+    HotspotRegion region;
+    frontier.clear();
+    frontier.push_back(seed);
+    visited[static_cast<std::size_t>(seed)] = 1;
+    while (!frontier.empty()) {
+      const std::int64_t index = frontier.back();
+      frontier.pop_back();
+      const std::int64_t ix = index % cols;
+      const std::int64_t iy = index / cols;
+      const std::int64_t x = origin_x + ix * step_nm;
+      const std::int64_t y = origin_y + iy * step_nm;
+      const layout::Rect window{x, y, x + size_nm, y + size_nm};
+      region.bounds = region.window_count == 0
+                          ? window
+                          : layout::bounding_box(region.bounds, window);
+      ++region.window_count;
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        for (std::int64_t dx = -1; dx <= 1; ++dx) {
+          const std::int64_t nx = ix + dx;
+          const std::int64_t ny = iy + dy;
+          if (nx < 0 || nx >= cols || ny < 0 || ny >= rows) {
+            continue;
+          }
+          const std::int64_t neighbor = ny * cols + nx;
+          if (labels[static_cast<std::size_t>(neighbor)] != 0 &&
+              visited[static_cast<std::size_t>(neighbor)] == 0) {
+            visited[static_cast<std::size_t>(neighbor)] = 1;
+            frontier.push_back(neighbor);
+          }
+        }
+      }
+    }
+    regions.push_back(region);
+  }
+  return regions;
+}
+
+}  // namespace hotspot::scan

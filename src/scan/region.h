@@ -1,0 +1,42 @@
+// Merging flagged scan windows into hotspot regions (DESIGN.md §11).
+//
+// The scan verdict is per window, but the deliverable of a full-chip sweep
+// is a worklist of *regions* to hand to the lithography simulator: adjacent
+// flagged windows almost always flag the same underlying geometry, so they
+// are merged (8-connectivity on the window grid — diagonal neighbours of an
+// overlapping scan still share geometry) and each region carries its own
+// ODST accounting (Eq. 3 applied to the windows inside it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/geometry.h"
+
+namespace hotspot::scan {
+
+struct HotspotRegion {
+  layout::Rect bounds;             // union bounding box of merged windows
+  std::int64_t window_count = 0;   // flagged windows merged into the region
+
+  // Eq. 3 restricted to this region: the litho time the region costs plus
+  // its share of detector evaluation time.
+  double odst(double litho_seconds_per_window,
+              double eval_seconds_per_window) const {
+    return static_cast<double>(window_count) *
+           (litho_seconds_per_window + eval_seconds_per_window);
+  }
+};
+
+// Groups the flagged windows of a cols x rows scan grid into connected
+// regions (8-connectivity). `labels` holds one verdict per window in scan
+// order (iy * cols + ix); nonzero = flagged. Window (ix, iy) covers
+// [origin + i*step, origin + i*step + size) on each axis. Regions are
+// returned in scan order of their first window, windows inside a region in
+// scan order, so the output is deterministic.
+std::vector<HotspotRegion> merge_flagged_windows(
+    const std::vector<int>& labels, std::int64_t cols, std::int64_t rows,
+    std::int64_t origin_x, std::int64_t origin_y, std::int64_t size_nm,
+    std::int64_t step_nm);
+
+}  // namespace hotspot::scan

@@ -1,0 +1,116 @@
+#include "scan/window_stream.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hotspot::scan {
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+ClipWindowStream::ClipWindowStream(const layout::Pattern& full,
+                                   std::int64_t size_nm, std::int64_t step_nm)
+    : full_(&full), size_nm_(size_nm), step_nm_(step_nm) {
+  HOTSPOT_CHECK_GT(size_nm, 0);
+  HOTSPOT_CHECK_GT(step_nm, 0);
+  HOTSPOT_CHECK_LE(step_nm, size_nm)
+      << "step larger than the window edge leaves uncovered stripes "
+         "between windows";
+  if (full.empty()) {
+    return;
+  }
+  const layout::Rect box = full.bounding_box();
+  origin_x_ = box.x0;
+  origin_y_ = box.y0;
+  // Same grid as layout::extract_clips: one window per step until the
+  // position passes the bounding box edge.
+  cols_ = ceil_div(box.x1 - box.x0, step_nm_);
+  rows_ = ceil_div(box.y1 - box.y0, step_nm_);
+
+  // Bucket the rects by size_nm-edge cells so one window materialization
+  // only visits candidates, not the whole chip.
+  cell_cols_ = ceil_div(box.x1 - box.x0, size_nm_);
+  cell_rows_ = ceil_div(box.y1 - box.y0, size_nm_);
+  cells_.resize(static_cast<std::size_t>(cell_cols_ * cell_rows_));
+  const auto& rects = full.rects();
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(rects.size()); ++i) {
+    const layout::Rect& rect = rects[static_cast<std::size_t>(i)];
+    const std::int64_t cx0 = (rect.x0 - origin_x_) / size_nm_;
+    const std::int64_t cx1 = (rect.x1 - 1 - origin_x_) / size_nm_;
+    const std::int64_t cy0 = (rect.y0 - origin_y_) / size_nm_;
+    const std::int64_t cy1 = (rect.y1 - 1 - origin_y_) / size_nm_;
+    for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+      for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+        cells_[static_cast<std::size_t>(cy * cell_cols_ + cx)].push_back(i);
+      }
+    }
+  }
+}
+
+WindowRef ClipWindowStream::window_at(std::int64_t index) const {
+  HOTSPOT_CHECK(index >= 0 && index < window_count())
+      << "window index " << index << " out of range for " << window_count();
+  WindowRef ref;
+  ref.index = index;
+  ref.ix = index % cols_;
+  ref.iy = index / cols_;
+  const std::int64_t x = origin_x_ + ref.ix * step_nm_;
+  const std::int64_t y = origin_y_ + ref.iy * step_nm_;
+  ref.window = layout::Rect{x, y, x + size_nm_, y + size_nm_};
+  return ref;
+}
+
+bool ClipWindowStream::next(WindowRef& out) {
+  if (cursor_ >= window_count()) {
+    return false;
+  }
+  out = window_at(cursor_);
+  ++cursor_;
+  return true;
+}
+
+layout::Clip ClipWindowStream::materialize(const WindowRef& ref) const {
+  // Candidate rects from the cells the window overlaps, visited in
+  // insertion order so the result matches Pattern::clipped_to exactly.
+  std::vector<std::int64_t> candidates;
+  const std::int64_t cx0 =
+      std::max<std::int64_t>(0, (ref.window.x0 - origin_x_) / size_nm_);
+  const std::int64_t cx1 = std::min<std::int64_t>(
+      cell_cols_ - 1, (ref.window.x1 - 1 - origin_x_) / size_nm_);
+  const std::int64_t cy0 =
+      std::max<std::int64_t>(0, (ref.window.y0 - origin_y_) / size_nm_);
+  const std::int64_t cy1 = std::min<std::int64_t>(
+      cell_rows_ - 1, (ref.window.y1 - 1 - origin_y_) / size_nm_);
+  for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+    for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+      const auto& cell = cells_[static_cast<std::size_t>(cy * cell_cols_ + cx)];
+      candidates.insert(candidates.end(), cell.begin(), cell.end());
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  layout::Pattern clipped;
+  const auto& rects = full_->rects();
+  for (const std::int64_t i : candidates) {
+    layout::Rect cut =
+        layout::intersect(rects[static_cast<std::size_t>(i)], ref.window);
+    if (!cut.empty()) {
+      cut.x0 -= ref.window.x0;
+      cut.x1 -= ref.window.x0;
+      cut.y0 -= ref.window.y0;
+      cut.y1 -= ref.window.y0;
+      clipped.add(cut);
+    }
+  }
+  return layout::Clip{std::move(clipped), size_nm_};
+}
+
+}  // namespace hotspot::scan

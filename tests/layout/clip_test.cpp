@@ -33,6 +33,34 @@ TEST(ExtractClips, EmptyLayoutYieldsNothing) {
   EXPECT_TRUE(extract_clips(Pattern(), 1000, 1000).empty());
 }
 
+TEST(ExtractClips, StepLargerThanSizeRejected) {
+  // A step beyond the window edge would leave uncovered stripes between
+  // windows — geometry the scan silently never sees.
+  Pattern full({Rect{0, 0, 3000, 1000}});
+  EXPECT_DEATH(extract_clips(full, 1000, 1500), "HOTSPOT_CHECK");
+}
+
+TEST(ExtractClips, ExtentsNotDivisibleByStep) {
+  // 2500 nm wide with 1000 nm windows: the last window starts at 2000 and
+  // overhangs the bounding box; the overhang must not drop the tail.
+  Pattern full({Rect{0, 0, 2500, 800}});
+  const auto clips = extract_clips(full, 1000, 1000);
+  ASSERT_EQ(clips.size(), 3u);
+  // The tail window still holds the final 500 nm of geometry.
+  EXPECT_EQ(clips[2].pattern.rects()[0], (Rect{0, 0, 500, 800}));
+}
+
+TEST(ExtractClips, GeometryTouchingBoundingBoxEdge) {
+  // Rects ending exactly on the bounding-box edge land in the last window,
+  // not in a phantom window past the edge.
+  Pattern full({Rect{0, 0, 100, 100}, Rect{1900, 1900, 2000, 2000}});
+  const auto clips = extract_clips(full, 1000, 1000);
+  ASSERT_EQ(clips.size(), 4u);  // 2 x 2 grid
+  EXPECT_EQ(clips[3].pattern.rects()[0], (Rect{900, 900, 1000, 1000}));
+  EXPECT_TRUE(clips[1].pattern.empty());
+  EXPECT_TRUE(clips[2].pattern.empty());
+}
+
 TEST(ExtractClips, ClipGeometryInLocalFrame) {
   Pattern full({Rect{1200, 200, 1400, 400}});
   const auto clips = extract_clips(full, 1000, 1000);

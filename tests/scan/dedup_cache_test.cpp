@@ -1,0 +1,75 @@
+#include "scan/dedup_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace hotspot::scan {
+namespace {
+
+RasterKey make_key(std::initializer_list<int> bits) {
+  RasterKey key;
+  for (const int bit : bits) {
+    key.push_back(static_cast<std::uint8_t>(bit));
+  }
+  return key;
+}
+
+TEST(RasterDedupCache, FindAfterInsert) {
+  RasterDedupCache cache;
+  const RasterKey a = make_key({1, 0, 1, 1});
+  const RasterKey b = make_key({0, 0, 1, 1});
+  EXPECT_EQ(cache.find(hash_raster(a), a), -1);
+  EXPECT_TRUE(cache.insert(hash_raster(a), a, 7));
+  EXPECT_TRUE(cache.insert(hash_raster(b), b, 9));
+  EXPECT_EQ(cache.find(hash_raster(a), a), 7);
+  EXPECT_EQ(cache.find(hash_raster(b), b), 9);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(RasterDedupCache, CollisionResolvedByFullComparison) {
+  // Two different keys forced into the same bucket must still resolve to
+  // their own entries — the verdict replay can never trust the hash alone.
+  RasterDedupCache cache;
+  const RasterKey a = make_key({1, 1, 0, 0});
+  const RasterKey b = make_key({0, 0, 1, 1});
+  const std::uint64_t shared_hash = 42;
+  EXPECT_TRUE(cache.insert(shared_hash, a, 1));
+  EXPECT_TRUE(cache.insert(shared_hash, b, 2));
+  EXPECT_EQ(cache.find(shared_hash, a), 1);
+  EXPECT_EQ(cache.find(shared_hash, b), 2);
+  EXPECT_EQ(cache.find(shared_hash, make_key({1, 0, 1, 0})), -1);
+}
+
+TEST(RasterDedupCache, CapacityBoundsInsertion) {
+  RasterDedupCache cache(/*max_entries=*/2);
+  const RasterKey a = make_key({1});
+  const RasterKey b = make_key({0});
+  const RasterKey c = make_key({1, 1});
+  EXPECT_TRUE(cache.insert(hash_raster(a), a, 0));
+  EXPECT_TRUE(cache.insert(hash_raster(b), b, 1));
+  EXPECT_FALSE(cache.insert(hash_raster(c), c, 2));  // full: dropped
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find(hash_raster(c), c), -1);
+  // Existing entries survive the rejected insert.
+  EXPECT_EQ(cache.find(hash_raster(a), a), 0);
+}
+
+TEST(HashRaster, LengthDisambiguatesZeroRuns) {
+  // All-zero rasters of different sizes hash differently: the byte stream
+  // alone would collide (FNV over 0x00 bytes), the mixed-in length must not.
+  const RasterKey four(4, 0);
+  const RasterKey eight(8, 0);
+  EXPECT_NE(hash_raster(four), hash_raster(eight));
+}
+
+TEST(HashRaster, SensitiveToEveryPixel) {
+  RasterKey base(64, 0);
+  const std::uint64_t reference = hash_raster(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    RasterKey flipped = base;
+    flipped[i] = 1;
+    EXPECT_NE(hash_raster(flipped), reference) << "pixel " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hotspot::scan

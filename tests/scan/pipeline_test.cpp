@@ -1,0 +1,280 @@
+#include "scan/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brnn.h"
+#include "core/trainer.h"
+#include "dataset/dataset.h"
+#include "dataset/patterns.h"
+#include "layout/clip.h"
+#include "obs/metrics.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace hotspot::scan {
+namespace {
+
+using layout::Pattern;
+using layout::Rect;
+
+// Deterministic, per-sample-independent stand-in for the detector: flags a
+// window when more than 10% of its pixels are drawn.
+ScanPipeline::BatchClassifier density_classifier() {
+  return [](const tensor::Tensor& images) {
+    const std::int64_t n = images.dim(0);
+    const std::int64_t pixels = images.dim(2) * images.dim(3);
+    std::vector<int> labels(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      const float* data = images.data() + i * pixels;
+      for (std::int64_t p = 0; p < pixels; ++p) {
+        sum += static_cast<double>(data[p]);
+      }
+      labels[static_cast<std::size_t>(i)] =
+          sum > 0.1 * static_cast<double>(pixels) ? 1 : 0;
+    }
+    return labels;
+  };
+}
+
+// The eager reference: extract_clips + per-clip rasterize + the same rule.
+std::vector<int> eager_density_labels(const Pattern& chip,
+                                      const ScanConfig& config) {
+  const auto clips = layout::extract_clips(
+      chip, config.window_nm,
+      config.step_nm > 0 ? config.step_nm : config.window_nm);
+  std::vector<int> labels;
+  const std::int64_t pixels = config.grid * config.grid;
+  for (const auto& clip : clips) {
+    const tensor::Tensor raster = clip.binary(config.grid);
+    double sum = 0.0;
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      sum += static_cast<double>(raster.data()[p]);
+    }
+    labels.push_back(sum > 0.1 * static_cast<double>(pixels) ? 1 : 0);
+  }
+  return labels;
+}
+
+// A chip of repeated + unique tiles: repeats exercise the dedup cache,
+// uniques make sure cold rasters still classify.
+Pattern build_chip(int tiles_per_side, bool repeat_one_tile) {
+  dataset::PatternParams params;
+  util::Rng rng(77);
+  const Pattern base = dataset::dense_lines(params, rng);
+  Pattern chip;
+  for (int ty = 0; ty < tiles_per_side; ++ty) {
+    for (int tx = 0; tx < tiles_per_side; ++tx) {
+      Pattern tile = repeat_one_tile ? base
+                                     : dataset::dense_lines(params, rng);
+      tile.translate(tx * params.clip_nm, ty * params.clip_nm);
+      for (const auto& rect : tile.rects()) {
+        chip.add(rect);
+      }
+    }
+  }
+  return chip;
+}
+
+ScanConfig small_config() {
+  ScanConfig config;
+  config.window_nm = 1024;  // PatternParams default clip_nm
+  config.grid = 16;
+  config.batch_size = 8;
+  return config;
+}
+
+TEST(ScanPipeline, MatchesEagerExtractAndPredict) {
+  const Pattern chip = build_chip(3, /*repeat_one_tile=*/false);
+  const ScanConfig config = small_config();
+  ScanPipeline pipeline(config, density_classifier());
+  const ScanResult result = pipeline.scan(chip);
+  EXPECT_EQ(result.labels, eager_density_labels(chip, config));
+  EXPECT_EQ(result.stats.windows,
+            static_cast<std::int64_t>(result.labels.size()));
+  EXPECT_EQ(result.stats.unique_windows + result.stats.dedup_hits,
+            result.stats.windows);
+}
+
+TEST(ScanPipeline, OverlappingStrideMatchesEager) {
+  const Pattern chip = build_chip(2, /*repeat_one_tile=*/false);
+  ScanConfig config = small_config();
+  config.step_nm = 512;  // overlapping scan
+  ScanPipeline pipeline(config, density_classifier());
+  const ScanResult result = pipeline.scan(chip);
+  EXPECT_EQ(result.labels, eager_density_labels(chip, config));
+}
+
+TEST(ScanPipeline, DedupDoesNotChangeVerdicts) {
+  const Pattern chip = build_chip(3, /*repeat_one_tile=*/true);
+  ScanConfig config = small_config();
+  config.dedup = true;
+  ScanPipeline with_dedup(config, density_classifier());
+  const ScanResult deduped = with_dedup.scan(chip);
+  config.dedup = false;
+  ScanPipeline without_dedup(config, density_classifier());
+  const ScanResult raw = without_dedup.scan(chip);
+  EXPECT_EQ(deduped.labels, raw.labels);
+  EXPECT_GT(deduped.stats.dedup_hits, 0);
+  EXPECT_EQ(raw.stats.dedup_hits, 0);
+}
+
+TEST(ScanPipeline, RepeatedTileChipHitsCacheHard) {
+  // The acceptance shape: a 4x4 chip of one repeated tile must serve at
+  // least half its windows from the dedup cache.
+  const Pattern chip = build_chip(4, /*repeat_one_tile=*/true);
+  ScanPipeline pipeline(small_config(), density_classifier());
+  const ScanResult result = pipeline.scan(chip);
+  EXPECT_EQ(result.stats.windows, 16);
+  EXPECT_GE(result.stats.dedup_hit_rate(), 0.5);
+}
+
+TEST(ScanPipeline, PipelinedAndSequentialAgree) {
+  const Pattern chip = build_chip(3, /*repeat_one_tile=*/false);
+  ScanConfig config = small_config();
+  config.pipelined = true;
+  ScanPipeline pipelined(config, density_classifier());
+  const ScanResult a = pipelined.scan(chip);
+  config.pipelined = false;
+  ScanPipeline sequential(config, density_classifier());
+  const ScanResult b = sequential.scan(chip);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.stats.dedup_hits, b.stats.dedup_hits);
+  EXPECT_EQ(a.stats.batches, b.stats.batches);
+}
+
+TEST(ScanPipeline, DeterministicAtAnyThreadCount) {
+  const Pattern chip = build_chip(3, /*repeat_one_tile=*/false);
+  const ScanConfig config = small_config();
+  const int saved = util::parallel_threads();
+  util::set_parallel_threads(1);
+  ScanPipeline single(config, density_classifier());
+  const ScanResult one = single.scan(chip);
+  util::set_parallel_threads(4);
+  ScanPipeline pooled(config, density_classifier());
+  const ScanResult four = pooled.scan(chip);
+  util::set_parallel_threads(saved);
+  EXPECT_EQ(one.labels, four.labels);
+  EXPECT_EQ(one.stats.dedup_hits, four.stats.dedup_hits);
+}
+
+TEST(ScanPipeline, BitIdenticalToEagerBrnnPredict) {
+  // The full acceptance criterion, against the real detector: an untrained
+  // compact BRNN on the packed backend classifies streamed + deduped
+  // batches bit-identically to the eager dataset path.
+  constexpr std::int64_t kImageSize = 32;
+  util::Rng rng(5);
+  core::BrnnModel model(core::BrnnConfig::compact(kImageSize), rng);
+  model.set_training(false);
+  model.set_backend(core::Backend::kPacked);
+
+  const Pattern chip = build_chip(3, /*repeat_one_tile=*/false);
+  ScanConfig config = small_config();
+  config.grid = kImageSize;
+  config.batch_size = 5;  // force several batches + a partial tail
+
+  const auto clips = layout::extract_clips(chip, config.window_nm,
+                                           config.window_nm);
+  dataset::HotspotDataset eager_windows;
+  for (const auto& clip : clips) {
+    eager_windows.add(dataset::ClipSample::from_image(
+        clip.binary(kImageSize), 0, dataset::Family::kDenseLines));
+  }
+  const std::vector<int> eager =
+      core::predict_labels(model, eager_windows, 64);
+
+  ScanPipeline pipeline(config, [&](const tensor::Tensor& images) {
+    return model.predict(images);
+  });
+  const ScanResult streamed = pipeline.scan(chip);
+  EXPECT_EQ(streamed.labels, eager);
+}
+
+TEST(ScanPipeline, EmptyChipYieldsEmptyResult) {
+  ScanPipeline pipeline(small_config(), density_classifier());
+  const ScanResult result = pipeline.scan(Pattern());
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_TRUE(result.regions.empty());
+  EXPECT_EQ(result.stats.windows, 0);
+  EXPECT_EQ(result.stats.batches, 0);
+  EXPECT_EQ(result.flagged_count(), 0);
+}
+
+TEST(ScanPipeline, PublishesDedupCounters) {
+  const Pattern chip = build_chip(2, /*repeat_one_tile=*/true);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const obs::MetricsSnapshot before = registry.snapshot();
+  ScanPipeline pipeline(small_config(), density_classifier());
+  const ScanResult result = pipeline.scan(chip);
+  const obs::MetricsSnapshot delta =
+      registry.snapshot().delta_since(before);
+  const obs::CounterSample* windows = delta.find_counter("scan.windows");
+  const obs::CounterSample* hits = delta.find_counter("scan.dedup.hits");
+  const obs::CounterSample* misses = delta.find_counter("scan.dedup.misses");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(misses, nullptr);
+  EXPECT_EQ(windows->value,
+            static_cast<std::uint64_t>(result.stats.windows));
+  EXPECT_EQ(hits->value,
+            static_cast<std::uint64_t>(result.stats.dedup_hits));
+  EXPECT_EQ(hits->value + misses->value, windows->value);
+}
+
+TEST(MergeFlaggedWindows, SingleWindowRegion) {
+  const std::vector<int> labels{0, 1, 0, 0};
+  const auto regions =
+      merge_flagged_windows(labels, 2, 2, 0, 0, 100, 100);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].bounds, (Rect{100, 0, 200, 100}));
+  EXPECT_EQ(regions[0].window_count, 1);
+}
+
+TEST(MergeFlaggedWindows, DiagonalNeighborsMerge) {
+  // 2x2 grid flagged on the diagonal: 8-connectivity merges both into one
+  // region spanning the grid.
+  const std::vector<int> labels{1, 0, 0, 1};
+  const auto regions =
+      merge_flagged_windows(labels, 2, 2, 0, 0, 100, 100);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].bounds, (Rect{0, 0, 200, 200}));
+  EXPECT_EQ(regions[0].window_count, 2);
+}
+
+TEST(MergeFlaggedWindows, SeparatedClustersStayDistinct) {
+  // 4x1 grid: windows 0 and 3 flagged, 1-2 clean — two regions.
+  const std::vector<int> labels{1, 0, 0, 1};
+  const auto regions =
+      merge_flagged_windows(labels, 4, 1, 0, 0, 100, 100);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].bounds, (Rect{0, 0, 100, 100}));
+  EXPECT_EQ(regions[1].bounds, (Rect{300, 0, 400, 100}));
+}
+
+TEST(MergeFlaggedWindows, OverlappingStrideBoundsUseWindowSize) {
+  // Stride < size: adjacent flagged windows overlap; the region bounds
+  // cover the union of full windows, not just the strides.
+  const std::vector<int> labels{1, 1};
+  const auto regions =
+      merge_flagged_windows(labels, 2, 1, 1000, 2000, 100, 50);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].bounds, (Rect{1000, 2000, 1150, 2100}));
+  EXPECT_EQ(regions[0].window_count, 2);
+}
+
+TEST(MergeFlaggedWindows, OdstAccounting) {
+  const std::vector<int> labels{1, 1, 0, 0};
+  const auto regions =
+      merge_flagged_windows(labels, 4, 1, 0, 0, 100, 100);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_DOUBLE_EQ(regions[0].odst(10.0, 0.5), 2 * 10.5);
+}
+
+TEST(ScanResult, OdstCountsFlaggedLithoPlusAllEval) {
+  ScanResult result;
+  result.labels = {1, 0, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(result.odst(10.0, 1.0), 2 * 10.0 + 5 * 1.0);
+}
+
+}  // namespace
+}  // namespace hotspot::scan
