@@ -7,6 +7,8 @@
 // HOTSPOT_BENCH_LS (clip image resolution) can be raised for closer runs.
 #pragma once
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -15,19 +17,47 @@
 #include <vector>
 
 #include "obs/export.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace hotspot::bench {
 
+// Bench knobs are parsed strictly: a typo'd HOTSPOT_BENCH_SCALE must not
+// silently fall back (atof("0,5") == 0 would emit a garbage BENCH_*.json
+// that poisons the regression baselines). Exit 2 mirrors bench_compare's
+// "broken invocation" code.
 inline double env_double(const char* name, double fallback) {
   const char* value = std::getenv(name);
-  return value != nullptr ? std::atof(value) : fallback;
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(parsed) || parsed <= 0.0) {
+    std::fprintf(stderr, "invalid %s='%s': expected a positive number\n",
+                 name, value);
+    std::exit(2);
+  }
+  return parsed;
 }
 
 inline long env_long(const char* name, long fallback) {
   const char* value = std::getenv(name);
-  return value != nullptr ? std::atol(value) : fallback;
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed <= 0) {
+    std::fprintf(stderr, "invalid %s='%s': expected a positive integer\n",
+                 name, value);
+    std::exit(2);
+  }
+  return parsed;
 }
 
 inline double bench_scale() { return env_double("HOTSPOT_BENCH_SCALE", 0.05); }
@@ -40,8 +70,18 @@ inline long bench_image_size() { return env_long("HOTSPOT_BENCH_LS", 32); }
 class JsonObject {
  public:
   JsonObject& set(const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      return set_raw(key, "null");  // JSON has no NaN/Inf literals
+    }
     char buffer[64];
-    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    // Integers exactly, everything else with round-trip precision, so the
+    // regression gate compares the measured value rather than a %.6g
+    // truncation of it.
+    if (value == std::floor(value) && std::fabs(value) < 9007199254740992.0) {
+      std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    }
     return set_raw(key, buffer);
   }
   JsonObject& set(const std::string& key, long value) {
@@ -104,11 +144,14 @@ inline std::string json_array(const std::vector<JsonObject>& items) {
 }
 
 // Writes the object to `path` and reports the emission on stdout so bench
-// logs record where the machine-readable copy went. Every emission carries a
-// "metrics" section — the process-wide registry snapshot plus any collected
-// trace spans — so BENCH_*.json records cache behaviour and layer timing
-// alongside the headline numbers.
+// logs record where the machine-readable copy went. Every emission carries
+// a "manifest" section (build/runtime provenance; bench_compare refuses
+// files without one) and a "metrics" section — the process-wide registry
+// snapshot plus any collected trace spans — so BENCH_*.json records cache
+// behaviour and layer timing alongside the headline numbers.
 inline bool write_json_result(const std::string& path, JsonObject result) {
+  result.set_raw("manifest",
+                 obs::manifest_json(obs::collect_manifest()));
   result.set_raw("metrics",
                  obs::to_json(obs::MetricsRegistry::global().snapshot(),
                               obs::collect_span_report()));

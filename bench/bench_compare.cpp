@@ -1,0 +1,139 @@
+// CLI for the bench regression gate (src/obs/bench_gate.h).
+//
+// Modes:
+//   bench_compare FRESH.json BASELINE.json [--time-tolerance X]
+//                 [--throughput-tolerance X] [--time-floor SECONDS]
+//       Validates both files' schemas, then gates FRESH against BASELINE.
+//       Exit 0 when no regressions, 1 on regression or schema failure.
+//
+//   bench_compare --check-schema FILE.json [FILE2.json ...]
+//       Structural validation only (manifest + metrics sections present).
+//       Exit 0 when every file passes, 1 otherwise.
+//
+// Exit 2 means the tool itself was misused (bad flags, unreadable or
+// unparseable file) — distinct from a gate verdict so CI can tell
+// "regressed" apart from "broken invocation".
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/bench_gate.h"
+#include "util/json.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_compare FRESH.json BASELINE.json [--time-tolerance X]\n"
+      "                     [--throughput-tolerance X] [--time-floor S]\n"
+      "       bench_compare --check-schema FILE.json [FILE.json ...]\n");
+}
+
+bool load(const std::string& path, hotspot::util::JsonValue& out) {
+  std::string error;
+  if (!hotspot::util::parse_json_file(path, out, error)) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool parse_positive(const char* text, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !(value > 0.0)) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+int run_check_schema(const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    usage();
+    return 2;
+  }
+  bool all_ok = true;
+  for (const std::string& path : paths) {
+    hotspot::util::JsonValue doc;
+    if (!load(path, doc)) {
+      return 2;
+    }
+    std::string error;
+    if (hotspot::obs::check_bench_schema(doc, error)) {
+      std::printf("%s: schema OK\n", path.c_str());
+    } else {
+      std::printf("%s: schema FAIL: %s\n", path.c_str(), error.c_str());
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  hotspot::obs::GateConfig config;
+  bool check_schema_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check-schema") {
+      check_schema_mode = true;
+    } else if (arg == "--time-tolerance" || arg == "--throughput-tolerance" ||
+               arg == "--time-floor") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_compare: %s needs a value\n", arg.c_str());
+        return 2;
+      }
+      double value = 0.0;
+      if (!parse_positive(argv[++i], value)) {
+        std::fprintf(stderr, "bench_compare: invalid value for %s: '%s'\n",
+                     arg.c_str(), argv[i]);
+        return 2;
+      }
+      if (arg == "--time-tolerance") {
+        config.time_tolerance = value;
+      } else if (arg == "--throughput-tolerance") {
+        config.throughput_tolerance = value;
+      } else {
+        config.time_floor_seconds = value;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_compare: unknown flag '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (check_schema_mode) {
+    return run_check_schema(positional);
+  }
+  if (positional.size() != 2) {
+    usage();
+    return 2;
+  }
+
+  hotspot::util::JsonValue fresh;
+  hotspot::util::JsonValue baseline;
+  if (!load(positional[0], fresh) || !load(positional[1], baseline)) {
+    return 2;
+  }
+  const hotspot::obs::GateResult result =
+      hotspot::obs::compare_bench(baseline, fresh, config);
+  std::printf("fresh:    %s\nbaseline: %s\n%s", positional[0].c_str(),
+              positional[1].c_str(),
+              hotspot::obs::gate_report(result).c_str());
+  return result.ok() ? 0 : 1;
+}

@@ -5,14 +5,20 @@
 //   ./examples/quickstart && ./examples/deploy_inference quickstart_model.bin
 //
 // With --metrics-out <path>, per-layer trace spans are enabled and a JSON
-// metrics snapshot (registry + span aggregates for the packed run) is
-// written on exit:
+// metrics snapshot (registry + span aggregates + manifest for the packed
+// run) is written on exit, along with a per-layer roofline table joining
+// the span timings with the analytic cost model:
 //
 //   ./examples/deploy_inference quickstart_model.bin --metrics-out metrics.json
+//
+// With --trace-out <path>, a Chrome trace-event timeline of the packed run
+// is written (open in chrome://tracing or https://ui.perfetto.dev).
 #include <cstdio>
+#include <ctime>
 #include <string>
 
 #include "core/brnn.h"
+#include "core/roofline.h"
 #include "dataset/generator.h"
 #include "nn/serialize.h"
 #include "obs/export.h"
@@ -21,10 +27,23 @@
 #include "tensor/tensor_ops.h"
 #include "util/stopwatch.h"
 
+namespace {
+
+std::string iso_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ",
+                std::gmtime(&now));
+  return buffer;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace hotspot;
   std::string model_path = "quickstart_model.bin";
   std::string metrics_out;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--metrics-out") {
@@ -33,14 +52,23 @@ int main(int argc, char** argv) {
         return 2;
       }
       metrics_out = argv[++i];
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --trace-out requires a path\n");
+        return 2;
+      }
+      trace_out = argv[++i];
     } else {
       model_path = arg;
     }
   }
   // Span recording costs one clock read per instrumented scope; leave it
   // off unless a snapshot was requested.
-  if (!metrics_out.empty()) {
+  if (!metrics_out.empty() || !trace_out.empty()) {
     obs::set_trace_enabled(true);
+  }
+  if (!trace_out.empty()) {
+    obs::set_timeline_enabled(true);
   }
   constexpr std::int64_t kImageSize = 32;
 
@@ -79,6 +107,8 @@ int main(int argc, char** argv) {
 
   model.forward(images);  // warm-up packs the weights
   obs::reset_spans();     // scope the span report to the timed runs
+  obs::reset_timeline();
+  model.reset_profile();  // keep roofline sample counts in the same window
   util::Stopwatch packed_timer;
   std::vector<int> labels;
   {
@@ -86,9 +116,12 @@ int main(int argc, char** argv) {
     labels = model.predict(images);
   }
   const double packed_seconds = packed_timer.seconds();
-  // Span aggregates of the packed run alone, before the float-sim reference
-  // re-enters the same layers.
+  // Span aggregates (and timeline/profile counters) of the packed run
+  // alone, before the float-sim reference re-enters the same layers.
   const obs::SpanReport packed_spans = obs::collect_span_report();
+  const obs::TimelineReport packed_timeline = obs::collect_timeline();
+  const core::RooflineReport roofline =
+      core::build_roofline(model, packed_spans);
 
   model.set_backend(core::Backend::kFloatSim);
   util::Stopwatch float_timer;
@@ -130,14 +163,26 @@ int main(int argc, char** argv) {
                 layer_seconds, packed_seconds,
                 packed_seconds > 0.0 ? 100.0 * layer_seconds / packed_seconds
                                      : 0.0);
+    std::printf("\nPer-layer roofline (packed run):\n%s\n",
+                core::to_table(roofline).c_str());
 
+    const obs::RunManifest manifest = obs::collect_manifest(iso_timestamp());
     if (!obs::write_metrics_json(metrics_out, registry.snapshot(),
-                                 packed_spans)) {
+                                 packed_spans, &manifest)) {
       std::fprintf(stderr, "error: failed to write metrics to %s\n",
                    metrics_out.c_str());
       return 1;
     }
     std::printf("Wrote metrics snapshot to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!obs::write_chrome_trace(trace_out, packed_timeline)) {
+      std::fprintf(stderr, "error: failed to write trace to %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("Wrote Chrome trace to %s (open in chrome://tracing or "
+                "https://ui.perfetto.dev)\n", trace_out.c_str());
   }
   return 0;
 }

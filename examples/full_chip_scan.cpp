@@ -9,17 +9,23 @@
 // of batch N on a double-buffered pipeline.
 //
 //   ./examples/full_chip_scan [tiles] [--stride <nm>] [--metrics-out <path>]
+//                             [--trace-out <path>]
 //
 //   tiles          chip edge length in pattern tiles (default 4, >= 1)
 //   --stride       scan stride in nm (default: clip size = non-overlapping;
 //                  halve it for an overlapping scan)
-//   --metrics-out  write a JSON metrics snapshot (scan counters + spans)
+//   --metrics-out  write a JSON metrics snapshot (scan counters + spans +
+//                  manifest)
+//   --trace-out    write a Chrome trace-event timeline of the scan; open in
+//                  chrome://tracing or https://ui.perfetto.dev
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 
 #include "core/bnn_detector.h"
+#include "core/roofline.h"
 #include "dataset/generator.h"
 #include "eval/metrics.h"
 #include "litho/simulator.h"
@@ -51,6 +57,14 @@ layout::Pattern build_chip(const dataset::PatternParams& params,
   return chip;
 }
 
+std::string iso_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ",
+                std::gmtime(&now));
+  return buffer;
+}
+
 // Strict positive-integer parse; returns false on garbage, overflow, or
 // values outside [1, max].
 bool parse_positive(const char* text, long max, long* out) {
@@ -74,6 +88,7 @@ int main(int argc, char** argv) {
   long tiles = 4;
   long stride_nm = 0;  // 0 = clip size (non-overlapping)
   std::string metrics_out;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--stride") {
@@ -89,6 +104,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       metrics_out = argv[++i];
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --trace-out requires a path\n");
+        return 2;
+      }
+      trace_out = argv[++i];
     } else if (!parse_positive(arg.c_str(), 64, &tiles)) {
       // An unvalidated atoi here used to turn garbage (or "0") into an
       // empty chip and a divide-by-zero in the ODST printout.
@@ -97,8 +118,11 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (!metrics_out.empty()) {
+  if (!metrics_out.empty() || !trace_out.empty()) {
     obs::set_trace_enabled(true);
+  }
+  if (!trace_out.empty()) {
+    obs::set_timeline_enabled(true);
   }
   constexpr std::int64_t kImageSize = 32;
 
@@ -191,19 +215,37 @@ int main(int argc, char** argv) {
               result.odst(10.0, scan_seconds / window_count),
               10.0 * window_count);
 
+  if (obs::trace_enabled()) {
+    // Per-layer roofline over everything traced so far (training + scan).
+    const core::RooflineReport roofline =
+        core::build_roofline(detector.model(), obs::collect_span_report());
+    std::printf("\nPer-layer roofline (all traced forwards):\n%s\n",
+                core::to_table(roofline).c_str());
+  }
+
   if (!metrics_out.empty()) {
     obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
     registry.gauge("scan.seconds").set(scan_seconds);
     registry.gauge("scan.dedup.hit_rate").set(stats.dedup_hit_rate());
     registry.gauge("scan.regions").set(
         static_cast<double>(result.regions.size()));
+    const obs::RunManifest manifest = obs::collect_manifest(iso_timestamp());
     if (!obs::write_metrics_json(metrics_out, registry.snapshot(),
-                                 obs::collect_span_report())) {
+                                 obs::collect_span_report(), &manifest)) {
       std::fprintf(stderr, "error: failed to write metrics to %s\n",
                    metrics_out.c_str());
       return 1;
     }
     std::printf("Wrote metrics snapshot to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!obs::write_chrome_trace(trace_out, obs::collect_timeline())) {
+      std::fprintf(stderr, "error: failed to write trace to %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("Wrote Chrome trace to %s (open in chrome://tracing or "
+                "https://ui.perfetto.dev)\n", trace_out.c_str());
   }
   return 0;
 }

@@ -1,14 +1,18 @@
 // Quickstart: generate a small benchmark, train the binarized residual
 // network, evaluate it with the paper's metrics, and save the model.
 //
-//   ./examples/quickstart [scale] [--metrics-out <path>]
+//   ./examples/quickstart [scale] [--metrics-out <path>] [--trace-out <path>]
 //
 // `scale` is the fraction of the paper's Table-2 sample counts to generate
 // (default 0.02 so the whole run takes well under a minute on one core).
 // `--metrics-out` enables trace spans and writes a JSON metrics snapshot
-// (per-epoch training metrics, layer/phase timings, ODST components).
+// (per-epoch training metrics, layer/phase timings, ODST components,
+// manifest). `--trace-out` additionally records an event timeline and
+// writes it as Chrome trace-event JSON.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 
 #include "core/bnn_detector.h"
@@ -20,11 +24,24 @@
 #include "obs/trace.h"
 #include "util/logging.h"
 
+namespace {
+
+std::string iso_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ",
+                std::gmtime(&now));
+  return buffer;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace hotspot;
   util::set_log_level(util::LogLevel::kInfo);
   double scale = 0.02;
   std::string metrics_out;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--metrics-out") {
@@ -33,12 +50,30 @@ int main(int argc, char** argv) {
         return 2;
       }
       metrics_out = argv[++i];
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --trace-out requires a path\n");
+        return 2;
+      }
+      trace_out = argv[++i];
     } else {
-      scale = std::atof(arg.c_str());
+      errno = 0;
+      char* end = nullptr;
+      const double parsed = std::strtod(arg.c_str(), &end);
+      if (end == arg.c_str() || *end != '\0' || errno == ERANGE ||
+          parsed <= 0.0) {
+        std::fprintf(stderr, "error: scale must be a positive number, "
+                             "got '%s'\n", arg.c_str());
+        return 2;
+      }
+      scale = parsed;
     }
   }
-  if (!metrics_out.empty()) {
+  if (!metrics_out.empty() || !trace_out.empty()) {
     obs::set_trace_enabled(true);
+  }
+  if (!trace_out.empty()) {
+    obs::set_timeline_enabled(true);
   }
   constexpr std::int64_t kImageSize = 32;
 
@@ -89,14 +124,24 @@ int main(int argc, char** argv) {
               path);
 
   if (!metrics_out.empty()) {
+    const obs::RunManifest manifest = obs::collect_manifest(iso_timestamp());
     if (!obs::write_metrics_json(metrics_out,
                                  obs::MetricsRegistry::global().snapshot(),
-                                 obs::collect_span_report())) {
+                                 obs::collect_span_report(), &manifest)) {
       std::fprintf(stderr, "error: failed to write metrics to %s\n",
                    metrics_out.c_str());
       return 1;
     }
     std::printf("Wrote metrics snapshot to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!obs::write_chrome_trace(trace_out, obs::collect_timeline())) {
+      std::fprintf(stderr, "error: failed to write trace to %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("Wrote Chrome trace to %s (open in chrome://tracing or "
+                "https://ui.perfetto.dev)\n", trace_out.c_str());
   }
   return 0;
 }

@@ -35,6 +35,16 @@ BinaryConv2d::BinaryConv2d(std::int64_t in_channels, std::int64_t out_channels,
 Tensor BinaryConv2d::forward(const Tensor& input) {
   HOTSPOT_CHECK_EQ(input.rank(), 4);
   HOTSPOT_CHECK_EQ(input.dim(1), in_channels_);
+  if (!span_label_.empty() && obs::trace_enabled()) {
+    obs::TraceSpan span(span_label_);
+    profile_samples_.fetch_add(static_cast<std::uint64_t>(input.dim(0)),
+                               std::memory_order_relaxed);
+    return forward_dispatch(input);
+  }
+  return forward_dispatch(input);
+}
+
+Tensor BinaryConv2d::forward_dispatch(const Tensor& input) {
   if (!training_ && backend_ == Backend::kPacked) {
     return forward_packed(input);
   }

@@ -21,6 +21,8 @@
 //               path whose speedup Fig. 1 / Table 3 report.
 #pragma once
 
+#include <atomic>
+
 #include "bitops/scaling.h"
 #include "bitops/xnor_gemm.h"
 #include "nn/module.h"
@@ -62,7 +64,23 @@ class BinaryConv2d : public nn::Module {
   std::int64_t out_channels() const { return out_channels_; }
   nn::Parameter& weight() { return weight_; }
 
+  // Roofline profiling (src/core/roofline.h). The model builder assigns a
+  // stable per-instance span label ("brnn.conv.block1a", ...); while tracing
+  // is enabled, every forward() opens a span under that label and counts the
+  // samples it processed, so build_roofline() can join measured per-layer
+  // time with the analytic cost model. With tracing disabled neither the
+  // span nor the counter is touched.
+  void set_span_label(std::string label) { span_label_ = std::move(label); }
+  const std::string& span_label() const { return span_label_; }
+  std::uint64_t profile_samples() const {
+    return profile_samples_.load(std::memory_order_relaxed);
+  }
+  void reset_profile() {
+    profile_samples_.store(0, std::memory_order_relaxed);
+  }
+
  private:
+  Tensor forward_dispatch(const Tensor& input);
   Tensor forward_float_sim(const Tensor& input);
   Tensor forward_packed(const Tensor& input);
   void refresh_packed_cache();
@@ -73,6 +91,8 @@ class BinaryConv2d : public nn::Module {
   bitops::InputScaling scaling_;
   Backend backend_ = Backend::kPacked;
   nn::Parameter weight_;
+  std::string span_label_;
+  std::atomic<std::uint64_t> profile_samples_{0};
 
   // Forward caches for backward (float-sim path only).
   Tensor cached_input_;

@@ -1,5 +1,8 @@
 #include "core/bnn_detector.h"
 
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
 namespace hotspot::core {
 
 BnnDetectorConfig BnnDetectorConfig::compact(std::int64_t image_size) {
@@ -46,7 +49,20 @@ std::vector<int> BnnHotspotDetector::predict_batch(
   HOTSPOT_CHECK_EQ(images.dim(2), config_.model.image_size)
       << "image size does not match the model configuration";
   model_->set_training(false);
-  return model_->predict(images);
+  util::Stopwatch timer;
+  std::vector<int> labels = model_->predict(images);
+  const double batch_seconds = timer.seconds();
+  static obs::Histogram& clip_histogram =
+      obs::MetricsRegistry::global().histogram(
+          "predict.clip_seconds", obs::default_latency_buckets());
+  // Per-clip latency: amortize the batch over the clips it carried.
+  if (images.dim(0) > 0) {
+    const double per_clip = batch_seconds / static_cast<double>(images.dim(0));
+    for (std::int64_t i = 0; i < images.dim(0); ++i) {
+      clip_histogram.observe(per_clip);
+    }
+  }
+  return labels;
 }
 
 std::function<std::vector<int>(const tensor::Tensor&)>

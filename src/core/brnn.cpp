@@ -29,7 +29,7 @@ BrnnModel::BrnnModel(const BrnnConfig& config, util::Rng& rng)
 
   // Stem.
   net_.add(conv_block(config.input_channels, config.stem_filters, 3,
-                      config.stem_stride, 1, rng));
+                      config.stem_stride, 1, "brnn.conv.stem", rng));
   layer_labels_.push_back("brnn.layer.stem");
   if (config.stem_pool) {
     net_.emplace<nn::MaxPool2d>(2);
@@ -41,13 +41,18 @@ BrnnModel::BrnnModel(const BrnnConfig& config, util::Rng& rng)
   for (std::size_t stage = 0; stage < config.block_filters.size(); ++stage) {
     const std::int64_t filters = config.block_filters[stage];
     const std::int64_t stride = config.block_strides[stage];
+    const std::string stage_label =
+        "brnn.conv.block" + std::to_string(stage + 1);
     auto main_path = std::make_unique<nn::Sequential>();
-    main_path->add(conv_block(channels, filters, 3, stride, 1, rng));
-    main_path->add(conv_block(filters, filters, 3, 1, 1, rng));
+    main_path->add(
+        conv_block(channels, filters, 3, stride, 1, stage_label + "a", rng));
+    main_path->add(
+        conv_block(filters, filters, 3, 1, 1, stage_label + "b", rng));
     nn::ModulePtr shortcut;
     if (channels != filters || stride != 1) {
       // 1x1 binary conv block aligns the shortcut tensor shape (Fig. 2).
-      shortcut = conv_block(channels, filters, 1, stride, 0, rng);
+      shortcut = conv_block(channels, filters, 1, stride, 0,
+                            stage_label + "sc", rng);
     }
     net_.add(std::make_unique<nn::ResidualBlock>(std::move(main_path),
                                                  std::move(shortcut)));
@@ -67,14 +72,22 @@ BrnnModel::BrnnModel(const BrnnConfig& config, util::Rng& rng)
 
 nn::ModulePtr BrnnModel::conv_block(std::int64_t in, std::int64_t out,
                                     std::int64_t kernel, std::int64_t stride,
-                                    std::int64_t pad, util::Rng& rng) {
+                                    std::int64_t pad, const std::string& label,
+                                    util::Rng& rng) {
   auto block = std::make_unique<nn::Sequential>();
   block->emplace<nn::BatchNorm2d>(in);
   auto conv = std::make_unique<BinaryConv2d>(in, out, kernel, stride, pad,
                                              config_.scaling, rng);
+  conv->set_span_label(label);
   binary_convs_.push_back(conv.get());
   block->add(std::move(conv));
   return block;
+}
+
+void BrnnModel::reset_profile() {
+  for (BinaryConv2d* conv : binary_convs_) {
+    conv->reset_profile();
+  }
 }
 
 tensor::Tensor BrnnModel::forward(const Tensor& input) {

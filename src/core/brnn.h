@@ -77,12 +77,18 @@ class BrnnModel : public nn::Module {
   // the caller).
   std::vector<int> predict(const Tensor& images);
 
+  // Zeroes every binary convolution's roofline sample counter. Pair with
+  // obs::reset_spans() so build_roofline() joins matching windows.
+  void reset_profile();
+
  private:
   // Builds BN -> BinaryConv with the given geometry, registering the conv
-  // for backend switching.
+  // for backend switching under the given roofline span label
+  // ("brnn.conv.stem", "brnn.conv.block<i>{a,b,sc}").
   nn::ModulePtr conv_block(std::int64_t in, std::int64_t out,
                            std::int64_t kernel, std::int64_t stride,
-                           std::int64_t pad, util::Rng& rng);
+                           std::int64_t pad, const std::string& label,
+                           util::Rng& rng);
 
   BrnnConfig config_;
   nn::Sequential net_;

@@ -238,6 +238,9 @@ void Trainer::run_epoch(const dataset::HotspotDataset& data,
       obs::MetricsRegistry::global().counter("trainer.numeric_events");
   static obs::Counter& skipped_batch_counter =
       obs::MetricsRegistry::global().counter("trainer.skipped_batches");
+  static obs::Histogram& batch_histogram =
+      obs::MetricsRegistry::global().histogram(
+          "trainer.batch_seconds", obs::default_latency_buckets());
   HOTSPOT_TRACE_SPAN("trainer.epoch");
   model_.set_training(true);
   std::vector<std::size_t> order = indices;
@@ -250,6 +253,8 @@ void Trainer::run_epoch(const dataset::HotspotDataset& data,
         order.size(), begin + static_cast<std::size_t>(config_.batch_size));
     const std::vector<std::size_t> batch(order.begin() + begin,
                                          order.begin() + end);
+    HOTSPOT_TRACE_SPAN("trainer.batch");
+    util::Stopwatch batch_timer;
     util::Rng* augment = config_.augment ? &rng : nullptr;
     const tensor::Tensor images = batch_builder_(data, batch, augment);
     const tensor::Tensor targets =
@@ -285,6 +290,7 @@ void Trainer::run_epoch(const dataset::HotspotDataset& data,
             << "non-finite " << (std::isfinite(batch_loss) ? "gradients" : "loss")
             << " in epoch " << stats.epoch << "; update dropped";
       }
+      batch_histogram.observe(batch_timer.seconds());
       continue;
     }
 
@@ -297,6 +303,7 @@ void Trainer::run_epoch(const dataset::HotspotDataset& data,
     optimizer_.step();
     ++stats.steps;
     step_counter.increment();
+    batch_histogram.observe(batch_timer.seconds());
   }
   stats.train_loss =
       batches == 0 ? 0.0 : total_loss / static_cast<double>(batches);

@@ -1,0 +1,176 @@
+#include "obs/bench_gate.h"
+
+#include <sstream>
+
+namespace hotspot::obs {
+namespace {
+
+bool contains(const std::string& text, const char* needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+enum class MetricKind { kThroughput, kTime, kUngated };
+
+// Rate keys are classified first so "windows_per_sec" never matches the
+// "seconds" substring rule.
+MetricKind classify(const std::string& key) {
+  if (contains(key, "per_sec") || contains(key, "speedup")) {
+    return MetricKind::kThroughput;
+  }
+  if (contains(key, "seconds")) {
+    return MetricKind::kTime;
+  }
+  return MetricKind::kUngated;
+}
+
+const util::JsonValue* lookup(const util::JsonValue* node,
+                              const std::string& key) {
+  return node == nullptr ? nullptr : node->find(key);
+}
+
+void walk(const util::JsonValue& base, const util::JsonValue* fresh,
+          const std::string& path, const std::string& leaf_key,
+          const GateConfig& config, GateResult& result) {
+  if (base.is_object()) {
+    for (const auto& [key, value] : base.as_object()) {
+      if (key == "manifest" || key == "metrics") {
+        continue;
+      }
+      const std::string child_path = path.empty() ? key : path + "." + key;
+      walk(value, lookup(fresh, key), child_path, key, config, result);
+    }
+    return;
+  }
+  if (base.is_array()) {
+    const std::vector<util::JsonValue>& items = base.as_array();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      std::ostringstream child_path;
+      child_path << path << "[" << i << "]";
+      const util::JsonValue* fresh_item =
+          fresh != nullptr && fresh->is_array() && i < fresh->size()
+              ? &fresh->as_array()[i]
+              : nullptr;
+      walk(items[i], fresh_item, child_path.str(), leaf_key, config, result);
+    }
+    return;
+  }
+  if (!base.is_number()) {
+    return;
+  }
+  const MetricKind kind = classify(leaf_key);
+  if (kind == MetricKind::kUngated) {
+    return;
+  }
+  if (fresh == nullptr || !fresh->is_number()) {
+    GateFinding finding;
+    finding.path = path;
+    finding.baseline = base.as_number();
+    finding.message = "present in baseline but missing from fresh run";
+    result.regressions.push_back(std::move(finding));
+    return;
+  }
+  ++result.compared;
+  const double base_value = base.as_number();
+  const double fresh_value = fresh->as_number();
+  if (kind == MetricKind::kTime) {
+    const double limit =
+        base_value * config.time_tolerance + config.time_floor_seconds;
+    if (fresh_value > limit) {
+      GateFinding finding;
+      finding.path = path;
+      finding.baseline = base_value;
+      finding.fresh = fresh_value;
+      std::ostringstream message;
+      message << "time regressed: " << fresh_value << "s > limit " << limit
+              << "s (baseline " << base_value << "s x"
+              << config.time_tolerance << " + " << config.time_floor_seconds
+              << "s)";
+      finding.message = message.str();
+      result.regressions.push_back(std::move(finding));
+    }
+  } else {
+    const double limit = base_value / config.throughput_tolerance;
+    if (fresh_value < limit) {
+      GateFinding finding;
+      finding.path = path;
+      finding.baseline = base_value;
+      finding.fresh = fresh_value;
+      std::ostringstream message;
+      message << "throughput regressed: " << fresh_value << " < limit "
+              << limit << " (baseline " << base_value << " / "
+              << config.throughput_tolerance << ")";
+      finding.message = message.str();
+      result.regressions.push_back(std::move(finding));
+    }
+  }
+}
+
+}  // namespace
+
+bool check_bench_schema(const util::JsonValue& doc, std::string& error) {
+  if (!doc.is_object()) {
+    error = "bench emission is not a JSON object";
+    return false;
+  }
+  const util::JsonValue* manifest = doc.find("manifest");
+  if (manifest == nullptr || !manifest->is_object()) {
+    error = "missing \"manifest\" section (re-emit with a current build)";
+    return false;
+  }
+  const util::JsonValue* version = manifest->find("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      version->as_number() < 1.0) {
+    error = "manifest has no usable \"schema_version\"";
+    return false;
+  }
+  for (const char* field : {"git_sha", "compiler", "build_type"}) {
+    const util::JsonValue* value = manifest->find(field);
+    if (value == nullptr || !value->is_string()) {
+      error = std::string("manifest is missing \"") + field + "\"";
+      return false;
+    }
+  }
+  const util::JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    error = "missing \"metrics\" section";
+    return false;
+  }
+  return true;
+}
+
+GateResult compare_bench(const util::JsonValue& baseline,
+                         const util::JsonValue& fresh,
+                         const GateConfig& config) {
+  GateResult result;
+  std::string error;
+  if (!check_bench_schema(baseline, error)) {
+    result.schema_error = "baseline: " + error;
+    return result;
+  }
+  if (!check_bench_schema(fresh, error)) {
+    result.schema_error = "fresh: " + error;
+    return result;
+  }
+  result.schema_ok = true;
+  walk(baseline, &fresh, "", "", config, result);
+  return result;
+}
+
+std::string gate_report(const GateResult& result) {
+  std::ostringstream out;
+  if (!result.schema_ok) {
+    out << "SCHEMA FAIL: " << result.schema_error << "\n";
+    return out.str();
+  }
+  out << "compared " << result.compared << " gated metric(s), "
+      << result.regressions.size() << " regression(s)\n";
+  for (const GateFinding& finding : result.regressions) {
+    out << "  REGRESSION " << finding.path << ": " << finding.message << "\n";
+  }
+  if (result.ok()) {
+    out << "OK\n";
+  }
+  return out.str();
+}
+
+}  // namespace hotspot::obs

@@ -1,0 +1,68 @@
+// Bench regression gate (DESIGN.md §10): compares a freshly emitted
+// BENCH_*.json against a committed baseline and reports per-metric
+// regressions, so a perf change shows up in CI as a diff against recorded
+// numbers instead of silently drifting.
+//
+// Rules, applied to every numeric leaf reachable from the baseline's
+// headline fields (the "manifest" and "metrics" subtrees are provenance and
+// raw instrumentation, never gated):
+//   - keys containing "per_sec" or "speedup" are throughputs: the fresh
+//     value must not fall below baseline / throughput_tolerance;
+//   - keys containing "seconds" are times: the fresh value must not exceed
+//     baseline * time_tolerance + time_floor_seconds (the floor keeps
+//     micro-benchmarks measured in milliseconds from tripping on noise);
+//   - everything else (counts, accuracies, configuration echoes) is
+//     informational and not gated.
+// A baseline key missing from the fresh file is itself a regression: the
+// bench stopped reporting a number it used to.
+//
+// check_schema() is the structural half: every gateable file must be a JSON
+// object carrying a "manifest" object (schema_version >= 1) and a "metrics"
+// object, which write_json_result() emits unconditionally. Files without a
+// manifest cannot be attributed to a commit/compiler/knob set and are
+// rejected outright.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace hotspot::obs {
+
+struct GateConfig {
+  double time_tolerance = 1.5;      // multiplicative slack on "seconds" keys
+  double time_floor_seconds = 0.05;  // additive slack (absorbs timer noise)
+  double throughput_tolerance = 1.5;  // divisor slack on rate keys
+};
+
+struct GateFinding {
+  std::string path;  // dotted key path, e.g. "measured[1].eval_seconds"
+  double baseline = 0.0;
+  double fresh = 0.0;
+  std::string message;
+};
+
+struct GateResult {
+  bool schema_ok = false;
+  std::string schema_error;  // set when !schema_ok
+  std::vector<GateFinding> regressions;
+  int compared = 0;  // gated numeric leaves that were actually checked
+
+  bool ok() const { return schema_ok && regressions.empty(); }
+};
+
+// Structural validation of one bench emission. Returns false with `error`
+// set when the document is not gateable.
+bool check_bench_schema(const util::JsonValue& doc, std::string& error);
+
+// Validates both documents, then walks the baseline's gated leaves and
+// checks each against the fresh file per the rules above.
+GateResult compare_bench(const util::JsonValue& baseline,
+                         const util::JsonValue& fresh,
+                         const GateConfig& config = {});
+
+// Human-readable multi-line summary of a gate run.
+std::string gate_report(const GateResult& result);
+
+}  // namespace hotspot::obs

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <vector>
 
 #include "util/logging.h"
 
@@ -12,6 +14,14 @@ namespace {
 std::string format_double(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+// Microseconds with nanosecond resolution for Chrome trace "ts"/"dur".
+std::string format_micros(std::uint64_t nanos) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f",
+                static_cast<double>(nanos) / 1e3);
   return buffer;
 }
 
@@ -27,9 +37,31 @@ std::string json_escape(const std::string& text) {
   return escaped;
 }
 
+// Prometheus label values allow anything, but `\`, `"`, and newlines must
+// be escaped in the exposition format.
+std::string prometheus_label_value(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\' || c == '"') {
+      escaped += '\\';
+      escaped += c;
+    } else if (c == '\n') {
+      escaped += "\\n";
+    } else {
+      escaped += c;
+    }
+  }
+  return escaped;
+}
+
 // Prometheus metric names allow [a-zA-Z0-9_:]; dots and dashes in our
-// registry names map to underscores.
-std::string prometheus_name(const std::string& name) {
+// registry names map to underscores. Sanitization alone can merge distinct
+// source names ("scan.batch_seconds" vs "scan-batch_seconds"), so families
+// are allocated through PrometheusNames, which appends "_2", "_3", ... to
+// later claimants. Allocation order is the (deterministic) name-sorted
+// export order, so the renaming is stable run over run.
+std::string prometheus_sanitize(const std::string& name) {
   std::string sanitized = name;
   for (char& c : sanitized) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -38,14 +70,61 @@ std::string prometheus_name(const std::string& name) {
       c = '_';
     }
   }
+  if (sanitized.empty() || (sanitized[0] >= '0' && sanitized[0] <= '9')) {
+    sanitized.insert(sanitized.begin(), '_');
+  }
   return sanitized;
 }
 
-}  // namespace
+class PrometheusNames {
+ public:
+  // Claims a family name for `source`. `derived` are suffixes the family
+  // will emit as separate series names (histogram "_bucket"/"_sum"/...);
+  // they are reserved too so e.g. a counter named "x_sum" and a histogram
+  // named "x" never collide.
+  std::string allocate(const std::string& source,
+                       const std::vector<std::string>& derived = {}) {
+    const std::string base = prometheus_sanitize(source);
+    std::string candidate = base;
+    for (int suffix = 2;; ++suffix) {
+      if (claim(candidate, derived)) {
+        return candidate;
+      }
+      candidate = base + "_" + std::to_string(suffix);
+    }
+  }
 
-std::string to_json(const MetricsSnapshot& snapshot, const SpanReport& spans) {
-  std::ostringstream out;
-  out << "{\"counters\": {";
+ private:
+  bool claim(const std::string& candidate,
+             const std::vector<std::string>& derived) {
+    if (used_.count(candidate) > 0) {
+      return false;
+    }
+    for (const std::string& suffix : derived) {
+      if (used_.count(candidate + suffix) > 0) {
+        return false;
+      }
+    }
+    used_.insert(candidate);
+    for (const std::string& suffix : derived) {
+      used_.insert(candidate + suffix);
+    }
+    return true;
+  }
+
+  std::set<std::string> used_;
+};
+
+const std::vector<std::string>& histogram_suffixes() {
+  static const std::vector<std::string> suffixes = {
+      "_bucket", "_sum", "_count", "_p50", "_p95", "_p99"};
+  return suffixes;
+}
+
+void append_json_body(std::ostringstream& out,
+                      const MetricsSnapshot& snapshot,
+                      const SpanReport& spans) {
+  out << "\"counters\": {";
   for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
     const CounterSample& sample = snapshot.counters[i];
     out << (i > 0 ? ", " : "") << "\"" << json_escape(sample.name)
@@ -70,7 +149,10 @@ std::string to_json(const MetricsSnapshot& snapshot, const SpanReport& spans) {
       out << (b > 0 ? ", " : "") << sample.buckets[b];
     }
     out << "], \"count\": " << sample.count
-        << ", \"sum\": " << format_double(sample.sum) << "}";
+        << ", \"sum\": " << format_double(sample.sum)
+        << ", \"p50\": " << format_double(sample.quantile(0.50))
+        << ", \"p95\": " << format_double(sample.quantile(0.95))
+        << ", \"p99\": " << format_double(sample.quantile(0.99)) << "}";
   }
   out << "}, \"spans\": {";
   for (std::size_t i = 0; i < spans.spans.size(); ++i) {
@@ -80,25 +162,44 @@ std::string to_json(const MetricsSnapshot& snapshot, const SpanReport& spans) {
         << ", \"total_seconds\": " << format_double(stat.total_seconds)
         << ", \"self_seconds\": " << format_double(stat.self_seconds) << "}";
   }
-  out << "}}";
+  out << "}";
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot, const SpanReport& spans) {
+  std::ostringstream out;
+  out << "{";
+  append_json_body(out, snapshot, spans);
+  out << "}";
+  return out.str();
+}
+
+std::string to_json(const MetricsSnapshot& snapshot, const SpanReport& spans,
+                    const RunManifest& manifest) {
+  std::ostringstream out;
+  out << "{\"manifest\": " << manifest_json(manifest) << ", ";
+  append_json_body(out, snapshot, spans);
+  out << "}";
   return out.str();
 }
 
 std::string to_prometheus(const MetricsSnapshot& snapshot,
                           const SpanReport& spans) {
   std::ostringstream out;
+  PrometheusNames names;
   for (const CounterSample& sample : snapshot.counters) {
-    const std::string name = prometheus_name(sample.name);
+    const std::string name = names.allocate(sample.name);
     out << "# TYPE " << name << " counter\n"
         << name << " " << sample.value << "\n";
   }
   for (const GaugeSample& sample : snapshot.gauges) {
-    const std::string name = prometheus_name(sample.name);
+    const std::string name = names.allocate(sample.name);
     out << "# TYPE " << name << " gauge\n"
         << name << " " << format_double(sample.value) << "\n";
   }
   for (const HistogramSample& sample : snapshot.histograms) {
-    const std::string name = prometheus_name(sample.name);
+    const std::string name = names.allocate(sample.name, histogram_suffixes());
     out << "# TYPE " << name << " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < sample.bounds.size(); ++b) {
@@ -109,42 +210,91 @@ std::string to_prometheus(const MetricsSnapshot& snapshot,
     out << name << "_bucket{le=\"+Inf\"} " << sample.count << "\n"
         << name << "_sum " << format_double(sample.sum) << "\n"
         << name << "_count " << sample.count << "\n";
+    out << "# TYPE " << name << "_p50 gauge\n"
+        << name << "_p50 " << format_double(sample.quantile(0.50)) << "\n"
+        << "# TYPE " << name << "_p95 gauge\n"
+        << name << "_p95 " << format_double(sample.quantile(0.95)) << "\n"
+        << "# TYPE " << name << "_p99 gauge\n"
+        << name << "_p99 " << format_double(sample.quantile(0.99)) << "\n";
   }
   if (!spans.spans.empty()) {
     out << "# TYPE hotspot_span_seconds gauge\n";
     for (const auto& [name, stat] : spans.spans) {
-      out << "hotspot_span_seconds{span=\"" << name << "\"} "
-          << format_double(stat.total_seconds) << "\n";
+      out << "hotspot_span_seconds{span=\"" << prometheus_label_value(name)
+          << "\"} " << format_double(stat.total_seconds) << "\n";
     }
     out << "# TYPE hotspot_span_self_seconds gauge\n";
     for (const auto& [name, stat] : spans.spans) {
-      out << "hotspot_span_self_seconds{span=\"" << name << "\"} "
+      out << "hotspot_span_self_seconds{span=\""
+          << prometheus_label_value(name) << "\"} "
           << format_double(stat.self_seconds) << "\n";
     }
     out << "# TYPE hotspot_span_count gauge\n";
     for (const auto& [name, stat] : spans.spans) {
-      out << "hotspot_span_count{span=\"" << name << "\"} " << stat.count
-          << "\n";
+      out << "hotspot_span_count{span=\"" << prometheus_label_value(name)
+          << "\"} " << stat.count << "\n";
     }
   }
   return out.str();
 }
 
-bool write_metrics_json(const std::string& path,
-                        const MetricsSnapshot& snapshot,
-                        const SpanReport& spans) {
+std::string to_chrome_trace(const TimelineReport& report) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"otherData\": {\"dropped_events\": "
+      << report.dropped << "}, \"traceEvents\": [";
+  bool first = true;
+  // Thread-name metadata rows so the viewer labels each track.
+  for (std::size_t t = 0; t < report.thread_count; ++t) {
+    out << (first ? "" : ", ")
+        << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+        << t << ", \"args\": {\"name\": \"hotspot thread " << t << "\"}}";
+    first = false;
+  }
+  for (const TimelineEvent& event : report.events) {
+    out << (first ? "" : ", ") << "{\"name\": \"" << json_escape(event.name)
+        << "\", \"cat\": \"hotspot\", \"ph\": \"X\", \"ts\": "
+        << format_micros(event.start_ns)
+        << ", \"dur\": " << format_micros(event.duration_ns)
+        << ", \"pid\": 1, \"tid\": " << event.thread_index << "}";
+    first = false;
+  }
+  out << "]}";
+  return out.str();
+}
+
+namespace {
+
+bool write_text_file(const std::string& path, const std::string& text,
+                     const char* what) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
-    HOTSPOT_LOG(kError) << "cannot open " << path << " for metrics export";
+    HOTSPOT_LOG(kError) << "cannot open " << path << " for " << what
+                        << " export";
     return false;
   }
-  out << to_json(snapshot, spans) << "\n";
+  out << text << "\n";
   out.flush();
   if (!out.good()) {
-    HOTSPOT_LOG(kError) << "short write exporting metrics to " << path;
+    HOTSPOT_LOG(kError) << "short write exporting " << what << " to " << path;
     return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool write_metrics_json(const std::string& path,
+                        const MetricsSnapshot& snapshot,
+                        const SpanReport& spans, const RunManifest* manifest) {
+  const std::string text = manifest != nullptr
+                               ? to_json(snapshot, spans, *manifest)
+                               : to_json(snapshot, spans);
+  return write_text_file(path, text, "metrics");
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const TimelineReport& report) {
+  return write_text_file(path, to_chrome_trace(report), "trace");
 }
 
 }  // namespace hotspot::obs

@@ -1,12 +1,22 @@
-// Exporters for metrics snapshots and span reports (DESIGN.md §10).
+// Exporters for metrics snapshots, span reports, and timelines
+// (DESIGN.md §10).
 //
-// Two text formats:
-//   to_json        - one JSON object with "counters" / "gauges" /
-//                    "histograms" / "spans" sections; the format the bench
-//                    emitters embed and --metrics-out writes.
-//   to_prometheus  - Prometheus text exposition (metric names sanitized to
-//                    [a-zA-Z0-9_], histogram buckets cumulated with "le"
-//                    labels, spans as hotspot_span_* families).
+// Three text formats:
+//   to_json          - one JSON object with "counters" / "gauges" /
+//                      "histograms" / "spans" sections (histograms carry
+//                      interpolated p50/p95/p99), optionally prefixed by a
+//                      "manifest" block; the format the bench emitters embed
+//                      and --metrics-out writes.
+//   to_prometheus    - Prometheus text exposition: metric names sanitized
+//                      to [a-zA-Z0-9_:] with collision-free renaming (two
+//                      distinct source names never merge into one family),
+//                      histogram buckets cumulated with "le" labels plus
+//                      <name>_p50/_p95/_p99 quantile gauges, spans as
+//                      hotspot_span_* families.
+//   to_chrome_trace  - Chrome trace-event JSON ("X" complete events, µs
+//                      timestamps) loadable by chrome://tracing and
+//                      Perfetto; renders a TimelineReport as a cross-thread
+//                      timeline.
 //
 // Output is deterministic: instruments are emitted in name order and
 // doubles are formatted with "%.9g", so golden tests can compare strings.
@@ -14,6 +24,7 @@
 
 #include <string>
 
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -21,13 +32,26 @@ namespace hotspot::obs {
 
 std::string to_json(const MetricsSnapshot& snapshot, const SpanReport& spans);
 
+// As above with a leading "manifest" section.
+std::string to_json(const MetricsSnapshot& snapshot, const SpanReport& spans,
+                    const RunManifest& manifest);
+
 std::string to_prometheus(const MetricsSnapshot& snapshot,
                           const SpanReport& spans);
 
+std::string to_chrome_trace(const TimelineReport& report);
+
 // Writes to_json() plus a trailing newline to `path`; logs and returns
-// false on any stream failure (open, write, or close).
+// false on any stream failure (open, write, or close). A non-null manifest
+// is embedded as the "manifest" section.
 bool write_metrics_json(const std::string& path,
                         const MetricsSnapshot& snapshot,
-                        const SpanReport& spans);
+                        const SpanReport& spans,
+                        const RunManifest* manifest = nullptr);
+
+// Writes to_chrome_trace() plus a trailing newline to `path`; logs and
+// returns false on any stream failure.
+bool write_chrome_trace(const std::string& path,
+                        const TimelineReport& report);
 
 }  // namespace hotspot::obs

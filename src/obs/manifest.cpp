@@ -1,0 +1,89 @@
+#include "obs/manifest.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "util/parallel.h"
+
+// Baked in by src/obs/CMakeLists.txt; fall back cleanly when built by hand.
+#ifndef HOTSPOT_GIT_SHA
+#define HOTSPOT_GIT_SHA "unknown"
+#endif
+#ifndef HOTSPOT_BUILD_TYPE
+#define HOTSPOT_BUILD_TYPE "unknown"
+#endif
+
+extern char** environ;
+
+namespace hotspot::obs {
+namespace {
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      escaped += '\\';
+    }
+    escaped += c;
+  }
+  return escaped;
+}
+
+}  // namespace
+
+RunManifest collect_manifest(const std::string& timestamp) {
+  RunManifest manifest;
+  manifest.git_sha = HOTSPOT_GIT_SHA;
+  manifest.compiler = compiler_string();
+  manifest.build_type = HOTSPOT_BUILD_TYPE;
+  manifest.threads = util::parallel_threads();
+  manifest.timestamp = timestamp;
+  for (char** entry = environ; entry != nullptr && *entry != nullptr;
+       ++entry) {
+    const char* text = *entry;
+    if (std::strncmp(text, "HOTSPOT_", 8) != 0) {
+      continue;
+    }
+    const char* equals = std::strchr(text, '=');
+    if (equals == nullptr) {
+      continue;
+    }
+    manifest.env.emplace_back(std::string(text, equals),
+                              std::string(equals + 1));
+  }
+  std::sort(manifest.env.begin(), manifest.env.end());
+  return manifest;
+}
+
+std::string manifest_json(const RunManifest& manifest) {
+  std::ostringstream out;
+  out << "{\"schema_version\": " << manifest.schema_version
+      << ", \"git_sha\": \"" << json_escape(manifest.git_sha)
+      << "\", \"compiler\": \"" << json_escape(manifest.compiler)
+      << "\", \"build_type\": \"" << json_escape(manifest.build_type)
+      << "\", \"threads\": " << manifest.threads << ", \"env\": {";
+  for (std::size_t i = 0; i < manifest.env.size(); ++i) {
+    out << (i > 0 ? ", " : "") << "\"" << json_escape(manifest.env[i].first)
+        << "\": \"" << json_escape(manifest.env[i].second) << "\"";
+  }
+  out << "}";
+  if (!manifest.timestamp.empty()) {
+    out << ", \"timestamp\": \"" << json_escape(manifest.timestamp) << "\"";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace hotspot::obs

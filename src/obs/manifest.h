@@ -1,0 +1,39 @@
+// Run manifest: the build/runtime provenance block every metrics export and
+// BENCH_*.json carries (DESIGN.md §10), so a recorded number can always be
+// traced back to the commit, compiler, build type, thread count, and
+// HOTSPOT_* knobs that produced it. bench_compare refuses to gate files
+// without one.
+//
+// The git sha and build type are baked in at CMake configure time (stale
+// until the next reconfigure — that is recorded, not inferred at runtime).
+// The wall-clock timestamp is caller-provided: collect_manifest() itself
+// never reads the system clock, so hot paths and deterministic tests can
+// build manifests freely.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hotspot::obs {
+
+struct RunManifest {
+  int schema_version = 1;
+  std::string git_sha;     // "unknown" when built outside a git checkout
+  std::string compiler;    // e.g. "gcc 13.2.0"
+  std::string build_type;  // CMAKE_BUILD_TYPE at configure time
+  int threads = 1;         // util::parallel_threads() at collection time
+  // Every HOTSPOT_* environment knob set when the manifest was collected,
+  // name-sorted.
+  std::vector<std::pair<std::string, std::string>> env;
+  std::string timestamp;  // caller-provided wall clock; empty = not recorded
+};
+
+// Gathers the manifest for this process. `timestamp` is passed through
+// verbatim (callers format it once at startup, outside any hot path).
+RunManifest collect_manifest(const std::string& timestamp = "");
+
+// The manifest as one JSON object, deterministic field order.
+std::string manifest_json(const RunManifest& manifest);
+
+}  // namespace hotspot::obs

@@ -1,10 +1,41 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
 
 namespace hotspot::obs {
+
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& buckets,
+                          double q) {
+  HOTSPOT_CHECK_EQ(buckets.size(), bounds.size() + 1);
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : buckets) {
+    total += count;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket > 0.0 && cumulative + in_bucket >= target) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double fraction =
+          std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
+      return lo + (hi - lo) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  // Rank falls in the overflow bucket, which has no upper bound to
+  // interpolate toward.
+  return bounds.back();
+}
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
@@ -32,6 +63,14 @@ std::uint64_t Histogram::bucket(std::size_t index) const {
   return buckets_[index].load(std::memory_order_relaxed);
 }
 
+double Histogram::quantile(double q) const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return histogram_quantile(bounds_, counts, q);
+}
+
 void Histogram::reset() {
   for (std::size_t i = 0; i < bounds_.size() + 1; ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
@@ -43,6 +82,20 @@ void Histogram::reset() {
 std::vector<double> default_duration_buckets() {
   return {1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0,
           10.0, 30.0, 100.0, 300.0};
+}
+
+std::vector<double> default_latency_buckets() {
+  // 10^(-6 + i/4) for i = 0..30: 1 µs to ~31.6 s, ratio ~1.78 per bucket.
+  std::vector<double> bounds;
+  bounds.reserve(31);
+  for (int i = 0; i <= 30; ++i) {
+    bounds.push_back(std::pow(10.0, -6.0 + static_cast<double>(i) / 4.0));
+  }
+  return bounds;
+}
+
+double HistogramSample::quantile(double q) const {
+  return histogram_quantile(bounds, buckets, q);
 }
 
 MetricsSnapshot MetricsSnapshot::delta_since(

@@ -65,6 +65,17 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+// Streaming quantile estimate from bucketed counts (Prometheus
+// histogram_quantile style): finds the bucket containing rank q * count and
+// interpolates linearly between its bounds (the first bucket interpolates
+// from 0). Accuracy is bounded by bucket width, so latency histograms use
+// log-spaced bounds (default_latency_buckets). Returns 0 on an empty
+// histogram; ranks falling in the overflow bucket clamp to the last bound.
+// `buckets` is non-cumulative with bounds.size() + 1 entries.
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& buckets,
+                          double q);
+
 // Histogram with Prometheus "le" semantics: bucket i counts observations
 // <= bounds[i]; one extra overflow bucket catches everything above the last
 // bound. Bucket counts are stored non-cumulative; exporters cumulate.
@@ -82,6 +93,9 @@ class Histogram {
     return count_.load(std::memory_order_relaxed);
   }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Estimated q-quantile (q in [0, 1]) of everything observed so far; see
+  // histogram_quantile. Safe to call under concurrent observe().
+  double quantile(double q) const;
   void reset();
 
  private:
@@ -93,6 +107,11 @@ class Histogram {
 
 // Wall-time bucket boundaries (seconds) shared by duration histograms.
 std::vector<double> default_duration_buckets();
+
+// Log-spaced latency bounds (seconds), four per decade from 1 µs to ~30 s,
+// sized so interpolated p50/p95/p99 land within one ~1.78x bucket ratio of
+// the exact quantile.
+std::vector<double> default_latency_buckets();
 
 struct CounterSample {
   std::string name;
@@ -110,6 +129,9 @@ struct HistogramSample {
   std::vector<std::uint64_t> buckets;  // bounds.size() + 1, non-cumulative
   std::uint64_t count = 0;
   double sum = 0.0;
+
+  // Estimated q-quantile of this sample; see histogram_quantile.
+  double quantile(double q) const;
 };
 
 struct MetricsSnapshot {

@@ -13,6 +13,11 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 std::atomic<bool> g_trace_enabled{false};
+std::atomic<bool> g_timeline_enabled{false};
+// steady_clock nanoseconds captured when timeline mode was last enabled;
+// every event's start_ns is relative to this.
+std::atomic<std::int64_t> g_timeline_epoch_ns{0};
+std::atomic<std::size_t> g_timeline_capacity{std::size_t{1} << 16};
 
 struct ActiveSpan {
   std::string name;
@@ -21,13 +26,21 @@ struct ActiveSpan {
 };
 
 // One buffer per thread. The open-span stack is touched only by the owning
-// thread; the aggregated stats map is shared with collect_span_report() /
-// reset_spans() and guarded by the buffer mutex (locked only when a span
-// closes, never on the disabled path).
+// thread; the aggregated stats map and event ring are shared with the
+// collect/reset functions and guarded by the buffer mutex (locked only when
+// a span closes, never on the disabled path).
 struct ThreadBuffer {
   std::mutex mutex;
   std::map<std::string, SpanStat> stats;
   std::vector<ActiveSpan> stack;
+  // Timeline ring, allocated lazily on the first recorded event so threads
+  // that never trace in timeline mode pay nothing. Slot of event k is
+  // k % ring_capacity; once ring_total exceeds the capacity the oldest
+  // events are overwritten (ring_total - ring.size() = dropped).
+  std::vector<TimelineEvent> ring;
+  std::size_t ring_capacity = 0;
+  std::uint64_t ring_total = 0;
+  std::uint32_t thread_index = 0;
 };
 
 struct BufferDirectory {
@@ -48,10 +61,50 @@ ThreadBuffer& local_buffer() {
     auto fresh = std::make_shared<ThreadBuffer>();
     BufferDirectory& dir = directory();
     std::lock_guard<std::mutex> lock(dir.mutex);
+    fresh->thread_index = static_cast<std::uint32_t>(dir.buffers.size());
     dir.buffers.push_back(fresh);
     return fresh;
   }();
   return *buffer;
+}
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+// Caller holds buffer.mutex.
+void record_timeline_event(ThreadBuffer& buffer, std::string name,
+                           Clock::time_point start, Clock::time_point end) {
+  if (buffer.ring_capacity == 0) {
+    buffer.ring_capacity =
+        std::max<std::size_t>(1, g_timeline_capacity.load(
+                                     std::memory_order_relaxed));
+    buffer.ring.reserve(buffer.ring_capacity);
+  }
+  const std::int64_t epoch =
+      g_timeline_epoch_ns.load(std::memory_order_relaxed);
+  const std::int64_t start_raw =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          start.time_since_epoch())
+          .count();
+  TimelineEvent event;
+  event.name = std::move(name);
+  // Spans opened before the epoch (enable raced an open span) clamp to 0.
+  event.start_ns =
+      start_raw > epoch ? static_cast<std::uint64_t>(start_raw - epoch) : 0;
+  event.duration_ns = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(
+          0, std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                 .count()));
+  event.thread_index = buffer.thread_index;
+  if (buffer.ring.size() < buffer.ring_capacity) {
+    buffer.ring.push_back(std::move(event));
+  } else {
+    buffer.ring[buffer.ring_total % buffer.ring_capacity] = std::move(event);
+  }
+  ++buffer.ring_total;
 }
 
 }  // namespace
@@ -62,6 +115,75 @@ void set_trace_enabled(bool enabled) {
 
 bool trace_enabled() {
   return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_timeline_enabled(bool enabled) {
+  if (enabled) {
+    g_timeline_epoch_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  }
+  g_timeline_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool timeline_enabled() {
+  return g_timeline_enabled.load(std::memory_order_relaxed);
+}
+
+void set_timeline_capacity(std::size_t events_per_thread) {
+  g_timeline_capacity.store(std::max<std::size_t>(1, events_per_thread),
+                            std::memory_order_relaxed);
+}
+
+std::size_t timeline_capacity() {
+  return g_timeline_capacity.load(std::memory_order_relaxed);
+}
+
+TimelineReport collect_timeline() {
+  TimelineReport report;
+  BufferDirectory& dir = directory();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(dir.mutex);
+    buffers = dir.buffers;
+  }
+  report.thread_count = buffers.size();
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    const std::size_t size = buffer->ring.size();
+    report.dropped += buffer->ring_total - size;
+    if (size == 0) {
+      continue;
+    }
+    // Oldest surviving event first: once the ring has wrapped, slot
+    // ring_total % size holds the oldest entry.
+    const std::size_t oldest =
+        buffer->ring_total > size
+            ? static_cast<std::size_t>(buffer->ring_total % size)
+            : 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      report.events.push_back(buffer->ring[(oldest + i) % size]);
+    }
+  }
+  std::stable_sort(report.events.begin(), report.events.end(),
+                   [](const TimelineEvent& a, const TimelineEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return report;
+}
+
+void reset_timeline() {
+  BufferDirectory& dir = directory();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(dir.mutex);
+    buffers = dir.buffers;
+  }
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->ring.clear();
+    buffer->ring.shrink_to_fit();
+    buffer->ring_capacity = 0;
+    buffer->ring_total = 0;
+  }
 }
 
 const SpanStat* SpanReport::find(const std::string& name) const {
@@ -147,6 +269,9 @@ TraceSpan::~TraceSpan() {
   stat.count += 1;
   stat.total_seconds += elapsed;
   stat.self_seconds += std::max(0.0, elapsed - span.child_seconds);
+  if (g_timeline_enabled.load(std::memory_order_relaxed)) {
+    record_timeline_event(buffer, std::move(span.name), span.start, end);
+  }
 }
 
 }  // namespace hotspot::obs

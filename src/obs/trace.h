@@ -3,15 +3,25 @@
 // A TraceSpan times the scope it lives in and records (count, total wall
 // time, self time = total minus nested spans) into a per-thread buffer keyed
 // by span name. collect_span_report() merges every thread's buffer into one
-// aggregated report — there is no per-event log, so span cost and memory are
-// O(distinct names), not O(events).
+// aggregated report — aggregate span cost and memory are O(distinct names),
+// not O(events).
+//
+// On top of the aggregates, *timeline mode* additionally records one
+// TimelineEvent (begin/end timestamps + thread index) per closed span into a
+// bounded per-thread ring buffer. When a ring fills up the oldest events are
+// overwritten and a drop counter increments, so a long run keeps the most
+// recent window of activity at fixed memory. collect_timeline() merges the
+// rings into one start-ordered report; export.h renders it as Chrome
+// trace-event JSON (chrome://tracing / Perfetto).
 //
 // Tracing is compiled in but off by default: when disabled, constructing a
-// span reads one relaxed atomic and does nothing else, so instrumented hot
+// span reads one relaxed atomic and does nothing else — no clock read, no
+// allocation (pinned by tests/obs/timeline_test.cpp) — so instrumented hot
 // paths (per-layer forward, packing, GEMM) stay effectively free until an
-// exporter flips set_trace_enabled(true). Spans never touch model state,
-// RNG, or arithmetic, so deterministic results are unaffected either way
-// (pinned by parallel_determinism_test).
+// exporter flips set_trace_enabled(true). Timeline mode only records while
+// tracing itself is enabled. Spans never touch model state, RNG, or
+// arithmetic, so deterministic results are unaffected either way (pinned by
+// parallel_determinism_test).
 //
 // Usage:
 //   void forward() {
@@ -23,6 +33,7 @@
 //   }
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -34,6 +45,39 @@ namespace hotspot::obs {
 // enablement they saw at construction.
 void set_trace_enabled(bool enabled);
 bool trace_enabled();
+
+// Timeline mode: record per-event begin/end timestamps in addition to the
+// aggregates. Only takes effect while tracing is enabled. Enabling captures
+// the timestamp epoch all events are reported relative to.
+void set_timeline_enabled(bool enabled);
+bool timeline_enabled();
+
+// Per-thread event ring capacity (default 65536 events/thread). Applies to
+// rings allocated after the call; call reset_timeline() afterwards to force
+// existing threads to re-allocate at the new capacity. Clamped to >= 1.
+void set_timeline_capacity(std::size_t events_per_thread);
+std::size_t timeline_capacity();
+
+struct TimelineEvent {
+  std::string name;
+  std::uint64_t start_ns = 0;     // since the set_timeline_enabled epoch
+  std::uint64_t duration_ns = 0;
+  std::uint32_t thread_index = 0;  // stable small id, one per thread buffer
+};
+
+struct TimelineReport {
+  std::vector<TimelineEvent> events;  // ordered by start_ns
+  std::uint64_t dropped = 0;  // events overwritten across all ring buffers
+  std::size_t thread_count = 0;
+};
+
+// Merges every thread's ring (oldest surviving event first per thread) into
+// one start-ordered report. Open spans are not included.
+TimelineReport collect_timeline();
+
+// Clears all recorded events and drop counters. Rings re-allocate lazily at
+// the current timeline_capacity() on the next recorded event.
+void reset_timeline();
 
 struct SpanStat {
   std::uint64_t count = 0;

@@ -144,10 +144,15 @@ class BatchProducer {
       ++next_entry_;
       ++count;
     }
-    stats_.raster_seconds += timer.seconds();
+    const double raster_seconds = timer.seconds();
+    stats_.raster_seconds += raster_seconds;
     stats_.windows += windows_in_batch;
     windows_seen_ += windows_in_batch;
     stats_.dedup_hits += hits_in_batch;
+    static obs::Histogram& raster_histogram =
+        obs::MetricsRegistry::global().histogram(
+            "scan.raster_seconds", obs::default_latency_buckets());
+    raster_histogram.observe(raster_seconds);
     static obs::Counter& windows_counter =
         obs::MetricsRegistry::global().counter("scan.windows");
     static obs::Counter& hits_counter =
@@ -217,9 +222,14 @@ ScanResult ScanPipeline::scan(const layout::Pattern& chip) {
       entry_verdicts[static_cast<std::size_t>(plan.base_entry + i)] =
           verdicts[static_cast<std::size_t>(i)];
     }
-    result.stats.infer_seconds += timer.seconds();
+    const double batch_seconds = timer.seconds();
+    result.stats.infer_seconds += batch_seconds;
     ++result.stats.batches;
     batches_counter.increment();
+    static obs::Histogram& batch_histogram =
+        obs::MetricsRegistry::global().histogram(
+            "scan.batch_seconds", obs::default_latency_buckets());
+    batch_histogram.observe(batch_seconds);
   };
 
   if (config_.pipelined && window_count > 0) {

@@ -1,0 +1,163 @@
+#include "obs/bench_gate.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.h"
+
+namespace hotspot::obs {
+namespace {
+
+util::JsonValue parse(const std::string& text) {
+  util::JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(util::parse_json(text, doc, error)) << error;
+  return doc;
+}
+
+// Minimal valid bench emission with a headline section spliced in.
+std::string bench_doc(const std::string& headline_fields) {
+  return "{" + headline_fields +
+         (headline_fields.empty() ? "" : ", ") +
+         "\"manifest\": {\"schema_version\": 1, \"git_sha\": \"abc\", "
+         "\"compiler\": \"gcc\", \"build_type\": \"Release\", "
+         "\"threads\": 1, \"env\": {}}, "
+         "\"metrics\": {\"counters\": {}, \"gauges\": {}, "
+         "\"histograms\": {}, \"spans\": {}}}";
+}
+
+TEST(BenchSchema, AcceptsWellFormedEmission) {
+  std::string error;
+  EXPECT_TRUE(check_bench_schema(parse(bench_doc("")), error)) << error;
+}
+
+TEST(BenchSchema, RejectsMissingManifest) {
+  std::string error;
+  EXPECT_FALSE(check_bench_schema(
+      parse("{\"metrics\": {}, \"packed_seconds\": 1.0}"), error));
+  EXPECT_NE(error.find("manifest"), std::string::npos);
+}
+
+TEST(BenchSchema, RejectsMissingMetrics) {
+  std::string error;
+  EXPECT_FALSE(check_bench_schema(
+      parse("{\"manifest\": {\"schema_version\": 1, \"git_sha\": \"a\", "
+            "\"compiler\": \"g\", \"build_type\": \"R\"}}"),
+      error));
+  EXPECT_NE(error.find("metrics"), std::string::npos);
+}
+
+TEST(BenchSchema, RejectsManifestWithoutVersion) {
+  std::string error;
+  EXPECT_FALSE(check_bench_schema(
+      parse("{\"manifest\": {\"git_sha\": \"a\"}, \"metrics\": {}}"), error));
+}
+
+TEST(BenchGate, IdenticalFilesPass) {
+  const util::JsonValue doc = parse(bench_doc(
+      "\"packed_seconds\": 0.5, \"windows_per_sec\": 1000, \"threads\": 4"));
+  const GateResult result = compare_bench(doc, doc);
+  EXPECT_TRUE(result.ok()) << gate_report(result);
+  EXPECT_EQ(result.compared, 2);  // "threads" is not a gated key
+}
+
+TEST(BenchGate, TimeRegressionFails) {
+  const util::JsonValue baseline =
+      parse(bench_doc("\"packed_seconds\": 1.0"));
+  const util::JsonValue fresh = parse(bench_doc("\"packed_seconds\": 2.0"));
+  const GateResult result = compare_bench(baseline, fresh);
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].path, "packed_seconds");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BenchGate, TimeFloorAbsorbsMicroNoise) {
+  // 2 ms -> 6 ms is a 3x slowdown but far below the 50 ms floor: noise on
+  // a micro-measurement, not a regression.
+  const util::JsonValue baseline =
+      parse(bench_doc("\"raster_seconds\": 0.002"));
+  const util::JsonValue fresh = parse(bench_doc("\"raster_seconds\": 0.006"));
+  EXPECT_TRUE(compare_bench(baseline, fresh).ok());
+}
+
+TEST(BenchGate, ThroughputRegressionFails) {
+  const util::JsonValue baseline =
+      parse(bench_doc("\"windows_per_sec\": 1000"));
+  const util::JsonValue fresh = parse(bench_doc("\"windows_per_sec\": 500"));
+  const GateResult result = compare_bench(baseline, fresh);
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_NE(result.regressions[0].message.find("throughput"),
+            std::string::npos);
+}
+
+TEST(BenchGate, ThroughputNotMisreadAsTime) {
+  // "windows_per_sec" contains no "seconds" but a name like
+  // "speedup_vs_seconds_baseline" contains both; rate classification must
+  // win, so a higher value passes.
+  const util::JsonValue baseline =
+      parse(bench_doc("\"speedup_over_float_seconds\": 2.0"));
+  const util::JsonValue fresh =
+      parse(bench_doc("\"speedup_over_float_seconds\": 8.0"));
+  EXPECT_TRUE(compare_bench(baseline, fresh).ok());
+}
+
+TEST(BenchGate, MissingBaselineKeyIsRegression) {
+  const util::JsonValue baseline =
+      parse(bench_doc("\"packed_seconds\": 1.0"));
+  const util::JsonValue fresh = parse(bench_doc(""));
+  const GateResult result = compare_bench(baseline, fresh);
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_NE(result.regressions[0].message.find("missing"), std::string::npos);
+}
+
+TEST(BenchGate, WalksNestedArraysWithIndexedPaths) {
+  const std::string base_rows =
+      "\"measured\": [{\"method\": \"BRNN\", \"eval_seconds\": 1.0}, "
+      "{\"method\": \"DAC17\", \"eval_seconds\": 2.0}]";
+  const std::string fresh_rows =
+      "\"measured\": [{\"method\": \"BRNN\", \"eval_seconds\": 1.0}, "
+      "{\"method\": \"DAC17\", \"eval_seconds\": 9.0}]";
+  const GateResult result = compare_bench(parse(bench_doc(base_rows)),
+                                          parse(bench_doc(fresh_rows)));
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].path, "measured[1].eval_seconds");
+}
+
+TEST(BenchGate, MetricsSubtreeIsNeverGated) {
+  // Raw instrumentation under "metrics" may move arbitrarily; only the
+  // headline numbers gate.
+  const std::string base = bench_doc("");
+  std::string fresh = base;
+  const std::string needle = "\"spans\": {}";
+  fresh.replace(fresh.find(needle), needle.size(),
+                "\"spans\": {\"x\": {\"total_seconds\": 100.0}}");
+  const GateResult result = compare_bench(parse(base), parse(fresh));
+  EXPECT_TRUE(result.ok()) << gate_report(result);
+  EXPECT_EQ(result.compared, 0);
+}
+
+TEST(BenchGate, SchemaFailureBlocksComparison) {
+  const util::JsonValue baseline =
+      parse(bench_doc("\"packed_seconds\": 1.0"));
+  const util::JsonValue fresh = parse("{\"packed_seconds\": 1.0}");
+  const GateResult result = compare_bench(baseline, fresh);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.schema_ok);
+  EXPECT_NE(result.schema_error.find("fresh"), std::string::npos);
+}
+
+TEST(BenchGate, CustomTolerances) {
+  GateConfig config;
+  config.time_tolerance = 1.0;
+  config.time_floor_seconds = 0.0;
+  const util::JsonValue baseline =
+      parse(bench_doc("\"packed_seconds\": 1.0"));
+  const util::JsonValue slightly_slower =
+      parse(bench_doc("\"packed_seconds\": 1.01"));
+  EXPECT_FALSE(compare_bench(baseline, slightly_slower, config).ok());
+  EXPECT_TRUE(compare_bench(baseline, baseline, config).ok());
+}
+
+}  // namespace
+}  // namespace hotspot::obs

@@ -41,7 +41,8 @@ TEST(ExportJson, GoldenOutput) {
             "{\"counters\": {\"cache.hit\": 7, \"cache.miss\": 2}, "
             "\"gauges\": {\"loss\": 0.125}, "
             "\"histograms\": {\"seconds\": {\"bounds\": [0.5, 2], "
-            "\"buckets\": [3, 1, 1], \"count\": 5, \"sum\": 4.25}}, "
+            "\"buckets\": [3, 1, 1], \"count\": 5, \"sum\": 4.25, "
+            "\"p50\": 0.416666667, \"p95\": 2, \"p99\": 2}}, "
             "\"spans\": {\"brnn.forward\": {\"count\": 4, "
             "\"total_seconds\": 1.5, \"self_seconds\": 0.5}}}");
 }
@@ -75,6 +76,12 @@ TEST(ExportPrometheus, GoldenOutput) {
             "seconds_bucket{le=\"+Inf\"} 5\n"
             "seconds_sum 4.25\n"
             "seconds_count 5\n"
+            "# TYPE seconds_p50 gauge\n"
+            "seconds_p50 0.416666667\n"
+            "# TYPE seconds_p95 gauge\n"
+            "seconds_p95 2\n"
+            "# TYPE seconds_p99 gauge\n"
+            "seconds_p99 2\n"
             "# TYPE hotspot_span_seconds gauge\n"
             "hotspot_span_seconds{span=\"brnn.forward\"} 1.5\n"
             "# TYPE hotspot_span_self_seconds gauge\n"
@@ -97,6 +104,64 @@ TEST(ExportPrometheus, SanitizesMetricNames) {
   snapshot.counters.push_back({"binary-conv.pack cache", 1});
   const std::string text = to_prometheus(snapshot, SpanReport{});
   EXPECT_NE(text.find("binary_conv_pack_cache 1\n"), std::string::npos);
+}
+
+TEST(ExportPrometheus, DistinctSourceNamesNeverCollide) {
+  // Sanitization maps both of these to "scan_batch_seconds"; the exporter
+  // must keep them as distinct families rather than silently merging.
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"scan-batch_seconds", 2});
+  snapshot.counters.push_back({"scan.batch_seconds", 1});
+  const std::string text = to_prometheus(snapshot, SpanReport{});
+  EXPECT_NE(text.find("scan_batch_seconds 2\n"), std::string::npos);
+  EXPECT_NE(text.find("scan_batch_seconds_2 1\n"), std::string::npos);
+}
+
+TEST(ExportPrometheus, HistogramDerivedNamesAreReserved) {
+  // A histogram family also owns its _bucket/_sum/_count/_p* series names;
+  // a counter that already claimed one of them forces the family to rename.
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"lat_sum", 9});
+  HistogramSample histogram;
+  histogram.name = "lat";
+  histogram.bounds = {1.0};
+  histogram.buckets = {1, 0};
+  histogram.count = 1;
+  histogram.sum = 0.5;
+  snapshot.histograms.push_back(histogram);
+  const std::string text = to_prometheus(snapshot, SpanReport{});
+  EXPECT_NE(text.find("lat_sum 9\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_2_sum 0.5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_2_count 1\n"), std::string::npos);
+}
+
+TEST(ExportPrometheus, EscapesSpanLabelValues) {
+  SpanReport report;
+  SpanStat stat;
+  stat.count = 1;
+  stat.total_seconds = 1.0;
+  stat.self_seconds = 1.0;
+  report.spans.emplace_back("weird\"span\\name", stat);
+  const std::string text = to_prometheus(MetricsSnapshot{}, report);
+  EXPECT_NE(
+      text.find("hotspot_span_seconds{span=\"weird\\\"span\\\\name\"} 1\n"),
+      std::string::npos);
+}
+
+TEST(ExportJson, ManifestSectionLeads) {
+  RunManifest manifest;
+  manifest.git_sha = "abc123";
+  manifest.compiler = "gcc test";
+  manifest.build_type = "Release";
+  manifest.threads = 2;
+  manifest.env.emplace_back("HOTSPOT_NUM_THREADS", "2");
+  const std::string json =
+      to_json(MetricsSnapshot{}, SpanReport{}, manifest);
+  EXPECT_EQ(json.find("{\"manifest\": {\"schema_version\": 1, "
+                      "\"git_sha\": \"abc123\""),
+            0u);
+  EXPECT_NE(json.find("\"HOTSPOT_NUM_THREADS\": \"2\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
 }
 
 TEST(WriteMetricsJson, RoundTripsThroughFile) {
