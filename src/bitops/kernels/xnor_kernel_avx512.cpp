@@ -1,0 +1,192 @@
+// AVX-512 kernel: 512-bit XOR + native per-qword popcount (VPOPCNTDQ).
+// Requires AVX512F + AVX512DQ (vcvtqq2ps for weighted_sum) + VPOPCNTDQ;
+// kernels/dispatch.cpp checks all three before this kernel is ever called.
+// Compiled with -mavx512f -mavx512dq -mavx512vpopcntdq on this file only.
+//
+// Bit-exactness: integer primitives are exact; weighted_sum realizes the
+// canonical 8-lane order of xnor_kernel.h — one 512-bit block is exactly one
+// 8-channel canonical block, converted to 8 floats and accumulated with an
+// explicit mul + add (-ffp-contract=off) into the same 8 lanes.
+#include "bitops/kernels/xnor_kernel.h"
+
+#if defined(HOTSPOT_XNOR_AVX512)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace hotspot::bitops {
+namespace {
+
+inline __m512i load512(const std::uint64_t* p) {
+  return _mm512_loadu_si512(static_cast<const void*>(p));
+}
+
+std::int64_t avx512_xor_popcount(const std::uint64_t* a,
+                                 const std::uint64_t* b, std::int64_t words) {
+  __m512i acc = _mm512_setzero_si512();
+  std::int64_t w = 0;
+  for (; w + 8 <= words; w += 8) {
+    acc = _mm512_add_epi64(
+        acc,
+        _mm512_popcnt_epi64(_mm512_xor_si512(load512(a + w), load512(b + w))));
+  }
+  std::int64_t mismatches = _mm512_reduce_add_epi64(acc);
+  for (; w < words; ++w) {
+    mismatches += std::popcount(a[w] ^ b[w]);
+  }
+  return mismatches;
+}
+
+void avx512_xor_popcount_2x4(const std::uint64_t* a0, const std::uint64_t* a1,
+                             const std::uint64_t* b0, const std::uint64_t* b1,
+                             const std::uint64_t* b2, const std::uint64_t* b3,
+                             std::int64_t words, std::int64_t acc[8]) {
+  __m512i acc00 = _mm512_setzero_si512(), acc01 = _mm512_setzero_si512();
+  __m512i acc02 = _mm512_setzero_si512(), acc03 = _mm512_setzero_si512();
+  __m512i acc10 = _mm512_setzero_si512(), acc11 = _mm512_setzero_si512();
+  __m512i acc12 = _mm512_setzero_si512(), acc13 = _mm512_setzero_si512();
+  std::int64_t w = 0;
+  for (; w + 8 <= words; w += 8) {
+    const __m512i av0 = load512(a0 + w);
+    const __m512i av1 = load512(a1 + w);
+    const __m512i bv0 = load512(b0 + w);
+    const __m512i bv1 = load512(b1 + w);
+    const __m512i bv2 = load512(b2 + w);
+    const __m512i bv3 = load512(b3 + w);
+    acc00 = _mm512_add_epi64(
+        acc00, _mm512_popcnt_epi64(_mm512_xor_si512(av0, bv0)));
+    acc01 = _mm512_add_epi64(
+        acc01, _mm512_popcnt_epi64(_mm512_xor_si512(av0, bv1)));
+    acc02 = _mm512_add_epi64(
+        acc02, _mm512_popcnt_epi64(_mm512_xor_si512(av0, bv2)));
+    acc03 = _mm512_add_epi64(
+        acc03, _mm512_popcnt_epi64(_mm512_xor_si512(av0, bv3)));
+    acc10 = _mm512_add_epi64(
+        acc10, _mm512_popcnt_epi64(_mm512_xor_si512(av1, bv0)));
+    acc11 = _mm512_add_epi64(
+        acc11, _mm512_popcnt_epi64(_mm512_xor_si512(av1, bv1)));
+    acc12 = _mm512_add_epi64(
+        acc12, _mm512_popcnt_epi64(_mm512_xor_si512(av1, bv2)));
+    acc13 = _mm512_add_epi64(
+        acc13, _mm512_popcnt_epi64(_mm512_xor_si512(av1, bv3)));
+  }
+  acc[0] += _mm512_reduce_add_epi64(acc00);
+  acc[1] += _mm512_reduce_add_epi64(acc01);
+  acc[2] += _mm512_reduce_add_epi64(acc02);
+  acc[3] += _mm512_reduce_add_epi64(acc03);
+  acc[4] += _mm512_reduce_add_epi64(acc10);
+  acc[5] += _mm512_reduce_add_epi64(acc11);
+  acc[6] += _mm512_reduce_add_epi64(acc12);
+  acc[7] += _mm512_reduce_add_epi64(acc13);
+  for (; w < words; ++w) {
+    const std::uint64_t aw0 = a0[w];
+    const std::uint64_t aw1 = a1[w];
+    acc[0] += std::popcount(aw0 ^ b0[w]);
+    acc[1] += std::popcount(aw0 ^ b1[w]);
+    acc[2] += std::popcount(aw0 ^ b2[w]);
+    acc[3] += std::popcount(aw0 ^ b3[w]);
+    acc[4] += std::popcount(aw1 ^ b0[w]);
+    acc[5] += std::popcount(aw1 ^ b1[w]);
+    acc[6] += std::popcount(aw1 ^ b2[w]);
+    acc[7] += std::popcount(aw1 ^ b3[w]);
+  }
+}
+
+float avx512_weighted_sum(const std::uint64_t* a, const std::uint64_t* b,
+                          const float* alpha, std::int64_t channels,
+                          float dot_bits) {
+  __m256 lanes = _mm256_setzero_ps();
+  const __m256 bits = _mm256_set1_ps(dot_bits);
+  std::int64_t c = 0;
+  for (; c + 8 <= channels; c += 8) {
+    const __m512i counts = _mm512_popcnt_epi64(
+        _mm512_xor_si512(load512(a + c), load512(b + c)));
+    const __m256 mismatches = _mm512_cvtepi64_ps(counts);
+    const __m256 dot =
+        _mm256_sub_ps(bits, _mm256_add_ps(mismatches, mismatches));
+    lanes = _mm256_add_ps(
+        lanes, _mm256_mul_ps(_mm256_loadu_ps(alpha + c), dot));
+  }
+  alignas(32) float lane_values[8];
+  _mm256_store_ps(lane_values, lanes);
+  for (int lane = 0; c + lane < channels; ++lane) {
+    const auto mismatches =
+        static_cast<float>(std::popcount(a[c + lane] ^ b[c + lane]));
+    lane_values[lane] += alpha[c + lane] * (dot_bits - 2.0f * mismatches);
+  }
+  return ((lane_values[0] + lane_values[1]) +
+          (lane_values[2] + lane_values[3])) +
+         ((lane_values[4] + lane_values[5]) +
+          (lane_values[6] + lane_values[7]));
+}
+
+// Four filters per call: one shared (a XOR-side, alpha) load per 8-channel
+// block feeding four independent lane-accumulator chains. Each chain
+// realizes the same canonical order as avx512_weighted_sum, so out[f] is
+// bit-for-bit what the single-filter form returns.
+void avx512_weighted_sum_x4(const std::uint64_t* a, const std::uint64_t* b0,
+                            const std::uint64_t* b1, const std::uint64_t* b2,
+                            const std::uint64_t* b3, const float* alpha,
+                            std::int64_t channels, float dot_bits,
+                            float out[4]) {
+  __m256 lanes0 = _mm256_setzero_ps(), lanes1 = _mm256_setzero_ps();
+  __m256 lanes2 = _mm256_setzero_ps(), lanes3 = _mm256_setzero_ps();
+  const __m256 bits = _mm256_set1_ps(dot_bits);
+  std::int64_t c = 0;
+  for (; c + 8 <= channels; c += 8) {
+    const __m512i av = load512(a + c);
+    const __m256 alphav = _mm256_loadu_ps(alpha + c);
+    const __m256 mm0 = _mm512_cvtepi64_ps(
+        _mm512_popcnt_epi64(_mm512_xor_si512(av, load512(b0 + c))));
+    const __m256 mm1 = _mm512_cvtepi64_ps(
+        _mm512_popcnt_epi64(_mm512_xor_si512(av, load512(b1 + c))));
+    const __m256 mm2 = _mm512_cvtepi64_ps(
+        _mm512_popcnt_epi64(_mm512_xor_si512(av, load512(b2 + c))));
+    const __m256 mm3 = _mm512_cvtepi64_ps(
+        _mm512_popcnt_epi64(_mm512_xor_si512(av, load512(b3 + c))));
+    lanes0 = _mm256_add_ps(
+        lanes0, _mm256_mul_ps(alphav,
+                              _mm256_sub_ps(bits, _mm256_add_ps(mm0, mm0))));
+    lanes1 = _mm256_add_ps(
+        lanes1, _mm256_mul_ps(alphav,
+                              _mm256_sub_ps(bits, _mm256_add_ps(mm1, mm1))));
+    lanes2 = _mm256_add_ps(
+        lanes2, _mm256_mul_ps(alphav,
+                              _mm256_sub_ps(bits, _mm256_add_ps(mm2, mm2))));
+    lanes3 = _mm256_add_ps(
+        lanes3, _mm256_mul_ps(alphav,
+                              _mm256_sub_ps(bits, _mm256_add_ps(mm3, mm3))));
+  }
+  alignas(32) float lv[4][8];
+  _mm256_store_ps(lv[0], lanes0);
+  _mm256_store_ps(lv[1], lanes1);
+  _mm256_store_ps(lv[2], lanes2);
+  _mm256_store_ps(lv[3], lanes3);
+  const std::uint64_t* const filters[4] = {b0, b1, b2, b3};
+  for (int f = 0; f < 4; ++f) {
+    for (int lane = 0; c + lane < channels; ++lane) {
+      const auto mismatches = static_cast<float>(
+          std::popcount(a[c + lane] ^ filters[f][c + lane]));
+      lv[f][lane] += alpha[c + lane] * (dot_bits - 2.0f * mismatches);
+    }
+    out[f] = ((lv[f][0] + lv[f][1]) + (lv[f][2] + lv[f][3])) +
+             ((lv[f][4] + lv[f][5]) + (lv[f][6] + lv[f][7]));
+  }
+}
+
+}  // namespace
+
+const XnorKernel& xnor_kernel_avx512() {
+  static const XnorKernel kernel{
+      "avx512",          /*simd_bits=*/512,
+      /*word_multiple=*/8, avx512_xor_popcount,
+      avx512_xor_popcount_2x4, avx512_weighted_sum,
+      avx512_weighted_sum_x4,
+  };
+  return kernel;
+}
+
+}  // namespace hotspot::bitops
+
+#endif  // HOTSPOT_XNOR_AVX512

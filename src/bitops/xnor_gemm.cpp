@@ -1,8 +1,10 @@
 #include "bitops/xnor_gemm.h"
 
 #include <algorithm>
-#include <bit>
+#include <cstdint>
+#include <vector>
 
+#include "bitops/kernels/xnor_kernel.h"
 #include "util/parallel.h"
 
 namespace hotspot::bitops {
@@ -10,51 +12,106 @@ namespace {
 
 // Register-blocked tile shape: kRowTile rows of A against kColTile rows of B
 // keeps kRowTile*kColTile popcount accumulators plus the A words live across
-// the shared inner word loop, so each loaded word feeds several XNOR dots
-// instead of one. All accumulation is integer, so the result is exact and
-// independent of how the output is tiled or partitioned across threads.
+// the shared inner word loop (the kernel's xor_popcount_2x4 primitive), so
+// each loaded word feeds several XNOR dots instead of one. All accumulation
+// is integer, so the result is exact and independent of how the output is
+// tiled or partitioned across threads.
 constexpr std::int64_t kRowTile = 2;
 constexpr std::int64_t kColTile = 4;
 
+// Words to iterate per row pair: when both matrices carry the same padding,
+// run over the full padded stride (zero pad words cancel in XOR) so the
+// kernels take their tail-free vector path; otherwise fall back to the
+// logical word count, which every kernel also handles.
+std::int64_t common_words(const BitMatrix& a, const BitMatrix& b) {
+  return a.word_stride() == b.word_stride() ? a.word_stride()
+                                            : a.words_per_row();
+}
+
 // One full-width strip: out[i][0..n) for a single row of A, itself blocked
 // kColTile columns at a time.
-void gemm_row_strip(const BitMatrix& a, const BitMatrix& b, std::int64_t i,
+void gemm_row_strip(const XnorKernel& kern, const BitMatrix& a,
+                    const BitMatrix& b, std::int64_t words, std::int64_t i,
                     float* crow) {
   const std::int64_t n = b.rows();
-  const std::int64_t words = a.words_per_row();
   const std::int64_t bits = a.cols();
   const std::uint64_t* arow = a.row(i);
-  std::int64_t j = 0;
-  for (; j + kColTile <= n; j += kColTile) {
-    const std::uint64_t* b0 = b.row(j);
-    const std::uint64_t* b1 = b.row(j + 1);
-    const std::uint64_t* b2 = b.row(j + 2);
-    const std::uint64_t* b3 = b.row(j + 3);
-    std::int64_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
-    for (std::int64_t w = 0; w < words; ++w) {
-      const std::uint64_t aw = arow[w];
-      acc0 += std::popcount(aw ^ b0[w]);
-      acc1 += std::popcount(aw ^ b1[w]);
-      acc2 += std::popcount(aw ^ b2[w]);
-      acc3 += std::popcount(aw ^ b3[w]);
-    }
-    crow[j] = static_cast<float>(bits - 2 * acc0);
-    crow[j + 1] = static_cast<float>(bits - 2 * acc1);
-    crow[j + 2] = static_cast<float>(bits - 2 * acc2);
-    crow[j + 3] = static_cast<float>(bits - 2 * acc3);
-  }
-  for (; j < n; ++j) {
-    crow[j] = static_cast<float>(xnor_dot(arow, b.row(j), words, bits));
+  for (std::int64_t j = 0; j < n; ++j) {
+    crow[j] = static_cast<float>(
+        bits - 2 * kern.xor_popcount(arow, b.row(j), words));
   }
 }
+
+// Sign bit-planes of a [N,C,H,W] tensor: one bitmap row per (plane, y) where
+// plane = n*C + c and bit x = (input[n,c,y,x] >= 0). Bits at x >= W are zero.
+// Packing reads each input float exactly once here; patch words are then
+// assembled from the bitmaps with shifts instead of kh*kw float loads and
+// per-bit branches per output position.
+class SignBitPlanes {
+ public:
+  explicit SignBitPlanes(const tensor::Tensor& input)
+      : h_(input.dim(2)),
+        w_(input.dim(3)),
+        row_words_((input.dim(3) + 63) >> 6),
+        words_(static_cast<std::size_t>(input.dim(0) * input.dim(1) * h_ *
+                                        row_words_),
+               0) {
+    const std::int64_t planes = input.dim(0) * input.dim(1);
+    util::parallel_for(0, planes, /*grain=*/1, [&](std::int64_t lo,
+                                                   std::int64_t hi) {
+      for (std::int64_t plane = lo; plane < hi; ++plane) {
+        const float* src = input.data() + plane * h_ * w_;
+        std::uint64_t* dst = words_.data() + plane * h_ * row_words_;
+        for (std::int64_t y = 0; y < h_; ++y, src += w_, dst += row_words_) {
+          for (std::int64_t x = 0; x < w_; ++x) {
+            dst[x >> 6] |=
+                std::uint64_t{src[x] >= 0.0f} << (x & 63);
+          }
+        }
+      }
+    });
+  }
+
+  // Bitmap row y of `plane`; caller guarantees 0 <= y < h.
+  const std::uint64_t* row(std::int64_t plane, std::int64_t y) const {
+    return words_.data() + (plane * h_ + y) * row_words_;
+  }
+  std::int64_t row_words() const { return row_words_; }
+
+  // kw bits of bitmap row `bm` starting at column ix0 (bit i = column
+  // ix0 + i); columns outside [0, w) read as zero (padding is -1 -> bit 0).
+  // Requires -64 < ix0 < w (the conv window overlaps the image, pad < 64).
+  std::uint64_t window_bits(const std::uint64_t* bm, std::int64_t ix0,
+                            std::int64_t kw) const {
+    std::uint64_t v;
+    if (ix0 >= 0) {
+      const std::int64_t wi = ix0 >> 6;
+      const int off = static_cast<int>(ix0 & 63);
+      v = bm[wi] >> off;
+      if (off != 0 && wi + 1 < row_words_) {
+        v |= bm[wi + 1] << (64 - off);
+      }
+    } else {
+      v = bm[0] << -ix0;  // low -ix0 bits are left-padding zeros
+    }
+    return kw < 64 ? v & ((std::uint64_t{1} << kw) - 1) : v;
+  }
+
+ private:
+  std::int64_t h_;
+  std::int64_t w_;
+  std::int64_t row_words_;
+  std::vector<std::uint64_t> words_;
+};
 
 }  // namespace
 
 tensor::Tensor xnor_gemm(const BitMatrix& a, const BitMatrix& b) {
   HOTSPOT_CHECK_EQ(a.cols(), b.cols()) << "xnor_gemm inner dimension";
+  const XnorKernel& kern = active_xnor_kernel();
   const std::int64_t m = a.rows();
   const std::int64_t n = b.rows();
-  const std::int64_t words = a.words_per_row();
+  const std::int64_t words = common_words(a, b);
   const std::int64_t bits = a.cols();
   tensor::Tensor out({m, n});
   float* c = out.data();
@@ -68,45 +125,28 @@ tensor::Tensor xnor_gemm(const BitMatrix& a, const BitMatrix& b) {
       float* c1 = c0 + n;
       std::int64_t j = 0;
       for (; j + kColTile <= n; j += kColTile) {
-        const std::uint64_t* b0 = b.row(j);
-        const std::uint64_t* b1 = b.row(j + 1);
-        const std::uint64_t* b2 = b.row(j + 2);
-        const std::uint64_t* b3 = b.row(j + 3);
-        std::int64_t acc00 = 0, acc01 = 0, acc02 = 0, acc03 = 0;
-        std::int64_t acc10 = 0, acc11 = 0, acc12 = 0, acc13 = 0;
-        for (std::int64_t w = 0; w < words; ++w) {
-          const std::uint64_t aw0 = a0[w];
-          const std::uint64_t aw1 = a1[w];
-          const std::uint64_t bw0 = b0[w];
-          const std::uint64_t bw1 = b1[w];
-          const std::uint64_t bw2 = b2[w];
-          const std::uint64_t bw3 = b3[w];
-          acc00 += std::popcount(aw0 ^ bw0);
-          acc01 += std::popcount(aw0 ^ bw1);
-          acc02 += std::popcount(aw0 ^ bw2);
-          acc03 += std::popcount(aw0 ^ bw3);
-          acc10 += std::popcount(aw1 ^ bw0);
-          acc11 += std::popcount(aw1 ^ bw1);
-          acc12 += std::popcount(aw1 ^ bw2);
-          acc13 += std::popcount(aw1 ^ bw3);
-        }
-        c0[j] = static_cast<float>(bits - 2 * acc00);
-        c0[j + 1] = static_cast<float>(bits - 2 * acc01);
-        c0[j + 2] = static_cast<float>(bits - 2 * acc02);
-        c0[j + 3] = static_cast<float>(bits - 2 * acc03);
-        c1[j] = static_cast<float>(bits - 2 * acc10);
-        c1[j + 1] = static_cast<float>(bits - 2 * acc11);
-        c1[j + 2] = static_cast<float>(bits - 2 * acc12);
-        c1[j + 3] = static_cast<float>(bits - 2 * acc13);
+        std::int64_t acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+        kern.xor_popcount_2x4(a0, a1, b.row(j), b.row(j + 1), b.row(j + 2),
+                              b.row(j + 3), words, acc);
+        c0[j] = static_cast<float>(bits - 2 * acc[0]);
+        c0[j + 1] = static_cast<float>(bits - 2 * acc[1]);
+        c0[j + 2] = static_cast<float>(bits - 2 * acc[2]);
+        c0[j + 3] = static_cast<float>(bits - 2 * acc[3]);
+        c1[j] = static_cast<float>(bits - 2 * acc[4]);
+        c1[j + 1] = static_cast<float>(bits - 2 * acc[5]);
+        c1[j + 2] = static_cast<float>(bits - 2 * acc[6]);
+        c1[j + 3] = static_cast<float>(bits - 2 * acc[7]);
       }
       for (; j < n; ++j) {
         const std::uint64_t* brow = b.row(j);
-        c0[j] = static_cast<float>(xnor_dot(a0, brow, words, bits));
-        c1[j] = static_cast<float>(xnor_dot(a1, brow, words, bits));
+        c0[j] = static_cast<float>(
+            bits - 2 * kern.xor_popcount(a0, brow, words));
+        c1[j] = static_cast<float>(
+            bits - 2 * kern.xor_popcount(a1, brow, words));
       }
     }
     for (; i < i_hi; ++i) {
-      gemm_row_strip(a, b, i, c + i * n);
+      gemm_row_strip(kern, a, b, words, i, c + i * n);
     }
   });
   return out;
@@ -129,7 +169,10 @@ BitMatrix pack_patches(const tensor::Tensor& input,
       tensor::conv_out_extent(w, spec.kernel_w, spec.stride, spec.pad);
   const std::int64_t patch = cin * spec.kernel_h * spec.kernel_w;
   const std::int64_t positions = out_h * out_w;
+  const std::int64_t kw = spec.kernel_w;
+  HOTSPOT_CHECK_LT(spec.pad, 64) << "bit-plane packing window shift";
   BitMatrix packed(n * positions, patch);
+  const SignBitPlanes planes(input);
   util::parallel_for(0, n * positions, /*grain=*/32, [&](std::int64_t lo,
                                                          std::int64_t hi) {
     for (std::int64_t row_index = lo; row_index < hi; ++row_index) {
@@ -143,21 +186,23 @@ BitMatrix pack_patches(const tensor::Tensor& input,
       std::int64_t bit = 0;
       std::uint64_t word = 0;  // register accumulator, flushed per word
       for (std::int64_t ci = 0; ci < cin; ++ci) {
-        const float* plane = input.data() + (ni * cin + ci) * h * w;
+        const std::int64_t plane = ni * cin + ci;
         for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
           const std::int64_t iy = iy0 + ky;
-          const bool row_inside = iy >= 0 && iy < h;
-          const float* line = plane + iy * w;
-          for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx, ++bit) {
-            const std::int64_t ix = ix0 + kx;
-            if (row_inside && ix >= 0 && ix < w && line[ix] >= 0.0f) {
-              word |= std::uint64_t{1} << (bit & 63);
-            }
-            if ((bit & 63) == 63) {
-              words[bit >> 6] = word;
-              word = 0;
-            }
+          // Row outside the image: kw zero bits (padding is -1 -> bit 0).
+          const std::uint64_t group =
+              (iy >= 0 && iy < h)
+                  ? planes.window_bits(planes.row(plane, iy), ix0, kw)
+                  : 0;
+          // Append the kw-bit group at `bit`, spilling across the word
+          // boundary when it straddles one.
+          const int shift = static_cast<int>(bit & 63);
+          word |= group << shift;
+          if (shift + kw >= 64) {
+            words[bit >> 6] = word;
+            word = shift == 0 ? 0 : group >> (64 - shift);
           }
+          bit += kw;
         }
       }
       if ((bit & 63) != 0) {
@@ -189,8 +234,11 @@ BitMatrix pack_patches_channel_blocked(const tensor::Tensor& input,
   const std::int64_t out_w =
       tensor::conv_out_extent(w, spec.kernel_w, spec.stride, spec.pad);
   const std::int64_t positions = out_h * out_w;
+  const std::int64_t kw = spec.kernel_w;
+  HOTSPOT_CHECK_LT(spec.pad, 64) << "bit-plane packing window shift";
   // One 64-bit word per channel: cols = cin * 64 keeps words_per_row = cin.
   BitMatrix packed(n * positions, cin * 64);
+  const SignBitPlanes planes(input);
   util::parallel_for(0, n * positions, /*grain=*/32, [&](std::int64_t lo,
                                                          std::int64_t hi) {
     for (std::int64_t row_index = lo; row_index < hi; ++row_index) {
@@ -202,19 +250,15 @@ BitMatrix pack_patches_channel_blocked(const tensor::Tensor& input,
       const std::int64_t iy0 = oy * spec.stride - spec.pad;
       const std::int64_t ix0 = ox * spec.stride - spec.pad;
       for (std::int64_t ci = 0; ci < cin; ++ci) {
-        const float* plane = input.data() + (ni * cin + ci) * h * w;
+        const std::int64_t plane = ni * cin + ci;
         std::uint64_t word = 0;
-        std::int64_t bit = 0;
         for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
           const std::int64_t iy = iy0 + ky;
-          const bool row_inside = iy >= 0 && iy < h;
-          const float* line = plane + iy * w;
-          for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx, ++bit) {
-            const std::int64_t ix = ix0 + kx;
-            // Padding is -1 (bit 0); inside bits follow sign(value).
-            if (row_inside && ix >= 0 && ix < w && line[ix] >= 0.0f) {
-              word |= std::uint64_t{1} << bit;
-            }
+          // Rows outside the image stay zero (padding is -1 -> bit 0);
+          // kh*kw <= 64 so the groups never straddle the channel word.
+          if (iy >= 0 && iy < h) {
+            word |= planes.window_bits(planes.row(plane, iy), ix0, kw)
+                    << (ky * kw);
           }
         }
         words[ci] = word;

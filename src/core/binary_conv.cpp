@@ -220,35 +220,58 @@ Tensor BinaryConv2d::backward(const Tensor& grad_output) {
   return grad_input;
 }
 
-void BinaryConv2d::refresh_packed_cache() {
+const BinaryConv2d::PackedCache& BinaryConv2d::refresh_packed_cache() {
   // Resolved once: the registry lookup takes a lock, the increments do not.
   static obs::Counter& cache_hits =
       obs::MetricsRegistry::global().counter("binary_conv.pack_cache.hit");
   static obs::Counter& cache_misses =
       obs::MetricsRegistry::global().counter("binary_conv.pack_cache.miss");
-  if (packed_weight_version_ == weight_.version) {
+  const bitops::XnorKernel& kern = bitops::active_xnor_kernel();
+  // Hot path: one acquire load, no lock shared between concurrent forwards.
+  const PackedCache* cache = packed_cache_.load(std::memory_order_acquire);
+  if (cache != nullptr && cache->weight_version == weight_.version &&
+      cache->kernel == &kern) {
     cache_hits.increment();
-    return;
+    return *cache;
+  }
+  const std::lock_guard<std::mutex> lock(packed_cache_mutex_);
+  // Double-check: another forward may have built the snapshot while this
+  // one waited on the mutex.
+  cache = packed_cache_.load(std::memory_order_acquire);
+  if (cache != nullptr && cache->weight_version == weight_.version &&
+      cache->kernel == &kern) {
+    cache_hits.increment();
+    return *cache;
   }
   cache_misses.increment();
   HOTSPOT_TRACE_SPAN("binary_conv.pack_filters");
-  packed_alpha_w_ = bitops::weight_scales(weight_.value);
-  packed_filters_ =
+  auto fresh = std::make_unique<PackedCache>();
+  fresh->weight_version = weight_.version;
+  fresh->kernel = &kern;
+  fresh->alpha_w = bitops::weight_scales(weight_.value);
+  fresh->filters =
       scaling_ == bitops::InputScaling::kPerChannel
           ? bitops::pack_filters_channel_blocked(weight_.value)
           : bitops::pack_filters(weight_.value);
-  packed_weight_version_ = weight_.version;
+  const PackedCache* published = fresh.get();
+  packed_cache_storage_.push_back(std::move(fresh));
+  packed_cache_.store(published, std::memory_order_release);
+  return *published;
 }
 
 Tensor BinaryConv2d::forward_packed(const Tensor& input) {
-  refresh_packed_cache();
+  const PackedCache& cache = refresh_packed_cache();
+  const bitops::XnorKernel& kern = *cache.kernel;
+  // Per-kernel span name ("binary_conv.gemm.avx2", ...): trace timelines
+  // and span reports say which kernel ran the XNOR inner loops.
+  const std::string gemm_span = std::string("binary_conv.gemm.") + kern.name;
   const std::int64_t n = input.dim(0);
   const std::int64_t out_h = tensor::conv_out_extent(
       input.dim(2), spec_.kernel_h, spec_.stride, spec_.pad);
   const std::int64_t out_w = tensor::conv_out_extent(
       input.dim(3), spec_.kernel_w, spec_.stride, spec_.pad);
   const std::int64_t positions = out_h * out_w;
-  const Tensor& alpha_w = packed_alpha_w_;
+  const Tensor& alpha_w = cache.alpha_w;
   Tensor output({n, out_channels_, out_h, out_w});
 
   if (scaling_ == bitops::InputScaling::kPerChannel) {
@@ -261,12 +284,21 @@ Tensor BinaryConv2d::forward_packed(const Tensor& input) {
       patches = bitops::pack_patches_channel_blocked(input, spec_);
       alpha_t = bitops::input_scales_per_channel(input, spec_);
     }
-    HOTSPOT_TRACE_SPAN("binary_conv.gemm");
-    const std::int64_t kk = spec_.kernel_h * spec_.kernel_w;
+    HOTSPOT_TRACE_SPAN(gemm_span);
+    // Run over the padded stride when patches and filters agree (the pad
+    // words are zero bits with zero alpha, contributing exactly +0.0f), so
+    // the kernel's weighted_sum takes its tail-free vector path.
+    const std::int64_t words =
+        patches.word_stride() == cache.filters.word_stride()
+            ? patches.word_stride()
+            : patches.words_per_row();
+    const auto kkf =
+        static_cast<float>(spec_.kernel_h * spec_.kernel_w);
     util::parallel_for(0, n * positions, /*grain=*/32, [&](std::int64_t lo,
                                                            std::int64_t hi) {
       // Per-chunk scratch for the gathered scales; chunks never share it.
-      std::vector<float> alpha_row(static_cast<std::size_t>(in_channels_));
+      // Sized to `words` with the padding entries pinned at zero.
+      std::vector<float> alpha_row(static_cast<std::size_t>(words), 0.0f);
       for (std::int64_t row = lo; row < hi; ++row) {
         const std::int64_t ni = row / positions;
         const std::int64_t p = row % positions;
@@ -279,14 +311,26 @@ Tensor BinaryConv2d::forward_packed(const Tensor& input) {
           alpha_row[static_cast<std::size_t>(ci)] = asrc[ci * positions];
         }
         float* out_base = output.data() + (ni * out_channels_) * positions + p;
-        for (std::int64_t co = 0; co < out_channels_; ++co) {
-          const std::uint64_t* frow = packed_filters_.row(co);
-          float acc = 0.0f;
-          for (std::int64_t ci = 0; ci < in_channels_; ++ci) {
-            const auto dot = static_cast<float>(
-                kk - 2 * std::popcount(prow[ci] ^ frow[ci]));
-            acc += alpha_row[static_cast<std::size_t>(ci)] * dot;
-          }
+        // Four filters per kernel call: the patch row and gathered scales
+        // are loaded once per channel block and feed four independent
+        // accumulator chains (weighted_sum_x4 is bit-identical to four
+        // weighted_sum calls by contract).
+        std::int64_t co = 0;
+        for (; co + 4 <= out_channels_; co += 4) {
+          float quad[4];
+          kern.weighted_sum_x4(prow, cache.filters.row(co),
+                               cache.filters.row(co + 1),
+                               cache.filters.row(co + 2),
+                               cache.filters.row(co + 3), alpha_row.data(),
+                               words, kkf, quad);
+          out_base[co * positions] = quad[0] * alpha_w[co];
+          out_base[(co + 1) * positions] = quad[1] * alpha_w[co + 1];
+          out_base[(co + 2) * positions] = quad[2] * alpha_w[co + 2];
+          out_base[(co + 3) * positions] = quad[3] * alpha_w[co + 3];
+        }
+        for (; co < out_channels_; ++co) {
+          const float acc = kern.weighted_sum(
+              prow, cache.filters.row(co), alpha_row.data(), words, kkf);
           out_base[co * positions] = acc * alpha_w[co];
         }
       }
@@ -303,8 +347,8 @@ Tensor BinaryConv2d::forward_packed(const Tensor& input) {
   }
   Tensor counts;
   {
-    HOTSPOT_TRACE_SPAN("binary_conv.gemm");
-    counts = bitops::xnor_gemm(patches, packed_filters_);
+    HOTSPOT_TRACE_SPAN(gemm_span);
+    counts = bitops::xnor_gemm(patches, cache.filters);
   }
   HOTSPOT_TRACE_SPAN("binary_conv.unpack");
   const bool scalar = scaling_ == bitops::InputScaling::kScalar;

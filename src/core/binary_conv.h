@@ -22,7 +22,11 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
 
+#include "bitops/kernels/xnor_kernel.h"
 #include "bitops/scaling.h"
 #include "bitops/xnor_gemm.h"
 #include "nn/module.h"
@@ -52,7 +56,9 @@ class BinaryConv2d : public nn::Module {
   // automatically through the weight Parameter's version counter; this is
   // only needed by code that mutates the weight tensor directly without
   // bumping it (e.g. checkpoint loading).
-  void invalidate_packed_cache() { packed_weight_version_ = kNoPackedCache; }
+  void invalidate_packed_cache() {
+    packed_cache_.store(nullptr, std::memory_order_release);
+  }
   void set_training(bool training) override {
     nn::Module::set_training(training);
     invalidate_packed_cache();
@@ -80,10 +86,26 @@ class BinaryConv2d : public nn::Module {
   }
 
  private:
+  // Immutable snapshot of the packed filters, keyed on the weight version
+  // and the XNOR kernel they were packed for. Published via an atomic
+  // pointer (double-checked versioned publish): concurrent forward() calls
+  // take one acquire load on the hot path and never contend on a lock;
+  // the mutex is taken only to build a missing snapshot. Superseded
+  // snapshots are retired, not freed, so a reader that loaded the old
+  // pointer stays valid for the layer's lifetime (bounded by the number of
+  // weight updates seen by packed inference, which is ~zero in practice —
+  // training runs float-sim).
+  struct PackedCache {
+    std::uint64_t weight_version = 0;
+    const bitops::XnorKernel* kernel = nullptr;
+    bitops::BitMatrix filters;
+    Tensor alpha_w;
+  };
+
   Tensor forward_dispatch(const Tensor& input);
   Tensor forward_float_sim(const Tensor& input);
   Tensor forward_packed(const Tensor& input);
-  void refresh_packed_cache();
+  const PackedCache& refresh_packed_cache();
 
   std::int64_t in_channels_;
   std::int64_t out_channels_;
@@ -101,13 +123,13 @@ class BinaryConv2d : public nn::Module {
   Tensor cached_weight_tilde_;  // [Cout, n] rows of alpha_W * sign(W)
   Tensor cached_alpha_w_;     // [Cout]
 
-  // Packed-inference weight cache, keyed on the weight Parameter's version:
-  // filters are re-packed only after the weights actually change (optimizer
-  // step or explicit invalidation), not on every forward call.
-  static constexpr std::uint64_t kNoPackedCache = ~std::uint64_t{0};
-  std::uint64_t packed_weight_version_ = kNoPackedCache;
-  bitops::BitMatrix packed_filters_;
-  Tensor packed_alpha_w_;
+  // Packed-inference weight cache: filters are re-packed only after the
+  // weights actually change (optimizer step or explicit invalidation) or
+  // the active XNOR kernel changes (different row padding), not on every
+  // forward call. See PackedCache for the publication protocol.
+  std::atomic<const PackedCache*> packed_cache_{nullptr};
+  std::mutex packed_cache_mutex_;
+  std::vector<std::unique_ptr<const PackedCache>> packed_cache_storage_;
 };
 
 }  // namespace hotspot::core

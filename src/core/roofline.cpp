@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "bitops/kernels/xnor_kernel.h"
 #include "core/cost_model.h"
 #include "util/check.h"
 #include "util/table.h"
@@ -73,6 +74,7 @@ RooflineReport build_roofline(const BrnnModel& model,
   HOTSPOT_CHECK_EQ(flags.size(), convs.size());
 
   RooflineReport report;
+  report.kernel = bitops::active_xnor_kernel().name;
   report.layers.reserve(convs.size() + 1);
   for (std::size_t i = 0; i < convs.size(); ++i) {
     const BinaryConv2d* conv = convs[i];
@@ -153,7 +155,7 @@ std::string to_table(const RooflineReport& report) {
                  format_fixed(report.total_seconds * 1e3, 3),
                  format_double(total_bitops), format_double(total_float_ops),
                  format_fixed(total_gops, 2), "100.0"});
-  return table.to_string();
+  return "xnor kernel: " + report.kernel + "\n" + table.to_string();
 }
 
 std::string to_json(const RooflineReport& report) {
@@ -173,7 +175,8 @@ std::string to_json(const RooflineReport& report) {
         << "}";
   }
   out << "], \"total_seconds\": " << format_double(report.total_seconds)
-      << ", \"samples\": " << report.samples << "}";
+      << ", \"samples\": " << report.samples << ", \"kernel\": \""
+      << report.kernel << "\"}";
   return out.str();
 }
 

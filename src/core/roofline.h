@@ -44,6 +44,9 @@ struct RooflineReport {
   std::vector<RooflineLayer> layers;  // model order: convs, then head fc
   double total_seconds = 0.0;         // sum of per-layer seconds
   std::uint64_t samples = 0;          // samples seen by the stem conv
+  // Active XNOR kernel when the report was built ("scalar"/"avx2"/...):
+  // achieved Gops/s is only comparable between reports with equal kernels.
+  std::string kernel;
 
   const RooflineLayer* find(const std::string& label) const;
   // Layers on the paper's main path (stem + block convs + fc); with the

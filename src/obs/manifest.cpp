@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "util/parallel.h"
 
@@ -41,7 +44,22 @@ std::string json_escape(const std::string& text) {
   return escaped;
 }
 
+std::mutex& notes_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, std::string>& notes_store() {
+  static std::map<std::string, std::string> notes;
+  return notes;
+}
+
 }  // namespace
+
+void set_manifest_note(const std::string& key, const std::string& value) {
+  const std::lock_guard<std::mutex> lock(notes_mutex());
+  notes_store()[key] = value;
+}
 
 RunManifest collect_manifest(const std::string& timestamp) {
   RunManifest manifest;
@@ -49,7 +67,13 @@ RunManifest collect_manifest(const std::string& timestamp) {
   manifest.compiler = compiler_string();
   manifest.build_type = HOTSPOT_BUILD_TYPE;
   manifest.threads = util::parallel_threads();
+  manifest.hardware_concurrency =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   manifest.timestamp = timestamp;
+  {
+    const std::lock_guard<std::mutex> lock(notes_mutex());
+    manifest.notes.assign(notes_store().begin(), notes_store().end());
+  }
   for (char** entry = environ; entry != nullptr && *entry != nullptr;
        ++entry) {
     const char* text = *entry;
@@ -73,10 +97,17 @@ std::string manifest_json(const RunManifest& manifest) {
       << ", \"git_sha\": \"" << json_escape(manifest.git_sha)
       << "\", \"compiler\": \"" << json_escape(manifest.compiler)
       << "\", \"build_type\": \"" << json_escape(manifest.build_type)
-      << "\", \"threads\": " << manifest.threads << ", \"env\": {";
+      << "\", \"threads\": " << manifest.threads
+      << ", \"hardware_concurrency\": " << manifest.hardware_concurrency
+      << ", \"env\": {";
   for (std::size_t i = 0; i < manifest.env.size(); ++i) {
     out << (i > 0 ? ", " : "") << "\"" << json_escape(manifest.env[i].first)
         << "\": \"" << json_escape(manifest.env[i].second) << "\"";
+  }
+  out << "}, \"notes\": {";
+  for (std::size_t i = 0; i < manifest.notes.size(); ++i) {
+    out << (i > 0 ? ", " : "") << "\"" << json_escape(manifest.notes[i].first)
+        << "\": \"" << json_escape(manifest.notes[i].second) << "\"";
   }
   out << "}";
   if (!manifest.timestamp.empty()) {

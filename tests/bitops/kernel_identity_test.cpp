@@ -1,0 +1,254 @@
+// Bit-identity sweep for the XNOR kernel family (kernels/xnor_kernel.h):
+// every kernel compiled into this binary must return exactly what the
+// scalar reference returns — integer primitives by construction, and
+// weighted_sum bit-for-bit because every kernel implements the canonical
+// 8-lane accumulation order. Kernels the running CPU cannot execute are
+// skipped at runtime (the suite still passes on a non-AVX host).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bitops/bit_matrix.h"
+#include "bitops/kernels/xnor_kernel.h"
+#include "bitops/xnor_gemm.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace hotspot::bitops {
+namespace {
+
+using tensor::Tensor;
+
+std::vector<const XnorKernel*> runnable_simd_kernels() {
+  std::vector<const XnorKernel*> kernels;
+  for (const XnorKernel* kernel : compiled_xnor_kernels()) {
+    if (std::string(kernel->name) != "scalar" &&
+        xnor_kernel_cpu_supported(*kernel)) {
+      kernels.push_back(kernel);
+    }
+  }
+  return kernels;
+}
+
+// Random words with the top `tail_zero_bits` bits of the last word cleared,
+// mimicking a packed row whose column count is not a word multiple.
+std::vector<std::uint64_t> random_words(util::Rng& rng, std::int64_t count,
+                                        int tail_zero_bits) {
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(count));
+  for (auto& word : words) {
+    word = rng.next_u64();
+  }
+  if (count > 0 && tail_zero_bits > 0) {
+    words.back() &= ~std::uint64_t{0} >> tail_zero_bits;
+  }
+  return words;
+}
+
+// Restores the process-wide active kernel on scope exit; tests that call
+// set_active_xnor_kernel must not leak their choice into other tests.
+class ActiveKernelGuard {
+ public:
+  ActiveKernelGuard() : previous_(&active_xnor_kernel()) {}
+  ~ActiveKernelGuard() { set_active_xnor_kernel(*previous_); }
+
+ private:
+  const XnorKernel* previous_;
+};
+
+TEST(KernelIdentity, XorPopcountMatchesScalarAcrossTailCounts) {
+  const XnorKernel& scalar = xnor_kernel_scalar();
+  util::Rng rng(71);
+  for (const XnorKernel* kernel : runnable_simd_kernels()) {
+    // Word counts sweep 0..3*word_multiple+7 so every vector-block/tail
+    // split (tail 0-7 words) is exercised for every kernel.
+    for (std::int64_t words = 0;
+         words <= 3 * kernel->word_multiple + 7; ++words) {
+      for (int rep = 0; rep < 8; ++rep) {
+        const auto a = random_words(rng, words, rep % 5);
+        const auto b = random_words(rng, words, rep % 5);
+        EXPECT_EQ(kernel->xor_popcount(a.data(), b.data(), words),
+                  scalar.xor_popcount(a.data(), b.data(), words))
+            << kernel->name << " words=" << words;
+      }
+    }
+  }
+}
+
+TEST(KernelIdentity, XorPopcount2x4MatchesScalar) {
+  const XnorKernel& scalar = xnor_kernel_scalar();
+  util::Rng rng(72);
+  for (const XnorKernel* kernel : runnable_simd_kernels()) {
+    for (std::int64_t words = 0;
+         words <= 2 * kernel->word_multiple + 7; ++words) {
+      const auto a0 = random_words(rng, words, 3);
+      const auto a1 = random_words(rng, words, 3);
+      const auto b0 = random_words(rng, words, 3);
+      const auto b1 = random_words(rng, words, 3);
+      const auto b2 = random_words(rng, words, 3);
+      const auto b3 = random_words(rng, words, 3);
+      // Non-zero seeds verify the += contract (accumulate, not overwrite).
+      std::int64_t got[8] = {5, 5, 5, 5, 5, 5, 5, 5};
+      std::int64_t want[8] = {5, 5, 5, 5, 5, 5, 5, 5};
+      kernel->xor_popcount_2x4(a0.data(), a1.data(), b0.data(), b1.data(),
+                               b2.data(), b3.data(), words, got);
+      scalar.xor_popcount_2x4(a0.data(), a1.data(), b0.data(), b1.data(),
+                              b2.data(), b3.data(), words, want);
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(got[i], want[i])
+            << kernel->name << " words=" << words << " acc=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelIdentity, WeightedSumBitIdenticalToScalar) {
+  const XnorKernel& scalar = xnor_kernel_scalar();
+  util::Rng rng(73);
+  for (const XnorKernel* kernel : runnable_simd_kernels()) {
+    for (std::int64_t channels = 0; channels <= 37; ++channels) {
+      for (int rep = 0; rep < 8; ++rep) {
+        const auto a = random_words(rng, channels, 0);
+        const auto b = random_words(rng, channels, 0);
+        std::vector<float> alpha(static_cast<std::size_t>(channels));
+        for (auto& value : alpha) {
+          value = static_cast<float>(rng.uniform(0.0, 2.0));
+        }
+        const float dot_bits = 9.0f;  // paper-config 3x3 patch
+        const float got = kernel->weighted_sum(a.data(), b.data(),
+                                               alpha.data(), channels,
+                                               dot_bits);
+        const float want = scalar.weighted_sum(a.data(), b.data(),
+                                               alpha.data(), channels,
+                                               dot_bits);
+        // Bit-identical, not merely close: the canonical order pins the
+        // exact float result.
+        EXPECT_EQ(got, want) << kernel->name << " channels=" << channels;
+      }
+    }
+  }
+}
+
+TEST(KernelIdentity, WeightedSumX4MatchesFourSingleCalls) {
+  util::Rng rng(76);
+  // Contract: out[f] == weighted_sum(a, b_f, ...) bit-for-bit, for every
+  // kernel including scalar, across tail channel counts.
+  for (const XnorKernel* kernel : compiled_xnor_kernels()) {
+    if (!xnor_kernel_cpu_supported(*kernel)) {
+      continue;
+    }
+    for (std::int64_t channels = 0; channels <= 37; ++channels) {
+      const auto a = random_words(rng, channels, 0);
+      const auto b0 = random_words(rng, channels, 0);
+      const auto b1 = random_words(rng, channels, 0);
+      const auto b2 = random_words(rng, channels, 0);
+      const auto b3 = random_words(rng, channels, 0);
+      std::vector<float> alpha(static_cast<std::size_t>(channels));
+      for (auto& value : alpha) {
+        value = static_cast<float>(rng.uniform(0.0, 2.0));
+      }
+      float got[4] = {-1.0f, -1.0f, -1.0f, -1.0f};
+      kernel->weighted_sum_x4(a.data(), b0.data(), b1.data(), b2.data(),
+                              b3.data(), alpha.data(), channels, 9.0f, got);
+      const std::uint64_t* const filters[4] = {b0.data(), b1.data(),
+                                               b2.data(), b3.data()};
+      for (int f = 0; f < 4; ++f) {
+        const float want = kernel->weighted_sum(a.data(), filters[f],
+                                                alpha.data(), channels, 9.0f);
+        EXPECT_EQ(got[f], want)
+            << kernel->name << " channels=" << channels << " filter=" << f;
+      }
+    }
+  }
+}
+
+TEST(KernelIdentity, WeightedSumZeroAlphaPaddingIsExactNoop) {
+  util::Rng rng(74);
+  for (const XnorKernel* kernel : compiled_xnor_kernels()) {
+    if (!xnor_kernel_cpu_supported(*kernel)) {
+      continue;
+    }
+    const std::int64_t channels = 11;
+    const std::int64_t padded = 16;
+    auto a = random_words(rng, padded, 0);
+    auto b = random_words(rng, padded, 0);
+    std::vector<float> alpha(static_cast<std::size_t>(padded), 0.0f);
+    for (std::int64_t c = 0; c < channels; ++c) {
+      alpha[static_cast<std::size_t>(c)] =
+          static_cast<float>(rng.uniform(0.1, 1.5));
+    }
+    // Padding channels: zero words AND zero alpha, as BitMatrix + the
+    // binary-conv path produce them.
+    for (std::int64_t c = channels; c < padded; ++c) {
+      a[static_cast<std::size_t>(c)] = 0;
+      b[static_cast<std::size_t>(c)] = 0;
+    }
+    const float unpadded = kernel->weighted_sum(a.data(), b.data(),
+                                                alpha.data(), channels, 9.0f);
+    const float with_padding = kernel->weighted_sum(
+        a.data(), b.data(), alpha.data(), padded, 9.0f);
+    EXPECT_EQ(unpadded, with_padding) << kernel->name;
+  }
+}
+
+TEST(KernelIdentity, GemmMatchesScalarOnOddShapes) {
+  ActiveKernelGuard guard;
+  util::Rng rng(75);
+  // Odd rows/cols: every tail path (row remainder of the 2-row tile, column
+  // remainder of the 4-column tile, word tail of the packed row) is hit.
+  const struct {
+    std::int64_t m, n, k;
+  } shapes[] = {{1, 1, 1},   {3, 5, 63},  {7, 9, 64},   {5, 3, 65},
+                {17, 13, 127}, {2, 4, 576}, {11, 21, 200}};
+  for (const auto& shape : shapes) {
+    Tensor a({shape.m, shape.k});
+    Tensor b({shape.n, shape.k});
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      a[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+    }
+    for (std::int64_t i = 0; i < b.numel(); ++i) {
+      b[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+    }
+    set_active_xnor_kernel(xnor_kernel_scalar());
+    const BitMatrix pa_scalar = BitMatrix::pack_rows(a);
+    const BitMatrix pb_scalar = BitMatrix::pack_rows(b);
+    const Tensor want = xnor_gemm(pa_scalar, pb_scalar);
+    for (const XnorKernel* kernel : runnable_simd_kernels()) {
+      set_active_xnor_kernel(*kernel);
+      // Pack under the kernel (padded rows)...
+      const BitMatrix pa = BitMatrix::pack_rows(a);
+      const BitMatrix pb = BitMatrix::pack_rows(b);
+      const Tensor got = xnor_gemm(pa, pb);
+      ASSERT_EQ(got.numel(), want.numel());
+      for (std::int64_t i = 0; i < got.numel(); ++i) {
+        ASSERT_EQ(got[i], want[i])
+            << kernel->name << " m=" << shape.m << " n=" << shape.n
+            << " k=" << shape.k << " flat=" << i;
+      }
+      // ...and on the scalar-padded (unpadded) matrices: kernels accept any
+      // word count, so padded and unpadded packing must agree.
+      const Tensor got_unpadded = xnor_gemm(pa_scalar, pb_scalar);
+      for (std::int64_t i = 0; i < got_unpadded.numel(); ++i) {
+        ASSERT_EQ(got_unpadded[i], want[i])
+            << kernel->name << " (unpadded) m=" << shape.m << " n=" << shape.n
+            << " k=" << shape.k << " flat=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelIdentity, PaddedMatrixKeepsLogicalGeometry) {
+  for (const XnorKernel* kernel : compiled_xnor_kernels()) {
+    const BitMatrix padded(3, 130, kernel->word_multiple);
+    EXPECT_EQ(padded.words_per_row(), 3) << kernel->name;
+    EXPECT_EQ(padded.word_stride() % kernel->word_multiple, 0)
+        << kernel->name;
+    EXPECT_GE(padded.word_stride(), padded.words_per_row()) << kernel->name;
+    // Fig.-1 model size counts logical words only.
+    EXPECT_EQ(padded.storage_bytes(), 3 * 3 * 8) << kernel->name;
+  }
+}
+
+}  // namespace
+}  // namespace hotspot::bitops
