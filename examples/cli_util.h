@@ -1,0 +1,69 @@
+// Shared command-line conventions for the example binaries.
+//
+// Every example exits with the same typed codes — kExitOk (0) on success,
+// kExitRuntime (1) when the run itself fails (I/O, corrupt checkpoint,
+// quarantined scan windows), kExitUsage (2) on a bad invocation — and a
+// usage error always names the offending value on stderr instead of
+// silently substituting a default. Scripts and CI legs branch on the code;
+// humans read the message.
+#pragma once
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hotspot::examples {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitRuntime = 1;
+inline constexpr int kExitUsage = 2;
+
+// Strict integer parse; false on garbage, trailing junk, overflow, or
+// values outside [min, max].
+inline bool parse_long(const char* text, long min, long max, long* out) {
+  if (text == nullptr || *text == '\0') {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || parsed < min ||
+      parsed > max) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+// Strict positive-integer parse into [1, max].
+inline bool parse_positive(const char* text, long max, long* out) {
+  return parse_long(text, 1, max, out);
+}
+
+// Strict positive-double parse; false on garbage, trailing junk, overflow,
+// NaN, or values <= 0.
+inline bool parse_positive_double(const char* text, double* out) {
+  if (text == nullptr || *text == '\0') {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(parsed) || parsed <= 0.0) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+// Prints "error: <what>, got '<got>'" and returns kExitUsage so callers can
+// `return usage_error(...)` in one line.
+inline int usage_error(const char* what, const char* got) {
+  std::fprintf(stderr, "error: %s, got '%s'\n", what,
+               got != nullptr ? got : "<missing>");
+  return kExitUsage;
+}
+
+}  // namespace hotspot::examples

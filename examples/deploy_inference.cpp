@@ -17,6 +17,7 @@
 #include <ctime>
 #include <string>
 
+#include "cli_util.h"
 #include "core/brnn.h"
 #include "core/roofline.h"
 #include "dataset/generator.h"
@@ -41,6 +42,7 @@ std::string iso_timestamp() {
 
 int main(int argc, char** argv) {
   using namespace hotspot;
+  using namespace hotspot::examples;
   std::string model_path = "quickstart_model.bin";
   std::string metrics_out;
   std::string trace_out;
@@ -48,16 +50,18 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--metrics-out") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --metrics-out requires a path\n");
-        return 2;
+        return usage_error("--metrics-out requires a path", nullptr);
       }
       metrics_out = argv[++i];
     } else if (arg == "--trace-out") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --trace-out requires a path\n");
-        return 2;
+        return usage_error("--trace-out requires a path", nullptr);
       }
       trace_out = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      // A mistyped flag used to be taken as the model path and surface as a
+      // confusing "cannot load checkpoint" error.
+      return usage_error("unknown flag", arg.c_str());
     } else {
       model_path = arg;
     }
@@ -87,7 +91,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "Run ./quickstart first to train and save %s.\n",
                    model_path.c_str());
     }
-    return 1;
+    return kExitRuntime;
   }
   model.set_training(false);
   model.set_backend(core::Backend::kPacked);
@@ -171,7 +175,7 @@ int main(int argc, char** argv) {
                                  packed_spans, &manifest)) {
       std::fprintf(stderr, "error: failed to write metrics to %s\n",
                    metrics_out.c_str());
-      return 1;
+      return kExitRuntime;
     }
     std::printf("Wrote metrics snapshot to %s\n", metrics_out.c_str());
   }
@@ -179,10 +183,10 @@ int main(int argc, char** argv) {
     if (!obs::write_chrome_trace(trace_out, packed_timeline)) {
       std::fprintf(stderr, "error: failed to write trace to %s\n",
                    trace_out.c_str());
-      return 1;
+      return kExitRuntime;
     }
     std::printf("Wrote Chrome trace to %s (open in chrome://tracing or "
                 "https://ui.perfetto.dev)\n", trace_out.c_str());
   }
-  return 0;
+  return kExitOk;
 }

@@ -4,10 +4,14 @@
 // bench_table3_comparison.
 //
 //   ./examples/detector_comparison [scale]
+//
+// `scale` is the fraction of the paper's Table-2 sample counts to generate
+// (default 0.02). Exits 0 on success, 2 on a bad invocation.
 #include <cstdio>
 #include <cstdlib>
 
 #include "baselines/adaboost_detector.h"
+#include "cli_util.h"
 #include "baselines/dct_cnn.h"
 #include "baselines/online_learner.h"
 #include "core/bnn_detector.h"
@@ -16,7 +20,16 @@
 
 int main(int argc, char** argv) {
   using namespace hotspot;
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+  using namespace hotspot::examples;
+  double scale = 0.02;
+  if (argc > 2) {
+    return usage_error("expected at most one argument (scale)", argv[2]);
+  }
+  if (argc > 1 && !parse_positive_double(argv[1], &scale)) {
+    // std::atof here used to turn garbage into scale 0 and an empty
+    // benchmark; reject it with the offending value instead.
+    return usage_error("scale must be a positive number", argv[1]);
+  }
   constexpr std::int64_t kImageSize = 32;
 
   const dataset::Benchmark bench = dataset::generate_benchmark(
@@ -66,5 +79,5 @@ int main(int argc, char** argv) {
   std::printf("\n%s", eval::comparison_table(rows).to_string().c_str());
   std::printf("\n(Paper's Table 3 on the full benchmark: 84.2 / 97.7 / 98.2 "
               "/ 99.2 %% accuracy in the same order.)\n");
-  return 0;
+  return kExitOk;
 }

@@ -9,7 +9,8 @@
 // of batch N on a double-buffered pipeline.
 //
 //   ./examples/full_chip_scan [tiles] [--stride <nm>] [--metrics-out <path>]
-//                             [--trace-out <path>]
+//                             [--trace-out <path>] [--journal <path>]
+//                             [--resume] [--window-deadline-ms <ms>]
 //
 //   tiles          chip edge length in pattern tiles (default 4, >= 1)
 //   --stride       scan stride in nm (default: clip size = non-overlapping;
@@ -18,12 +19,23 @@
 //                  manifest)
 //   --trace-out    write a Chrome trace-event timeline of the scan; open in
 //                  chrome://tracing or https://ui.perfetto.dev
-#include <cerrno>
+//   --journal      append every completed scan batch to a crash-safe
+//                  journal at <path> (fsync per batch, periodic snapshots)
+//   --resume       recover the journal's state and scan only the remaining
+//                  windows; the final result is bit-identical to an
+//                  uninterrupted run (requires --journal)
+//   --window-deadline-ms  per-window attempt budget; windows that fail past
+//                  the retry budget are quarantined, not hung on
+//
+// Exits 0 on success, 1 on runtime failure (including quarantined
+// windows — the printed results are then partial), 2 on a bad invocation.
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <exception>
 #include <string>
 
+#include "cli_util.h"
 #include "core/bnn_detector.h"
 #include "core/roofline.h"
 #include "dataset/generator.h"
@@ -65,58 +77,60 @@ std::string iso_timestamp() {
   return buffer;
 }
 
-// Strict positive-integer parse; returns false on garbage, overflow, or
-// values outside [1, max].
-bool parse_positive(const char* text, long max, long* out) {
-  if (text == nullptr || *text == '\0') {
-    return false;
-  }
-  char* end = nullptr;
-  errno = 0;
-  const long parsed = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE || parsed < 1 ||
-      parsed > max) {
-    return false;
-  }
-  *out = parsed;
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace hotspot::examples;
   long tiles = 4;
   long stride_nm = 0;  // 0 = clip size (non-overlapping)
+  long window_deadline_ms = 0;
   std::string metrics_out;
   std::string trace_out;
+  std::string journal_path;
+  bool resume = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--stride") {
       if (i + 1 >= argc || !parse_positive(argv[i + 1], 1L << 30, &stride_nm)) {
-        std::fprintf(stderr, "error: --stride requires a positive integer "
-                             "number of nanometres\n");
-        return 2;
+        return usage_error(
+            "--stride requires a positive integer number of nanometres",
+            i + 1 < argc ? argv[i + 1] : nullptr);
       }
       ++i;
+    } else if (arg == "--window-deadline-ms") {
+      if (i + 1 >= argc ||
+          !parse_positive(argv[i + 1], 1L << 30, &window_deadline_ms)) {
+        return usage_error(
+            "--window-deadline-ms requires a positive integer number of "
+            "milliseconds",
+            i + 1 < argc ? argv[i + 1] : nullptr);
+      }
+      ++i;
+    } else if (arg == "--journal") {
+      if (i + 1 >= argc) {
+        return usage_error("--journal requires a path", nullptr);
+      }
+      journal_path = argv[++i];
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (arg == "--metrics-out") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --metrics-out requires a path\n");
-        return 2;
+        return usage_error("--metrics-out requires a path", nullptr);
       }
       metrics_out = argv[++i];
     } else if (arg == "--trace-out") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --trace-out requires a path\n");
-        return 2;
+        return usage_error("--trace-out requires a path", nullptr);
       }
       trace_out = argv[++i];
     } else if (!parse_positive(arg.c_str(), 64, &tiles)) {
       // An unvalidated atoi here used to turn garbage (or "0") into an
       // empty chip and a divide-by-zero in the ODST printout.
-      std::fprintf(stderr, "error: tiles must be an integer in [1, 64], "
-                           "got '%s'\n", arg.c_str());
-      return 2;
+      return usage_error("tiles must be an integer in [1, 64]", arg.c_str());
     }
+  }
+  if (resume && journal_path.empty()) {
+    return usage_error("--resume requires --journal", "--resume");
   }
   if (!metrics_out.empty() || !trace_out.empty()) {
     obs::set_trace_enabled(true);
@@ -147,8 +161,26 @@ int main(int argc, char** argv) {
   scan_config.window_nm = config.pattern.clip_nm;
   scan_config.step_nm = stride_nm > 0 ? stride_nm : config.pattern.clip_nm;
   scan_config.grid = kImageSize;
+  scan_config.window_deadline_ms = static_cast<int>(window_deadline_ms);
+  scan_config.journal_path = journal_path;
+  scan_config.resume = resume;
   scan::ScanPipeline pipeline(scan_config, detector.classifier());
-  const scan::ScanResult result = pipeline.scan(chip);
+  scan::ScanResult result;
+  try {
+    result = pipeline.scan(chip);
+  } catch (const std::exception& error) {
+    // Journal open/append failure or an injected abort. The journal (if
+    // any) keeps every completed batch; a --resume run picks up from it.
+    std::fprintf(stderr, "error: scan failed: %s\n", error.what());
+    return kExitRuntime;
+  }
+  if (result.stats.resume_skipped > 0) {
+    std::printf("Resumed from %s: %lld of %lld windows recovered from the "
+                "journal\n",
+                journal_path.c_str(),
+                static_cast<long long>(result.stats.resume_skipped),
+                static_cast<long long>(result.labels.size()));
+  }
   std::printf("Chip: %ld x %ld tiles, %zu rects, %lld clip windows "
               "(%lld x %lld grid, stride %lld nm)\n\n",
               tiles, tiles, chip.rects().size(),
@@ -158,7 +190,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(result.step_nm));
   if (result.labels.empty()) {
     std::printf("Chip has no geometry — nothing to scan.\n");
-    return 0;
+    return kExitOk;
   }
 
   // Cross-check against the lithography oracle (the expensive step the
@@ -201,6 +233,12 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.windows),
               100.0 * stats.dedup_hit_rate(),
               static_cast<long long>(stats.batches));
+  if (stats.retries > 0 || stats.quarantined > 0) {
+    std::printf("  fault tolerance: %lld retries, %lld windows "
+                "quarantined\n",
+                static_cast<long long>(stats.retries),
+                static_cast<long long>(stats.quarantined));
+  }
   std::printf("  oracle check: %s\n", matrix.to_string().c_str());
   std::printf("  detection accuracy: %.1f%%, false alarms: %lld\n",
               matrix.accuracy() * 100.0,
@@ -234,7 +272,7 @@ int main(int argc, char** argv) {
                                  obs::collect_span_report(), &manifest)) {
       std::fprintf(stderr, "error: failed to write metrics to %s\n",
                    metrics_out.c_str());
-      return 1;
+      return kExitRuntime;
     }
     std::printf("Wrote metrics snapshot to %s\n", metrics_out.c_str());
   }
@@ -242,10 +280,19 @@ int main(int argc, char** argv) {
     if (!obs::write_chrome_trace(trace_out, obs::collect_timeline())) {
       std::fprintf(stderr, "error: failed to write trace to %s\n",
                    trace_out.c_str());
-      return 1;
+      return kExitRuntime;
     }
     std::printf("Wrote Chrome trace to %s (open in chrome://tracing or "
                 "https://ui.perfetto.dev)\n", trace_out.c_str());
   }
-  return 0;
+  if (result.stats.quarantined > 0) {
+    // The printed results are partial: quarantined windows carry a
+    // conservative 0 instead of a verdict. Succeeding here would let a
+    // driving script mistake them for a clean scan.
+    std::fprintf(stderr, "error: %lld windows were quarantined; results "
+                         "above are partial\n",
+                 static_cast<long long>(result.stats.quarantined));
+    return kExitRuntime;
+  }
+  return kExitOk;
 }

@@ -9,12 +9,12 @@
 // (per-epoch training metrics, layer/phase timings, ODST components,
 // manifest). `--trace-out` additionally records an event timeline and
 // writes it as Chrome trace-event JSON.
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
 #include <string>
 
+#include "cli_util.h"
 #include "core/bnn_detector.h"
 #include "dataset/generator.h"
 #include "eval/evaluation.h"
@@ -38,6 +38,7 @@ std::string iso_timestamp() {
 
 int main(int argc, char** argv) {
   using namespace hotspot;
+  using namespace hotspot::examples;
   util::set_log_level(util::LogLevel::kInfo);
   double scale = 0.02;
   std::string metrics_out;
@@ -46,27 +47,16 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--metrics-out") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --metrics-out requires a path\n");
-        return 2;
+        return usage_error("--metrics-out requires a path", nullptr);
       }
       metrics_out = argv[++i];
     } else if (arg == "--trace-out") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --trace-out requires a path\n");
-        return 2;
+        return usage_error("--trace-out requires a path", nullptr);
       }
       trace_out = argv[++i];
-    } else {
-      errno = 0;
-      char* end = nullptr;
-      const double parsed = std::strtod(arg.c_str(), &end);
-      if (end == arg.c_str() || *end != '\0' || errno == ERANGE ||
-          parsed <= 0.0) {
-        std::fprintf(stderr, "error: scale must be a positive number, "
-                             "got '%s'\n", arg.c_str());
-        return 2;
-      }
-      scale = parsed;
+    } else if (!parse_positive_double(arg.c_str(), &scale)) {
+      return usage_error("scale must be a positive number", arg.c_str());
     }
   }
   if (!metrics_out.empty() || !trace_out.empty()) {
@@ -118,7 +108,7 @@ int main(int argc, char** argv) {
       !saved.ok()) {
     std::fprintf(stderr, "error: failed to save model (%s): %s\n",
                  nn::io_status_name(saved.status), saved.message.c_str());
-    return 1;
+    return kExitRuntime;
   }
   std::printf("\nSaved trained model to %s (run ./deploy_inference next).\n",
               path);
@@ -130,7 +120,7 @@ int main(int argc, char** argv) {
                                  obs::collect_span_report(), &manifest)) {
       std::fprintf(stderr, "error: failed to write metrics to %s\n",
                    metrics_out.c_str());
-      return 1;
+      return kExitRuntime;
     }
     std::printf("Wrote metrics snapshot to %s\n", metrics_out.c_str());
   }
@@ -138,10 +128,10 @@ int main(int argc, char** argv) {
     if (!obs::write_chrome_trace(trace_out, obs::collect_timeline())) {
       std::fprintf(stderr, "error: failed to write trace to %s\n",
                    trace_out.c_str());
-      return 1;
+      return kExitRuntime;
     }
     std::printf("Wrote Chrome trace to %s (open in chrome://tracing or "
                 "https://ui.perfetto.dev)\n", trace_out.c_str());
   }
-  return 0;
+  return kExitOk;
 }

@@ -1,6 +1,9 @@
 #include "core/bnn_detector.h"
 
+#include <stdexcept>
+
 #include "obs/metrics.h"
+#include "util/fault_injection.h"
 #include "util/stopwatch.h"
 
 namespace hotspot::core {
@@ -48,6 +51,13 @@ std::vector<int> BnnHotspotDetector::predict_batch(
       << "predict_batch expects [n, 1, ls, ls] images";
   HOTSPOT_CHECK_EQ(images.dim(2), config_.model.image_size)
       << "image size does not match the model configuration";
+  // Chaos probes (DESIGN.md §13): an armed stall sleeps here so a scan's
+  // per-batch deadline can catch it; an armed compute fault throws the way
+  // a real backend failure would, exercising the retry/quarantine path.
+  util::fault_maybe_stall(util::FaultPoint::kScanPredictStall);
+  if (util::fault_should_fail(util::FaultPoint::kScanPredictCompute)) {
+    throw std::runtime_error("injected predict compute fault");
+  }
   model_->set_training(false);
   util::Stopwatch timer;
   std::vector<int> labels = model_->predict(images);

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/check.h"
 #include "util/crc32.h"
 #include "util/fault_injection.h"
@@ -28,50 +29,29 @@ constexpr std::int64_t kMaxElements = std::int64_t{1} << 36;
 // magic + version + tensor_count + blob_count + crc footer.
 constexpr std::int64_t kMinArchiveBytes = 20;
 
-// Writes the archive to "<path>.tmp"; finalize() publishes it with an
-// atomic rename. Any earlier exit (error, injected fault, destructor)
-// leaves the target path untouched and removes the temp file.
+// HSPT framing over the shared atomic-publication machinery
+// (util::AtomicFileWriter): the archive is written to "<path>.tmp" and
+// finalize() publishes it with flush + fsync + atomic rename. Any earlier
+// exit (error, injected fault, destructor) leaves the target path untouched
+// and removes the temp file.
 class ArchiveWriter {
  public:
   explicit ArchiveWriter(std::string path)
-      : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
-    file_ = std::fopen(tmp_path_.c_str(), "wb");
-    if (file_ == nullptr) {
-      error_ = tmp_path_ + ": cannot open for writing";
-    }
-  }
+      : writer_(std::move(path),
+                util::AtomicFileWriter::FaultPoints{
+                    util::FaultPoint::kCheckpointWrite,
+                    util::FaultPoint::kCheckpointFlush,
+                    util::FaultPoint::kCheckpointRename}) {}
 
-  ~ArchiveWriter() {
-    if (file_ != nullptr) {
-      std::fclose(file_);
-      std::remove(tmp_path_.c_str());
-    }
-  }
-
-  bool ok() const { return file_ != nullptr && error_.empty(); }
+  bool ok() const { return writer_.ok(); }
 
   bool write(const void* data, std::size_t size) {
-    if (!ok()) {
-      return false;
-    }
-    if (util::fault_should_fail(util::FaultPoint::kCheckpointWrite)) {
-      // Simulate a crash mid-write: part of the chunk reaches the file, the
-      // rest never does.
-      std::fwrite(data, 1, size / 2, file_);
-      error_ = tmp_path_ + ": injected write fault";
-      return false;
-    }
-    if (std::fwrite(data, 1, size, file_) != size) {
-      error_ = tmp_path_ + ": write failed";
-      return false;
-    }
-    crc_.update(data, size);
-    return true;
+    return writer_.write(data, size);
   }
 
-  bool write_u32(std::uint32_t value) { return write(&value, sizeof(value)); }
-  bool write_u64(std::uint64_t value) { return write(&value, sizeof(value)); }
-  bool write_i64(std::int64_t value) { return write(&value, sizeof(value)); }
+  bool write_u32(std::uint32_t value) { return writer_.write_u32(value); }
+  bool write_u64(std::uint64_t value) { return writer_.write_u64(value); }
+  bool write_i64(std::int64_t value) { return writer_.write_i64(value); }
 
   bool write_string(const std::string& text) {
     return write_u32(static_cast<std::uint32_t>(text.size())) &&
@@ -80,48 +60,19 @@ class ArchiveWriter {
 
   SaveResult finalize() {
     // The footer is the CRC of everything before it.
-    const std::uint32_t crc = crc_.value();
-    if (!write(&crc, sizeof(crc))) {
+    const std::uint32_t crc = writer_.crc();
+    if (!write(&crc, sizeof(crc)) || !writer_.finalize()) {
       return fail();
-    }
-    if (util::fault_should_fail(util::FaultPoint::kCheckpointFlush)) {
-      error_ = tmp_path_ + ": injected flush fault";
-      return fail();
-    }
-    if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
-      error_ = tmp_path_ + ": flush/fsync failed";
-      return fail();
-    }
-    const bool closed = std::fclose(file_) == 0;
-    file_ = nullptr;  // destructor must not double-close or remove
-    if (!closed) {
-      error_ = tmp_path_ + ": close failed";
-      std::remove(tmp_path_.c_str());
-      return SaveResult::failure(IoStatus::kWriteFailed, error_);
-    }
-    if (util::fault_should_fail(util::FaultPoint::kCheckpointRename)) {
-      error_ = path_ + ": injected rename fault";
-      std::remove(tmp_path_.c_str());
-      return SaveResult::failure(IoStatus::kWriteFailed, error_);
-    }
-    if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
-      error_ = path_ + ": rename from temp failed";
-      std::remove(tmp_path_.c_str());
-      return SaveResult::failure(IoStatus::kWriteFailed, error_);
     }
     return SaveResult::success();
   }
 
   SaveResult fail() const {
-    return SaveResult::failure(IoStatus::kWriteFailed, error_);
+    return SaveResult::failure(IoStatus::kWriteFailed, writer_.error());
   }
 
  private:
-  std::string path_;
-  std::string tmp_path_;
-  std::FILE* file_ = nullptr;
-  util::Crc32 crc_;
-  std::string error_;
+  util::AtomicFileWriter writer_;
 };
 
 // Sequential reader over the payload (everything before the CRC footer).

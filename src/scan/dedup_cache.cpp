@@ -1,5 +1,10 @@
 #include "scan/dedup_cache.h"
 
+#include <new>
+
+#include "obs/metrics.h"
+#include "util/fault_injection.h"
+
 namespace hotspot::scan {
 
 std::uint64_t hash_raster(const RasterKey& pixels) {
@@ -16,26 +21,57 @@ std::uint64_t hash_raster(const RasterKey& pixels) {
 }
 
 std::int64_t RasterDedupCache::find(std::uint64_t hash,
-                                    const RasterKey& pixels) const {
+                                    const RasterKey& pixels) {
   const auto bucket = buckets_.find(hash);
   if (bucket == buckets_.end()) {
     return -1;
   }
-  for (const Keyed& keyed : bucket->second) {
-    if (keyed.pixels == pixels) {
-      return keyed.entry;
+  for (const LruList::iterator node : bucket->second) {
+    if (node->pixels == pixels) {
+      lru_.splice(lru_.begin(), lru_, node);  // refresh recency
+      return node->entry;
     }
   }
   return -1;
 }
 
+void RasterDedupCache::evict_lru() {
+  const LruList::iterator victim = std::prev(lru_.end());
+  std::vector<LruList::iterator>& bucket = buckets_[victim->hash];
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i] == victim) {
+      bucket[i] = bucket.back();
+      bucket.pop_back();
+      break;
+    }
+  }
+  if (bucket.empty()) {
+    buckets_.erase(victim->hash);
+  }
+  bytes_ -= victim->pixels.size();
+  lru_.erase(victim);
+  ++evictions_;
+  static obs::Counter& evictions_counter =
+      obs::MetricsRegistry::global().counter("scan.dedup.evictions");
+  evictions_counter.increment();
+}
+
 bool RasterDedupCache::insert(std::uint64_t hash, RasterKey pixels,
                               std::int64_t entry) {
-  if (max_entries_ != 0 && size_ >= max_entries_) {
-    return false;
+  if (util::fault_should_fail(util::FaultPoint::kScanAlloc)) {
+    throw std::bad_alloc();
   }
-  buckets_[hash].push_back(Keyed{std::move(pixels), entry});
-  ++size_;
+  const std::size_t incoming = pixels.size();
+  if (max_bytes_ != 0 && incoming > max_bytes_) {
+    return false;  // cannot fit even an empty cache; classified, not cached
+  }
+  while ((max_entries_ != 0 && lru_.size() >= max_entries_) ||
+         (max_bytes_ != 0 && bytes_ + incoming > max_bytes_)) {
+    evict_lru();
+  }
+  lru_.push_front(Keyed{hash, std::move(pixels), entry});
+  buckets_[hash].push_back(lru_.begin());
+  bytes_ += incoming;
   return true;
 }
 

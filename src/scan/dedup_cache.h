@@ -1,4 +1,4 @@
-// Raster-keyed verdict dedup for full-chip scans (DESIGN.md §11).
+// Raster-keyed verdict dedup for full-chip scans (DESIGN.md §11, §13).
 //
 // Tiled chips repeat their window rasters heavily; two windows with the
 // same binary raster must get the same verdict from a deterministic
@@ -7,10 +7,21 @@
 // bucket and a full byte comparison confirms the match, so a hash collision
 // can never replay the wrong verdict — the bit-identical guarantee survives.
 //
+// Memory is bounded: an entry cap and a payload-byte cap (either 0 =
+// unlimited) evict the least-recently-used raster to make room, so a
+// full-chip scan over mostly-unique geometry holds a fixed working set
+// instead of growing until OOM. Eviction only costs extra inference when an
+// evicted raster reappears (it re-enters under a fresh entry id); verdicts
+// are never wrong, and the eviction order is a pure function of the access
+// sequence, so journal resume replays it exactly. Evictions are counted
+// locally (evictions()) and on the scan.dedup.evictions counter.
+//
 // The cache is single-writer (the scan producer); it is not thread-safe.
+// find() refreshes recency, so it is not const.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <unordered_map>
 #include <vector>
 
@@ -23,34 +34,50 @@ std::uint64_t hash_raster(const RasterKey& pixels);
 
 class RasterDedupCache {
  public:
-  // `max_entries` bounds the number of distinct rasters remembered;
-  // 0 = unlimited. When full, new rasters are classified but not cached
-  // (scan results stay exact, the hit rate just degrades).
-  explicit RasterDedupCache(std::size_t max_entries = 0)
-      : max_entries_(max_entries) {}
+  // `max_entries` bounds the number of distinct rasters remembered and
+  // `max_bytes` their total pixel payload; 0 = unlimited. When a cap would
+  // be exceeded the least-recently-used entries are evicted to make room.
+  explicit RasterDedupCache(std::size_t max_entries = 0,
+                            std::size_t max_bytes = 0)
+      : max_entries_(max_entries), max_bytes_(max_bytes) {}
 
-  // Entry id for `pixels`, or -1 when the raster has not been seen.
-  std::int64_t find(std::uint64_t hash, const RasterKey& pixels) const;
+  // Entry id for `pixels`, or -1 when the raster is not cached. A hit
+  // refreshes the entry's recency.
+  std::int64_t find(std::uint64_t hash, const RasterKey& pixels);
 
   // Remembers `pixels` under `entry` (an id the caller allocates, e.g. a
-  // slot in its verdict table). Returns false when the cache is full and
-  // the raster was dropped.
+  // slot in its verdict table), evicting LRU entries as needed. Returns
+  // false only when `pixels` alone exceeds a cap and cannot be cached
+  // (scan results stay exact, the hit rate just degrades). Probes the
+  // kScanAlloc fault point: an armed fault throws std::bad_alloc before
+  // any mutation, the way a real allocation failure would.
   bool insert(std::uint64_t hash, RasterKey pixels, std::int64_t entry);
 
-  std::size_t size() const { return size_; }
+  std::size_t size() const { return lru_.size(); }
+  std::size_t bytes() const { return bytes_; }
+  std::uint64_t evictions() const { return evictions_; }
   std::size_t max_entries() const { return max_entries_; }
+  std::size_t max_bytes() const { return max_bytes_; }
 
  private:
   struct Keyed {
+    std::uint64_t hash = 0;
     RasterKey pixels;
     std::int64_t entry = 0;
   };
+  using LruList = std::list<Keyed>;
+
+  void evict_lru();
 
   std::size_t max_entries_;
-  std::size_t size_ = 0;
-  // Bucketed by hash; each bucket holds the full keys so collisions are
+  std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  // Front = most recently used; eviction pops the back.
+  LruList lru_;
+  // Bucketed by hash; each bucket holds full-key nodes so collisions are
   // resolved by comparison, never assumed away.
-  std::unordered_map<std::uint64_t, std::vector<Keyed>> buckets_;
+  std::unordered_map<std::uint64_t, std::vector<LruList::iterator>> buckets_;
 };
 
 }  // namespace hotspot::scan

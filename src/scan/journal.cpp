@@ -1,0 +1,650 @@
+#include "scan/journal.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/atomic_file.h"
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+
+namespace hotspot::scan {
+namespace {
+
+constexpr std::uint32_t kJournalMagic = 0x4C4A5348;   // "HSJL"
+constexpr std::uint32_t kSnapshotMagic = 0x534A5348;  // "HSJS"
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint8_t kRecordBatch = 1;
+
+constexpr util::AtomicFileWriter::FaultPoints kSnapshotFaults{
+    util::FaultPoint::kJournalWrite, util::FaultPoint::kJournalFlush,
+    util::FaultPoint::kJournalRename};
+
+std::int64_t packed_raster_bytes(std::int64_t grid) {
+  return (grid * grid + 7) / 8;
+}
+
+// --- byte-buffer encoding helpers --------------------------------------
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* data,
+                  std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  out.insert(out.end(), bytes, bytes + size);
+}
+
+template <typename T>
+void append_value(std::vector<std::uint8_t>& out, T value) {
+  append_bytes(out, &value, sizeof(value));
+}
+
+void append_packed_raster(std::vector<std::uint8_t>& out,
+                          const RasterKey& pixels, std::int64_t grid) {
+  HOTSPOT_CHECK_EQ(static_cast<std::int64_t>(pixels.size()), grid * grid)
+      << "raster size does not match the journal's grid";
+  std::vector<std::uint8_t> packed(
+      static_cast<std::size_t>(packed_raster_bytes(grid)), 0);
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    if (pixels[i] != 0) {
+      packed[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+    }
+  }
+  append_bytes(out, packed.data(), packed.size());
+}
+
+void append_meta(std::vector<std::uint8_t>& out, const JournalMeta& meta) {
+  append_value(out, meta.chip_fingerprint);
+  append_value(out, meta.window_nm);
+  append_value(out, meta.step_nm);
+  append_value(out, meta.grid);
+  append_value(out, meta.cols);
+  append_value(out, meta.rows);
+  append_value(out, meta.origin_x);
+  append_value(out, meta.origin_y);
+  append_value(out, meta.batch_size);
+  append_value(out, meta.dedup);
+  append_value(out, meta.dedup_max_entries);
+  append_value(out, meta.dedup_max_bytes);
+}
+
+// --- bounds-checked sequential decoding --------------------------------
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+  bool read(void* out, std::size_t size) {
+    if (size > remaining()) {
+      return false;
+    }
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  template <typename T>
+  bool read_value(T& out) {
+    return read(&out, sizeof(out));
+  }
+
+  bool read_raster(RasterKey& out, std::int64_t grid) {
+    const auto packed_size =
+        static_cast<std::size_t>(packed_raster_bytes(grid));
+    if (packed_size > remaining()) {
+      return false;
+    }
+    out.assign(static_cast<std::size_t>(grid * grid), 0);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if ((data_[pos_ + i / 8] >> (i % 8)) & 1u) {
+        out[i] = 1;
+      }
+    }
+    pos_ += packed_size;
+    return true;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+bool read_meta(ByteReader& reader, JournalMeta& meta) {
+  return reader.read_value(meta.chip_fingerprint) &&
+         reader.read_value(meta.window_nm) &&
+         reader.read_value(meta.step_nm) && reader.read_value(meta.grid) &&
+         reader.read_value(meta.cols) && reader.read_value(meta.rows) &&
+         reader.read_value(meta.origin_x) &&
+         reader.read_value(meta.origin_y) &&
+         reader.read_value(meta.batch_size) &&
+         reader.read_value(meta.dedup) &&
+         reader.read_value(meta.dedup_max_entries) &&
+         reader.read_value(meta.dedup_max_bytes);
+}
+
+std::vector<std::uint8_t> encode_header(std::uint32_t magic,
+                                        const JournalMeta& meta) {
+  std::vector<std::uint8_t> header;
+  append_value(header, magic);
+  append_value(header, kFormatVersion);
+  append_meta(header, meta);
+  append_value(header, util::crc32_of(header.data(), header.size()));
+  return header;
+}
+
+std::size_t header_size() {
+  static const std::size_t size = encode_header(kJournalMagic, {}).size();
+  return size;
+}
+
+// Reads `size` bytes from `file`, false on short read.
+bool read_exact(std::FILE* file, void* out, std::size_t size) {
+  return std::fread(out, 1, size, file) == size;
+}
+
+// Validates the header at the start of `file` against `expected`.
+JournalResult check_header(std::FILE* file, const std::string& path,
+                           std::uint32_t magic, const JournalMeta& expected) {
+  std::vector<std::uint8_t> header(header_size());
+  if (!read_exact(file, header.data(), header.size())) {
+    return JournalResult::failure(JournalStatus::kTruncated,
+                                  path + ": header is truncated");
+  }
+  const std::uint32_t stored_crc = util::crc32_of(
+      header.data(), header.size() - sizeof(std::uint32_t));
+  ByteReader reader(header.data(), header.size());
+  std::uint32_t file_magic = 0;
+  std::uint32_t version = 0;
+  JournalMeta meta;
+  std::uint32_t crc = 0;
+  reader.read_value(file_magic);
+  reader.read_value(version);
+  read_meta(reader, meta);
+  reader.read_value(crc);
+  if (file_magic != magic) {
+    return JournalResult::failure(JournalStatus::kBadFormat,
+                                  path + ": not a scan journal (bad magic)");
+  }
+  if (version != kFormatVersion) {
+    return JournalResult::failure(
+        JournalStatus::kBadFormat,
+        path + ": unsupported journal version " + std::to_string(version));
+  }
+  if (crc != stored_crc) {
+    return JournalResult::failure(JournalStatus::kCorrupt,
+                                  path + ": header CRC mismatch");
+  }
+  if (meta != expected) {
+    return JournalResult::failure(
+        JournalStatus::kMismatch,
+        path + ": journal belongs to a different chip or scan config");
+  }
+  return JournalResult::success();
+}
+
+// Upper bound on a legitimate record payload, derived from the (already
+// validated) scan identity — nothing a damaged length field claims can
+// drive an allocation past it.
+std::int64_t max_record_payload(const JournalMeta& meta) {
+  const std::int64_t span_cap = meta.cols * meta.rows;
+  const std::int64_t entries_cap =
+      meta.batch_size > 0 ? meta.batch_size : span_cap;
+  return 1 + 3 * 8 + 4 + span_cap * 8 +
+         entries_cap * (4 + packed_raster_bytes(meta.grid));
+}
+
+// Parses one batch-record payload and applies it to `state` when it chains
+// directly onto it; records fully covered by `state` (snapshot got there
+// first) are skipped. Returns false when the record is structurally invalid
+// or does not fit the state — the caller treats that as end-of-valid-data.
+bool apply_record(const std::uint8_t* payload, std::size_t size,
+                  const JournalMeta& meta, JournalState& state) {
+  ByteReader reader(payload, size);
+  std::uint8_t type = 0;
+  std::int64_t win_begin = 0;
+  std::int64_t win_end = 0;
+  std::int64_t base_entry = 0;
+  std::uint32_t new_entries = 0;
+  if (!reader.read_value(type) || type != kRecordBatch ||
+      !reader.read_value(win_begin) || !reader.read_value(win_end) ||
+      !reader.read_value(base_entry) || !reader.read_value(new_entries)) {
+    return false;
+  }
+  const std::int64_t window_count = meta.cols * meta.rows;
+  if (win_begin < 0 || win_end < win_begin || win_end > window_count ||
+      base_entry < 0 ||
+      static_cast<std::int64_t>(new_entries) > win_end - win_begin) {
+    return false;
+  }
+  const std::int64_t span = win_end - win_begin;
+  const bool covered = win_end <= state.windows_done;
+  if (!covered &&
+      (win_begin != state.windows_done || base_entry != state.entry_count())) {
+    return false;  // does not chain onto the recovered state
+  }
+  const std::int64_t entry_limit =
+      base_entry + static_cast<std::int64_t>(new_entries);
+  for (std::int64_t w = 0; w < span; ++w) {
+    std::int64_t entry = 0;
+    if (!reader.read_value(entry) || entry < -1 || entry >= entry_limit) {
+      return false;
+    }
+    if (!covered) {
+      state.window_entry.push_back(entry);
+    }
+  }
+  for (std::uint32_t e = 0; e < new_entries; ++e) {
+    std::int32_t verdict = 0;
+    RasterKey pixels;
+    if (!reader.read_value(verdict) || verdict < -1 ||
+        !reader.read_raster(pixels, meta.grid)) {
+      return false;
+    }
+    if (!covered) {
+      state.entry_verdicts.push_back(verdict);
+      state.entry_pixels.push_back(std::move(pixels));
+    }
+  }
+  if (!reader.done()) {
+    return false;  // trailing bytes inside the CRC frame
+  }
+  if (!covered) {
+    state.windows_done = win_end;
+    ++state.batches;
+  }
+  return true;
+}
+
+// Replays journal records from the current file position, stopping at the
+// first torn or non-chaining record. Returns the byte offset just past the
+// last valid record.
+std::int64_t replay_records(std::FILE* file, const JournalMeta& meta,
+                            JournalState& state) {
+  std::int64_t valid_end = static_cast<std::int64_t>(header_size());
+  const std::int64_t payload_cap = max_record_payload(meta);
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    std::uint32_t size = 0;
+    if (!read_exact(file, &size, sizeof(size))) {
+      break;
+    }
+    if (static_cast<std::int64_t>(size) > payload_cap) {
+      break;
+    }
+    payload.resize(size);
+    std::uint32_t stored_crc = 0;
+    if (!read_exact(file, payload.data(), size) ||
+        !read_exact(file, &stored_crc, sizeof(stored_crc))) {
+      break;
+    }
+    if (util::crc32_of(payload.data(), payload.size()) != stored_crc) {
+      break;
+    }
+    if (!apply_record(payload.data(), payload.size(), meta, state)) {
+      break;
+    }
+    valid_end += static_cast<std::int64_t>(sizeof(size) + size +
+                                           sizeof(stored_crc));
+  }
+  return valid_end;
+}
+
+// Loads `<journal>.snap` into `state`; any damage (missing, torn, CRC,
+// foreign meta) just reports false — the journal alone can recover.
+bool load_snapshot(const std::string& path, const JournalMeta& expected,
+                   JournalState& state) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return false;
+  }
+  bool ok = false;
+  do {
+    if (!check_header(file, path, kSnapshotMagic, expected).ok()) {
+      break;
+    }
+    util::Crc32 crc;
+    {
+      std::vector<std::uint8_t> header(header_size());
+      std::fseek(file, 0, SEEK_SET);
+      if (!read_exact(file, header.data(), header.size())) {
+        break;
+      }
+      crc.update(header.data(), header.size());
+    }
+    std::int64_t counters[3] = {0, 0, 0};  // windows_done, batches, entries
+    if (!read_exact(file, counters, sizeof(counters))) {
+      break;
+    }
+    crc.update(counters, sizeof(counters));
+    const std::int64_t windows_done = counters[0];
+    const std::int64_t batches = counters[1];
+    const std::int64_t entries = counters[2];
+    const std::int64_t window_count = expected.cols * expected.rows;
+    if (windows_done < 0 || windows_done > window_count || batches < 0 ||
+        entries < 0 || entries > windows_done) {
+      break;
+    }
+    JournalState loaded;
+    loaded.windows_done = windows_done;
+    loaded.batches = batches;
+    loaded.window_entry.resize(static_cast<std::size_t>(windows_done));
+    if (!read_exact(file, loaded.window_entry.data(),
+                    loaded.window_entry.size() * sizeof(std::int64_t))) {
+      break;
+    }
+    crc.update(loaded.window_entry.data(),
+               loaded.window_entry.size() * sizeof(std::int64_t));
+    loaded.entry_verdicts.resize(static_cast<std::size_t>(entries));
+    if (!read_exact(file, loaded.entry_verdicts.data(),
+                    loaded.entry_verdicts.size() * sizeof(std::int32_t))) {
+      break;
+    }
+    crc.update(loaded.entry_verdicts.data(),
+               loaded.entry_verdicts.size() * sizeof(std::int32_t));
+    const auto packed_size =
+        static_cast<std::size_t>(packed_raster_bytes(expected.grid));
+    std::vector<std::uint8_t> packed(packed_size);
+    bool entries_ok = true;
+    loaded.entry_pixels.reserve(static_cast<std::size_t>(entries));
+    for (std::int64_t e = 0; e < entries; ++e) {
+      if (!read_exact(file, packed.data(), packed.size())) {
+        entries_ok = false;
+        break;
+      }
+      crc.update(packed.data(), packed.size());
+      ByteReader reader(packed.data(), packed.size());
+      RasterKey pixels;
+      reader.read_raster(pixels, expected.grid);
+      loaded.entry_pixels.push_back(std::move(pixels));
+    }
+    if (!entries_ok) {
+      break;
+    }
+    // Sanity: every window entry must reference a known entry id (or -1).
+    bool refs_ok = true;
+    for (const std::int64_t entry : loaded.window_entry) {
+      if (entry < -1 || entry >= entries) {
+        refs_ok = false;
+        break;
+      }
+    }
+    if (!refs_ok) {
+      break;
+    }
+    std::uint32_t stored_crc = 0;
+    if (!read_exact(file, &stored_crc, sizeof(stored_crc)) ||
+        stored_crc != crc.value()) {
+      break;
+    }
+    // Trailing bytes mean the file is not what the writer produced.
+    std::uint8_t extra = 0;
+    if (std::fread(&extra, 1, 1, file) != 0) {
+      break;
+    }
+    state = std::move(loaded);
+    ok = true;
+  } while (false);
+  std::fclose(file);
+  return ok;
+}
+
+// Recovers state (snapshot + journal replay) and reports where the valid
+// journal prefix ends. `valid_end` = -1 when the journal file is absent.
+JournalResult recover_state(const std::string& path, const JournalMeta& meta,
+                            JournalState& state, std::int64_t& valid_end) {
+  state = JournalState{};
+  valid_end = -1;
+  const bool have_snapshot =
+      load_snapshot(ScanJournal::snapshot_path(path), meta, state);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (have_snapshot) {
+      return JournalResult::success();
+    }
+    return JournalResult::failure(
+        JournalStatus::kMissing, path + ": no journal or snapshot to resume");
+  }
+  JournalResult header = check_header(file, path, kJournalMagic, meta);
+  if (!header.ok()) {
+    std::fclose(file);
+    // A freshly-created journal that died before its header fsync'ed is
+    // recoverable when the snapshot has the state.
+    if (have_snapshot && (header.status == JournalStatus::kTruncated ||
+                          header.status == JournalStatus::kCorrupt)) {
+      return JournalResult::success();
+    }
+    return header;
+  }
+  valid_end = replay_records(file, meta, state);
+  std::fclose(file);
+  return JournalResult::success();
+}
+
+}  // namespace
+
+const char* journal_status_name(JournalStatus status) {
+  switch (status) {
+    case JournalStatus::kOk:
+      return "ok";
+    case JournalStatus::kMissing:
+      return "missing";
+    case JournalStatus::kTruncated:
+      return "truncated";
+    case JournalStatus::kCorrupt:
+      return "corrupt";
+    case JournalStatus::kBadFormat:
+      return "bad-format";
+    case JournalStatus::kMismatch:
+      return "mismatch";
+    case JournalStatus::kWriteFailed:
+      return "write-failed";
+  }
+  return "unknown";
+}
+
+bool JournalMeta::operator==(const JournalMeta& other) const {
+  return chip_fingerprint == other.chip_fingerprint &&
+         window_nm == other.window_nm && step_nm == other.step_nm &&
+         grid == other.grid && cols == other.cols && rows == other.rows &&
+         origin_x == other.origin_x && origin_y == other.origin_y &&
+         batch_size == other.batch_size && dedup == other.dedup &&
+         dedup_max_entries == other.dedup_max_entries &&
+         dedup_max_bytes == other.dedup_max_bytes;
+}
+
+std::uint64_t chip_fingerprint(const layout::Pattern& chip) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+  const auto mix = [&hash](std::int64_t value) {
+    const auto bits = static_cast<std::uint64_t>(value);
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (bits >> shift) & 0xffu;
+      hash *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  mix(static_cast<std::int64_t>(chip.rects().size()));
+  for (const layout::Rect& rect : chip.rects()) {
+    mix(rect.x0);
+    mix(rect.y0);
+    mix(rect.x1);
+    mix(rect.y1);
+  }
+  return hash;
+}
+
+JournalResult ScanJournal::open(const std::string& path,
+                                const JournalMeta& meta, bool resume,
+                                JournalState* recovered) {
+  HOTSPOT_CHECK(recovered != nullptr) << "open needs a recovery target";
+  close();
+  path_ = path;
+  meta_ = meta;
+  *recovered = JournalState{};
+
+  std::int64_t valid_end = -1;
+  if (resume) {
+    const JournalResult result =
+        recover_state(path, meta, *recovered, valid_end);
+    if (!result.ok()) {
+      return result;
+    }
+    if (valid_end >= 0) {
+      // Drop any torn tail so new records append at a clean frame boundary.
+      const std::int64_t size = util::file_size_of(path);
+      if (size > valid_end && !util::corrupt_truncate(path, valid_end)) {
+        return JournalResult::failure(
+            JournalStatus::kWriteFailed,
+            path + ": cannot truncate torn journal tail");
+      }
+      file_ = std::fopen(path.c_str(), "ab");
+      if (file_ == nullptr) {
+        return JournalResult::failure(JournalStatus::kWriteFailed,
+                                      path + ": cannot open for appending");
+      }
+      return JournalResult::success();
+    }
+    // Snapshot-only recovery: fall through and start a fresh journal file
+    // (records will chain onto the snapshot state).
+  } else {
+    std::remove(snapshot_path(path).c_str());
+  }
+
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return JournalResult::failure(JournalStatus::kWriteFailed,
+                                  path + ": cannot open for writing");
+  }
+  const std::vector<std::uint8_t> header = encode_header(kJournalMagic, meta);
+  if (util::fault_should_fail(util::FaultPoint::kJournalWrite) ||
+      std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    close();
+    return JournalResult::failure(JournalStatus::kWriteFailed,
+                                  path + ": journal header write failed");
+  }
+  if (util::fault_should_fail(util::FaultPoint::kJournalFlush) ||
+      std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    close();
+    return JournalResult::failure(JournalStatus::kWriteFailed,
+                                  path + ": journal header flush failed");
+  }
+  return JournalResult::success();
+}
+
+JournalResult ScanJournal::append_batch(
+    std::int64_t win_begin, std::int64_t win_end, std::int64_t base_entry,
+    const std::vector<std::int64_t>& window_entries,
+    const std::vector<std::int32_t>& verdicts,
+    const std::vector<RasterKey>& pixels) {
+  if (file_ == nullptr) {
+    return JournalResult::failure(JournalStatus::kWriteFailed,
+                                  path_ + ": journal is not open");
+  }
+  HOTSPOT_CHECK_EQ(static_cast<std::int64_t>(window_entries.size()),
+                   win_end - win_begin)
+      << "window span does not match the entry map";
+  HOTSPOT_CHECK_EQ(verdicts.size(), pixels.size())
+      << "each new entry needs a verdict and its raster";
+
+  std::vector<std::uint8_t> payload;
+  append_value(payload, kRecordBatch);
+  append_value(payload, win_begin);
+  append_value(payload, win_end);
+  append_value(payload, base_entry);
+  append_value(payload, static_cast<std::uint32_t>(verdicts.size()));
+  for (const std::int64_t entry : window_entries) {
+    append_value(payload, entry);
+  }
+  for (std::size_t e = 0; e < verdicts.size(); ++e) {
+    append_value(payload, verdicts[e]);
+    append_packed_raster(payload, pixels[e], meta_.grid);
+  }
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(payload.size() + 8);
+  append_value(frame, static_cast<std::uint32_t>(payload.size()));
+  append_bytes(frame, payload.data(), payload.size());
+  append_value(frame, util::crc32_of(payload.data(), payload.size()));
+
+  if (util::fault_should_fail(util::FaultPoint::kJournalWrite)) {
+    // Simulate a crash mid-append: half the frame lands, a torn tail the
+    // next recovery must drop.
+    std::fwrite(frame.data(), 1, frame.size() / 2, file_);
+    std::fflush(file_);
+    close();
+    return JournalResult::failure(JournalStatus::kWriteFailed,
+                                  path_ + ": injected journal write fault");
+  }
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    close();
+    return JournalResult::failure(JournalStatus::kWriteFailed,
+                                  path_ + ": journal append failed");
+  }
+  if (util::fault_should_fail(util::FaultPoint::kJournalFlush)) {
+    close();
+    return JournalResult::failure(JournalStatus::kWriteFailed,
+                                  path_ + ": injected journal flush fault");
+  }
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    close();
+    return JournalResult::failure(JournalStatus::kWriteFailed,
+                                  path_ + ": journal flush/fsync failed");
+  }
+  return JournalResult::success();
+}
+
+JournalResult ScanJournal::write_snapshot(const JournalState& state) const {
+  HOTSPOT_CHECK(!path_.empty()) << "snapshot before open";
+  util::AtomicFileWriter writer(snapshot_path(path_), kSnapshotFaults);
+  const std::vector<std::uint8_t> header =
+      encode_header(kSnapshotMagic, meta_);
+  bool ok = writer.write(header.data(), header.size()) &&
+            writer.write_i64(state.windows_done) &&
+            writer.write_i64(state.batches) &&
+            writer.write_i64(state.entry_count());
+  if (ok) {
+    ok = writer.write(state.window_entry.data(),
+                      state.window_entry.size() * sizeof(std::int64_t)) &&
+         writer.write(state.entry_verdicts.data(),
+                      state.entry_verdicts.size() * sizeof(std::int32_t));
+  }
+  if (ok) {
+    std::vector<std::uint8_t> packed;
+    for (const RasterKey& pixels : state.entry_pixels) {
+      packed.clear();
+      append_packed_raster(packed, pixels, meta_.grid);
+      if (!writer.write(packed.data(), packed.size())) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (ok) {
+    const std::uint32_t crc = writer.crc();
+    ok = writer.write(&crc, sizeof(crc)) && writer.finalize();
+  }
+  if (!ok) {
+    return JournalResult::failure(JournalStatus::kWriteFailed,
+                                  writer.error());
+  }
+  return JournalResult::success();
+}
+
+void ScanJournal::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+JournalResult ScanJournal::recover(const std::string& path,
+                                   const JournalMeta& meta,
+                                   JournalState* state) {
+  HOTSPOT_CHECK(state != nullptr) << "recover needs a target";
+  std::int64_t valid_end = -1;
+  return recover_state(path, meta, *state, valid_end);
+}
+
+}  // namespace hotspot::scan

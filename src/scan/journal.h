@@ -1,0 +1,164 @@
+// Crash-resilient scan journal (DESIGN.md §13).
+//
+// A full-chip scan that dies at 97% must not restart from zero. The journal
+// is an append-only record of *completed* window batches:
+//
+//   HSJL header (scan identity: chip fingerprint + scan config + grid)
+//   record 1: [u32 size | payload | u32 crc32(payload)]
+//   record 2: ...
+//
+// Each batch record carries the window span the batch consumed, the
+// window -> entry mapping over that span, and — for every *new* distinct
+// raster the batch classified — its verdict plus the bit-packed raster
+// pixels. That is exactly the state a resumed scan needs to (a) skip the
+// journaled windows, (b) rebuild the dedup cache (including LRU order, by
+// replaying the access sequence), and (c) replay journaled verdicts into
+// the final label grid — so a `--resume` run is bit-identical to an
+// uninterrupted one.
+//
+// Appends are fsync'ed per record. A crash mid-append leaves a torn tail
+// record whose CRC (or truncated frame) fails; recovery keeps the longest
+// valid prefix and truncates the rest, which is precisely the
+// last-completed-batch state. Every length field read from disk is
+// validated against the scan geometry in the header before any allocation.
+//
+// Periodic snapshots (`<path>.snap`, written atomically via
+// util::AtomicFileWriter — the same tmp+fsync+rename machinery as HSPT
+// checkpoints) compact the full replay state so recovery cost stays O(tail)
+// instead of O(whole journal). Recovery loads the snapshot if it is valid,
+// then replays only the journal records past it; a damaged snapshot is
+// ignored and the journal alone recovers the state.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "layout/geometry.h"
+#include "scan/dedup_cache.h"
+
+namespace hotspot::scan {
+
+// Why a journal operation failed; mirrors nn::IoStatus but stays
+// scan-local so the scan layer does not depend on nn.
+enum class JournalStatus {
+  kOk = 0,
+  kMissing,      // journal file does not exist / cannot be opened
+  kTruncated,    // header ends before the data it declares
+  kCorrupt,      // header CRC mismatch or implausible field
+  kBadFormat,    // not an HSJL journal / unsupported version
+  kMismatch,     // journal belongs to a different chip or scan config
+  kWriteFailed,  // append, flush, fsync, or snapshot publish failed
+};
+
+const char* journal_status_name(JournalStatus status);
+
+struct JournalResult {
+  JournalStatus status = JournalStatus::kOk;
+  std::string message;
+
+  bool ok() const { return status == JournalStatus::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  static JournalResult success() { return {}; }
+  static JournalResult failure(JournalStatus status, std::string message) {
+    return {status, std::move(message)};
+  }
+};
+
+// Identity of a scan: resuming under a different chip, window grid, or
+// dedup configuration would replay state that means something else, so the
+// header pins all of it and open() rejects a mismatch.
+struct JournalMeta {
+  std::uint64_t chip_fingerprint = 0;
+  std::int64_t window_nm = 0;
+  std::int64_t step_nm = 0;
+  std::int64_t grid = 0;
+  std::int64_t cols = 0;
+  std::int64_t rows = 0;
+  std::int64_t origin_x = 0;
+  std::int64_t origin_y = 0;
+  std::int32_t batch_size = 0;
+  std::uint8_t dedup = 0;
+  std::uint64_t dedup_max_entries = 0;
+  std::uint64_t dedup_max_bytes = 0;
+
+  bool operator==(const JournalMeta& other) const;
+  bool operator!=(const JournalMeta& other) const { return !(*this == other); }
+};
+
+// FNV-1a over the chip's rect coordinates (order-sensitive, like the scan).
+std::uint64_t chip_fingerprint(const layout::Pattern& chip);
+
+// Everything a resumed scan needs: the first `windows_done` windows of scan
+// order are fully scored, entry ids below entry_count() are classified.
+struct JournalState {
+  std::int64_t windows_done = 0;
+  std::int64_t batches = 0;  // journal records applied (snapshot cadence)
+  // Window index -> entry id over [0, windows_done); -1 = quarantined
+  // window (rasterization failed past retry budget, no entry allocated).
+  std::vector<std::int64_t> window_entry;
+  // Verdict per entry id; -1 = quarantined entry (classification failed).
+  std::vector<std::int32_t> entry_verdicts;
+  // Unpacked {0,1} pixel bytes per entry id (grid*grid each) — the dedup
+  // cache's rebuild material.
+  std::vector<RasterKey> entry_pixels;
+
+  std::int64_t entry_count() const {
+    return static_cast<std::int64_t>(entry_verdicts.size());
+  }
+};
+
+class ScanJournal {
+ public:
+  ScanJournal() = default;
+  ~ScanJournal() { close(); }
+  ScanJournal(const ScanJournal&) = delete;
+  ScanJournal& operator=(const ScanJournal&) = delete;
+
+  // Opens `path` for appending under identity `meta`.
+  //
+  //   resume = false: starts a fresh journal (truncates any existing file
+  //     and removes a stale snapshot); `recovered` is reset to empty.
+  //   resume = true: recovers prior state — snapshot first if valid, then
+  //     journal records past it — into `recovered`, truncates any torn
+  //     tail, and positions for appending. kMissing when there is nothing
+  //     to resume from; kMismatch when the journal identifies a different
+  //     scan.
+  JournalResult open(const std::string& path, const JournalMeta& meta,
+                     bool resume, JournalState* recovered);
+
+  // Appends one completed-batch record and fsyncs it. `window_entries` maps
+  // windows [win_begin, win_end) to entry ids (-1 = quarantined);
+  // `verdicts`/`pixels` describe the `verdicts.size()` new entries the
+  // batch introduced, ids [base_entry, base_entry + verdicts.size()).
+  JournalResult append_batch(std::int64_t win_begin, std::int64_t win_end,
+                             std::int64_t base_entry,
+                             const std::vector<std::int64_t>& window_entries,
+                             const std::vector<std::int32_t>& verdicts,
+                             const std::vector<RasterKey>& pixels);
+
+  // Atomically replaces the snapshot file with `state`.
+  JournalResult write_snapshot(const JournalState& state) const;
+
+  void close();
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  static std::string snapshot_path(const std::string& journal_path) {
+    return journal_path + ".snap";
+  }
+
+  // Read-only recovery (no file mutation, no truncation): what a resume
+  // would start from. kMissing when neither journal nor snapshot exists.
+  static JournalResult recover(const std::string& path,
+                               const JournalMeta& meta, JournalState* state);
+
+ private:
+  std::string path_;
+  JournalMeta meta_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace hotspot::scan

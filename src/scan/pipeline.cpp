@@ -1,6 +1,7 @@
 #include "scan/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -12,16 +13,33 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scan/dedup_cache.h"
+#include "scan/journal.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/stopwatch.h"
 
 namespace hotspot::scan {
 namespace {
 
+void backoff_sleep(int base_ms, int retry_index) {
+  if (base_ms <= 0) {
+    return;
+  }
+  const int shift = std::min(retry_index, 20);  // cap exponential growth
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long long>(base_ms) << shift));
+}
+
 struct BatchPlan {
-  tensor::Tensor images;        // [count, 1, grid, grid]
+  tensor::Tensor images;        // [count, 1, grid, grid]; unset if count == 0
   std::int64_t base_entry = 0;  // first entry id covered by this batch
-  std::int64_t count = 0;
+  std::int64_t count = 0;       // new distinct rasters in this batch
+  std::int64_t win_begin = 0;   // window span this batch consumed
+  std::int64_t win_end = 0;
+  // window_entry slice over [win_begin, win_end); -1 = quarantined.
+  std::vector<std::int64_t> entries;
+  // Pixels of the `count` new entries, in entry order (journaling only).
+  std::vector<RasterKey> pixels;
 };
 
 // Bounded handoff between the raster producer and the inference consumer.
@@ -88,7 +106,8 @@ class BatchProducer {
       : config_(config),
         stream_(chip, config.window_nm,
                 config.step_nm > 0 ? config.step_nm : config.window_nm),
-        cache_(config.dedup_max_entries),
+        cache_(config.dedup_max_entries, config.dedup_max_bytes),
+        keep_pixels_(!config.journal_path.empty()),
         stats_(stats) {
     window_entry_.assign(static_cast<std::size_t>(stream_.window_count()), 0);
   }
@@ -98,8 +117,34 @@ class BatchProducer {
     return window_entry_;
   }
 
-  // Assembles the next batch of distinct rasters. Returns false when the
-  // window grid is exhausted and no windows remain.
+  // Adopts journal-recovered state: skips the recovered windows and rebuilds
+  // the dedup cache by replaying the recovered access sequence, so LRU order
+  // (and therefore every future hit/miss/eviction) matches the state the
+  // interrupted run would have reached.
+  void adopt(const JournalState& state) {
+    HOTSPOT_CHECK_LE(state.windows_done, stream_.window_count())
+        << "journal covers more windows than this scan has";
+    stream_.seek(state.windows_done);
+    windows_seen_ = state.windows_done;
+    next_entry_ = state.entry_count();
+    for (std::int64_t w = 0; w < state.windows_done; ++w) {
+      const std::int64_t entry = state.window_entry[static_cast<std::size_t>(w)];
+      window_entry_[static_cast<std::size_t>(w)] = entry;
+      if (!config_.dedup || entry < 0) {
+        continue;
+      }
+      const RasterKey& pixels =
+          state.entry_pixels[static_cast<std::size_t>(entry)];
+      const std::uint64_t hash = hash_raster(pixels);
+      if (cache_.find(hash, pixels) < 0) {
+        cache_.insert(hash, pixels, entry);
+      }
+    }
+  }
+
+  // Assembles the next batch. Returns false only when no windows remain; a
+  // returned plan can have count == 0 (every window in its span was a dedup
+  // hit or quarantined) — the journal still needs that span recorded.
   bool next_batch(BatchPlan& out) {
     HOTSPOT_TRACE_SPAN("scan.batch.rasterize");
     util::Stopwatch timer;
@@ -111,35 +156,29 @@ class BatchProducer {
         std::min<std::int64_t>(config_.batch_size, remaining) *
         pixels_per_window));
     const std::int64_t base_entry = next_entry_;
+    const std::int64_t win_begin = windows_seen_;
+    std::vector<RasterKey> batch_pixels;
     std::int64_t count = 0;
     std::int64_t windows_in_batch = 0;
     std::int64_t hits_in_batch = 0;
     WindowRef ref;
     while (count < config_.batch_size && stream_.next(ref)) {
       ++windows_in_batch;
-      const layout::Clip clip = stream_.materialize(ref);
-      const tensor::Tensor raster = clip.binary(grid);
-      RasterKey pixels(static_cast<std::size_t>(pixels_per_window));
-      const float* src = raster.data();
-      for (std::int64_t i = 0; i < pixels_per_window; ++i) {
-        pixels[static_cast<std::size_t>(i)] = src[i] != 0.0f ? 1 : 0;
+      WindowOutcome outcome = process_window(ref, pixels_per_window);
+      if (!outcome.ok) {
+        window_entry_[static_cast<std::size_t>(ref.index)] = -1;
+        continue;
       }
-      std::uint64_t hash = 0;
-      if (config_.dedup) {
-        hash = hash_raster(pixels);
-        const std::int64_t cached = cache_.find(hash, pixels);
-        if (cached >= 0) {
-          window_entry_[static_cast<std::size_t>(ref.index)] = cached;
-          ++hits_in_batch;
-          continue;
-        }
+      window_entry_[static_cast<std::size_t>(ref.index)] = outcome.entry;
+      if (!outcome.is_new) {
+        ++hits_in_batch;
+        continue;
       }
-      window_entry_[static_cast<std::size_t>(ref.index)] = next_entry_;
-      for (const std::uint8_t pixel : pixels) {
+      for (const std::uint8_t pixel : outcome.pixels) {
         slots.push_back(static_cast<float>(pixel));
       }
-      if (config_.dedup) {
-        cache_.insert(hash, std::move(pixels), next_entry_);
+      if (keep_pixels_) {
+        batch_pixels.push_back(std::move(outcome.pixels));
       }
       ++next_entry_;
       ++count;
@@ -162,24 +201,99 @@ class BatchProducer {
     windows_counter.increment(static_cast<std::uint64_t>(windows_in_batch));
     hits_counter.increment(static_cast<std::uint64_t>(hits_in_batch));
     misses_counter.increment(static_cast<std::uint64_t>(count));
-    if (count == 0) {
+    if (windows_in_batch == 0) {
       return false;
     }
-    out.images = tensor::Tensor({count, 1, grid, grid}, std::move(slots));
+    if (count > 0) {
+      out.images = tensor::Tensor({count, 1, grid, grid}, std::move(slots));
+    } else {
+      out.images = tensor::Tensor();
+    }
     out.base_entry = base_entry;
     out.count = count;
+    out.win_begin = win_begin;
+    out.win_end = windows_seen_;
+    out.entries.assign(
+        window_entry_.begin() + static_cast<std::ptrdiff_t>(win_begin),
+        window_entry_.begin() + static_cast<std::ptrdiff_t>(windows_seen_));
+    out.pixels = std::move(batch_pixels);
     return true;
   }
 
  private:
+  struct WindowOutcome {
+    bool ok = false;
+    bool is_new = false;        // a new distinct raster (needs inference)
+    std::int64_t entry = -1;    // entry id (existing on a dedup hit)
+    RasterKey pixels;           // set when is_new
+  };
+
+  // One window, guarded: deadline per attempt, bounded retries with
+  // exponential backoff, quarantine past the budget. The attempt body keeps
+  // all cache mutation last (and RasterDedupCache::insert probes its fault
+  // before mutating), so a failed attempt leaves no partial state behind
+  // and the retry replays cleanly.
+  WindowOutcome process_window(const WindowRef& ref,
+                               std::int64_t pixels_per_window) {
+    static obs::Counter& retries_counter =
+        obs::MetricsRegistry::global().counter("scan.retries");
+    const int max_attempts = config_.max_retries + 1;
+    for (int attempt = 1;; ++attempt) {
+      util::Stopwatch attempt_timer;
+      try {
+        util::fault_maybe_stall(util::FaultPoint::kScanRasterStall);
+        if (util::fault_should_fail(util::FaultPoint::kScanRasterCompute)) {
+          throw std::runtime_error("injected raster compute fault");
+        }
+        const layout::Clip clip = stream_.materialize(ref);
+        const tensor::Tensor raster = clip.binary(config_.grid);
+        RasterKey pixels(static_cast<std::size_t>(pixels_per_window));
+        const float* src = raster.data();
+        for (std::int64_t i = 0; i < pixels_per_window; ++i) {
+          pixels[static_cast<std::size_t>(i)] = src[i] != 0.0f ? 1 : 0;
+        }
+        // Cooperative deadline: checked once the attempt's work is done (a
+        // wedged computation cannot be preempted, but a stalled one is
+        // caught here instead of poisoning the whole scan).
+        if (config_.window_deadline_ms > 0 &&
+            attempt_timer.seconds() * 1000.0 > config_.window_deadline_ms) {
+          throw std::runtime_error("window exceeded deadline");
+        }
+        if (config_.dedup) {
+          const std::uint64_t hash = hash_raster(pixels);
+          const std::int64_t cached = cache_.find(hash, pixels);
+          if (cached >= 0) {
+            return WindowOutcome{true, false, cached, {}};
+          }
+          cache_.insert(hash, pixels, next_entry_);
+        }
+        return WindowOutcome{true, true, next_entry_, std::move(pixels)};
+      } catch (...) {
+        if (attempt >= max_attempts) {
+          return WindowOutcome{};
+        }
+        ++stats_.retries;
+        retries_counter.increment();
+        backoff_sleep(config_.retry_backoff_ms, attempt - 1);
+      }
+    }
+  }
+
   ScanConfig config_;
   ClipWindowStream stream_;
   RasterDedupCache cache_;
+  bool keep_pixels_;
   ScanStats& stats_;
   std::vector<std::int64_t> window_entry_;  // window index -> entry id
   std::int64_t next_entry_ = 0;
   std::int64_t windows_seen_ = 0;
 };
+
+void throw_if_abort_armed(const char* where) {
+  if (util::fault_should_fail(util::FaultPoint::kScanAbort)) {
+    throw ScanAborted(std::string("injected scan abort ") + where);
+  }
+}
 
 }  // namespace
 
@@ -190,7 +304,14 @@ ScanPipeline::ScanPipeline(const ScanConfig& config,
   HOTSPOT_CHECK_GE(config_.step_nm, 0);
   HOTSPOT_CHECK_GT(config_.grid, 0);
   HOTSPOT_CHECK_GT(config_.batch_size, 0);
+  HOTSPOT_CHECK_GE(config_.max_retries, 0);
+  HOTSPOT_CHECK_GE(config_.retry_backoff_ms, 0);
+  HOTSPOT_CHECK_GE(config_.window_deadline_ms, 0);
   HOTSPOT_CHECK(classifier_ != nullptr) << "scan needs a classifier";
+  if (config_.resume) {
+    HOTSPOT_CHECK(!config_.journal_path.empty())
+        << "resume needs a journal_path";
+  }
 }
 
 ScanResult ScanPipeline::scan(const layout::Pattern& chip) {
@@ -207,29 +328,144 @@ ScanResult ScanPipeline::scan(const layout::Pattern& chip) {
   const std::int64_t window_count = stream.window_count();
 
   // One verdict slot per *distinct* raster; windows map into it through
-  // window_entry. Sized for the worst case (no duplicates).
+  // window_entry. Sized for the worst case (no duplicates). -1 marks an
+  // entry whose classification was quarantined.
   std::vector<int> entry_verdicts(static_cast<std::size_t>(window_count), 0);
+
+  // Journal setup + recovery. jstate mirrors everything appended so far —
+  // it is both the snapshot payload and the resume baseline.
+  const bool journaling = !config_.journal_path.empty();
+  ScanJournal journal;
+  JournalState jstate;
+  if (journaling) {
+    JournalMeta meta;
+    meta.chip_fingerprint = chip_fingerprint(chip);
+    meta.window_nm = stream.size_nm();
+    meta.step_nm = stream.step_nm();
+    meta.grid = config_.grid;
+    meta.cols = stream.cols();
+    meta.rows = stream.rows();
+    meta.origin_x = stream.origin_x();
+    meta.origin_y = stream.origin_y();
+    meta.batch_size = config_.batch_size;
+    meta.dedup = config_.dedup ? 1 : 0;
+    meta.dedup_max_entries = config_.dedup_max_entries;
+    meta.dedup_max_bytes = config_.dedup_max_bytes;
+    const JournalResult opened = journal.open(
+        config_.journal_path, meta, config_.resume, &jstate);
+    if (!opened.ok()) {
+      throw std::runtime_error("scan journal (" +
+                               std::string(journal_status_name(
+                                   opened.status)) +
+                               "): " + opened.message);
+    }
+    if (config_.resume && jstate.windows_done > 0) {
+      producer.adopt(jstate);
+      for (std::int64_t e = 0; e < jstate.entry_count(); ++e) {
+        entry_verdicts[static_cast<std::size_t>(e)] =
+            jstate.entry_verdicts[static_cast<std::size_t>(e)];
+      }
+      result.stats.resume_skipped = jstate.windows_done;
+      static obs::Counter& resume_counter =
+          obs::MetricsRegistry::global().counter("scan.resume.skipped");
+      resume_counter.increment(
+          static_cast<std::uint64_t>(jstate.windows_done));
+    }
+  }
 
   static obs::Counter& batches_counter =
       obs::MetricsRegistry::global().counter("scan.batches");
-  auto classify_batch = [&](const BatchPlan& plan) {
-    HOTSPOT_TRACE_SPAN("scan.batch.infer");
-    util::Stopwatch timer;
-    const std::vector<int> verdicts = classifier_(plan.images);
-    HOTSPOT_CHECK_EQ(static_cast<std::int64_t>(verdicts.size()), plan.count)
-        << "classifier returned the wrong number of labels";
-    for (std::int64_t i = 0; i < plan.count; ++i) {
-      entry_verdicts[static_cast<std::size_t>(plan.base_entry + i)] =
-          verdicts[static_cast<std::size_t>(i)];
+  static obs::Counter& snapshot_failures_counter =
+      obs::MetricsRegistry::global().counter(
+          "scan.journal.snapshot_failures");
+  std::int64_t consumer_retries = 0;
+  std::int64_t records_this_run = 0;
+
+  // Classifies one batch with deadline/retry/quarantine, then journals it.
+  // Runs on the calling thread only.
+  auto classify_batch = [&](BatchPlan& plan) {
+    throw_if_abort_armed("before classify");
+    std::vector<int> verdicts;
+    if (plan.count > 0) {
+      HOTSPOT_TRACE_SPAN("scan.batch.infer");
+      const double deadline_ms =
+          config_.window_deadline_ms > 0
+              ? static_cast<double>(config_.window_deadline_ms) *
+                    static_cast<double>(plan.count)
+              : 0.0;
+      const int max_attempts = config_.max_retries + 1;
+      for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        util::Stopwatch timer;
+        try {
+          verdicts = classifier_(plan.images);
+          HOTSPOT_CHECK_EQ(static_cast<std::int64_t>(verdicts.size()),
+                           plan.count)
+              << "classifier returned the wrong number of labels";
+          if (deadline_ms > 0.0 && timer.seconds() * 1000.0 > deadline_ms) {
+            throw std::runtime_error("batch exceeded deadline");
+          }
+          const double batch_seconds = timer.seconds();
+          result.stats.infer_seconds += batch_seconds;
+          ++result.stats.batches;
+          batches_counter.increment();
+          static obs::Histogram& batch_histogram =
+              obs::MetricsRegistry::global().histogram(
+                  "scan.batch_seconds", obs::default_latency_buckets());
+          batch_histogram.observe(batch_seconds);
+          break;
+        } catch (...) {
+          verdicts.clear();
+          if (attempt >= max_attempts) {
+            break;
+          }
+          ++consumer_retries;
+          static obs::Counter& retries_counter =
+              obs::MetricsRegistry::global().counter("scan.retries");
+          retries_counter.increment();
+          backoff_sleep(config_.retry_backoff_ms, attempt - 1);
+        }
+      }
+      if (verdicts.empty()) {
+        // Classification failed past the budget: quarantine every entry in
+        // the batch. Partial results for the rest of the scan survive.
+        verdicts.assign(static_cast<std::size_t>(plan.count), -1);
+      }
+      for (std::int64_t i = 0; i < plan.count; ++i) {
+        entry_verdicts[static_cast<std::size_t>(plan.base_entry + i)] =
+            verdicts[static_cast<std::size_t>(i)];
+      }
     }
-    const double batch_seconds = timer.seconds();
-    result.stats.infer_seconds += batch_seconds;
-    ++result.stats.batches;
-    batches_counter.increment();
-    static obs::Histogram& batch_histogram =
-        obs::MetricsRegistry::global().histogram(
-            "scan.batch_seconds", obs::default_latency_buckets());
-    batch_histogram.observe(batch_seconds);
+    throw_if_abort_armed("before journal append");
+    if (journaling) {
+      std::vector<std::int32_t> verdicts32(verdicts.begin(), verdicts.end());
+      const JournalResult appended = journal.append_batch(
+          plan.win_begin, plan.win_end, plan.base_entry, plan.entries,
+          verdicts32, plan.pixels);
+      if (!appended.ok()) {
+        throw std::runtime_error("scan journal (write-failed): " +
+                                 appended.message);
+      }
+      jstate.window_entry.insert(jstate.window_entry.end(),
+                                 plan.entries.begin(), plan.entries.end());
+      jstate.entry_verdicts.insert(jstate.entry_verdicts.end(),
+                                   verdicts32.begin(), verdicts32.end());
+      for (RasterKey& pixels : plan.pixels) {
+        jstate.entry_pixels.push_back(std::move(pixels));
+      }
+      jstate.windows_done = plan.win_end;
+      ++jstate.batches;
+      ++records_this_run;
+      if (config_.snapshot_every_batches > 0 &&
+          records_this_run % config_.snapshot_every_batches == 0) {
+        // A failed snapshot is not data loss — the journal has every batch
+        // and the previous snapshot (if any) is still intact under the
+        // atomic publish — so it only costs recovery time. Count it.
+        if (!journal.write_snapshot(jstate).ok()) {
+          snapshot_failures_counter.increment();
+        }
+      }
+    }
+    throw_if_abort_armed("after journal append");
   };
 
   if (config_.pipelined && window_count > 0) {
@@ -257,6 +493,7 @@ ScanResult ScanPipeline::scan(const layout::Pattern& chip) {
     } catch (...) {
       queue.abort();
       producer_thread.join();
+      result.stats.retries += consumer_retries;
       throw;
     }
     producer_thread.join();
@@ -269,14 +506,40 @@ ScanResult ScanPipeline::scan(const layout::Pattern& chip) {
       classify_batch(plan);
     }
   }
+  result.stats.retries += consumer_retries;
 
-  // Replay verdicts back onto the window grid.
+  if (journaling) {
+    // Completion snapshot: a --resume of a finished journal recovers
+    // instantly instead of replaying every record.
+    if (!journal.write_snapshot(jstate).ok()) {
+      snapshot_failures_counter.increment();
+    }
+    journal.close();
+  }
+
+  // Replay verdicts back onto the window grid; quarantined windows (no
+  // entry, or an entry whose classification failed) get a conservative 0
+  // and are reported explicitly.
   result.labels.resize(static_cast<std::size_t>(window_count));
   const std::vector<std::int64_t>& window_entry = producer.window_entry();
   for (std::int64_t w = 0; w < window_count; ++w) {
-    result.labels[static_cast<std::size_t>(w)] =
-        entry_verdicts[static_cast<std::size_t>(
-            window_entry[static_cast<std::size_t>(w)])];
+    const std::int64_t entry = window_entry[static_cast<std::size_t>(w)];
+    const int verdict =
+        entry < 0 ? -1 : entry_verdicts[static_cast<std::size_t>(entry)];
+    if (verdict < 0) {
+      result.labels[static_cast<std::size_t>(w)] = 0;
+      result.quarantined_windows.push_back(w);
+    } else {
+      result.labels[static_cast<std::size_t>(w)] = verdict;
+    }
+  }
+  result.stats.quarantined =
+      static_cast<std::int64_t>(result.quarantined_windows.size());
+  if (result.stats.quarantined > 0) {
+    static obs::Counter& quarantined_counter =
+        obs::MetricsRegistry::global().counter("scan.quarantined");
+    quarantined_counter.increment(
+        static_cast<std::uint64_t>(result.stats.quarantined));
   }
   result.stats.unique_windows = result.stats.windows - result.stats.dedup_hits;
   result.regions = merge_flagged_windows(

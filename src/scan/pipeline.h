@@ -1,4 +1,4 @@
-// Streaming full-chip scan pipeline (DESIGN.md §11).
+// Streaming full-chip scan pipeline (DESIGN.md §11, §13).
 //
 // Replaces the eager extract-everything-then-predict scan with a bounded-
 // memory pipeline:
@@ -20,10 +20,20 @@
 // never of timing or thread count — and the detector's per-window outputs
 // are independent of batch composition, so scan results are bit-identical
 // across pipelined/sequential modes and any HOTSPOT_NUM_THREADS setting.
+//
+// Fault tolerance (DESIGN.md §13): each window/batch gets a cooperative
+// deadline and a bounded retry budget; windows that fail past it are
+// quarantined (label 0, listed in ScanResult::quarantined_windows, counted
+// in stats and on scan.quarantined) instead of hanging or killing the scan.
+// With a journal_path set, every completed batch is appended to a
+// crash-safe scan journal so `resume = true` continues a killed scan from
+// its last fsync'ed batch — bit-identical to an uninterrupted run.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "layout/geometry.h"
@@ -33,21 +43,40 @@
 
 namespace hotspot::scan {
 
+// Thrown when the kScanAbort fault point fires mid-scan: the chaos
+// harness's stand-in for a hard kill at a batch boundary. The journal (if
+// any) keeps every batch appended before the throw.
+struct ScanAborted : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 struct ScanConfig {
   std::int64_t window_nm = 0;  // window edge length (required, > 0)
   std::int64_t step_nm = 0;    // scan stride; 0 = window_nm (non-overlapping)
   std::int64_t grid = 32;      // raster resolution fed to the classifier
   int batch_size = 64;         // distinct rasters per inference batch
   bool dedup = true;           // raster dedup cache on/off
-  std::size_t dedup_max_entries = 0;  // 0 = unlimited
+  std::size_t dedup_max_entries = 0;  // LRU entry cap; 0 = unlimited
+  std::size_t dedup_max_bytes = 0;    // LRU payload-byte cap; 0 = unlimited
   bool pipelined = true;       // overlap rasterization with inference
+
+  // Fault tolerance (DESIGN.md §13).
+  int window_deadline_ms = 0;  // per-window attempt budget; 0 = no deadline
+  int max_retries = 2;         // retry attempts after the first failure
+  int retry_backoff_ms = 1;    // backoff before retry N is this << (N-1)
+  std::string journal_path;    // append completed batches here; "" = off
+  bool resume = false;         // recover journal_path state (requires path)
+  int snapshot_every_batches = 16;  // snapshot cadence; 0 = completion only
 };
 
 struct ScanStats {
-  std::int64_t windows = 0;         // window positions scanned
+  std::int64_t windows = 0;         // window positions scanned this run
   std::int64_t unique_windows = 0;  // rasters that paid inference
   std::int64_t dedup_hits = 0;      // windows served from the cache
   std::int64_t batches = 0;         // inference batches issued
+  std::int64_t retries = 0;         // failed attempts that were retried
+  std::int64_t quarantined = 0;     // windows abandoned past the retry budget
+  std::int64_t resume_skipped = 0;  // windows recovered from the journal
   double raster_seconds = 0.0;      // producer time (rasterize + dedup)
   double infer_seconds = 0.0;       // classifier time
   double total_seconds = 0.0;       // wall time of the whole scan
@@ -61,9 +90,13 @@ struct ScanStats {
 
 struct ScanResult {
   // One verdict per window in scan order (iy * cols + ix); 1 = hotspot.
+  // Quarantined windows carry 0 here and their indices below.
   std::vector<int> labels;
   // Flagged windows merged into connected regions (8-connectivity).
   std::vector<HotspotRegion> regions;
+  // Scan-order indices of windows whose raster or classification failed
+  // past the retry budget; their labels are a conservative 0.
+  std::vector<std::int64_t> quarantined_windows;
   ScanStats stats;
 
   // Window grid the labels are indexed by.
@@ -105,8 +138,14 @@ class ScanPipeline {
 
   // Sweeps the window grid over `chip` and returns per-window verdicts,
   // merged hotspot regions, and scan statistics. Also bumps the
-  // scan.windows / scan.dedup.{hits,misses} / scan.batches counters in
+  // scan.windows / scan.dedup.{hits,misses} / scan.batches /
+  // scan.retries / scan.quarantined / scan.resume.skipped counters in
   // obs::MetricsRegistry::global().
+  //
+  // Throws ScanAborted when the kScanAbort fault point fires and
+  // std::runtime_error when the journal cannot be opened or appended to
+  // (resume mismatch, disk failure). Per-window faults never throw — they
+  // retry, then quarantine.
   ScanResult scan(const layout::Pattern& chip);
 
  private:

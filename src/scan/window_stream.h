@@ -54,6 +54,14 @@ class ClipWindowStream {
   // Restarts the scan from the first window.
   void reset() { cursor_ = 0; }
 
+  // Positions the cursor so the next next() call yields window `index`
+  // (clamped to [0, window_count()]). Journal resume uses this to skip the
+  // windows a previous run already scored.
+  void seek(std::int64_t index) {
+    cursor_ = index < 0 ? 0
+                        : (index > window_count() ? window_count() : index);
+  }
+
   // Window geometry for an arbitrary grid index (0 <= index < count).
   WindowRef window_at(std::int64_t index) const;
 

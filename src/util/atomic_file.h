@@ -1,0 +1,77 @@
+// Atomic file publication: write to "<path>.tmp", then finalize() flushes,
+// fsyncs, and renames over the target in one step. A crash — or an injected
+// fault, see util/fault_injection.h — at any point before the rename leaves
+// the previous file (or no file) fully intact; readers can never observe a
+// torn write at `path`.
+//
+// This is the tmp+fsync+rename machinery the HSPT checkpoint writer
+// (nn/serialize) introduced, factored out so the scan journal's snapshots
+// and any future durable artifact share one audited implementation. The
+// writer keeps a running CRC-32 of every byte written, so callers can
+// append an integrity footer without hashing twice.
+//
+// Fault points are parameterized: each writer instance probes its own
+// write/flush/rename points, so checkpoint tests and scan-journal chaos
+// tests can injure their own subsystem without tripping the other.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+
+namespace hotspot::util {
+
+class AtomicFileWriter {
+ public:
+  // The failure points this writer probes (see fault_injection.h).
+  struct FaultPoints {
+    FaultPoint write;
+    FaultPoint flush;
+    FaultPoint rename;
+  };
+
+  // Opens "<path>.tmp" for writing; ok() reports whether that worked.
+  AtomicFileWriter(std::string path, FaultPoints points);
+
+  // Any exit before a successful finalize() removes the temp file and
+  // leaves `path` untouched.
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr && error_.empty(); }
+  // Human-readable description of the first failure ("<path>: detail").
+  const std::string& error() const { return error_; }
+
+  // Appends bytes; returns false (and latches error()) on failure. An
+  // injected write fault lands half the chunk, the way a real torn write
+  // would.
+  bool write(const void* data, std::size_t size);
+
+  bool write_u8(std::uint8_t value) { return write(&value, sizeof(value)); }
+  bool write_u32(std::uint32_t value) { return write(&value, sizeof(value)); }
+  bool write_u64(std::uint64_t value) { return write(&value, sizeof(value)); }
+  bool write_i32(std::int32_t value) { return write(&value, sizeof(value)); }
+  bool write_i64(std::int64_t value) { return write(&value, sizeof(value)); }
+
+  // CRC-32 of everything written so far (for integrity footers).
+  std::uint32_t crc() const { return crc_.value(); }
+
+  // Flush + fsync + atomic rename onto `path`. Returns false (and latches
+  // error()) on failure; the temp file is removed either way.
+  bool finalize();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  FaultPoints points_;
+  std::FILE* file_ = nullptr;
+  Crc32 crc_;
+  std::string error_;
+};
+
+}  // namespace hotspot::util

@@ -3,8 +3,10 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <sys/stat.h>
+#include <thread>
 
 #include "util/check.h"
 
@@ -12,13 +14,17 @@ namespace hotspot::util {
 namespace {
 
 struct PointState {
-  // Remaining probes before the point fires; 0 = disarmed.
+  // Remaining probes before the one-shot fires; 0 = disarmed.
   std::atomic<int> countdown{0};
+  // Sticky mode: probes with 1-based sequence >= sticky_after fire until
+  // cleared; 0 = disarmed.
+  std::atomic<int> sticky_after{0};
   std::atomic<int> trips{0};
   std::atomic<int> probes{0};
 };
 
 PointState g_points[kFaultPointCount];
+std::atomic<int> g_stall_ms{0};
 
 PointState& state_for(FaultPoint point) {
   const int index = static_cast<int>(point);
@@ -37,6 +43,24 @@ const char* fault_point_name(FaultPoint point) {
       return "checkpoint-flush";
     case FaultPoint::kCheckpointRename:
       return "checkpoint-rename";
+    case FaultPoint::kJournalWrite:
+      return "journal-write";
+    case FaultPoint::kJournalFlush:
+      return "journal-flush";
+    case FaultPoint::kJournalRename:
+      return "journal-rename";
+    case FaultPoint::kScanRasterCompute:
+      return "scan-raster-compute";
+    case FaultPoint::kScanRasterStall:
+      return "scan-raster-stall";
+    case FaultPoint::kScanAlloc:
+      return "scan-alloc";
+    case FaultPoint::kScanPredictCompute:
+      return "scan-predict-compute";
+    case FaultPoint::kScanPredictStall:
+      return "scan-predict-stall";
+    case FaultPoint::kScanAbort:
+      return "scan-abort";
   }
   return "unknown";
 }
@@ -46,9 +70,19 @@ void fault_arm(FaultPoint point, int countdown) {
   state_for(point).countdown.store(countdown, std::memory_order_relaxed);
 }
 
+void fault_arm_sticky(FaultPoint point, int after) {
+  HOTSPOT_CHECK_GE(after, 1);
+  PointState& state = state_for(point);
+  // Sticky arming starts a fresh probe sequence so `after` counts from the
+  // arm call, not from probes a previous test phase already burned.
+  state.probes.store(0, std::memory_order_relaxed);
+  state.sticky_after.store(after, std::memory_order_relaxed);
+}
+
 void fault_clear(FaultPoint point) {
   PointState& state = state_for(point);
   state.countdown.store(0, std::memory_order_relaxed);
+  state.sticky_after.store(0, std::memory_order_relaxed);
   state.trips.store(0, std::memory_order_relaxed);
   state.probes.store(0, std::memory_order_relaxed);
 }
@@ -57,11 +91,17 @@ void fault_clear_all() {
   for (int i = 0; i < kFaultPointCount; ++i) {
     fault_clear(static_cast<FaultPoint>(i));
   }
+  g_stall_ms.store(0, std::memory_order_relaxed);
 }
 
 bool fault_should_fail(FaultPoint point) {
   PointState& state = state_for(point);
-  state.probes.fetch_add(1, std::memory_order_relaxed);
+  const int sequence = state.probes.fetch_add(1, std::memory_order_relaxed) + 1;
+  const int sticky = state.sticky_after.load(std::memory_order_relaxed);
+  if (sticky > 0 && sequence >= sticky) {
+    state.trips.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
   // Fast path: unarmed points never fail and never write.
   if (state.countdown.load(std::memory_order_relaxed) == 0) {
     return false;
@@ -71,6 +111,24 @@ bool fault_should_fail(FaultPoint point) {
     return true;
   }
   return false;
+}
+
+void fault_set_stall_ms(int ms) {
+  HOTSPOT_CHECK_GE(ms, 0);
+  g_stall_ms.store(ms, std::memory_order_relaxed);
+}
+
+int fault_stall_ms() { return g_stall_ms.load(std::memory_order_relaxed); }
+
+bool fault_maybe_stall(FaultPoint point) {
+  if (!fault_should_fail(point)) {
+    return false;
+  }
+  const int ms = fault_stall_ms();
+  if (ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+  return true;
 }
 
 int fault_trip_count(FaultPoint point) {

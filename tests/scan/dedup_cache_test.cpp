@@ -39,18 +39,75 @@ TEST(RasterDedupCache, CollisionResolvedByFullComparison) {
   EXPECT_EQ(cache.find(shared_hash, make_key({1, 0, 1, 0})), -1);
 }
 
-TEST(RasterDedupCache, CapacityBoundsInsertion) {
+TEST(RasterDedupCache, EntryCapEvictsLeastRecentlyUsed) {
   RasterDedupCache cache(/*max_entries=*/2);
   const RasterKey a = make_key({1});
   const RasterKey b = make_key({0});
   const RasterKey c = make_key({1, 1});
   EXPECT_TRUE(cache.insert(hash_raster(a), a, 0));
   EXPECT_TRUE(cache.insert(hash_raster(b), b, 1));
-  EXPECT_FALSE(cache.insert(hash_raster(c), c, 2));  // full: dropped
+  // Full: the third insert evicts `a` (the least recently used) instead of
+  // dropping the new raster.
+  EXPECT_TRUE(cache.insert(hash_raster(c), c, 2));
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_EQ(cache.find(hash_raster(c), c), -1);
-  // Existing entries survive the rejected insert.
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.find(hash_raster(a), a), -1);
+  EXPECT_EQ(cache.find(hash_raster(b), b), 1);
+  EXPECT_EQ(cache.find(hash_raster(c), c), 2);
+}
+
+TEST(RasterDedupCache, FindRefreshesRecency) {
+  RasterDedupCache cache(/*max_entries=*/2);
+  const RasterKey a = make_key({1});
+  const RasterKey b = make_key({0});
+  const RasterKey c = make_key({1, 1});
+  EXPECT_TRUE(cache.insert(hash_raster(a), a, 0));
+  EXPECT_TRUE(cache.insert(hash_raster(b), b, 1));
+  // Touch `a`: now `b` is the LRU victim.
   EXPECT_EQ(cache.find(hash_raster(a), a), 0);
+  EXPECT_TRUE(cache.insert(hash_raster(c), c, 2));
+  EXPECT_EQ(cache.find(hash_raster(a), a), 0);
+  EXPECT_EQ(cache.find(hash_raster(b), b), -1);
+}
+
+TEST(RasterDedupCache, ByteCapEvictsUntilPayloadFits) {
+  RasterDedupCache cache(/*max_entries=*/0, /*max_bytes=*/8);
+  const RasterKey a(4, 1);
+  const RasterKey b(4, 0);
+  RasterKey c(6, 1);
+  c[0] = 0;  // distinct from a
+  EXPECT_TRUE(cache.insert(hash_raster(a), a, 0));
+  EXPECT_TRUE(cache.insert(hash_raster(b), b, 1));
+  EXPECT_EQ(cache.bytes(), 8u);
+  // 6 more bytes need both 4-byte residents evicted.
+  EXPECT_TRUE(cache.insert(hash_raster(c), c, 2));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), 6u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_EQ(cache.find(hash_raster(c), c), 2);
+}
+
+TEST(RasterDedupCache, OversizedRasterIsRejectedWithoutEvicting) {
+  RasterDedupCache cache(/*max_entries=*/0, /*max_bytes=*/4);
+  const RasterKey small = make_key({1, 0});
+  const RasterKey huge(8, 1);
+  EXPECT_TRUE(cache.insert(hash_raster(small), small, 0));
+  // Larger than the whole cap: dropped, and the resident entry survives.
+  EXPECT_FALSE(cache.insert(hash_raster(huge), huge, 1));
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.find(hash_raster(small), small), 0);
+  EXPECT_EQ(cache.find(hash_raster(huge), huge), -1);
+}
+
+TEST(RasterDedupCache, UnboundedByDefault) {
+  RasterDedupCache cache;
+  for (int i = 0; i < 256; ++i) {
+    RasterKey key = make_key({i & 1, (i >> 1) & 1});
+    key.push_back(static_cast<std::uint8_t>(i));
+    EXPECT_TRUE(cache.insert(hash_raster(key), key, i));
+  }
+  EXPECT_EQ(cache.size(), 256u);
+  EXPECT_EQ(cache.evictions(), 0u);
 }
 
 TEST(HashRaster, LengthDisambiguatesZeroRuns) {

@@ -1,0 +1,393 @@
+// Scan journal unit tests: round-trip, identity pinning, torn-tail and
+// bit-rot recovery, snapshot compaction. The kill-and-resume property over
+// a whole scan lives in chaos_test.cpp; this file exercises the journal in
+// isolation.
+#include "scan/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/fault_injection.h"
+
+namespace hotspot::scan {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void remove_journal(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove(ScanJournal::snapshot_path(path).c_str());
+}
+
+// A 2x2-pixel scan over a 3x2 window grid: small enough to hand-check.
+JournalMeta test_meta() {
+  JournalMeta meta;
+  meta.chip_fingerprint = 0xfeedbeef;
+  meta.window_nm = 100;
+  meta.step_nm = 100;
+  meta.grid = 2;
+  meta.cols = 3;
+  meta.rows = 2;
+  meta.origin_x = 0;
+  meta.origin_y = 0;
+  meta.batch_size = 2;
+  meta.dedup = 1;
+  return meta;
+}
+
+RasterKey raster(std::initializer_list<int> bits) {
+  RasterKey key;
+  for (const int bit : bits) {
+    key.push_back(static_cast<std::uint8_t>(bit));
+  }
+  return key;
+}
+
+// Appends two batches covering windows [0,2) and [2,4): entries 0,1 then
+// entry 2 plus a dedup hit back onto entry 0.
+void append_two_batches(ScanJournal& journal) {
+  ASSERT_TRUE(journal.append_batch(
+      0, 2, 0, {0, 1}, {1, 0},
+      {raster({1, 0, 1, 0}), raster({0, 0, 1, 1})}));
+  ASSERT_TRUE(journal.append_batch(2, 4, 2, {2, 0}, {1},
+                                   {raster({1, 1, 1, 1})}));
+}
+
+void expect_two_batches(const JournalState& state) {
+  EXPECT_EQ(state.windows_done, 4);
+  EXPECT_EQ(state.batches, 2);
+  ASSERT_EQ(state.window_entry.size(), 4u);
+  EXPECT_EQ(state.window_entry[0], 0);
+  EXPECT_EQ(state.window_entry[1], 1);
+  EXPECT_EQ(state.window_entry[2], 2);
+  EXPECT_EQ(state.window_entry[3], 0);
+  ASSERT_EQ(state.entry_verdicts.size(), 3u);
+  EXPECT_EQ(state.entry_verdicts[0], 1);
+  EXPECT_EQ(state.entry_verdicts[1], 0);
+  EXPECT_EQ(state.entry_verdicts[2], 1);
+  ASSERT_EQ(state.entry_pixels.size(), 3u);
+  EXPECT_EQ(state.entry_pixels[0], raster({1, 0, 1, 0}));
+  EXPECT_EQ(state.entry_pixels[1], raster({0, 0, 1, 1}));
+  EXPECT_EQ(state.entry_pixels[2], raster({1, 1, 1, 1}));
+}
+
+TEST(ScanJournal, AppendThenRecoverRoundTrips) {
+  const std::string path = temp_path("journal_roundtrip.bin");
+  remove_journal(path);
+  {
+    ScanJournal journal;
+    JournalState fresh;
+    ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/false, &fresh));
+    EXPECT_EQ(fresh.windows_done, 0);
+    append_two_batches(journal);
+  }
+  JournalState state;
+  ASSERT_TRUE(ScanJournal::recover(path, test_meta(), &state));
+  expect_two_batches(state);
+}
+
+TEST(ScanJournal, ResumeRecoversAndAppendsChain) {
+  const std::string path = temp_path("journal_resume.bin");
+  remove_journal(path);
+  {
+    ScanJournal journal;
+    JournalState fresh;
+    ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/false, &fresh));
+    append_two_batches(journal);
+  }
+  {
+    ScanJournal journal;
+    JournalState recovered;
+    ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/true, &recovered));
+    expect_two_batches(recovered);
+    ASSERT_TRUE(journal.append_batch(4, 6, 3, {1, 3}, {0},
+                                     {raster({0, 1, 0, 1})}));
+  }
+  JournalState state;
+  ASSERT_TRUE(ScanJournal::recover(path, test_meta(), &state));
+  EXPECT_EQ(state.windows_done, 6);
+  EXPECT_EQ(state.entry_count(), 4);
+  EXPECT_EQ(state.window_entry[5], 3);
+}
+
+TEST(ScanJournal, ResumeWithNothingToRecoverIsMissing) {
+  const std::string path = temp_path("journal_missing.bin");
+  remove_journal(path);
+  ScanJournal journal;
+  JournalState state;
+  const JournalResult result =
+      journal.open(path, test_meta(), /*resume=*/true, &state);
+  EXPECT_EQ(result.status, JournalStatus::kMissing);
+  JournalState recovered;
+  EXPECT_EQ(ScanJournal::recover(path, test_meta(), &recovered).status,
+            JournalStatus::kMissing);
+}
+
+TEST(ScanJournal, MetaMismatchIsRejected) {
+  const std::string path = temp_path("journal_mismatch.bin");
+  remove_journal(path);
+  {
+    ScanJournal journal;
+    JournalState fresh;
+    ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/false, &fresh));
+    append_two_batches(journal);
+  }
+  JournalMeta other = test_meta();
+  other.chip_fingerprint ^= 1;  // a different chip
+  ScanJournal journal;
+  JournalState state;
+  EXPECT_EQ(journal.open(path, other, /*resume=*/true, &state).status,
+            JournalStatus::kMismatch);
+  other = test_meta();
+  other.grid = 4;  // same chip, different raster resolution
+  EXPECT_EQ(ScanJournal::recover(path, other, &state).status,
+            JournalStatus::kMismatch);
+}
+
+TEST(ScanJournal, FreshOpenDiscardsPriorStateAndSnapshot) {
+  const std::string path = temp_path("journal_fresh.bin");
+  remove_journal(path);
+  {
+    ScanJournal journal;
+    JournalState fresh;
+    ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/false, &fresh));
+    append_two_batches(journal);
+    JournalState state;
+    ASSERT_TRUE(ScanJournal::recover(path, test_meta(), &state));
+    ASSERT_TRUE(journal.write_snapshot(state));
+  }
+  {
+    ScanJournal journal;
+    JournalState fresh;
+    ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/false, &fresh));
+    EXPECT_EQ(fresh.windows_done, 0);
+  }
+  // The old snapshot must not resurrect the discarded state.
+  JournalState state;
+  ASSERT_TRUE(ScanJournal::recover(path, test_meta(), &state));
+  EXPECT_EQ(state.windows_done, 0);
+}
+
+TEST(ScanJournal, TornTailRecoversLongestValidPrefix) {
+  const std::string path = temp_path("journal_torn.bin");
+  const std::int64_t full_size = [&] {
+    remove_journal(path);
+    ScanJournal journal;
+    JournalState fresh;
+    EXPECT_TRUE(journal.open(path, test_meta(), /*resume=*/false, &fresh));
+    append_two_batches(journal);
+    return util::file_size_of(path);
+  }();
+  // Chop bytes off the tail one at a time: recovery must always yield a
+  // valid prefix of the append history, never garbage, never an error.
+  for (std::int64_t size = full_size - 1; size >= 0; --size) {
+    remove_journal(path);
+    {
+      ScanJournal journal;
+      JournalState fresh;
+      ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/false, &fresh));
+      append_two_batches(journal);
+    }
+    ASSERT_TRUE(util::corrupt_truncate(path, size));
+    JournalState state;
+    const JournalResult result = ScanJournal::recover(path, test_meta(), &state);
+    if (result.ok()) {
+      EXPECT_TRUE(state.windows_done == 0 || state.windows_done == 2 ||
+                  state.windows_done == 4)
+          << "size " << size << " recovered " << state.windows_done;
+      if (state.windows_done == 4) {
+        expect_two_batches(state);
+      }
+    } else {
+      // Only a header cut short may refuse recovery outright.
+      EXPECT_EQ(result.status, JournalStatus::kTruncated) << "size " << size;
+    }
+  }
+}
+
+TEST(ScanJournal, TornTailIsTruncatedOnResumeThenChains) {
+  const std::string path = temp_path("journal_torn_resume.bin");
+  remove_journal(path);
+  {
+    ScanJournal journal;
+    JournalState fresh;
+    ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/false, &fresh));
+    append_two_batches(journal);
+  }
+  // Tear the second record's tail off.
+  ASSERT_TRUE(util::corrupt_truncate(path, util::file_size_of(path) - 3));
+  {
+    ScanJournal journal;
+    JournalState recovered;
+    ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/true, &recovered));
+    EXPECT_EQ(recovered.windows_done, 2);
+    EXPECT_EQ(recovered.entry_count(), 2);
+    // Re-append the batch the tear destroyed; it must chain cleanly onto
+    // the truncated file.
+    ASSERT_TRUE(journal.append_batch(2, 4, 2, {2, 0}, {1},
+                                     {raster({1, 1, 1, 1})}));
+  }
+  JournalState state;
+  ASSERT_TRUE(ScanJournal::recover(path, test_meta(), &state));
+  expect_two_batches(state);
+}
+
+TEST(ScanJournal, BitFlipsNeverRecoverGarbage) {
+  const std::string path = temp_path("journal_bitflip.bin");
+  remove_journal(path);
+  {
+    ScanJournal journal;
+    JournalState fresh;
+    ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/false, &fresh));
+    append_two_batches(journal);
+  }
+  const std::int64_t size = util::file_size_of(path);
+  ASSERT_GT(size, 0);
+  for (std::int64_t offset = 0; offset < size; offset += 3) {
+    ASSERT_TRUE(util::corrupt_flip_bit(path, offset, offset % 8));
+    JournalState state;
+    const JournalResult result =
+        ScanJournal::recover(path, test_meta(), &state);
+    if (result.ok()) {
+      // Whatever survived must be a valid prefix in window count AND in
+      // content (a flipped verdict/pixel byte is caught by the record CRC,
+      // so surviving records are bit-exact).
+      EXPECT_TRUE(state.windows_done == 0 || state.windows_done == 2 ||
+                  state.windows_done == 4)
+          << "offset " << offset;
+      if (state.windows_done >= 2) {
+        EXPECT_EQ(state.window_entry[0], 0);
+        EXPECT_EQ(state.window_entry[1], 1);
+        EXPECT_EQ(state.entry_pixels[0], raster({1, 0, 1, 0}));
+      }
+    }
+    ASSERT_TRUE(util::corrupt_flip_bit(path, offset, offset % 8));  // undo
+  }
+}
+
+TEST(ScanJournal, ReplayAppliesOnlyRecordsPastTheSnapshot) {
+  const std::string path = temp_path("journal_snapshot.bin");
+  remove_journal(path);
+  {
+    ScanJournal journal;
+    JournalState fresh;
+    ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/false, &fresh));
+    append_two_batches(journal);
+    JournalState state;
+    ASSERT_TRUE(ScanJournal::recover(path, test_meta(), &state));
+    ASSERT_TRUE(journal.write_snapshot(state));
+    // A third batch lands after the snapshot: recovery must start from the
+    // snapshot (skipping the two covered records) and replay just this one.
+    ASSERT_TRUE(journal.append_batch(4, 6, 3, {1, 3}, {0},
+                                     {raster({0, 1, 0, 1})}));
+  }
+  JournalState state;
+  ASSERT_TRUE(ScanJournal::recover(path, test_meta(), &state));
+  EXPECT_EQ(state.windows_done, 6);
+  EXPECT_EQ(state.batches, 3);
+  EXPECT_EQ(state.entry_count(), 4);
+  EXPECT_EQ(state.window_entry[4], 1);
+  EXPECT_EQ(state.window_entry[5], 3);
+  EXPECT_EQ(state.entry_verdicts[3], 0);
+  EXPECT_EQ(state.entry_pixels[3], raster({0, 1, 0, 1}));
+}
+
+TEST(ScanJournal, SnapshotAloneRecoversWhenJournalBodyIsGone) {
+  const std::string path = temp_path("journal_snap_only.bin");
+  remove_journal(path);
+  std::int64_t header_size = 0;
+  {
+    ScanJournal journal;
+    JournalState fresh;
+    ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/false, &fresh));
+    header_size = util::file_size_of(path);
+    append_two_batches(journal);
+    JournalState state;
+    ASSERT_TRUE(ScanJournal::recover(path, test_meta(), &state));
+    ASSERT_TRUE(journal.write_snapshot(state));
+  }
+  // Truncate the journal back to just its header: every record is lost,
+  // only the snapshot remains.
+  ASSERT_TRUE(util::corrupt_truncate(path, header_size));
+  JournalState state;
+  ASSERT_TRUE(ScanJournal::recover(path, test_meta(), &state));
+  expect_two_batches(state);
+}
+
+TEST(ScanJournal, CorruptSnapshotFallsBackToJournalReplay) {
+  const std::string path = temp_path("journal_bad_snap.bin");
+  remove_journal(path);
+  {
+    ScanJournal journal;
+    JournalState fresh;
+    ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/false, &fresh));
+    append_two_batches(journal);
+    JournalState state;
+    ASSERT_TRUE(ScanJournal::recover(path, test_meta(), &state));
+    ASSERT_TRUE(journal.write_snapshot(state));
+  }
+  const std::string snap = ScanJournal::snapshot_path(path);
+  ASSERT_TRUE(util::corrupt_flip_bit(snap, util::file_size_of(snap) / 2, 4));
+  JournalState state;
+  ASSERT_TRUE(ScanJournal::recover(path, test_meta(), &state));
+  expect_two_batches(state);  // journal replay covers for the bad snapshot
+}
+
+TEST(ScanJournal, InjectedAppendFaultLeavesRecoverableTornTail) {
+  util::ScopedFaultInjection guard;
+  const std::string path = temp_path("journal_fault.bin");
+  remove_journal(path);
+  ScanJournal journal;
+  JournalState fresh;
+  ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/false, &fresh));
+  ASSERT_TRUE(journal.append_batch(
+      0, 2, 0, {0, 1}, {1, 0},
+      {raster({1, 0, 1, 0}), raster({0, 0, 1, 1})}));
+  util::fault_arm(util::FaultPoint::kJournalWrite, 1);
+  const JournalResult failed = journal.append_batch(
+      2, 4, 2, {2, 0}, {1}, {raster({1, 1, 1, 1})});
+  EXPECT_EQ(failed.status, JournalStatus::kWriteFailed);
+  EXPECT_FALSE(journal.is_open());  // a torn file must not take appends
+  JournalState state;
+  ASSERT_TRUE(ScanJournal::recover(path, test_meta(), &state));
+  EXPECT_EQ(state.windows_done, 2);  // the half-written record is dropped
+  EXPECT_EQ(state.entry_count(), 2);
+}
+
+TEST(ScanJournal, BadMagicIsBadFormat) {
+  const std::string path = temp_path("journal_bad_magic.bin");
+  remove_journal(path);
+  {
+    ScanJournal journal;
+    JournalState fresh;
+    ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/false, &fresh));
+  }
+  ASSERT_TRUE(util::corrupt_flip_bit(path, 0, 0));
+  JournalState state;
+  EXPECT_EQ(ScanJournal::recover(path, test_meta(), &state).status,
+            JournalStatus::kBadFormat);
+}
+
+TEST(ChipFingerprint, SensitiveToGeometryAndOrder) {
+  layout::Pattern a;
+  a.add(layout::Rect{0, 0, 10, 10});
+  a.add(layout::Rect{20, 0, 30, 10});
+  layout::Pattern b;  // same rects, swapped order
+  b.add(layout::Rect{20, 0, 30, 10});
+  b.add(layout::Rect{0, 0, 10, 10});
+  layout::Pattern c;  // one coordinate nudged
+  c.add(layout::Rect{0, 0, 10, 10});
+  c.add(layout::Rect{20, 0, 30, 11});
+  EXPECT_EQ(chip_fingerprint(a), chip_fingerprint(a));
+  EXPECT_NE(chip_fingerprint(a), chip_fingerprint(b));
+  EXPECT_NE(chip_fingerprint(a), chip_fingerprint(c));
+  EXPECT_NE(chip_fingerprint(a), chip_fingerprint(layout::Pattern{}));
+}
+
+}  // namespace
+}  // namespace hotspot::scan

@@ -90,6 +90,50 @@ TEST(FaultInjection, ClearDisarms) {
   EXPECT_EQ(fault_trip_count(FaultPoint::kCheckpointWrite), 0);
 }
 
+TEST(FaultInjection, StickyArmingFiresOnEveryProbeFromThreshold) {
+  ScopedFaultInjection guard;
+  fault_arm_sticky(FaultPoint::kScanRasterCompute, 3);
+  EXPECT_FALSE(fault_should_fail(FaultPoint::kScanRasterCompute));
+  EXPECT_FALSE(fault_should_fail(FaultPoint::kScanRasterCompute));
+  // From the third probe on, a persistent fault: it never self-disarms,
+  // which is what drives a window past its whole retry budget.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(fault_should_fail(FaultPoint::kScanRasterCompute)) << i;
+  }
+  EXPECT_EQ(fault_trip_count(FaultPoint::kScanRasterCompute), 5);
+  fault_clear(FaultPoint::kScanRasterCompute);
+  EXPECT_FALSE(fault_should_fail(FaultPoint::kScanRasterCompute));
+}
+
+TEST(FaultInjection, StickyDefaultFiresImmediately) {
+  ScopedFaultInjection guard;
+  fault_arm_sticky(FaultPoint::kScanPredictCompute);
+  EXPECT_TRUE(fault_should_fail(FaultPoint::kScanPredictCompute));
+  EXPECT_TRUE(fault_should_fail(FaultPoint::kScanPredictCompute));
+}
+
+TEST(FaultInjection, StallProbeSleepsOnlyWhenArmed) {
+  ScopedFaultInjection guard;
+  // Unarmed: no stall, no trip.
+  EXPECT_FALSE(fault_maybe_stall(FaultPoint::kScanRasterStall));
+  fault_set_stall_ms(1);
+  fault_arm(FaultPoint::kScanRasterStall, 1);
+  EXPECT_EQ(fault_stall_ms(), 1);
+  EXPECT_TRUE(fault_maybe_stall(FaultPoint::kScanRasterStall));
+  // One-shot arming self-disarms after the stall fires.
+  EXPECT_FALSE(fault_maybe_stall(FaultPoint::kScanRasterStall));
+  EXPECT_EQ(fault_trip_count(FaultPoint::kScanRasterStall), 1);
+}
+
+TEST(FaultInjection, ClearAllResetsStickyAndStall) {
+  ScopedFaultInjection guard;
+  fault_arm_sticky(FaultPoint::kScanAbort);
+  fault_set_stall_ms(25);
+  fault_clear_all();
+  EXPECT_FALSE(fault_should_fail(FaultPoint::kScanAbort));
+  EXPECT_EQ(fault_stall_ms(), 0);
+}
+
 TEST(FaultInjection, PointNamesAreStable) {
   EXPECT_STREQ(fault_point_name(FaultPoint::kCheckpointWrite),
                "checkpoint-write");

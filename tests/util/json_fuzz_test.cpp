@@ -1,0 +1,186 @@
+// Corpus-driven fuzzing of the JSON parser: truncations, bit flips, random
+// garbage, and adversarially deep nesting. The parser reads machine-written
+// but disk-resident documents (metrics exports, BENCH_*.json), so a torn or
+// corrupted file is a realistic input — the contract under fuzz is "clean
+// false + error message, never a crash, hang, or unbounded recursion".
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hotspot::util {
+namespace {
+
+// A representative metrics-export-shaped document exercising every value
+// type, escapes, exponents, and nesting. No trailing whitespace: with the
+// document ending exactly at the root's closing brace, NO strict prefix is
+// itself a complete JSON document, so every truncation must fail to parse.
+const char kDocument[] =
+    "{\"schema\":1,\"run\":{\"id\":\"bench-042\",\"ok\":true,"
+    "\"started\":null,\"scale\":2.5e-2,\"odst\":1234.5678901234567},"
+    "\"counters\":[{\"name\":\"scan.windows\",\"value\":4096},"
+    "{\"name\":\"scan.dedup.hits\",\"value\":1024}],"
+    "\"labels\":[0,1,1,0,-1],\"note\":\"tab\\tquote\\\"slash\\\\u\\u00e9\","
+    "\"nested\":{\"a\":{\"b\":{\"c\":[[[]]]}}}}";
+
+// Walks the whole value tree through the typed accessors. Any parse that
+// reports success must yield a structurally sane tree — no dangling types,
+// no accessor CHECK failures.
+void walk(const JsonValue& value) {
+  switch (value.type()) {
+    case JsonType::kNull:
+      break;
+    case JsonType::kBool:
+      (void)value.as_bool();
+      break;
+    case JsonType::kNumber:
+      (void)value.as_number();
+      break;
+    case JsonType::kString:
+      (void)value.as_string().size();
+      break;
+    case JsonType::kArray:
+      for (const JsonValue& item : value.as_array()) {
+        walk(item);
+      }
+      break;
+    case JsonType::kObject:
+      for (const auto& [key, member] : value.as_object()) {
+        (void)key.size();
+        walk(member);
+      }
+      break;
+  }
+}
+
+std::string nested_arrays(int levels) {
+  std::string text;
+  text.reserve(static_cast<std::size_t>(levels) * 2 + 1);
+  text.append(static_cast<std::size_t>(levels), '[');
+  text.push_back('0');
+  text.append(static_cast<std::size_t>(levels), ']');
+  return text;
+}
+
+TEST(JsonFuzz, CorpusDocumentParsesClean) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_json(kDocument, doc, error)) << error;
+  walk(doc);
+  ASSERT_NE(doc.find("counters"), nullptr);
+  EXPECT_EQ(doc.find("counters")->size(), 2u);
+}
+
+TEST(JsonFuzz, EveryTruncationFailsWithoutCrashing) {
+  const std::string document(kDocument);
+  for (std::size_t cut = 0; cut < document.size(); ++cut) {
+    const std::string prefix = document.substr(0, cut);
+    JsonValue doc;
+    std::string error;
+    EXPECT_FALSE(parse_json(prefix, doc, error))
+        << "accepted truncation at byte " << cut;
+    EXPECT_FALSE(error.empty()) << "no error for truncation at byte " << cut;
+  }
+}
+
+TEST(JsonFuzz, EverySingleBitFlipIsHandled) {
+  const std::string document(kDocument);
+  for (std::size_t byte = 0; byte < document.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = document;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      JsonValue doc;
+      std::string error;
+      // A flip may still be valid JSON (digit -> digit, letter inside a
+      // string); the contract is only that success yields a sane tree and
+      // failure yields an error message.
+      if (parse_json(mutated, doc, error)) {
+        walk(doc);
+      } else {
+        EXPECT_FALSE(error.empty())
+            << "silent failure at byte " << byte << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(JsonFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(0xF022);
+  for (int round = 0; round < 500; ++round) {
+    const auto length =
+        static_cast<std::size_t>(rng.uniform_int(0, 256));
+    std::string garbage(length, '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    JsonValue doc;
+    std::string error;
+    if (parse_json(garbage, doc, error)) {
+      walk(doc);
+    } else {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST(JsonFuzz, StructuralGarbageFromJsonAlphabetNeverCrashes) {
+  // Garbage drawn from JSON's own alphabet hits far more parser states than
+  // uniform bytes (which usually die on the first character).
+  const std::string alphabet = "{}[]\",:.0123456789-+eE \\ntrufalsx";
+  Rng rng(0xBADF00D);
+  for (int round = 0; round < 500; ++round) {
+    const auto length =
+        static_cast<std::size_t>(rng.uniform_int(1, 128));
+    std::string garbage(length, '\0');
+    for (char& c : garbage) {
+      c = alphabet[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(alphabet.size()) - 1))];
+    }
+    JsonValue doc;
+    std::string error;
+    if (parse_json(garbage, doc, error)) {
+      walk(doc);
+    } else {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST(JsonFuzz, DepthLimitAcceptsBoundaryRejectsBeyond) {
+  // kMaxDepth = 128 in the parser: the scalar inside N nested arrays sits
+  // at depth N, so 128 levels is the deepest accepted document.
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(parse_json(nested_arrays(128), doc, error)) << error;
+  walk(doc);
+
+  EXPECT_FALSE(parse_json(nested_arrays(129), doc, error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+}
+
+TEST(JsonFuzz, PathologicalDepthFailsFastInsteadOfOverflowing) {
+  // 100k unclosed brackets: without the depth limit this would be a stack
+  // overflow, not a parse error.
+  JsonValue doc;
+  std::string error;
+  const std::string bomb(100000, '[');
+  EXPECT_FALSE(parse_json(bomb, doc, error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+
+  EXPECT_FALSE(parse_json(nested_arrays(5000), doc, error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+}
+
+TEST(JsonFuzz, ErrorsReportAnOffset) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(parse_json("{\"key\": }", doc, error));
+  EXPECT_NE(error.find("at offset"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace hotspot::util
