@@ -1,0 +1,140 @@
+// Graph-fusion micro-bench: unfused packed module chain vs the fused graph
+// executor (BN -> Binarize -> BinaryConv folded to threshold-compare ops,
+// DESIGN.md §14).
+//
+// The fused path must be a free lunch twice over: bit-identical logits (the
+// executor's contract, checked here on every mode) and faster, because per
+// clip it skips materializing the BN output and the separate binarize pass,
+// and for kNone chains it never unpacks the intermediate counts to floats
+// at all. Emits BENCH_fusion.json; gated against bench/baselines/ by
+// bench_compare in CI.
+//
+// Scale knobs: HOTSPOT_BENCH_SCALE / HOTSPOT_BENCH_LS and
+// HOTSPOT_BENCH_REPEATS (timing repeats, best-of).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/brnn.h"
+#include "graph/executor.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace hotspot;
+
+double best_of(int repeats, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    util::Stopwatch timer;
+    fn();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+bool bit_identical(const tensor::Tensor& a, const tensor::Tensor& b) {
+  if (!a.same_shape(b)) {
+    return false;
+  }
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (a[i] != b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Graph fusion: unfused packed chain vs fused threshold-compare ops",
+      "speed is the paper's headline claim (60 s vs 4974 s, Table 3); "
+      "fusion removes the float BN+binarize stages the paper's Fig. 3 "
+      "block otherwise materializes per layer");
+
+  const auto ls = bench::bench_image_size();
+  const auto repeats =
+      static_cast<int>(bench::env_long("HOTSPOT_BENCH_REPEATS", 3));
+  const long batch = 64;
+
+  util::Rng data_rng(0xf05ed);
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({batch, 1, ls, ls}, data_rng, 0.0f, 1.0f);
+
+  const bitops::InputScaling modes[] = {bitops::InputScaling::kPerChannel,
+                                        bitops::InputScaling::kScalar,
+                                        bitops::InputScaling::kNone};
+
+  std::printf("Workload: %ld clips at %ldpx through compact BRNN, "
+              "repeats=%d (best-of)\n\n",
+              batch, ls, repeats);
+  std::printf("%14s %14s %14s %10s %12s %10s\n", "scaling", "unfused (s)",
+              "fused (s)", "speedup", "clips/s", "identical");
+
+  std::vector<bench::JsonObject> sweep;
+  bool all_identical = true;
+
+  for (const bitops::InputScaling scaling : modes) {
+    core::BrnnConfig config = core::BrnnConfig::compact(ls);
+    config.scaling = scaling;
+    util::Rng rng(0x5eed + static_cast<int>(scaling));
+    core::BrnnModel model(config, rng);
+    // Non-trivial batch-norm statistics, as deployment would have.
+    model.set_training(true);
+    for (int i = 0; i < 3; ++i) {
+      model.forward(tensor::Tensor::uniform({8, 1, ls, ls}, rng, 0.0f, 1.0f));
+    }
+    model.set_training(false);
+    model.set_backend(core::Backend::kPacked);
+
+    model.forward(images);  // warm-up: packs the filter cache
+    tensor::Tensor unfused_logits;
+    const double unfused_s =
+        best_of(repeats, [&] { unfused_logits = model.forward(images); });
+
+    graph::GraphExecutor executor(model, graph::FusionMode::kFused);
+    executor.run(images);  // warm-up: plans pack layouts
+    tensor::Tensor fused_logits;
+    const double fused_s =
+        best_of(repeats, [&] { fused_logits = executor.run(images); });
+
+    const bool identical = bit_identical(fused_logits, unfused_logits);
+    all_identical = all_identical && identical;
+    const double speedup = fused_s > 0.0 ? unfused_s / fused_s : 0.0;
+    const double clips_per_s =
+        fused_s > 0.0 ? static_cast<double>(batch) / fused_s : 0.0;
+
+    std::printf("%14s %14.4f %14.4f %9.2fx %12.1f %10s\n",
+                bitops::to_string(scaling), unfused_s, fused_s, speedup,
+                clips_per_s, identical ? "yes" : "NO");
+
+    bench::JsonObject entry;
+    entry.set("scaling", bitops::to_string(scaling))
+        .set("unfused_seconds", unfused_s)
+        .set("fused_seconds", fused_s)
+        .set("fused_speedup", speedup)
+        .set("fused_clips_per_second", clips_per_s)
+        .set("bit_identical", identical);
+    sweep.push_back(entry);
+  }
+
+  std::printf("\nIdentity: fused logits %s the unfused chain.\n",
+              all_identical ? "bit-identical to" : "DIVERGED from");
+
+  bench::JsonObject result;
+  result.set("bench", "fusion")
+      .set("image_size", ls)
+      .set("batch", batch)
+      .set("repeats", repeats)
+      .set("bit_identical", all_identical)
+      .set_raw("sweep", bench::json_array(sweep));
+  bench::write_json_result("BENCH_fusion.json", result);
+
+  return all_identical ? 0 : 1;
+}

@@ -35,8 +35,16 @@ tensor::Tensor weight_scales(const tensor::Tensor& weight) {
   return scales;
 }
 
-tensor::Tensor box_filter_abs_mean(const tensor::Tensor& input,
-                                   const tensor::ConvSpec& spec) {
+namespace {
+
+// Integral-image box filter over |transform(v, c)|. transform is inlined
+// per call site; the public entry points instantiate it with the identity
+// (plain |v|) and with the batch-norm affine, so both accumulate the same
+// double sums in the same order over their respective float values.
+template <typename TransformFn>
+tensor::Tensor box_filter_abs_mean_impl(const tensor::Tensor& input,
+                                        const tensor::ConvSpec& spec,
+                                        TransformFn&& transform) {
   HOTSPOT_CHECK_EQ(input.rank(), 4);
   const std::int64_t n = input.dim(0);
   const std::int64_t c = input.dim(1);
@@ -60,7 +68,8 @@ tensor::Tensor box_filter_abs_mean(const tensor::Tensor& input,
       for (std::int64_t y = 0; y < h; ++y) {
         double row_sum = 0.0;
         for (std::int64_t x = 0; x < w; ++x) {
-          row_sum += std::fabs(static_cast<double>(plane[y * w + x]));
+          row_sum += std::fabs(
+              static_cast<double>(transform(plane[y * w + x], ci)));
           integral[static_cast<std::size_t>((y + 1) * (w + 1) + x + 1)] =
               integral[static_cast<std::size_t>(y * (w + 1) + x + 1)] +
               row_sum;
@@ -89,6 +98,55 @@ tensor::Tensor box_filter_abs_mean(const tensor::Tensor& input,
     }
   }
   return out;
+}
+
+// BatchNorm2d's inference expression, float op for float op.
+inline float affine_eval(const ChannelAffine& a, float v, std::int64_t c) {
+  const float xhat = (v - a.mean[c]) * a.inv_std[c];
+  return a.gamma[c] * xhat + a.beta[c];
+}
+
+}  // namespace
+
+tensor::Tensor box_filter_abs_mean(const tensor::Tensor& input,
+                                   const tensor::ConvSpec& spec) {
+  return box_filter_abs_mean_impl(
+      input, spec, [](float v, std::int64_t) { return v; });
+}
+
+tensor::Tensor input_scales_per_channel_affine(const tensor::Tensor& input,
+                                               const tensor::ConvSpec& spec,
+                                               const ChannelAffine& affine) {
+  return box_filter_abs_mean_impl(
+      input, spec,
+      [&affine](float v, std::int64_t c) { return affine_eval(affine, v, c); });
+}
+
+tensor::Tensor input_scales_scalar_affine(const tensor::Tensor& input,
+                                          const tensor::ConvSpec& spec,
+                                          const ChannelAffine& affine) {
+  HOTSPOT_CHECK_EQ(input.rank(), 4);
+  const std::int64_t n = input.dim(0);
+  const std::int64_t c = input.dim(1);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  // Channel mean of |bn(x)| -> [N,1,H,W], same double accumulation as
+  // input_scales_scalar over the materialized BN output.
+  tensor::Tensor mean_abs({n, 1, h, w});
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        double total = 0.0;
+        for (std::int64_t ci = 0; ci < c; ++ci) {
+          total += std::fabs(static_cast<double>(
+              affine_eval(affine, input.at4(ni, ci, y, x), ci)));
+        }
+        mean_abs.at4(ni, 0, y, x) =
+            static_cast<float>(total / static_cast<double>(c));
+      }
+    }
+  }
+  return box_filter_abs_mean(mean_abs, spec);
 }
 
 tensor::Tensor input_scales_per_channel(const tensor::Tensor& input,

@@ -32,6 +32,35 @@ tensor::Tensor input_scales_per_channel(const tensor::Tensor& input,
 tensor::Tensor input_scales_scalar(const tensor::Tensor& input,
                                    const tensor::ConvSpec& spec);
 
+// Per-channel inference-mode batch-norm affine, evaluated in exactly
+// BatchNorm2d's forward op order: y = gamma[c] * ((x - mean[c]) *
+// inv_std[c]) + beta[c], all float. The *_affine scale variants below
+// compute alpha_T of the BN *output* directly from the BN *input* without
+// materializing the normalized tensor — the graph layer's BN->BinaryConv
+// fusion needs those scales to match the unfused path bit-for-bit, which
+// they do because the same float expression feeds the same double
+// accumulation. Pointers must stay valid for the call; arrays are sized to
+// input.dim(1).
+struct ChannelAffine {
+  const float* mean = nullptr;
+  const float* inv_std = nullptr;
+  const float* gamma = nullptr;
+  const float* beta = nullptr;
+};
+
+// alpha_T of the affine-transformed input: equals
+// input_scales_per_channel(bn(input), spec) with bn evaluated in inference
+// mode, without the intermediate tensor.
+tensor::Tensor input_scales_per_channel_affine(const tensor::Tensor& input,
+                                               const tensor::ConvSpec& spec,
+                                               const ChannelAffine& affine);
+
+// Scalar-mode counterpart of the above (channel mean of |bn(input)| box
+// filtered): equals input_scales_scalar(bn(input), spec).
+tensor::Tensor input_scales_scalar_affine(const tensor::Tensor& input,
+                                          const tensor::ConvSpec& spec,
+                                          const ChannelAffine& affine);
+
 // Box-filtered channel means via integral images: O(1) per output pixel
 // regardless of kernel size. Each output position averages |input| over the
 // kernel window (zero padding). Exactly equals

@@ -42,68 +42,6 @@ void gemm_row_strip(const XnorKernel& kern, const BitMatrix& a,
   }
 }
 
-// Sign bit-planes of a [N,C,H,W] tensor: one bitmap row per (plane, y) where
-// plane = n*C + c and bit x = (input[n,c,y,x] >= 0). Bits at x >= W are zero.
-// Packing reads each input float exactly once here; patch words are then
-// assembled from the bitmaps with shifts instead of kh*kw float loads and
-// per-bit branches per output position.
-class SignBitPlanes {
- public:
-  explicit SignBitPlanes(const tensor::Tensor& input)
-      : h_(input.dim(2)),
-        w_(input.dim(3)),
-        row_words_((input.dim(3) + 63) >> 6),
-        words_(static_cast<std::size_t>(input.dim(0) * input.dim(1) * h_ *
-                                        row_words_),
-               0) {
-    const std::int64_t planes = input.dim(0) * input.dim(1);
-    util::parallel_for(0, planes, /*grain=*/1, [&](std::int64_t lo,
-                                                   std::int64_t hi) {
-      for (std::int64_t plane = lo; plane < hi; ++plane) {
-        const float* src = input.data() + plane * h_ * w_;
-        std::uint64_t* dst = words_.data() + plane * h_ * row_words_;
-        for (std::int64_t y = 0; y < h_; ++y, src += w_, dst += row_words_) {
-          for (std::int64_t x = 0; x < w_; ++x) {
-            dst[x >> 6] |=
-                std::uint64_t{src[x] >= 0.0f} << (x & 63);
-          }
-        }
-      }
-    });
-  }
-
-  // Bitmap row y of `plane`; caller guarantees 0 <= y < h.
-  const std::uint64_t* row(std::int64_t plane, std::int64_t y) const {
-    return words_.data() + (plane * h_ + y) * row_words_;
-  }
-  std::int64_t row_words() const { return row_words_; }
-
-  // kw bits of bitmap row `bm` starting at column ix0 (bit i = column
-  // ix0 + i); columns outside [0, w) read as zero (padding is -1 -> bit 0).
-  // Requires -64 < ix0 < w (the conv window overlaps the image, pad < 64).
-  std::uint64_t window_bits(const std::uint64_t* bm, std::int64_t ix0,
-                            std::int64_t kw) const {
-    std::uint64_t v;
-    if (ix0 >= 0) {
-      const std::int64_t wi = ix0 >> 6;
-      const int off = static_cast<int>(ix0 & 63);
-      v = bm[wi] >> off;
-      if (off != 0 && wi + 1 < row_words_) {
-        v |= bm[wi + 1] << (64 - off);
-      }
-    } else {
-      v = bm[0] << -ix0;  // low -ix0 bits are left-padding zeros
-    }
-    return kw < 64 ? v & ((std::uint64_t{1} << kw) - 1) : v;
-  }
-
- private:
-  std::int64_t h_;
-  std::int64_t w_;
-  std::int64_t row_words_;
-  std::vector<std::uint64_t> words_;
-};
-
 }  // namespace
 
 tensor::Tensor xnor_gemm(const BitMatrix& a, const BitMatrix& b) {
@@ -159,10 +97,14 @@ BitMatrix pack_patches(const tensor::Tensor& input,
   // patch matrix, which would dominate the packed path's runtime. Padding
   // is -1 (bit 0) so padded positions stay in the +/-1 alphabet.
   HOTSPOT_CHECK_EQ(input.rank(), 4);
-  const std::int64_t n = input.dim(0);
-  const std::int64_t cin = input.dim(1);
-  const std::int64_t h = input.dim(2);
-  const std::int64_t w = input.dim(3);
+  return pack_patches(BitPlanes(input), spec);
+}
+
+BitMatrix pack_patches(const BitPlanes& planes, const tensor::ConvSpec& spec) {
+  const std::int64_t n = planes.batch();
+  const std::int64_t cin = planes.channels();
+  const std::int64_t h = planes.height();
+  const std::int64_t w = planes.width();
   const std::int64_t out_h =
       tensor::conv_out_extent(h, spec.kernel_h, spec.stride, spec.pad);
   const std::int64_t out_w =
@@ -172,7 +114,6 @@ BitMatrix pack_patches(const tensor::Tensor& input,
   const std::int64_t kw = spec.kernel_w;
   HOTSPOT_CHECK_LT(spec.pad, 64) << "bit-plane packing window shift";
   BitMatrix packed(n * positions, patch);
-  const SignBitPlanes planes(input);
   util::parallel_for(0, n * positions, /*grain=*/32, [&](std::int64_t lo,
                                                          std::int64_t hi) {
     for (std::int64_t row_index = lo; row_index < hi; ++row_index) {
@@ -222,13 +163,18 @@ BitMatrix pack_filters(const tensor::Tensor& weight) {
 BitMatrix pack_patches_channel_blocked(const tensor::Tensor& input,
                                        const tensor::ConvSpec& spec) {
   HOTSPOT_CHECK_EQ(input.rank(), 4);
+  return pack_patches_channel_blocked(BitPlanes(input), spec);
+}
+
+BitMatrix pack_patches_channel_blocked(const BitPlanes& planes,
+                                       const tensor::ConvSpec& spec) {
   const std::int64_t patch_bits = spec.kernel_h * spec.kernel_w;
   HOTSPOT_CHECK_LE(patch_bits, 64)
       << "channel-blocked packing needs kh*kw <= 64";
-  const std::int64_t n = input.dim(0);
-  const std::int64_t cin = input.dim(1);
-  const std::int64_t h = input.dim(2);
-  const std::int64_t w = input.dim(3);
+  const std::int64_t n = planes.batch();
+  const std::int64_t cin = planes.channels();
+  const std::int64_t h = planes.height();
+  const std::int64_t w = planes.width();
   const std::int64_t out_h =
       tensor::conv_out_extent(h, spec.kernel_h, spec.stride, spec.pad);
   const std::int64_t out_w =
@@ -238,7 +184,6 @@ BitMatrix pack_patches_channel_blocked(const tensor::Tensor& input,
   HOTSPOT_CHECK_LT(spec.pad, 64) << "bit-plane packing window shift";
   // One 64-bit word per channel: cols = cin * 64 keeps words_per_row = cin.
   BitMatrix packed(n * positions, cin * 64);
-  const SignBitPlanes planes(input);
   util::parallel_for(0, n * positions, /*grain=*/32, [&](std::int64_t lo,
                                                          std::int64_t hi) {
     for (std::int64_t row_index = lo; row_index < hi; ++row_index) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "bitops/bit_matrix.h"
+#include "bitops/bit_planes.h"
 #include "tensor/conv.h"
 
 namespace hotspot::bitops {
@@ -15,6 +16,12 @@ tensor::Tensor xnor_gemm(const BitMatrix& a, const BitMatrix& b);
 BitMatrix pack_patches(const tensor::Tensor& input,
                        const tensor::ConvSpec& spec);
 
+// Same patch assembly from pre-binarized planes. The tensor overload above
+// is pack_patches(BitPlanes(input), spec); the graph executor passes planes
+// it binarized with per-channel thresholds (or emitted directly as bits)
+// instead, skipping the float sign pass entirely.
+BitMatrix pack_patches(const BitPlanes& planes, const tensor::ConvSpec& spec);
+
 // Packs conv weights [Cout,Cin,kh,kw] into rows of Cin*kh*kw bits.
 BitMatrix pack_filters(const tensor::Tensor& weight);
 
@@ -23,6 +30,8 @@ BitMatrix pack_filters(const tensor::Tensor& weight);
 // per-channel +/-1 dot is one XOR + popcount. Requires kh*kw <= 64.
 // Rows are output positions, and row r holds Cin words.
 BitMatrix pack_patches_channel_blocked(const tensor::Tensor& input,
+                                       const tensor::ConvSpec& spec);
+BitMatrix pack_patches_channel_blocked(const BitPlanes& planes,
                                        const tensor::ConvSpec& spec);
 BitMatrix pack_filters_channel_blocked(const tensor::Tensor& weight);
 

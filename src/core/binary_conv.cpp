@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/packed_conv.h"
 #include "nn/init.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -285,56 +286,9 @@ Tensor BinaryConv2d::forward_packed(const Tensor& input) {
       alpha_t = bitops::input_scales_per_channel(input, spec_);
     }
     HOTSPOT_TRACE_SPAN(gemm_span);
-    // Run over the padded stride when patches and filters agree (the pad
-    // words are zero bits with zero alpha, contributing exactly +0.0f), so
-    // the kernel's weighted_sum takes its tail-free vector path.
-    const std::int64_t words =
-        patches.word_stride() == cache.filters.word_stride()
-            ? patches.word_stride()
-            : patches.words_per_row();
-    const auto kkf =
-        static_cast<float>(spec_.kernel_h * spec_.kernel_w);
-    util::parallel_for(0, n * positions, /*grain=*/32, [&](std::int64_t lo,
-                                                           std::int64_t hi) {
-      // Per-chunk scratch for the gathered scales; chunks never share it.
-      // Sized to `words` with the padding entries pinned at zero.
-      std::vector<float> alpha_row(static_cast<std::size_t>(words), 0.0f);
-      for (std::int64_t row = lo; row < hi; ++row) {
-        const std::int64_t ni = row / positions;
-        const std::int64_t p = row % positions;
-        const std::uint64_t* prow = patches.row(row);
-        // Gather this position's per-channel scales contiguously once; the
-        // filter loop below reads them out_channels_ times.
-        const float* asrc =
-            alpha_t.data() + (ni * in_channels_) * positions + p;
-        for (std::int64_t ci = 0; ci < in_channels_; ++ci) {
-          alpha_row[static_cast<std::size_t>(ci)] = asrc[ci * positions];
-        }
-        float* out_base = output.data() + (ni * out_channels_) * positions + p;
-        // Four filters per kernel call: the patch row and gathered scales
-        // are loaded once per channel block and feed four independent
-        // accumulator chains (weighted_sum_x4 is bit-identical to four
-        // weighted_sum calls by contract).
-        std::int64_t co = 0;
-        for (; co + 4 <= out_channels_; co += 4) {
-          float quad[4];
-          kern.weighted_sum_x4(prow, cache.filters.row(co),
-                               cache.filters.row(co + 1),
-                               cache.filters.row(co + 2),
-                               cache.filters.row(co + 3), alpha_row.data(),
-                               words, kkf, quad);
-          out_base[co * positions] = quad[0] * alpha_w[co];
-          out_base[(co + 1) * positions] = quad[1] * alpha_w[co + 1];
-          out_base[(co + 2) * positions] = quad[2] * alpha_w[co + 2];
-          out_base[(co + 3) * positions] = quad[3] * alpha_w[co + 3];
-        }
-        for (; co < out_channels_; ++co) {
-          const float acc = kern.weighted_sum(
-              prow, cache.filters.row(co), alpha_row.data(), words, kkf);
-          out_base[co * positions] = acc * alpha_w[co];
-        }
-      }
-    });
+    packed_conv_per_channel(kern, patches, cache.filters, alpha_t, alpha_w,
+                            in_channels_, out_channels_,
+                            spec_.kernel_h * spec_.kernel_w, output);
     return output;
   }
 
@@ -351,23 +305,11 @@ Tensor BinaryConv2d::forward_packed(const Tensor& input) {
     counts = bitops::xnor_gemm(patches, cache.filters);
   }
   HOTSPOT_TRACE_SPAN("binary_conv.unpack");
-  const bool scalar = scaling_ == bitops::InputScaling::kScalar;
-  const Tensor alpha =
-      scalar ? bitops::input_scales_scalar(input, spec_) : Tensor();
-  util::parallel_for(0, n * positions, /*grain=*/64, [&](std::int64_t lo,
-                                                         std::int64_t hi) {
-    for (std::int64_t row = lo; row < hi; ++row) {
-      const std::int64_t ni = row / positions;
-      const std::int64_t p = row % positions;
-      const float post =
-          scalar ? alpha.at4(ni, 0, p / out_w, p % out_w) : 1.0f;
-      const float* src = counts.data() + row * out_channels_;
-      float* dst = output.data() + ni * out_channels_ * positions + p;
-      for (std::int64_t co = 0; co < out_channels_; ++co) {
-        dst[co * positions] = src[co] * alpha_w[co] * post;
-      }
-    }
-  });
+  const Tensor alpha = scaling_ == bitops::InputScaling::kScalar
+                           ? bitops::input_scales_scalar(input, spec_)
+                           : Tensor();
+  packed_conv_epilogue(counts, alpha_w, alpha.numel() > 0 ? &alpha : nullptr,
+                       out_channels_, output);
   return output;
 }
 

@@ -59,9 +59,18 @@ class BinaryConv2d : public nn::Module {
   void invalidate_packed_cache() {
     packed_cache_.store(nullptr, std::memory_order_release);
   }
+  // Invalidate only on an actual mode transition. The scan path calls
+  // set_training(false) defensively before every batch; dropping the cache
+  // unconditionally there forced a full filter re-pack (under the cache
+  // mutex) per batch and grew the retired-snapshot list without bound over
+  // a long scan. A no-op call must stay a no-op: the cache is already keyed
+  // on the weight version for real weight changes, and training itself
+  // never reads it (training forwards run float-sim).
   void set_training(bool training) override {
+    if (training != training_) {
+      invalidate_packed_cache();
+    }
     nn::Module::set_training(training);
-    invalidate_packed_cache();
   }
 
   bitops::InputScaling scaling() const { return scaling_; }

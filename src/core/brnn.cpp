@@ -99,6 +99,9 @@ tensor::Tensor BrnnModel::forward(const Tensor& input) {
   // backward still runs through net_.backward(), which is equivalent
   // because each module caches its own forward state.
   HOTSPOT_TRACE_SPAN("brnn.forward");
+  if (!training_ && forward_override_) {
+    return forward_override_(input);
+  }
   Tensor current = input;
   for (std::size_t i = 0; i < net_.size(); ++i) {
     obs::TraceSpan span(layer_labels_[i]);

@@ -9,6 +9,8 @@
 // + the fully connected classifier head.
 #pragma once
 
+#include <functional>
+
 #include "core/binary_conv.h"
 #include "nn/batchnorm_layer.h"
 #include "nn/linear_layer.h"
@@ -77,6 +79,19 @@ class BrnnModel : public nn::Module {
   // the caller).
   std::vector<int> predict(const Tensor& images);
 
+  // Replaces the inference forward pass (graph executor hook; see
+  // src/graph/executor.h). When set, forward() routes every non-training
+  // call through the override instead of the module chain; training
+  // forwards always run the modules so backward() stays valid. The override
+  // must be a drop-in: same input contract, bit-identical logits. Pass an
+  // empty function to restore the module chain.
+  void set_forward_override(std::function<Tensor(const Tensor&)> override_fn) {
+    forward_override_ = std::move(override_fn);
+  }
+  bool has_forward_override() const {
+    return static_cast<bool>(forward_override_);
+  }
+
   // Zeroes every binary convolution's roofline sample counter. Pair with
   // obs::reset_spans() so build_roofline() joins matching windows.
   void reset_profile();
@@ -94,6 +109,7 @@ class BrnnModel : public nn::Module {
   nn::Sequential net_;
   std::vector<BinaryConv2d*> binary_convs_;
   std::vector<std::string> layer_labels_;
+  std::function<Tensor(const Tensor&)> forward_override_;
 };
 
 }  // namespace hotspot::core

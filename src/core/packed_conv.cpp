@@ -1,0 +1,98 @@
+#include "core/packed_conv.h"
+
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace hotspot::core {
+
+void packed_conv_per_channel(const bitops::XnorKernel& kern,
+                             const bitops::BitMatrix& patches,
+                             const bitops::BitMatrix& filters,
+                             const tensor::Tensor& alpha_t,
+                             const tensor::Tensor& alpha_w,
+                             std::int64_t in_channels,
+                             std::int64_t out_channels, std::int64_t kk,
+                             tensor::Tensor& output) {
+  const std::int64_t n = output.dim(0);
+  const std::int64_t out_h = output.dim(2);
+  const std::int64_t out_w = output.dim(3);
+  const std::int64_t positions = out_h * out_w;
+  HOTSPOT_CHECK_EQ(patches.rows(), n * positions);
+  // Run over the padded stride when patches and filters agree (the pad
+  // words are zero bits with zero alpha, contributing exactly +0.0f), so
+  // the kernel's weighted_sum takes its tail-free vector path.
+  const std::int64_t words =
+      patches.word_stride() == filters.word_stride() ? patches.word_stride()
+                                                     : patches.words_per_row();
+  const auto kkf = static_cast<float>(kk);
+  util::parallel_for(0, n * positions, /*grain=*/32, [&](std::int64_t lo,
+                                                         std::int64_t hi) {
+    // Per-chunk scratch for the gathered scales; chunks never share it.
+    // Sized to `words` with the padding entries pinned at zero.
+    std::vector<float> alpha_row(static_cast<std::size_t>(words), 0.0f);
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t ni = row / positions;
+      const std::int64_t p = row % positions;
+      const std::uint64_t* prow = patches.row(row);
+      // Gather this position's per-channel scales contiguously once; the
+      // filter loop below reads them out_channels times.
+      const float* asrc = alpha_t.data() + (ni * in_channels) * positions + p;
+      for (std::int64_t ci = 0; ci < in_channels; ++ci) {
+        alpha_row[static_cast<std::size_t>(ci)] = asrc[ci * positions];
+      }
+      float* out_base = output.data() + (ni * out_channels) * positions + p;
+      // Four filters per kernel call: the patch row and gathered scales
+      // are loaded once per channel block and feed four independent
+      // accumulator chains (weighted_sum_x4 is bit-identical to four
+      // weighted_sum calls by contract).
+      std::int64_t co = 0;
+      for (; co + 4 <= out_channels; co += 4) {
+        float quad[4];
+        kern.weighted_sum_x4(prow, filters.row(co), filters.row(co + 1),
+                             filters.row(co + 2), filters.row(co + 3),
+                             alpha_row.data(), words, kkf, quad);
+        out_base[co * positions] = quad[0] * alpha_w[co];
+        out_base[(co + 1) * positions] = quad[1] * alpha_w[co + 1];
+        out_base[(co + 2) * positions] = quad[2] * alpha_w[co + 2];
+        out_base[(co + 3) * positions] = quad[3] * alpha_w[co + 3];
+      }
+      for (; co < out_channels; ++co) {
+        const float acc = kern.weighted_sum(prow, filters.row(co),
+                                            alpha_row.data(), words, kkf);
+        out_base[co * positions] = acc * alpha_w[co];
+      }
+    }
+  });
+}
+
+void packed_conv_epilogue(const tensor::Tensor& counts,
+                          const tensor::Tensor& alpha_w,
+                          const tensor::Tensor* post_alpha,
+                          std::int64_t out_channels, tensor::Tensor& output) {
+  const std::int64_t n = output.dim(0);
+  const std::int64_t out_h = output.dim(2);
+  const std::int64_t out_w = output.dim(3);
+  const std::int64_t positions = out_h * out_w;
+  HOTSPOT_CHECK_EQ(counts.dim(0), n * positions);
+  HOTSPOT_CHECK_EQ(counts.dim(1), out_channels);
+  util::parallel_for(0, n * positions, /*grain=*/64, [&](std::int64_t lo,
+                                                         std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t ni = row / positions;
+      const std::int64_t p = row % positions;
+      // post = 1.0f multiplies exactly, so the no-scaling path matches a
+      // hypothetical two-factor epilogue bit-for-bit.
+      const float post =
+          post_alpha != nullptr ? post_alpha->at4(ni, 0, p / out_w, p % out_w)
+                                : 1.0f;
+      const float* src = counts.data() + row * out_channels;
+      float* dst = output.data() + ni * out_channels * positions + p;
+      for (std::int64_t co = 0; co < out_channels; ++co) {
+        dst[co * positions] = src[co] * alpha_w[co] * post;
+      }
+    }
+  });
+}
+
+}  // namespace hotspot::core

@@ -1,0 +1,149 @@
+#include "graph/builder.h"
+
+#include "nn/batchnorm_layer.h"
+#include "nn/pool_layers.h"
+#include "nn/residual.h"
+#include "util/check.h"
+
+namespace hotspot::graph {
+namespace {
+
+int add_batch_norm(Graph& graph, nn::BatchNorm2d& bn, const std::string& name,
+                   int input) {
+  Op op;
+  op.kind = OpKind::kBatchNorm;
+  op.name = name;
+  op.inputs = {input};
+  op.attrs.emplace("channels", Attr(bn.channels()));
+  op.attrs.emplace("epsilon", Attr(static_cast<double>(bn.epsilon())));
+  op.module = &bn;
+  op.bn = &bn;
+  return graph.add(std::move(op));
+}
+
+// BN -> Binarize -> BinaryConv from one Sequential conv block; returns the
+// conv node id. `shortcut` tags projection convs (off the paper's main
+// path) for the roofline.
+int add_conv_block(Graph& graph, nn::Sequential& block, int input,
+                   bool shortcut = false) {
+  HOTSPOT_CHECK_EQ(block.size(), 2u)
+      << "conv blocks are BatchNorm2d + BinaryConv2d";
+  auto* bn = dynamic_cast<nn::BatchNorm2d*>(&block.at(0));
+  auto* conv = dynamic_cast<core::BinaryConv2d*>(&block.at(1));
+  HOTSPOT_CHECK(bn != nullptr && conv != nullptr)
+      << "unexpected conv block layout";
+
+  const int bn_id =
+      add_batch_norm(graph, *bn, conv->span_label() + ".bn", input);
+
+  Op binarize;
+  binarize.kind = OpKind::kBinarize;
+  binarize.name = conv->span_label() + ".binarize";
+  binarize.inputs = {bn_id};
+  const int bin_id = graph.add(std::move(binarize));
+
+  Op conv_op;
+  conv_op.kind = OpKind::kBinaryConv;
+  conv_op.name = conv->span_label();
+  conv_op.inputs = {bin_id};
+  conv_op.attrs.emplace("in_channels", Attr(conv->in_channels()));
+  conv_op.attrs.emplace("out_channels", Attr(conv->out_channels()));
+  conv_op.attrs.emplace("kernel", Attr(conv->spec().kernel_h));
+  conv_op.attrs.emplace("stride", Attr(conv->spec().stride));
+  conv_op.attrs.emplace("pad", Attr(conv->spec().pad));
+  conv_op.attrs.emplace("scaling",
+                        Attr(std::string(bitops::to_string(conv->scaling()))));
+  conv_op.attrs.emplace("shortcut", Attr(shortcut));
+  conv_op.module = conv;
+  conv_op.conv = conv;
+  return graph.add(std::move(conv_op));
+}
+
+}  // namespace
+
+Graph build_graph(core::BrnnModel& model) {
+  Graph graph;
+  const core::BrnnConfig& config = model.config();
+
+  Op input;
+  input.kind = OpKind::kInput;
+  input.name = "input";
+  input.output = {DType::kFloat,
+                  {-1, config.input_channels, config.image_size,
+                   config.image_size}};
+  int current = graph.add(std::move(input));
+
+  nn::Sequential& net = model.net();
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    nn::Module& layer = net.at(i);
+    if (auto* block = dynamic_cast<nn::Sequential*>(&layer)) {
+      current = add_conv_block(graph, *block, current);
+    } else if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&layer)) {
+      Op op;
+      op.kind = OpKind::kMaxPool;
+      op.name = model.layer_labels()[i];
+      op.inputs = {current};
+      op.attrs.emplace("window", Attr(pool->spec().window));
+      op.attrs.emplace("stride", Attr(pool->spec().stride));
+      op.module = pool;
+      current = graph.add(std::move(op));
+    } else if (auto* residual = dynamic_cast<nn::ResidualBlock*>(&layer)) {
+      auto* main_path = dynamic_cast<nn::Sequential*>(&residual->main_path());
+      HOTSPOT_CHECK(main_path != nullptr) << "residual main path layout";
+      const int block_input = current;
+      int main_out = block_input;
+      for (std::size_t j = 0; j < main_path->size(); ++j) {
+        auto* conv_block =
+            dynamic_cast<nn::Sequential*>(&main_path->at(j));
+        HOTSPOT_CHECK(conv_block != nullptr) << "residual main path layout";
+        main_out = add_conv_block(graph, *conv_block, main_out);
+      }
+      int shortcut_out = block_input;  // identity connection
+      if (auto* shortcut =
+              dynamic_cast<nn::Sequential*>(residual->shortcut())) {
+        shortcut_out =
+            add_conv_block(graph, *shortcut, block_input, /*shortcut=*/true);
+      } else {
+        HOTSPOT_CHECK(!residual->has_projection())
+            << "unexpected shortcut layout";
+      }
+      Op add;
+      add.kind = OpKind::kAdd;
+      add.name = model.layer_labels()[i] + ".add";
+      // tensor::add(main, shortcut): operand order matches
+      // ResidualBlock::forward, so the float sum is identical.
+      add.inputs = {main_out, shortcut_out};
+      current = graph.add(std::move(add));
+    } else if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&layer)) {
+      current = add_batch_norm(graph, *bn, model.layer_labels()[i], current);
+    } else if (auto* gap = dynamic_cast<nn::GlobalAvgPool*>(&layer)) {
+      Op op;
+      op.kind = OpKind::kGlobalAvgPool;
+      op.name = model.layer_labels()[i];
+      op.inputs = {current};
+      op.module = gap;
+      current = graph.add(std::move(op));
+    } else if (auto* fc = dynamic_cast<nn::Linear*>(&layer)) {
+      Op op;
+      op.kind = OpKind::kLinear;
+      op.name = model.layer_labels()[i];
+      op.inputs = {current};
+      op.attrs.emplace("in_features", Attr(fc->in_features()));
+      op.attrs.emplace("out_features", Attr(fc->out_features()));
+      op.module = fc;
+      current = graph.add(std::move(op));
+    } else {
+      HOTSPOT_CHECK(false) << "unsupported top-level layer: " << layer.name();
+    }
+  }
+
+  const auto structural = graph.validate();
+  HOTSPOT_CHECK(structural.empty())
+      << "lowered graph failed validation: " << structural.front();
+  const auto shape_errors = graph.infer_shapes();
+  HOTSPOT_CHECK(shape_errors.empty())
+      << "lowered graph failed shape inference: " << shape_errors.front();
+  return graph;
+}
+
+}  // namespace hotspot::graph

@@ -1,0 +1,23 @@
+// Lowers a BrnnModel's module chain into the graph IR (DESIGN.md §14.1).
+#pragma once
+
+#include "core/brnn.h"
+#include "graph/graph.h"
+
+namespace hotspot::graph {
+
+// Walks model.net() top-level module by module and emits one op per layer:
+// every conv block becomes the explicit BN -> Binarize -> BinaryConv
+// triple (the binarize marker makes the Fig.-3 structure visible to the
+// fold pass even though the module chain hides it inside BinaryConv2d),
+// residual blocks become their main-path/shortcut chains joined by kAdd in
+// tensor::add's operand order, and the head lowers to BN -> GlobalAvgPool
+// -> Linear. Conv nodes are named by their trace span label so the
+// roofline join works unchanged. Shapes are inferred with a symbolic batch
+// (-1); the result is validated and shape-inferred (aborts on failure —
+// a BrnnModel always lowers cleanly).
+//
+// The graph holds non-owning pointers into `model`, which must outlive it.
+Graph build_graph(core::BrnnModel& model);
+
+}  // namespace hotspot::graph

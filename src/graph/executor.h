@@ -1,0 +1,89 @@
+// Graph executor: runs the (optimized) graph through the existing packed
+// kernels, bit-identically to the module chain (DESIGN.md §14.3).
+//
+// Identity strategy, by construction rather than by tolerance:
+//   - unfused nodes delegate to the very module pointers the chain runs
+//     (same code, same floats);
+//   - fused nodes run the shared packed-conv primitives
+//     (core/packed_conv.h) on bits produced by exact per-channel thresholds
+//     (graph/threshold.h) and alpha_T scales computed by the *_affine
+//     variants that replicate BatchNorm2d's float op order — every float
+//     that reaches the kernels equals its unfused counterpart.
+// The guarantee covers finite activations; see threshold.h for the one
+// (unreachable) overflow caveat.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/brnn.h"
+#include "graph/graph.h"
+#include "graph/passes.h"
+#include "obs/trace.h"
+
+namespace hotspot::graph {
+
+enum class FusionMode {
+  kOff,    // uninstall: the model runs its module chain
+  kGraph,  // run the unfused graph (pure delegation; sanity baseline)
+  kFused,  // run the full fusion pipeline, then execute
+};
+
+const char* to_string(FusionMode mode);
+
+class GraphExecutor {
+ public:
+  // Builds the graph from `model` and, for kFused, runs the fusion
+  // pipeline. The model must outlive the executor. Pack layouts are planned
+  // lazily at run() so they always match the dispatched XNOR kernel.
+  GraphExecutor(core::BrnnModel& model, FusionMode mode);
+
+  // One inference forward; same input contract as BrnnModel::forward.
+  // Thread-safe for concurrent calls as long as weights and the active
+  // kernel do not change mid-call (the same contract the module chain's
+  // packed cache has); a detected weight-version or kernel change re-plans
+  // under a mutex before executing.
+  tensor::Tensor run(const tensor::Tensor& input);
+
+  const Graph& graph() const { return graph_; }
+  FusionMode mode() const { return mode_; }
+  const core::BrnnModel& model() const { return *model_; }
+  const std::vector<PassResult>& pass_results() const { return passes_; }
+
+  // Per-node forward sample counters for the graph roofline; advance on
+  // every run() (delegated convs additionally keep their own counters).
+  std::uint64_t node_samples(int id) const {
+    return samples_[static_cast<std::size_t>(id)].load(
+        std::memory_order_relaxed);
+  }
+  void reset_profile();
+
+ private:
+  const tensor::Tensor& value_of(int id, const tensor::Tensor& input,
+                                 const std::vector<tensor::Tensor>& values,
+                                 const std::vector<int>& alias) const;
+  void plan_if_stale();
+  tensor::Tensor exec_fused(const Op& op, const tensor::Tensor* x,
+                            const bitops::BitPlanes* in_bits,
+                            bitops::BitPlanes* out_bits);
+
+  core::BrnnModel* model_;
+  FusionMode mode_;
+  Graph graph_;
+  std::vector<PassResult> passes_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> samples_;
+  std::mutex plan_mutex_;
+};
+
+// Convenience wiring: builds an executor and installs it as the model's
+// inference forward override (kOff clears the override and returns null).
+// Install *after* loading checkpoints — passes snapshot BN statistics and
+// thresholds at build time; only weight updates and kernel switches are
+// re-detected automatically. The returned executor is kept alive by the
+// override closure; the model must outlive both.
+std::shared_ptr<GraphExecutor> install_executor(core::BrnnModel& model,
+                                                FusionMode mode);
+
+}  // namespace hotspot::graph

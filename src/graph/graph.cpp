@@ -1,0 +1,354 @@
+#include "graph/graph.h"
+
+#include <sstream>
+
+#include "tensor/conv.h"
+
+namespace hotspot::graph {
+namespace {
+
+// Expected input arity per op kind; -1 never occurs.
+int arity(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:
+      return 0;
+    case OpKind::kAdd:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+std::string describe(int id, const Op& op) {
+  std::ostringstream out;
+  out << "node " << id << " (" << to_string(op.kind)
+      << (op.name.empty() ? "" : " " + op.name) << ")";
+  return out.str();
+}
+
+// Whether `producer` yields a float tensor on its output edge.
+bool produces_float(const Op& producer) {
+  if (producer.kind == OpKind::kBinarize) {
+    return false;
+  }
+  if (producer.kind == OpKind::kFusedBnBinaryConv && producer.emit_bits) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:
+      return "input";
+    case OpKind::kBatchNorm:
+      return "batch_norm";
+    case OpKind::kBinarize:
+      return "binarize";
+    case OpKind::kBinaryConv:
+      return "binary_conv";
+    case OpKind::kFusedBnBinaryConv:
+      return "fused_bn_binary_conv";
+    case OpKind::kMaxPool:
+      return "max_pool";
+    case OpKind::kAdd:
+      return "add";
+    case OpKind::kGlobalAvgPool:
+      return "global_avg_pool";
+    case OpKind::kLinear:
+      return "linear";
+  }
+  return "?";
+}
+
+const char* to_string(DType dtype) {
+  return dtype == DType::kFloat ? "float" : "bits";
+}
+
+std::string TensorType::to_string() const {
+  std::ostringstream out;
+  out << graph::to_string(dtype) << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    out << (i > 0 ? "," : "") << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string Attr::to_string() const {
+  std::ostringstream out;
+  if (const auto* v = std::get_if<std::int64_t>(&value_)) {
+    out << *v;
+  } else if (const auto* v = std::get_if<double>(&value_)) {
+    out << *v;
+  } else if (const auto* v = std::get_if<bool>(&value_)) {
+    out << (*v ? "true" : "false");
+  } else if (const auto* v = std::get_if<std::string>(&value_)) {
+    out << *v;
+  } else {
+    out << "<empty>";
+  }
+  return out.str();
+}
+
+int Graph::add(Op op) {
+  const int id = static_cast<int>(nodes_.size());
+  for (const int input : op.inputs) {
+    HOTSPOT_CHECK(input >= 0 && input < id)
+        << "graph nodes may only consume earlier nodes (node " << id
+        << " references " << input << ")";
+  }
+  nodes_.push_back(std::move(op));
+  return id;
+}
+
+std::vector<int> Graph::consumers(int id) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const int input : nodes_[i].inputs) {
+      if (input == id) {
+        out.push_back(static_cast<int>(i));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Graph::validate() const {
+  std::vector<std::string> errors;
+  if (nodes_.empty()) {
+    errors.push_back("graph is empty");
+    return errors;
+  }
+  if (nodes_.front().kind != OpKind::kInput) {
+    errors.push_back("node 0 must be the input op");
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Op& op = nodes_[i];
+    const int id = static_cast<int>(i);
+    if (op.kind == OpKind::kInput && id != 0) {
+      errors.push_back(describe(id, op) + ": only node 0 may be an input");
+      continue;
+    }
+    if (static_cast<int>(op.inputs.size()) != arity(op.kind)) {
+      std::ostringstream msg;
+      msg << describe(id, op) << ": expects " << arity(op.kind)
+          << " input(s), has " << op.inputs.size();
+      errors.push_back(msg.str());
+      continue;
+    }
+    bool inputs_ok = true;
+    for (const int input : op.inputs) {
+      if (input < 0 || input >= id) {
+        errors.push_back(describe(id, op) + ": input id out of range");
+        inputs_ok = false;
+      }
+    }
+    if (!inputs_ok) {
+      continue;
+    }
+    // Edge dtype rules. The unfused conv must consume the explicit binarize
+    // marker (the executor reaches through it to the real-valued BN output,
+    // mirroring how BinaryConv2d binarizes internally); everything else
+    // consumes float, except a fused conv, which may also consume the bits
+    // a fused kNone producer emits.
+    switch (op.kind) {
+      case OpKind::kBinaryConv:
+        if (nodes_[static_cast<std::size_t>(op.inputs[0])].kind !=
+            OpKind::kBinarize) {
+          errors.push_back(describe(id, op) +
+                           ": input must be a binarize node");
+        }
+        break;
+      case OpKind::kFusedBnBinaryConv: {
+        const Op& producer = nodes_[static_cast<std::size_t>(op.inputs[0])];
+        if (!produces_float(producer) &&
+            !(producer.kind == OpKind::kFusedBnBinaryConv &&
+              producer.emit_bits)) {
+          errors.push_back(describe(id, op) +
+                           ": input must be float or emitted bits");
+        }
+        break;
+      }
+      case OpKind::kInput:
+        break;
+      default:
+        for (const int input : op.inputs) {
+          if (!produces_float(nodes_[static_cast<std::size_t>(input)])) {
+            errors.push_back(describe(id, op) +
+                             ": requires a float input edge");
+          }
+        }
+        break;
+    }
+  }
+  return errors;
+}
+
+std::vector<std::string> Graph::infer_shapes() {
+  std::vector<std::string> errors;
+  auto fail = [&](int id, const std::string& message) {
+    errors.push_back(describe(id, nodes_[static_cast<std::size_t>(id)]) +
+                     ": " + message);
+  };
+  if (nodes_.empty()) {
+    errors.push_back("graph is empty");
+    return errors;
+  }
+  if (nodes_.front().output.shape.empty()) {
+    errors.push_back("input node has no seeded output shape");
+    return errors;
+  }
+
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const int id = static_cast<int>(i);
+    Op& op = nodes_[i];
+    if (op.inputs.empty() || op.inputs[0] < 0 || op.inputs[0] >= id) {
+      fail(id, "missing or out-of-range input");
+      return errors;
+    }
+    const TensorType& in = nodes_[static_cast<std::size_t>(op.inputs[0])].output;
+    switch (op.kind) {
+      case OpKind::kInput:
+        fail(id, "only node 0 may be an input");
+        return errors;
+      case OpKind::kBatchNorm: {
+        if (in.shape.size() != 4) {
+          fail(id, "batch norm expects a rank-4 input");
+          return errors;
+        }
+        const std::int64_t channels = op.attr_int("channels");
+        if (in.shape[1] != channels) {
+          std::ostringstream msg;
+          msg << "channel mismatch: input has " << in.shape[1]
+              << ", layer normalizes " << channels;
+          fail(id, msg.str());
+          return errors;
+        }
+        op.output = {DType::kFloat, in.shape};
+        break;
+      }
+      case OpKind::kBinarize:
+        if (in.shape.size() != 4) {
+          fail(id, "binarize expects a rank-4 input");
+          return errors;
+        }
+        op.output = {DType::kBits, in.shape};
+        break;
+      case OpKind::kBinaryConv:
+      case OpKind::kFusedBnBinaryConv: {
+        if (in.shape.size() != 4) {
+          fail(id, "conv expects a rank-4 input");
+          return errors;
+        }
+        const std::int64_t in_channels = op.attr_int("in_channels");
+        if (in.shape[1] != in_channels) {
+          std::ostringstream msg;
+          msg << "channel mismatch: input has " << in.shape[1]
+              << ", conv expects " << in_channels;
+          fail(id, msg.str());
+          return errors;
+        }
+        const std::int64_t kernel = op.attr_int("kernel");
+        const std::int64_t stride = op.attr_int("stride");
+        const std::int64_t pad = op.attr_int("pad");
+        const std::int64_t out_h =
+            tensor::conv_out_extent(in.shape[2], kernel, stride, pad);
+        const std::int64_t out_w =
+            tensor::conv_out_extent(in.shape[3], kernel, stride, pad);
+        if (out_h <= 0 || out_w <= 0) {
+          fail(id, "conv output would be empty");
+          return errors;
+        }
+        op.output = {op.emit_bits ? DType::kBits : DType::kFloat,
+                     {in.shape[0], op.attr_int("out_channels"), out_h, out_w}};
+        break;
+      }
+      case OpKind::kMaxPool: {
+        if (in.shape.size() != 4) {
+          fail(id, "max pool expects a rank-4 input");
+          return errors;
+        }
+        const std::int64_t window = op.attr_int("window");
+        const std::int64_t stride = op.attr_int("stride");
+        // tensor::max_pool2d's extent rule: full windows, plus one partial
+        // window when the image is smaller than the window.
+        auto extent = [&](std::int64_t n) {
+          if (n < window) {
+            return n > 0 ? std::int64_t{1} : std::int64_t{0};
+          }
+          return (n - window) / stride + 1;
+        };
+        const std::int64_t out_h = extent(in.shape[2]);
+        const std::int64_t out_w = extent(in.shape[3]);
+        if (out_h <= 0 || out_w <= 0) {
+          fail(id, "pool output would be empty");
+          return errors;
+        }
+        op.output = {DType::kFloat, {in.shape[0], in.shape[1], out_h, out_w}};
+        break;
+      }
+      case OpKind::kAdd: {
+        const TensorType& rhs =
+            nodes_[static_cast<std::size_t>(op.inputs[1])].output;
+        if (in.shape != rhs.shape) {
+          fail(id, "operand shapes differ: " + in.to_string() + " vs " +
+                       rhs.to_string());
+          return errors;
+        }
+        op.output = {DType::kFloat, in.shape};
+        break;
+      }
+      case OpKind::kGlobalAvgPool:
+        if (in.shape.size() != 4) {
+          fail(id, "global avg pool expects a rank-4 input");
+          return errors;
+        }
+        op.output = {DType::kFloat, {in.shape[0], in.shape[1]}};
+        break;
+      case OpKind::kLinear: {
+        if (in.shape.size() != 2) {
+          fail(id, "linear expects a rank-2 input");
+          return errors;
+        }
+        const std::int64_t in_features = op.attr_int("in_features");
+        if (in.shape[1] != in_features) {
+          std::ostringstream msg;
+          msg << "feature mismatch: input has " << in.shape[1]
+              << ", layer expects " << in_features;
+          fail(id, msg.str());
+          return errors;
+        }
+        op.output = {DType::kFloat, {in.shape[0], op.attr_int("out_features")}};
+        break;
+      }
+    }
+  }
+  return errors;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Op& op = nodes_[i];
+    out << i << ": " << graph::to_string(op.kind);
+    if (!op.name.empty()) {
+      out << " " << op.name;
+    }
+    out << "(";
+    for (std::size_t j = 0; j < op.inputs.size(); ++j) {
+      out << (j > 0 ? ", " : "") << op.inputs[j];
+    }
+    out << ") -> " << op.output.to_string();
+    if (op.kind == OpKind::kFusedBnBinaryConv) {
+      out << (op.emit_bits ? " [fused, emits bits]" : " [fused]");
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hotspot::graph

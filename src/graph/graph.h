@@ -1,0 +1,54 @@
+// The computation graph: a topologically ordered op list with validation
+// and shape inference (DESIGN.md §14).
+//
+// Nodes are appended in execution order and may only reference earlier
+// nodes, so the node vector *is* the schedule — no separate toposort. Node 0
+// is the graph input; the last node is the graph output. Structural
+// validation (validate()) and shape/dtype inference (infer_shapes()) report
+// problems as error strings instead of aborting, so malformed graphs can be
+// rejected gracefully (and tested without death tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/op.h"
+
+namespace hotspot::graph {
+
+class Graph {
+ public:
+  // Appends `op` and returns its id. Aborts if an input id is not a
+  // previously added node (the topological-order invariant); everything
+  // softer is left to validate().
+  int add(Op op);
+
+  std::size_t size() const { return nodes_.size(); }
+  const Op& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  Op& node(int id) { return nodes_[static_cast<std::size_t>(id)]; }
+  int output_id() const { return static_cast<int>(nodes_.size()) - 1; }
+
+  // Ids of every node that lists `id` among its inputs, ascending.
+  std::vector<int> consumers(int id) const;
+
+  // Structural checks: node 0 is the one kInput, arities match the op
+  // kinds, and edge dtypes are legal (a kBinaryConv consumes a kBinarize,
+  // a kBinarize consumes float, kAdd joins two floats, ...). Returns one
+  // message per violation; empty means well-formed.
+  std::vector<std::string> validate() const;
+
+  // Computes every node's output TensorType from node 0's (which the
+  // caller seeds; the builder uses [-1, C, H, W] with a symbolic batch).
+  // Geometry comes from the attribute map, so graphs built without module
+  // payloads infer the same way. Returns error messages and stops at the
+  // first node that fails; empty means every shape was inferred.
+  std::vector<std::string> infer_shapes();
+
+  // One line per node: id, kind, name, inputs, output type.
+  std::string to_string() const;
+
+ private:
+  std::vector<Op> nodes_;
+};
+
+}  // namespace hotspot::graph

@@ -1,0 +1,150 @@
+// Typed operations of the inference computation graph (DESIGN.md §14).
+//
+// The graph models the paper's network at the granularity the optimizer
+// cares about: batch norm, the binarize step (explicit here, even though the
+// module chain hides it inside BinaryConv2d), the binary convolution, pools,
+// the residual add, and the classifier head. Ops carry
+//   - a kind and a small typed attribute map (geometry, channel counts),
+//   - an inferred output TensorType (dtype + NCHW shape, batch = -1),
+//   - non-owning payload pointers into the BrnnModel the graph was built
+//     from (the executor delegates unfused ops straight to the modules,
+//     which is what makes the unfused graph bit-identical by construction),
+//   - fold/plan state filled in by the passes in passes.h: per-channel
+//     binarize thresholds, integer count thresholds for bit emission, and
+//     the packed filter layout planned for the dispatched XNOR kernel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bitops/bit_matrix.h"
+#include "bitops/bit_planes.h"
+#include "bitops/kernels/xnor_kernel.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/check.h"
+
+namespace hotspot::nn {
+class BatchNorm2d;
+}
+namespace hotspot::core {
+class BinaryConv2d;
+}
+
+namespace hotspot::graph {
+
+enum class OpKind {
+  kInput,
+  kBatchNorm,
+  kBinarize,           // explicit Fig.-3 binarize marker between BN and conv
+  kBinaryConv,         // unfused: delegates to BinaryConv2d::forward
+  kFusedBnBinaryConv,  // BN+binarize folded into per-channel thresholds
+  kMaxPool,
+  kAdd,                // residual join, inputs = {main, shortcut}
+  kGlobalAvgPool,
+  kLinear,
+};
+
+const char* to_string(OpKind kind);
+
+// Element type flowing along a graph edge. kBits edges carry BitPlanes (one
+// bit per activation) instead of a float tensor; they only appear after the
+// integer-threshold pass marks a fused producer with emit_bits.
+enum class DType { kFloat, kBits };
+
+const char* to_string(DType dtype);
+
+struct TensorType {
+  DType dtype = DType::kFloat;
+  // NCHW (rank 4) or [N, features] (rank 2); batch is symbolic (-1).
+  std::vector<std::int64_t> shape;
+
+  bool operator==(const TensorType& other) const = default;
+  std::string to_string() const;
+};
+
+// One typed attribute value (int / double / bool / string), in the style of
+// mv::Attribute: construction fixes the type, get<T>() checks it.
+class Attr {
+ public:
+  Attr() = default;
+  explicit Attr(std::int64_t v) : value_(v) {}
+  explicit Attr(double v) : value_(v) {}
+  explicit Attr(bool v) : value_(v) {}
+  explicit Attr(std::string v) : value_(std::move(v)) {}
+
+  bool has_value() const {
+    return !std::holds_alternative<std::monostate>(value_);
+  }
+
+  template <typename T>
+  const T& get() const {
+    HOTSPOT_CHECK(std::holds_alternative<T>(value_))
+        << "attribute holds a different type";
+    return std::get<T>(value_);
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, bool, std::string> value_;
+};
+
+struct Op {
+  OpKind kind = OpKind::kInput;
+  // Unique name; conv-bearing nodes reuse the conv's trace span label
+  // ("brnn.conv.block1a") so the roofline join works unchanged.
+  std::string name;
+  // Producer node ids; always < this node's id (the graph is topologically
+  // ordered by construction).
+  std::vector<int> inputs;
+  std::map<std::string, Attr> attrs;
+  // Filled by Graph::infer_shapes().
+  TensorType output;
+
+  // Non-owning payloads; the BrnnModel the graph was built from owns them
+  // and must outlive the graph.
+  nn::Module* module = nullptr;          // delegation target (unfused ops)
+  nn::BatchNorm2d* bn = nullptr;         // kBatchNorm
+  core::BinaryConv2d* conv = nullptr;    // kBinaryConv / kFusedBnBinaryConv
+
+  // --- kFusedBnBinaryConv state (fold_bn_binarize_conv) ---
+  // Per-input-channel thresholds on the *raw* (pre-BN) activations; bit =
+  // apply(thresholds[c], x) equals sign(bn(x)) >= 0 for every finite x.
+  std::vector<bitops::BinarizeThreshold> thresholds;
+  // BN inference affine, retained for the alpha_T computation
+  // (input_scales_*_affine): the scales see the bn *output* values without
+  // the tensor being materialized.
+  std::vector<float> bn_mean;
+  std::vector<float> bn_inv_std;
+  std::vector<float> bn_gamma;
+  std::vector<float> bn_beta;
+
+  // --- integer-count emission (fold_integer_thresholds) ---
+  // When emit_bits is set, this kNone conv writes its output as BitPlanes:
+  // out bit = (popcount count >= emit_bounds[co]) != emit_flips[co]. Its
+  // sole consumer reads kBits and skips binarization entirely.
+  bool emit_bits = false;
+  std::vector<std::int64_t> emit_bounds;
+  std::vector<std::uint8_t> emit_flips;
+
+  // --- planned pack layout (plan_pack_layouts) ---
+  // Filters packed for `planned_kernel`'s word padding at weight version
+  // `planned_weight_version`, plus the constant-folded alpha_W. Only fused
+  // nodes carry this; unfused convs keep using their own versioned cache.
+  bitops::BitMatrix filters;
+  tensor::Tensor alpha_w;
+  const bitops::XnorKernel* planned_kernel = nullptr;
+  std::uint64_t planned_weight_version = 0;
+
+  std::int64_t attr_int(const std::string& key) const {
+    const auto it = attrs.find(key);
+    HOTSPOT_CHECK(it != attrs.end()) << "missing attribute " << key;
+    return it->second.get<std::int64_t>();
+  }
+};
+
+}  // namespace hotspot::graph

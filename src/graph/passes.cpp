@@ -1,0 +1,218 @@
+#include "graph/passes.h"
+
+#include <utility>
+
+#include "bitops/scaling.h"
+#include "bitops/xnor_gemm.h"
+#include "core/binary_conv.h"
+#include "graph/threshold.h"
+#include "nn/batchnorm_layer.h"
+#include "util/check.h"
+
+namespace hotspot::graph {
+namespace {
+
+// Rebuilds the graph without the nodes marked dead, remapping input ids.
+// Dead nodes must have no surviving consumer.
+Graph compact(Graph&& graph, const std::vector<bool>& dead) {
+  std::vector<int> remap(graph.size(), -1);
+  Graph out;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    if (dead[i]) {
+      continue;
+    }
+    Op op = std::move(graph.node(static_cast<int>(i)));
+    for (int& input : op.inputs) {
+      HOTSPOT_CHECK(remap[static_cast<std::size_t>(input)] >= 0)
+          << "live node consumes a removed node";
+      input = remap[static_cast<std::size_t>(input)];
+    }
+    remap[i] = out.add(std::move(op));
+  }
+  return out;
+}
+
+// Patch bits of a dense-packed conv: the popcount count lives in
+// [-max_count, max_count].
+std::int64_t dense_patch_bits(const core::BinaryConv2d& conv) {
+  return conv.in_channels() * conv.spec().kernel_h * conv.spec().kernel_w;
+}
+
+// (Re)derives emit_bounds/emit_flips for producer `a_id` from its sole
+// consumer's float thresholds and the producer's current alpha_W. Called by
+// fold_integer_thresholds when the edge is first converted and by
+// plan_pack_layouts after a weight-version bump moves alpha_W.
+void refresh_emit_bounds(Graph& graph, int a_id) {
+  Op& a = graph.node(a_id);
+  const std::vector<int> consumers = graph.consumers(a_id);
+  HOTSPOT_CHECK_EQ(consumers.size(), 1u) << "emitting conv must have one consumer";
+  const Op& b = graph.node(consumers[0]);
+  HOTSPOT_CHECK_EQ(a.alpha_w.numel(), a.conv->out_channels());
+  HOTSPOT_CHECK_EQ(b.thresholds.size(),
+                   static_cast<std::size_t>(b.conv->in_channels()));
+  const std::int64_t max_count = dense_patch_bits(*a.conv);
+  const std::int64_t out_channels = a.conv->out_channels();
+  a.emit_bounds.resize(static_cast<std::size_t>(out_channels));
+  a.emit_flips.resize(static_cast<std::size_t>(out_channels));
+  for (std::int64_t co = 0; co < out_channels; ++co) {
+    const CountThreshold ct = fold_count_threshold(
+        b.thresholds[static_cast<std::size_t>(co)], a.alpha_w[co], max_count);
+    a.emit_bounds[static_cast<std::size_t>(co)] = ct.bound;
+    a.emit_flips[static_cast<std::size_t>(co)] = ct.flip ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+int fold_bn_binarize_conv(Graph& graph) {
+  int fused = 0;
+  std::vector<bool> dead(graph.size(), false);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    Op& conv_op = graph.node(static_cast<int>(i));
+    if (conv_op.kind != OpKind::kBinaryConv) {
+      continue;
+    }
+    const int bin_id = conv_op.inputs[0];
+    const Op& bin = graph.node(bin_id);
+    if (bin.kind != OpKind::kBinarize) {
+      continue;
+    }
+    const int bn_id = bin.inputs[0];
+    const Op& bn_op = graph.node(bn_id);
+    if (bn_op.kind != OpKind::kBatchNorm || bn_op.bn == nullptr ||
+        conv_op.conv == nullptr) {
+      continue;
+    }
+    // The fold consumes the BN output entirely; any other consumer of the
+    // BN (or of the marker) still needs the float tensor, so the chain must
+    // be private to this conv.
+    if (graph.consumers(bn_id).size() != 1 ||
+        graph.consumers(bin_id).size() != 1) {
+      continue;
+    }
+
+    nn::BatchNorm2d& bn = *bn_op.bn;
+    const std::int64_t channels = bn.channels();
+    const tensor::Tensor inv_std = bn.inference_inv_std();
+    std::vector<bitops::BinarizeThreshold> thresholds;
+    thresholds.reserve(static_cast<std::size_t>(channels));
+    bool foldable = true;
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const auto t = fold_bn_sign_threshold(bn.gamma().value[c],
+                                            bn.beta().value[c],
+                                            bn.running_mean()[c], inv_std[c]);
+      if (!t.has_value()) {
+        foldable = false;  // non-finite statistics: leave this conv unfused
+        break;
+      }
+      thresholds.push_back(*t);
+    }
+    if (!foldable) {
+      continue;
+    }
+
+    conv_op.kind = OpKind::kFusedBnBinaryConv;
+    conv_op.inputs = {bn_op.inputs[0]};
+    conv_op.thresholds = std::move(thresholds);
+    conv_op.bn_mean.assign(bn.running_mean().data(),
+                           bn.running_mean().data() + channels);
+    conv_op.bn_inv_std.assign(inv_std.data(), inv_std.data() + channels);
+    conv_op.bn_gamma.assign(bn.gamma().value.data(),
+                            bn.gamma().value.data() + channels);
+    conv_op.bn_beta.assign(bn.beta().value.data(),
+                           bn.beta().value.data() + channels);
+    dead[static_cast<std::size_t>(bn_id)] = true;
+    dead[static_cast<std::size_t>(bin_id)] = true;
+    ++fused;
+  }
+  if (fused > 0) {
+    graph = compact(std::move(graph), dead);
+    const auto errors = graph.infer_shapes();
+    HOTSPOT_CHECK(errors.empty())
+        << "fold broke shape inference: " << errors.front();
+  }
+  return fused;
+}
+
+int constant_fold_scales(Graph& graph) {
+  int folded = 0;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    Op& op = graph.node(static_cast<int>(i));
+    if (op.kind != OpKind::kFusedBnBinaryConv || op.conv == nullptr ||
+        op.alpha_w.numel() > 0) {
+      continue;
+    }
+    op.alpha_w = bitops::weight_scales(op.conv->weight().value);
+    ++folded;
+  }
+  return folded;
+}
+
+int fold_integer_thresholds(Graph& graph) {
+  int converted = 0;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    Op& a = graph.node(static_cast<int>(i));
+    if (a.kind != OpKind::kFusedBnBinaryConv || a.conv == nullptr ||
+        a.emit_bits || a.conv->scaling() != bitops::InputScaling::kNone) {
+      continue;
+    }
+    const std::vector<int> consumers = graph.consumers(static_cast<int>(i));
+    if (consumers.size() != 1) {
+      continue;
+    }
+    const Op& b = graph.node(consumers[0]);
+    // The consumer reads bits instead of floats, which removes both A's
+    // float epilogue and B's binarize — but only a kNone consumer can: the
+    // alpha_T input scales of the other modes need the real BN outputs.
+    if (b.kind != OpKind::kFusedBnBinaryConv || b.conv == nullptr ||
+        b.conv->scaling() != bitops::InputScaling::kNone) {
+      continue;
+    }
+    HOTSPOT_CHECK_EQ(a.alpha_w.numel(), a.conv->out_channels())
+        << "fold_integer_thresholds needs constant_fold_scales first";
+    a.emit_bits = true;
+    a.output.dtype = DType::kBits;
+    refresh_emit_bounds(graph, static_cast<int>(i));
+    ++converted;
+  }
+  return converted;
+}
+
+int plan_pack_layouts(Graph& graph) {
+  const bitops::XnorKernel& kern = bitops::active_xnor_kernel();
+  int planned = 0;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    Op& op = graph.node(static_cast<int>(i));
+    if (op.kind != OpKind::kFusedBnBinaryConv || op.conv == nullptr) {
+      continue;
+    }
+    const std::uint64_t version = op.conv->weight().version;
+    if (op.planned_kernel == &kern && op.planned_weight_version == version &&
+        op.filters.rows() > 0) {
+      continue;
+    }
+    const tensor::Tensor& weight = op.conv->weight().value;
+    op.alpha_w = bitops::weight_scales(weight);
+    op.filters = op.conv->scaling() == bitops::InputScaling::kPerChannel
+                     ? bitops::pack_filters_channel_blocked(weight)
+                     : bitops::pack_filters(weight);
+    op.planned_kernel = &kern;
+    op.planned_weight_version = version;
+    if (op.emit_bits) {
+      refresh_emit_bounds(graph, static_cast<int>(i));
+    }
+    ++planned;
+  }
+  return planned;
+}
+
+std::vector<PassResult> run_fusion_pipeline(Graph& graph) {
+  std::vector<PassResult> results;
+  results.push_back({"fold_bn_binarize_conv", fold_bn_binarize_conv(graph)});
+  results.push_back({"constant_fold_scales", constant_fold_scales(graph)});
+  results.push_back(
+      {"fold_integer_thresholds", fold_integer_thresholds(graph)});
+  return results;
+}
+
+}  // namespace hotspot::graph

@@ -1,0 +1,57 @@
+// Optimization passes over the graph IR (DESIGN.md §14.3).
+//
+// Every pass mutates the graph in place and returns how many sites it
+// changed, so re-running a pass on its own output returns 0 (idempotence is
+// pinned by tests/graph/fusion_identity_test.cpp). Passes require the module
+// payloads the builder installs; they snapshot BN parameters and weights at
+// fold/plan time, so the executor re-plans when weights change and the
+// caller must rebuild the graph if BN statistics change (install after
+// checkpoint load).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hotspot::graph {
+
+struct PassResult {
+  std::string name;
+  int changed = 0;
+};
+
+// Folds every BN -> Binarize -> BinaryConv chain whose intermediate edges
+// have no other consumer into one kFusedBnBinaryConv node: per-channel
+// binarize thresholds on the raw input (threshold.h) plus the retained BN
+// affine for the alpha_T scales. Chains with non-finite BN parameters are
+// left unfused. Dead BN/Binarize nodes are removed and ids compacted.
+// Returns the number of convs fused.
+int fold_bn_binarize_conv(Graph& graph);
+
+// Precomputes alpha_W = ||W||_1 / n per fused conv (Eq. 8) into the node.
+// Returns the number of nodes folded (0 when every fused node already has
+// its scales).
+int constant_fold_scales(Graph& graph);
+
+// For every fused kNone conv A whose sole consumer is another fused kNone
+// conv B: turns B's float thresholds into integer count thresholds on A's
+// popcount outputs and marks A emit_bits — the A->B edge then carries
+// BitPlanes and no float tensor is ever materialized between them.
+// Requires constant_fold_scales (needs A's alpha_W). Returns the number of
+// edges converted.
+int fold_integer_thresholds(Graph& graph);
+
+// Packs every fused conv's filters for the active XNOR kernel's word
+// padding, refreshes alpha_W and emit bounds when the weight version moved,
+// and records (kernel, weight version) so the executor can detect
+// staleness. Returns the number of nodes (re)planned.
+int plan_pack_layouts(Graph& graph);
+
+// fold_bn_binarize_conv, constant_fold_scales, fold_integer_thresholds, in
+// order, with per-pass change counts. Layout planning is separate: the
+// executor runs plan_pack_layouts() itself so packing always matches the
+// kernel dispatched at execution time.
+std::vector<PassResult> run_fusion_pipeline(Graph& graph);
+
+}  // namespace hotspot::graph

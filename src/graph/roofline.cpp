@@ -1,0 +1,97 @@
+#include "graph/roofline.h"
+
+#include <sstream>
+
+#include "bitops/kernels/xnor_kernel.h"
+#include "core/binary_conv.h"
+#include "core/cost_model.h"
+#include "util/check.h"
+
+namespace hotspot::graph {
+
+core::RooflineReport build_graph_roofline(const GraphExecutor& executor,
+                                          const obs::SpanReport& spans) {
+  const Graph& graph = executor.graph();
+  core::RooflineReport report;
+  report.kernel = bitops::active_xnor_kernel().name;
+
+  bool saw_conv = false;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const int id = static_cast<int>(i);
+    const Op& op = graph.node(id);
+    if (op.kind == OpKind::kBinaryConv ||
+        op.kind == OpKind::kFusedBnBinaryConv) {
+      HOTSPOT_CHECK(op.conv != nullptr) << "conv node without payload";
+      const core::BinaryConv2d& conv = *op.conv;
+      // The conv's input spatial extent: for a fused node the input edge is
+      // the raw (pre-BN) tensor, for an unfused node the binarize marker —
+      // both carry the conv's input H x W.
+      const TensorType& in =
+          graph.node(op.inputs[0]).output;
+      HOTSPOT_CHECK_EQ(in.shape.size(), 4u);
+      const core::LayerCost cost = core::binary_conv_cost(
+          conv.in_channels(), conv.out_channels(), conv.spec().kernel_h,
+          conv.spec().stride, conv.spec().pad, in.shape[2], in.shape[3],
+          conv.scaling());
+
+      core::RooflineLayer layer;
+      layer.label = conv.span_label();
+      {
+        std::ostringstream geometry;
+        geometry << cost.name;
+        if (op.kind == OpKind::kFusedBnBinaryConv) {
+          geometry << (op.emit_bits ? " (fused, emits bits)" : " (fused)");
+        }
+        layer.geometry = geometry.str();
+      }
+      layer.main_path = !op.attrs.at("shortcut").get<bool>();
+      layer.samples = executor.node_samples(id);
+      if (const obs::SpanStat* stat = spans.find(layer.label)) {
+        layer.seconds = stat->total_seconds;
+      }
+      const double samples = static_cast<double>(layer.samples);
+      layer.bitops =
+          64.0 * static_cast<double>(cost.packed_word_ops) * samples;
+      layer.float_ops = static_cast<double>(cost.packed_float_ops) * samples;
+      if (!saw_conv) {
+        report.samples = layer.samples;
+        saw_conv = true;
+      }
+      report.layers.push_back(std::move(layer));
+    } else if (op.kind == OpKind::kLinear) {
+      core::RooflineLayer layer;
+      layer.label = op.name;
+      {
+        std::ostringstream geometry;
+        geometry << op.attr_int("in_features") << "->"
+                 << op.attr_int("out_features") << " fc";
+        layer.geometry = geometry.str();
+      }
+      layer.main_path = true;
+      layer.samples = executor.node_samples(id);
+      if (const obs::SpanStat* stat = spans.find(layer.label)) {
+        layer.seconds = stat->total_seconds;
+      }
+      layer.float_ops = static_cast<double>(layer.samples) * 2.0 *
+                        static_cast<double>(op.attr_int("in_features")) *
+                        static_cast<double>(op.attr_int("out_features"));
+      report.layers.push_back(std::move(layer));
+    }
+  }
+
+  for (const core::RooflineLayer& layer : report.layers) {
+    report.total_seconds += layer.seconds;
+  }
+  for (core::RooflineLayer& layer : report.layers) {
+    if (layer.seconds > 0.0) {
+      layer.gops_per_second =
+          (layer.bitops + layer.float_ops) / layer.seconds / 1e9;
+    }
+    if (report.total_seconds > 0.0) {
+      layer.time_fraction = layer.seconds / report.total_seconds;
+    }
+  }
+  return report;
+}
+
+}  // namespace hotspot::graph

@@ -1,0 +1,27 @@
+// Graph-aware roofline: one row per conv-bearing graph node (DESIGN.md
+// §14.3).
+//
+// core/roofline.h joins spans with the *module* structure and knows nothing
+// about fusion; this variant walks the executed graph instead, so a fused
+// BN->Binarize->BinaryConv shows up as a single row whose cost-model bitops
+// are attributed exactly once, with the geometry annotated "(fused)" /
+// "(fused, emits bits)". The unfused core report is untouched — running
+// core::build_roofline on a model without an override produces byte-for-
+// byte the output it always did.
+//
+// Protocol mirrors the core profiler: enable tracing, reset windows
+// (obs::reset_spans() + executor.reset_profile()), run the forwards, then
+// call build_graph_roofline(executor, obs::collect_span_report()). The
+// returned report reuses core::RooflineReport, so core::to_table /
+// core::to_json format it unchanged.
+#pragma once
+
+#include "core/roofline.h"
+#include "graph/executor.h"
+
+namespace hotspot::graph {
+
+core::RooflineReport build_graph_roofline(const GraphExecutor& executor,
+                                          const obs::SpanReport& spans);
+
+}  // namespace hotspot::graph

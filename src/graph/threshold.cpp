@@ -1,0 +1,110 @@
+#include "graph/threshold.h"
+
+#include <bit>
+#include <cfloat>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace hotspot::graph {
+namespace {
+
+// Order-preserving key: key(a) < key(b) iff a < b as floats, over all
+// finite floats including both zeros (-0 keys just below +0). Negative
+// floats have descending bit patterns, so they are bit-flipped; positive
+// ones get the sign bit set to sort above them.
+std::uint32_t float_key(float f) {
+  const auto u = std::bit_cast<std::uint32_t>(f);
+  return (u & 0x80000000u) ? ~u : (u | 0x80000000u);
+}
+
+float key_float(std::uint32_t k) {
+  const std::uint32_t u = (k & 0x80000000u) ? (k ^ 0x80000000u) : ~k;
+  return std::bit_cast<float>(u);
+}
+
+}  // namespace
+
+std::optional<bitops::BinarizeThreshold> fold_bn_sign_threshold(
+    float gamma, float beta, float mean, float inv_std) {
+  if (!std::isfinite(gamma) || !std::isfinite(beta) || !std::isfinite(mean) ||
+      !std::isfinite(inv_std) || inv_std <= 0.0f) {
+    return std::nullopt;
+  }
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+
+  // gamma == 0 first: y = (+/-0) + beta, which compares like beta itself for
+  // every x whose xhat stays finite. For |x| large enough that (x - mean)
+  // overflows to inf, 0 * inf is NaN and the unfused bit goes false — a
+  // pattern no single comparison can express, so the identity guarantee is
+  // scoped to non-overflowing inputs (see DESIGN.md §14.2; activations sit
+  // many orders of magnitude below FLT_MAX).
+  if (gamma == 0.0f) {
+    return bitops::BinarizeThreshold{beta >= 0.0f ? -kInf : kInf, false};
+  }
+
+  // With gamma != 0 every probe is NaN-free: xhat is finite or +/-inf, and
+  // gamma*inf + finite beta stays inf. The predicate P(x) = (y(x) >= 0) is
+  // therefore weakly monotone over the float order — constant, or one
+  // false->true step (gamma > 0), or one true->false step (gamma < 0).
+  const auto predicate = [&](float x) {
+    return bn_eval(x, mean, inv_std, gamma, beta) >= 0.0f;
+  };
+  const bool p_lo = predicate(-FLT_MAX);
+  const bool p_hi = predicate(FLT_MAX);
+  if (p_lo == p_hi) {
+    return bitops::BinarizeThreshold{p_lo ? -kInf : kInf, false};
+  }
+
+  // Bisect for the smallest float (in total order) where P equals p_hi;
+  // ~32 probes per channel.
+  std::uint32_t lo = float_key(-FLT_MAX);
+  std::uint32_t hi = float_key(FLT_MAX);
+  while (hi - lo > 1) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (predicate(key_float(mid)) == p_hi) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  const float bound = key_float(hi);
+  // Increasing: bit = (x >= bound). Decreasing: bit = (x < bound), i.e.
+  // the same comparison flipped. Both forms behave correctly when bound is
+  // a signed zero because -0 >= +0 and +0 >= -0 are both true in IEEE,
+  // matching P(-0) == P(+0) (the affine maps both zeros to values of equal
+  // sign-bit comparison).
+  return bitops::BinarizeThreshold{bound, /*flip=*/p_lo};
+}
+
+CountThreshold fold_count_threshold(const bitops::BinarizeThreshold& t,
+                                    float alpha, std::int64_t max_count) {
+  HOTSPOT_CHECK_GT(max_count, 0);
+  HOTSPOT_CHECK(alpha >= 0.0f) << "alpha_W is an L1 mean, never negative";
+  // q(c) replicates the unfused data path exactly: the kNone epilogue
+  // produces float(count) * alpha_w * 1.0f, and the consumer's threshold is
+  // applied to that value. alpha >= 0 makes q monotone in c.
+  const auto q = [&](std::int64_t c) {
+    return bitops::apply(t, static_cast<float>(c) * alpha);
+  };
+  const bool q_lo = q(-max_count);
+  std::int64_t transition = max_count + 1;  // first c with q(c) != q_lo
+  for (std::int64_t c = -max_count + 1; c <= max_count; ++c) {
+    if (q(c) != q_lo) {
+      transition = c;
+      break;
+    }
+  }
+  if (transition == max_count + 1) {
+    // Constant: always-true -> bound below every realizable count;
+    // always-false -> bound above.
+    return q_lo ? CountThreshold{-max_count, false}
+                : CountThreshold{max_count + 1, false};
+  }
+  // q_lo == false: bit = (c >= transition). q_lo == true: bit holds below
+  // the transition, i.e. (c >= transition) flipped.
+  return CountThreshold{transition, /*flip=*/q_lo};
+}
+
+}  // namespace hotspot::graph

@@ -1,0 +1,67 @@
+// Exact threshold folding for BN -> Binarize (-> BinaryConv) chains
+// (DESIGN.md §14.2).
+//
+// The unfused pipeline materializes y = gamma*((x - mean)*inv_std) + beta
+// and binarizes it with the sign rule bit = (y >= 0). Because every IEEE
+// float operation in that expression is weakly monotone in x (inv_std > 0;
+// gamma's sign sets the direction), the bit as a function of x is a step
+// function over the float order — so the whole BN + sign pair collapses to
+// one per-channel comparison on the *raw* input:
+//
+//   bit(x) = (x >= bound) != flip
+//
+// with flip = true exactly for negative-gamma channels (y decreasing in x).
+// `bound` is found by bisection over the total order of finite floats
+// (monotone uint32 keys), evaluating the *exact same float expression* the
+// unfused path computes at every probe — so the fold is bit-identical by
+// construction for every finite input, never "close up to epsilon".
+// Channels whose bit is constant (gamma == 0, or saturated statistics) get
+// an infinite bound. Non-finite BN parameters make a channel unfoldable and
+// the caller must leave that conv unfused.
+//
+// The second fold goes one step further down an all-binary chain: when a
+// kNone conv A feeds the BN of another fused kNone conv B, B's input values
+// are exactly float(count) * alpha_w_A[c] for integer popcount counts in
+// [-K, K]. B's float threshold then becomes an integer threshold on A's raw
+// counts, and A can emit bits directly without ever touching floats.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bitops/bit_planes.h"
+
+namespace hotspot::graph {
+
+// y exactly as BatchNorm2d::forward computes it per element (two float
+// roundings for xhat, two more for the affine; -ffp-contract is irrelevant
+// here since this translation unit mirrors the layer's plain C++).
+inline float bn_eval(float x, float mean, float inv_std, float gamma,
+                     float beta) {
+  const float xhat = (x - mean) * inv_std;
+  return gamma * xhat + beta;
+}
+
+// Folds one channel's BN + sign into a threshold on the raw input.
+// `inv_std` must be the layer's own inference factor
+// (BatchNorm2d::inference_inv_std()), so the probes evaluate the identical
+// expression. Returns nullopt when any parameter is non-finite (the channel
+// then has no step-function representation and the conv must stay unfused).
+std::optional<bitops::BinarizeThreshold> fold_bn_sign_threshold(
+    float gamma, float beta, float mean, float inv_std);
+
+// Integer threshold on a popcount count c in [-max_count, max_count] such
+// that (c >= bound) != flip equals apply(t, float(c) * alpha) for every such
+// c — i.e. the consumer's float threshold evaluated on the producer's exact
+// epilogue value (count * alpha_w * 1.0f). float(c) is exact for any
+// realizable count (|c| <= patch bits <= 2^24) and alpha >= 0 keeps the
+// predicate monotone, so a linear scan finds the single transition.
+struct CountThreshold {
+  std::int64_t bound = 0;
+  bool flip = false;
+};
+
+CountThreshold fold_count_threshold(const bitops::BinarizeThreshold& t,
+                                    float alpha, std::int64_t max_count);
+
+}  // namespace hotspot::graph

@@ -1,11 +1,25 @@
 #include "nn/batchnorm_layer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "tensor/tensor_ops.h"
 
 namespace hotspot::nn {
+
+namespace {
+
+// Variance is mathematically nonnegative, but running_var entries can drift
+// slightly negative through EMA float error or checkpoint round-trips; the
+// raw 1/sqrt(var + eps) then yields NaN (or Inf once var + eps underflows to
+// zero) and poisons every downstream activation. Clamping to zero keeps the
+// factor finite for any var, and is a no-op on healthy statistics.
+inline float inv_std_term(float var, float epsilon) {
+  return 1.0f / std::sqrt(std::max(var, 0.0f) + epsilon);
+}
+
+}  // namespace
 
 BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float epsilon)
     : channels_(channels),
@@ -44,8 +58,7 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
 
   cached_inv_std_ = Tensor({channels_});
   for (std::int64_t c = 0; c < channels_; ++c) {
-    cached_inv_std_[c] =
-        1.0f / std::sqrt(var[c] + epsilon_);
+    cached_inv_std_[c] = inv_std_term(var[c], epsilon_);
   }
 
   Tensor output(input.shape());
@@ -67,6 +80,14 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
     }
   }
   return output;
+}
+
+Tensor BatchNorm2d::inference_inv_std() const {
+  Tensor inv_std({channels_});
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    inv_std[c] = inv_std_term(running_var_[c], epsilon_);
+  }
+  return inv_std;
 }
 
 Tensor BatchNorm2d::backward(const Tensor& grad_output) {

@@ -29,6 +29,14 @@ class BatchNorm2d : public Module {
   Tensor& mutable_running_mean() { return running_mean_; }
   Tensor& mutable_running_var() { return running_var_; }
   std::int64_t channels() const { return channels_; }
+  float momentum() const { return momentum_; }
+  float epsilon() const { return epsilon_; }
+
+  // Per-channel 1/sqrt(var + eps) exactly as the inference forward computes
+  // it, including the negative-variance clamp. The graph layer's
+  // BN->Binarize fold evaluates its thresholds against these floats, so
+  // folded and unfused paths normalize with bit-identical factors.
+  Tensor inference_inv_std() const;
 
  private:
   std::int64_t channels_;

@@ -26,6 +26,7 @@ class MaxPool2d : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override;
+  const tensor::PoolSpec& spec() const { return spec_; }
 
  private:
   tensor::PoolSpec spec_;

@@ -24,6 +24,8 @@ class ResidualBlock : public Module {
 
   Module& main_path() { return *main_; }
   bool has_projection() const { return shortcut_ != nullptr; }
+  // Null for an identity connection.
+  Module* shortcut() { return shortcut_.get(); }
 
  private:
   ModulePtr main_;

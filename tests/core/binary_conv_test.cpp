@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
+#include "obs/metrics.h"
 #include "tensor/tensor_ops.h"
 
 namespace hotspot::core {
@@ -182,6 +184,38 @@ TEST(BinaryConv, PackedCacheInvalidatedByTraining) {
   const Tensor after = conv.forward(x);
   EXPECT_GT(tensor::max_abs_diff(before, after), 1e-3)
       << "stale packed weights were reused";
+}
+
+TEST(BinaryConv, RedundantEvalCallsDoNotRepack) {
+  // The scan path calls set_training(false) defensively before every batch.
+  // A no-op mode call must not drop the packed-filter cache: over a long
+  // scan that meant a full re-pack (and a retired snapshot) per batch.
+  util::Rng rng(14);
+  BinaryConv2d conv(2, 2, 3, 1, 1, InputScaling::kScalar, rng);
+  const Tensor x = Tensor::normal({1, 2, 4, 4}, rng, 0.0f, 0.8f);
+  conv.set_training(false);
+  conv.forward(x);  // builds the packed cache
+
+  obs::Counter& misses =
+      obs::MetricsRegistry::global().counter("binary_conv.pack_cache.miss");
+  obs::Counter& hits =
+      obs::MetricsRegistry::global().counter("binary_conv.pack_cache.hit");
+  const std::uint64_t misses_before = misses.value();
+  const std::uint64_t hits_before = hits.value();
+  const Tensor first = conv.forward(x);
+  for (int batch = 0; batch < 5; ++batch) {
+    conv.set_training(false);  // already eval: must be a no-op
+    const Tensor out = conv.forward(x);
+    EXPECT_EQ(tensor::max_abs_diff(out, first), 0.0);
+  }
+  EXPECT_EQ(misses.value(), misses_before) << "no-op set_training repacked";
+  EXPECT_EQ(hits.value(), hits_before + 6);
+
+  // A real transition still invalidates.
+  conv.set_training(true);
+  conv.set_training(false);
+  conv.forward(x);
+  EXPECT_EQ(misses.value(), misses_before + 1);
 }
 
 TEST(BinaryConv, ParameterCount) {

@@ -1,0 +1,256 @@
+// The fused graph executor's contract (DESIGN.md §14.3): logits are
+// bit-identical to the unfused packed module chain — exact float equality,
+// not allclose — for every scaling mode and every XNOR kernel this machine
+// can run, and the fusion passes are idempotent.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitops/kernels/xnor_kernel.h"
+#include "core/brnn.h"
+#include "graph/builder.h"
+#include "graph/executor.h"
+#include "graph/passes.h"
+#include "graph/roofline.h"
+#include "obs/trace.h"
+#include "tensor/tensor_ops.h"
+
+namespace hotspot::graph {
+namespace {
+
+using tensor::Tensor;
+
+// Restores the dispatched kernel when a sweep ends.
+class KernelGuard {
+ public:
+  KernelGuard() : saved_(&bitops::active_xnor_kernel()) {}
+  ~KernelGuard() { bitops::set_active_xnor_kernel(*saved_); }
+
+ private:
+  const bitops::XnorKernel* saved_;
+};
+
+std::vector<const bitops::XnorKernel*> runnable_kernels() {
+  std::vector<const bitops::XnorKernel*> out;
+  for (const bitops::XnorKernel* kernel : bitops::compiled_xnor_kernels()) {
+    if (bitops::xnor_kernel_cpu_supported(*kernel)) {
+      out.push_back(kernel);
+    }
+  }
+  return out;
+}
+
+core::BrnnModel make_model(core::BrnnConfig config, unsigned seed) {
+  util::Rng rng(seed);
+  core::BrnnModel model(config, rng);
+  model.set_training(true);
+  for (int i = 0; i < 3; ++i) {
+    model.forward(Tensor::uniform(
+        {6, config.input_channels, config.image_size, config.image_size}, rng,
+        0.0f, 1.0f));
+  }
+  model.set_training(false);
+  model.set_backend(core::Backend::kPacked);
+  return model;
+}
+
+void expect_bit_identical(const Tensor& got, const Tensor& want,
+                          const std::string& context) {
+  ASSERT_EQ(got.shape(), want.shape()) << context;
+  const float* g = got.data();
+  const float* w = want.data();
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    ASSERT_EQ(g[i], w[i]) << context << " diverges at flat index " << i;
+  }
+}
+
+class FusionIdentityTest
+    : public ::testing::TestWithParam<bitops::InputScaling> {};
+
+TEST_P(FusionIdentityTest, FusedLogitsBitIdenticalAcrossKernels) {
+  core::BrnnConfig config = core::BrnnConfig::compact(32);
+  config.scaling = GetParam();
+  core::BrnnModel model = make_model(config, 11);
+
+  util::Rng data_rng(99);
+  const Tensor x = Tensor::uniform({5, 1, 32, 32}, data_rng, 0.0f, 1.0f);
+
+  KernelGuard guard;
+  for (const bitops::XnorKernel* kernel : runnable_kernels()) {
+    bitops::set_active_xnor_kernel(*kernel);
+    const Tensor unfused = model.forward(x);
+
+    GraphExecutor executor(model, FusionMode::kFused);
+    const Tensor fused = executor.run(x);
+    expect_bit_identical(
+        fused, unfused,
+        std::string("kernel=") + kernel->name + " scaling=" +
+            bitops::to_string(config.scaling));
+
+    // Re-running must not drift (pack plans are cached, not recomputed).
+    expect_bit_identical(executor.run(x), unfused,
+                         std::string("second run, kernel=") + kernel->name);
+  }
+}
+
+TEST_P(FusionIdentityTest, GraphModeDelegationIsExact) {
+  core::BrnnConfig config = core::BrnnConfig::compact(32);
+  config.scaling = GetParam();
+  core::BrnnModel model = make_model(config, 5);
+
+  util::Rng data_rng(17);
+  const Tensor x = Tensor::uniform({4, 1, 32, 32}, data_rng, 0.0f, 1.0f);
+  const Tensor unfused = model.forward(x);
+
+  GraphExecutor executor(model, FusionMode::kGraph);
+  EXPECT_TRUE(executor.pass_results().empty());
+  expect_bit_identical(executor.run(x), unfused, "kGraph delegation");
+}
+
+TEST_P(FusionIdentityTest, InstalledOverrideRoutesModelForward) {
+  core::BrnnConfig config = core::BrnnConfig::compact(32);
+  config.scaling = GetParam();
+  core::BrnnModel model = make_model(config, 23);
+
+  util::Rng data_rng(3);
+  const Tensor x = Tensor::uniform({3, 1, 32, 32}, data_rng, 0.0f, 1.0f);
+  const Tensor unfused = model.forward(x);
+
+  auto executor = install_executor(model, FusionMode::kFused);
+  ASSERT_NE(executor, nullptr);
+  ASSERT_TRUE(model.has_forward_override());
+  expect_bit_identical(model.forward(x), unfused, "installed override");
+
+  EXPECT_EQ(install_executor(model, FusionMode::kOff), nullptr);
+  EXPECT_FALSE(model.has_forward_override());
+  expect_bit_identical(model.forward(x), unfused, "after uninstall");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScalings, FusionIdentityTest,
+                         ::testing::Values(bitops::InputScaling::kPerChannel,
+                                           bitops::InputScaling::kScalar,
+                                           bitops::InputScaling::kNone),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case bitops::InputScaling::kPerChannel:
+                               return std::string("PerChannel");
+                             case bitops::InputScaling::kScalar:
+                               return std::string("Scalar");
+                             case bitops::InputScaling::kNone:
+                               return std::string("None");
+                           }
+                           return std::string("Unknown");
+                         });
+
+TEST(FusionIdentity, PaperConfigBitIdentical) {
+  core::BrnnConfig config = core::BrnnConfig::paper();
+  core::BrnnModel model = make_model(config, 41);
+
+  util::Rng data_rng(8);
+  const Tensor x = Tensor::uniform(
+      {2, config.input_channels, config.image_size, config.image_size},
+      data_rng, 0.0f, 1.0f);
+  const Tensor unfused = model.forward(x);
+
+  GraphExecutor executor(model, FusionMode::kFused);
+  expect_bit_identical(executor.run(x), unfused, "paper config");
+}
+
+TEST(FusionPasses, NoneScalingChainsIntegerThresholds) {
+  core::BrnnConfig config = core::BrnnConfig::compact(32);
+  config.scaling = bitops::InputScaling::kNone;
+  core::BrnnModel model = make_model(config, 13);
+
+  GraphExecutor executor(model, FusionMode::kFused);
+  int fused = 0;
+  int chained = 0;
+  for (const PassResult& pass : executor.pass_results()) {
+    if (pass.name == "fold_bn_binarize_conv") {
+      fused = pass.changed;
+    } else if (pass.name == "fold_integer_thresholds") {
+      chained = pass.changed;
+    }
+  }
+  EXPECT_EQ(fused, 9);  // every conv block folds
+  // conv_a -> conv_b inside each residual main path is a sole-consumer
+  // kNone -> kNone edge; stem/block outputs feed the residual add too.
+  EXPECT_EQ(chained, 3);
+
+  bool saw_emit = false;
+  const Graph& graph = executor.graph();
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const Op& op = graph.node(static_cast<int>(i));
+    if (op.kind == OpKind::kFusedBnBinaryConv && op.emit_bits) {
+      saw_emit = true;
+      EXPECT_EQ(op.output.dtype, DType::kBits);
+      EXPECT_FALSE(op.emit_bounds.empty());
+    }
+  }
+  EXPECT_TRUE(saw_emit);
+
+  util::Rng data_rng(29);
+  const Tensor x = Tensor::uniform({4, 1, 32, 32}, data_rng, 0.0f, 1.0f);
+  expect_bit_identical(executor.run(x), model.forward(x), "emit-bits chain");
+}
+
+TEST(FusionPasses, PipelineIsIdempotent) {
+  core::BrnnConfig config = core::BrnnConfig::compact(32);
+  config.scaling = bitops::InputScaling::kNone;
+  core::BrnnModel model = make_model(config, 31);
+
+  Graph graph = build_graph(model);
+  const std::vector<PassResult> first = run_fusion_pipeline(graph);
+  int total_first = 0;
+  for (const PassResult& pass : first) {
+    total_first += pass.changed;
+  }
+  EXPECT_GT(total_first, 0);
+
+  const std::vector<PassResult> second = run_fusion_pipeline(graph);
+  for (const PassResult& pass : second) {
+    EXPECT_EQ(pass.changed, 0) << pass.name;
+  }
+
+  EXPECT_GT(plan_pack_layouts(graph), 0);
+  EXPECT_EQ(plan_pack_layouts(graph), 0);  // plan is change-detecting too
+}
+
+TEST(GraphRoofline, OneRowPerFusedConvPlusHead) {
+  core::BrnnConfig config = core::BrnnConfig::compact(32);
+  core::BrnnModel model = make_model(config, 19);
+
+  GraphExecutor executor(model, FusionMode::kFused);
+  const bool was_tracing = obs::trace_enabled();
+  obs::set_trace_enabled(true);
+  obs::reset_spans();
+  executor.reset_profile();
+
+  util::Rng data_rng(43);
+  const Tensor x = Tensor::uniform({4, 1, 32, 32}, data_rng, 0.0f, 1.0f);
+  executor.run(x);
+
+  const core::RooflineReport report =
+      build_graph_roofline(executor, obs::collect_span_report());
+  obs::set_trace_enabled(was_tracing);
+
+  // 9 conv rows (fused) + 1 fc row.
+  ASSERT_EQ(report.layers.size(), 10u);
+  EXPECT_EQ(report.samples, 4u);
+  int fused_rows = 0;
+  int shortcut_rows = 0;
+  for (const core::RooflineLayer& layer : report.layers) {
+    if (layer.geometry.find("(fused") != std::string::npos) {
+      ++fused_rows;
+      EXPECT_GT(layer.bitops, 0.0);
+    }
+    shortcut_rows += !layer.main_path;
+  }
+  EXPECT_EQ(fused_rows, 9);
+  EXPECT_EQ(shortcut_rows, 2);  // the two projection shortcuts
+  EXPECT_FALSE(core::to_table(report).empty());
+}
+
+}  // namespace
+}  // namespace hotspot::graph

@@ -1,0 +1,185 @@
+// Graph IR structure: builder lowering, validation of malformed graphs,
+// and shape-inference failures (DESIGN.md §14.1).
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+
+namespace hotspot::graph {
+namespace {
+
+Op input_op(std::vector<std::int64_t> shape) {
+  Op op;
+  op.kind = OpKind::kInput;
+  op.name = "input";
+  op.output = {DType::kFloat, std::move(shape)};
+  return op;
+}
+
+Op simple(OpKind kind, std::vector<int> inputs) {
+  Op op;
+  op.kind = kind;
+  op.inputs = std::move(inputs);
+  return op;
+}
+
+TEST(GraphIr, BuilderLowersCompactModel) {
+  util::Rng rng(1);
+  core::BrnnModel model(core::BrnnConfig::compact(32), rng);
+  Graph graph = build_graph(model);
+
+  EXPECT_TRUE(graph.validate().empty());
+  EXPECT_EQ(graph.node(0).kind, OpKind::kInput);
+  EXPECT_EQ(graph.node(graph.output_id()).kind, OpKind::kLinear);
+
+  // compact(32): stem block + 3 residual stages (2 conv blocks each, stages
+  // 2 and 3 projected) + head BN/pool/fc. Each conv block lowers to three
+  // nodes.
+  int convs = 0;
+  int binarizes = 0;
+  int adds = 0;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const OpKind kind = graph.node(static_cast<int>(i)).kind;
+    convs += kind == OpKind::kBinaryConv;
+    binarizes += kind == OpKind::kBinarize;
+    adds += kind == OpKind::kAdd;
+  }
+  EXPECT_EQ(convs, 9);  // stem + 6 main-path + 2 projection shortcuts
+  EXPECT_EQ(binarizes, convs);
+  EXPECT_EQ(adds, 3);
+
+  // Conv nodes carry the trace span labels and inferred output shapes.
+  bool found_stem = false;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const Op& op = graph.node(static_cast<int>(i));
+    if (op.name == "brnn.conv.stem") {
+      found_stem = true;
+      ASSERT_EQ(op.output.shape.size(), 4u);
+      EXPECT_EQ(op.output.shape[0], -1);  // symbolic batch
+      EXPECT_EQ(op.output.shape[1], 8);
+      EXPECT_EQ(op.output.shape[2], 32);
+    }
+  }
+  EXPECT_TRUE(found_stem);
+  EXPECT_FALSE(graph.to_string().empty());
+}
+
+TEST(GraphIr, ConsumersReportsEveryUse) {
+  Graph graph;
+  const int in = graph.add(input_op({-1, 2, 8, 8}));
+  Op bn = simple(OpKind::kBatchNorm, {in});
+  bn.attrs.emplace("channels", Attr(std::int64_t{2}));
+  const int bn_id = graph.add(std::move(bn));
+  const int add_id =
+      graph.add(simple(OpKind::kAdd, {bn_id, bn_id}));
+  EXPECT_EQ(graph.consumers(bn_id), std::vector<int>{add_id});
+  EXPECT_EQ(graph.consumers(add_id), std::vector<int>{});
+}
+
+TEST(GraphIr, ValidateRejectsMissingInputNode) {
+  Graph graph;
+  Op bn;
+  bn.kind = OpKind::kBatchNorm;
+  graph.add(std::move(bn));
+  const auto errors = graph.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("input"), std::string::npos);
+}
+
+TEST(GraphIr, ValidateRejectsWrongArity) {
+  Graph graph;
+  const int in = graph.add(input_op({-1, 2, 8, 8}));
+  graph.add(simple(OpKind::kAdd, {in}));  // add wants two operands
+  const auto errors = graph.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("expects 2"), std::string::npos);
+}
+
+TEST(GraphIr, ValidateRejectsConvWithoutBinarize) {
+  Graph graph;
+  const int in = graph.add(input_op({-1, 2, 8, 8}));
+  Op conv = simple(OpKind::kBinaryConv, {in});
+  graph.add(std::move(conv));
+  const auto errors = graph.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("binarize"), std::string::npos);
+}
+
+TEST(GraphIr, ValidateRejectsBitsIntoFloatOp) {
+  Graph graph;
+  const int in = graph.add(input_op({-1, 2, 8, 8}));
+  const int bin = graph.add(simple(OpKind::kBinarize, {in}));
+  graph.add(simple(OpKind::kGlobalAvgPool, {bin}));
+  const auto errors = graph.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("float"), std::string::npos);
+}
+
+TEST(GraphIr, InferShapesRejectsChannelMismatch) {
+  Graph graph;
+  const int in = graph.add(input_op({-1, 3, 8, 8}));
+  Op bn = simple(OpKind::kBatchNorm, {in});
+  bn.attrs.emplace("channels", Attr(std::int64_t{4}));
+  graph.add(std::move(bn));
+  const auto errors = graph.infer_shapes();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("channel mismatch"), std::string::npos);
+}
+
+TEST(GraphIr, InferShapesRejectsRankMismatch) {
+  Graph graph;
+  const int in = graph.add(input_op({-1, 3, 8, 8}));
+  const int gap = graph.add(simple(OpKind::kGlobalAvgPool, {in}));
+  Op fc = simple(OpKind::kLinear, {gap});
+  fc.attrs.emplace("in_features", Attr(std::int64_t{3}));
+  fc.attrs.emplace("out_features", Attr(std::int64_t{2}));
+  const int fc_id = graph.add(std::move(fc));
+  graph.add(simple(OpKind::kGlobalAvgPool, {fc_id}));  // rank-2 input
+  const auto errors = graph.infer_shapes();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("rank-4"), std::string::npos);
+}
+
+TEST(GraphIr, InferShapesRejectsMismatchedAdd) {
+  Graph graph;
+  const int in = graph.add(input_op({-1, 2, 8, 8}));
+  Op pool = simple(OpKind::kMaxPool, {in});
+  pool.attrs.emplace("window", Attr(std::int64_t{2}));
+  pool.attrs.emplace("stride", Attr(std::int64_t{2}));
+  const int pool_id = graph.add(std::move(pool));
+  graph.add(simple(OpKind::kAdd, {in, pool_id}));
+  const auto errors = graph.infer_shapes();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("operand shapes differ"), std::string::npos);
+}
+
+TEST(GraphIr, InferShapesComputesConvAndPoolExtents) {
+  Graph graph;
+  const int in = graph.add(input_op({-1, 2, 9, 9}));
+  Op bn = simple(OpKind::kBatchNorm, {in});
+  bn.attrs.emplace("channels", Attr(std::int64_t{2}));
+  const int bn_id = graph.add(std::move(bn));
+  const int bin = graph.add(simple(OpKind::kBinarize, {bn_id}));
+  Op conv = simple(OpKind::kBinaryConv, {bin});
+  conv.attrs.emplace("in_channels", Attr(std::int64_t{2}));
+  conv.attrs.emplace("out_channels", Attr(std::int64_t{4}));
+  conv.attrs.emplace("kernel", Attr(std::int64_t{3}));
+  conv.attrs.emplace("stride", Attr(std::int64_t{2}));
+  conv.attrs.emplace("pad", Attr(std::int64_t{1}));
+  const int conv_id = graph.add(std::move(conv));
+  Op pool = simple(OpKind::kMaxPool, {conv_id});
+  pool.attrs.emplace("window", Attr(std::int64_t{2}));
+  pool.attrs.emplace("stride", Attr(std::int64_t{2}));
+  graph.add(std::move(pool));
+
+  ASSERT_TRUE(graph.infer_shapes().empty());
+  EXPECT_EQ(graph.node(conv_id).output.shape,
+            (std::vector<std::int64_t>{-1, 4, 5, 5}));
+  EXPECT_EQ(graph.node(conv_id).output.dtype, DType::kFloat);
+  EXPECT_EQ(graph.node(bin).output.dtype, DType::kBits);
+  EXPECT_EQ(graph.node(graph.output_id()).output.shape,
+            (std::vector<std::int64_t>{-1, 4, 2, 2}));
+}
+
+}  // namespace
+}  // namespace hotspot::graph

@@ -1,0 +1,182 @@
+// Exact threshold folding (DESIGN.md §14.2): the folded comparison must
+// reproduce sign(BN(x)) bit-for-bit, including negative-gamma channels,
+// zero/negative variance, and values straddling the bisected bound.
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/threshold.h"
+#include "util/rng.h"
+
+namespace hotspot::graph {
+namespace {
+
+bool unfused_bit(float x, float gamma, float beta, float mean, float inv_std) {
+  return bn_eval(x, mean, inv_std, gamma, beta) >= 0.0f;
+}
+
+// Probe values that stress a threshold: boundary neighbors, signed zeros,
+// denormals, extremes, and a dense sweep.
+std::vector<float> probes(float bound) {
+  std::vector<float> xs = {
+      0.0f,
+      -0.0f,
+      std::numeric_limits<float>::denorm_min(),
+      -std::numeric_limits<float>::denorm_min(),
+      FLT_MIN,
+      -FLT_MIN,
+      FLT_MAX,
+      -FLT_MAX,
+      1.0f,
+      -1.0f,
+      3.25f,
+      -17.5f,
+  };
+  for (float step = -2.0f; step <= 2.0f; step += 0.125f) {
+    xs.push_back(step);
+  }
+  if (std::isfinite(bound)) {
+    xs.push_back(bound);
+    xs.push_back(std::nextafter(bound, -std::numeric_limits<float>::infinity()));
+    xs.push_back(std::nextafter(bound, std::numeric_limits<float>::infinity()));
+  }
+  return xs;
+}
+
+void expect_fold_matches(float gamma, float beta, float mean, float inv_std) {
+  const auto folded = fold_bn_sign_threshold(gamma, beta, mean, inv_std);
+  ASSERT_TRUE(folded.has_value())
+      << "gamma=" << gamma << " beta=" << beta << " mean=" << mean
+      << " inv_std=" << inv_std;
+  for (const float x : probes(folded->bound)) {
+    EXPECT_EQ(bitops::apply(*folded, x),
+              unfused_bit(x, gamma, beta, mean, inv_std))
+        << "x=" << x << " gamma=" << gamma << " beta=" << beta
+        << " mean=" << mean << " inv_std=" << inv_std
+        << " bound=" << folded->bound << " flip=" << folded->flip;
+  }
+}
+
+TEST(ThresholdFold, MatchesUnfusedAcrossParameterSweep) {
+  const float gammas[] = {1.0f, -1.0f, 0.5f, -0.25f, 3.0f, 1e-3f, -1e-3f};
+  const float betas[] = {0.0f, 0.7f, -0.7f, 5.0f, -5.0f};
+  const float means[] = {0.0f, 0.3f, -2.0f, 13.0f};
+  const float inv_stds[] = {1.0f, 0.01f, 7.0f, 1e4f};
+  for (const float gamma : gammas) {
+    for (const float beta : betas) {
+      for (const float mean : means) {
+        for (const float inv_std : inv_stds) {
+          expect_fold_matches(gamma, beta, mean, inv_std);
+        }
+      }
+    }
+  }
+}
+
+TEST(ThresholdFold, MatchesUnfusedOnRandomParameters) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    const float gamma = static_cast<float>(rng.uniform(-4.0, 4.0));
+    const float beta = static_cast<float>(rng.uniform(-4.0, 4.0));
+    const float mean = static_cast<float>(rng.uniform(-8.0, 8.0));
+    const float inv_std = static_cast<float>(rng.uniform(1e-4, 20.0));
+    expect_fold_matches(gamma, beta, mean, inv_std);
+  }
+}
+
+TEST(ThresholdFold, NegativeGammaFlipsComparisonDirection) {
+  const auto folded = fold_bn_sign_threshold(-1.0f, 0.5f, 0.0f, 1.0f);
+  ASSERT_TRUE(folded.has_value());
+  EXPECT_TRUE(folded->flip);  // y decreasing in x: large x -> bit 0
+  EXPECT_FALSE(bitops::apply(*folded, 100.0f));
+  EXPECT_TRUE(bitops::apply(*folded, -100.0f));
+}
+
+TEST(ThresholdFold, ZeroGammaIsConstantBetaSign) {
+  // gamma == 0: y = beta everywhere, bit is constant.
+  const auto positive = fold_bn_sign_threshold(0.0f, 0.25f, 1.0f, 2.0f);
+  ASSERT_TRUE(positive.has_value());
+  for (const float x : probes(positive->bound)) {
+    EXPECT_TRUE(bitops::apply(*positive, x)) << "x=" << x;
+  }
+
+  const auto zero_beta = fold_bn_sign_threshold(0.0f, 0.0f, -3.0f, 0.5f);
+  ASSERT_TRUE(zero_beta.has_value());
+  for (const float x : probes(zero_beta->bound)) {
+    EXPECT_TRUE(bitops::apply(*zero_beta, x)) << "x=" << x;  // 0 >= 0
+  }
+
+  const auto negative = fold_bn_sign_threshold(0.0f, -0.25f, 0.0f, 1.0f);
+  ASSERT_TRUE(negative.has_value());
+  for (const float x : probes(negative->bound)) {
+    EXPECT_FALSE(bitops::apply(*negative, x)) << "x=" << x;
+  }
+}
+
+TEST(ThresholdFold, ZeroVarianceChannelStaysFiniteAndExact) {
+  // A zero running variance clamps to inv_std = 1/sqrt(eps): huge but
+  // finite, so the channel still folds and still matches the layer.
+  const float inv_std = 1.0f / std::sqrt(1e-5f);
+  expect_fold_matches(1.0f, -0.1f, 0.5f, inv_std);
+  expect_fold_matches(-2.0f, 0.3f, -0.5f, inv_std);
+}
+
+TEST(ThresholdFold, NonFiniteParametersAreUnfoldable) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(fold_bn_sign_threshold(nan, 0.0f, 0.0f, 1.0f).has_value());
+  EXPECT_FALSE(fold_bn_sign_threshold(1.0f, inf, 0.0f, 1.0f).has_value());
+  EXPECT_FALSE(fold_bn_sign_threshold(1.0f, 0.0f, -inf, 1.0f).has_value());
+  EXPECT_FALSE(fold_bn_sign_threshold(1.0f, 0.0f, 0.0f, nan).has_value());
+  EXPECT_FALSE(fold_bn_sign_threshold(1.0f, 0.0f, 0.0f, 0.0f).has_value());
+  EXPECT_FALSE(fold_bn_sign_threshold(1.0f, 0.0f, 0.0f, -1.0f).has_value());
+}
+
+TEST(CountThresholdFold, MatchesFloatThresholdForEveryCount) {
+  // Exhaustive: for each float threshold and alpha, the integer bound must
+  // reproduce apply(t, float(c) * alpha) at every realizable count.
+  const float alphas[] = {1.0f, 0.5f, 0.013671875f, 2.75f, 0.0f};
+  const float bounds[] = {0.0f,  0.4f,   -0.4f, 3.0f, -3.0f,
+                          17.3f, -17.3f, 1e10f, -1e10f};
+  const std::int64_t max_count = 72;  // 8 channels * 3x3 patch
+  for (const float alpha : alphas) {
+    for (const float bound : bounds) {
+      for (const bool flip : {false, true}) {
+        const bitops::BinarizeThreshold t{bound, flip};
+        const CountThreshold folded = fold_count_threshold(t, alpha, max_count);
+        for (std::int64_t c = -max_count; c <= max_count; ++c) {
+          EXPECT_EQ((c >= folded.bound) != folded.flip,
+                    bitops::apply(t, static_cast<float>(c) * alpha))
+              << "c=" << c << " alpha=" << alpha << " bound=" << bound
+              << " flip=" << flip;
+        }
+      }
+    }
+  }
+}
+
+TEST(CountThresholdFold, InfiniteBoundsFoldToConstants) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::int64_t max_count = 9;
+  {
+    const CountThreshold folded =
+        fold_count_threshold({-inf, false}, 1.0f, max_count);
+    for (std::int64_t c = -max_count; c <= max_count; ++c) {
+      EXPECT_TRUE((c >= folded.bound) != folded.flip);
+    }
+  }
+  {
+    const CountThreshold folded =
+        fold_count_threshold({inf, false}, 1.0f, max_count);
+    for (std::int64_t c = -max_count; c <= max_count; ++c) {
+      EXPECT_FALSE((c >= folded.bound) != folded.flip);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hotspot::graph

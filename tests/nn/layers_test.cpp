@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "nn/activation_layers.h"
 #include "nn/batchnorm_layer.h"
 #include "nn/conv_layer.h"
@@ -117,6 +120,65 @@ TEST(BatchNormLayer, GammaBetaApplied) {
   // Normalized inputs are -1 and +1; out = 3*xhat + 1.
   EXPECT_NEAR(out[0], -2.0f, 1e-2);
   EXPECT_NEAR(out[1], 4.0f, 1e-2);
+}
+
+TEST(BatchNormLayer, ZeroVarianceChannelStaysFinite) {
+  BatchNorm2d bn(2);
+  bn.mutable_running_mean() = Tensor({2}, {0.5f, -1.0f});
+  bn.mutable_running_var() = Tensor({2}, {0.0f, 1.0f});  // dead channel 0
+  bn.set_training(false);
+  const Tensor out = bn.forward(Tensor({1, 2, 2, 2}, 0.5f));
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(out[i])) << "index " << i;
+  }
+  // Channel 0 input equals the running mean: xhat is exactly 0, out = beta.
+  EXPECT_EQ(out[0], bn.beta().value[0]);
+}
+
+TEST(BatchNormLayer, NegativeRunningVarianceClampsToEpsilonFloor) {
+  // EMA updates and deserialized checkpoints can drift a tiny variance
+  // below zero; sqrt of a negative would poison every activation with NaN.
+  BatchNorm2d bn(1);
+  bn.mutable_running_mean() = Tensor({1}, {0.0f});
+  bn.mutable_running_var() = Tensor({1}, {-1e-6f});
+  bn.set_training(false);
+  const Tensor out = bn.forward(Tensor({1, 1, 1, 2}, {1.0f, -1.0f}));
+  EXPECT_TRUE(std::isfinite(out[0]));
+  EXPECT_TRUE(std::isfinite(out[1]));
+  // Clamped to var = 0: inv_std = 1/sqrt(eps), the zero-variance factor.
+  const float expected = 1.0f / std::sqrt(bn.epsilon());
+  EXPECT_EQ(out[0], expected);
+  EXPECT_EQ(bn.inference_inv_std()[0], expected);
+}
+
+TEST(BatchNormLayer, ZeroGammaChannelBinarizesDeterministically) {
+  // gamma == 0 collapses the channel to the constant beta; the downstream
+  // sign() must see a well-defined bit, not NaN.
+  BatchNorm2d bn(1);
+  bn.gamma().value[0] = 0.0f;
+  bn.beta().value[0] = -0.25f;
+  bn.set_training(false);
+  const Tensor out = bn.forward(Tensor({1, 1, 1, 3}, {-7.0f, 0.0f, 512.0f}));
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out[i], -0.25f);
+    EXPECT_FALSE(out[i] >= 0.0f);  // the sign rule's bit, deterministically 0
+  }
+}
+
+TEST(BatchNormLayer, InferenceInvStdMatchesForwardFactors) {
+  util::Rng rng(21);
+  BatchNorm2d bn(3);
+  for (int step = 0; step < 4; ++step) {
+    bn.forward(Tensor::normal({4, 3, 4, 4}, rng, 1.0f, 2.0f));
+  }
+  bn.set_training(false);
+  const Tensor inv_std = bn.inference_inv_std();
+  ASSERT_EQ(inv_std.shape(), (tensor::Shape{3}));
+  for (int c = 0; c < 3; ++c) {
+    const float expected =
+        1.0f / std::sqrt(std::max(bn.running_var()[c], 0.0f) + bn.epsilon());
+    EXPECT_EQ(inv_std[c], expected);
+  }
 }
 
 TEST(LinearLayer, KnownAffineMap) {
