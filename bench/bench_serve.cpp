@@ -1,0 +1,205 @@
+// Serving load test (DESIGN.md §15): an in-process Server on an ephemeral
+// port, hammered by N concurrent client connections. Reports sustained
+// clips/sec and request-latency percentiles, and cross-checks every served
+// label against direct model inference (bit_identical must stay true —
+// micro-batching across clients is not allowed to change a single label).
+//
+//   ./bench/bench_serve [--quick]
+//
+// --quick shrinks the request count for the CI leg. Emits BENCH_serve.json;
+// bench_compare gates clips_per_second / p99_seconds against
+// bench/baselines/BENCH_serve.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/brnn.h"
+#include "nn/serialize.h"
+#include "serve/client.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hotspot;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_clips(unsigned seed, std::int64_t count, std::int64_t grid) {
+  Tensor images(Shape{count, 1, grid, grid});
+  unsigned state = seed * 2654435761u + 29;
+  for (std::int64_t i = 0; i < images.numel(); ++i) {
+    state = state * 1664525u + 1013904223u;
+    images[i] = (state >> 16) % 2 == 0 ? 0.0f : 1.0f;
+  }
+  return images;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto index = static_cast<std::size_t>(rank);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  const std::int64_t grid = bench::bench_image_size();
+  const int kClients = 4;
+  const long kRequests = quick ? 25 : 150;
+  const std::int64_t kClips = 8;
+
+  bench::print_header(
+      "Serving throughput: micro-batched detection server, 4 clients",
+      "n/a (serving-path extension; gate tracks clips/sec and p99)");
+
+  // Random weights suffice: the serving path is identical for trained and
+  // untrained models, and label cross-checking only needs determinism.
+  const std::string model_path = "/tmp/bench_serve_model.bin";
+  {
+    util::Rng rng(0xbe9c);
+    core::BrnnModel model(core::BrnnConfig::compact(grid), rng);
+    if (!nn::save_checkpoint(model_path, model).ok()) {
+      std::fprintf(stderr, "cannot write %s\n", model_path.c_str());
+      return 1;
+    }
+  }
+  serve::ModelRegistry registry;
+  if (!registry.load(model_path, grid).ok()) {
+    std::fprintf(stderr, "cannot load %s\n", model_path.c_str());
+    return 1;
+  }
+  serve::ServerConfig config;
+  config.batcher.max_batch_clips = 64;
+  config.batcher.max_queue_clips = 512;
+  config.batcher.batch_deadline = std::chrono::microseconds(2000);
+  serve::Server server(config, &registry);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
+    return 1;
+  }
+
+  // References computed directly against the model, before any load.
+  const std::shared_ptr<serve::ServableModel> model = registry.active();
+  std::vector<std::vector<std::vector<int>>> expected(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (long r = 0; r < kRequests; ++r) {
+      const unsigned seed = static_cast<unsigned>(c * 100003 + r + 1);
+      expected[static_cast<std::size_t>(c)].push_back(
+          model->predict(random_clips(seed, kClips, grid)));
+    }
+  }
+
+  std::atomic<long> completed{0};
+  std::atomic<long> shed{0};
+  std::atomic<long> mismatches{0};
+  std::atomic<long> failures{0};
+  std::vector<std::vector<double>> latencies(kClients);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back([&, c] {
+      serve::ServeClient client;
+      std::string client_error;
+      if (!client.connect("127.0.0.1", server.bound_port(),
+                          &client_error)) {
+        failures += kRequests;
+        return;
+      }
+      auto& bucket = latencies[static_cast<std::size_t>(c)];
+      bucket.reserve(static_cast<std::size_t>(kRequests));
+      for (long r = 0; r < kRequests; ++r) {
+        const unsigned seed = static_cast<unsigned>(c * 100003 + r + 1);
+        const Tensor images = random_clips(seed, kClips, grid);
+        serve::PredictOutcome outcome;
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!client.predict("bench-" + std::to_string(c), images, &outcome,
+                            &client_error)) {
+          ++failures;
+          return;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!outcome.ok) {
+          if (outcome.reason == serve::RejectReason::kQueueFull) {
+            ++shed;  // legal under pressure; not a failure
+          } else {
+            ++failures;
+          }
+          continue;
+        }
+        bucket.push_back(std::chrono::duration<double>(t1 - t0).count());
+        ++completed;
+        if (outcome.labels != expected[static_cast<std::size_t>(c)]
+                                      [static_cast<std::size_t>(r)]) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  server.stop();
+
+  std::vector<double> all;
+  for (const auto& bucket : latencies) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  }
+  std::sort(all.begin(), all.end());
+  const double clips_per_second =
+      elapsed > 0.0 ? static_cast<double>(completed.load()) *
+                          static_cast<double>(kClips) / elapsed
+                    : 0.0;
+  const bool bit_identical = mismatches.load() == 0 && completed.load() > 0;
+
+  std::printf("clients=%d requests_ok=%ld shed=%ld failed=%ld\n", kClients,
+              completed.load(), shed.load(), failures.load());
+  std::printf("clips/sec=%.1f p50=%.6fs p95=%.6fs p99=%.6fs\n",
+              clips_per_second, percentile(all, 0.50),
+              percentile(all, 0.95), percentile(all, 0.99));
+  std::printf("bit_identical=%s\n", bit_identical ? "true" : "false");
+
+  bench::JsonObject result;
+  result.set("bench", "serve");
+  result.set("image_size", static_cast<long>(grid));
+  result.set("quick", quick);
+  result.set("clients", kClients);
+  result.set("requests_per_client", kRequests);
+  result.set("clips_per_request", static_cast<long>(kClips));
+  result.set("requests_ok", completed.load());
+  result.set("shed", shed.load());
+  result.set("failures", failures.load());
+  result.set("elapsed_seconds", elapsed);
+  result.set("clips_per_second", clips_per_second);
+  result.set("p50_seconds", percentile(all, 0.50));
+  result.set("p95_seconds", percentile(all, 0.95));
+  result.set("p99_seconds", percentile(all, 0.99));
+  result.set("bit_identical", bit_identical);
+  if (!bench::write_json_result("BENCH_serve.json", result)) {
+    return 1;
+  }
+  return (failures.load() == 0 && bit_identical) ? 0 : 1;
+}

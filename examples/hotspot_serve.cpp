@@ -1,0 +1,225 @@
+// Hotspot detection as a service (DESIGN.md §15): a persistent server that
+// loads a trained checkpoint into the model registry and classifies clips
+// for many concurrent clients, micro-batching across them.
+//
+//   ./examples/quickstart
+//   ./examples/hotspot_serve quickstart_model.bin --grid 32 --port 0 \
+//       --port-file /tmp/serve.port &
+//   ./examples/serve_client $(cat /tmp/serve.port) --clips 8 --grid 32
+//
+// The bound port is printed on stdout (and written to --port-file when
+// given) so scripts never have to parse logs. With --state <path> the
+// registry persists the active model: a killed-and-restarted server with
+// the same --state resumes serving without naming the model again.
+//
+// Exit codes: 0 after a clean shutdown (SIGINT/SIGTERM or a client Shutdown
+// frame), 1 on runtime failure (model load, bind), 2 on a bad invocation.
+//
+// --stall-ms is a chaos/debug flag: it arms the predict stall fault point,
+// wedging the batch worker on every model call so the CI smoke leg can
+// fill the admission queue and observe a deterministic Reject(kQueueFull).
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "cli_util.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "util/fault_injection.h"
+#include "util/parallel.h"
+
+namespace {
+
+hotspot::serve::Server* g_server = nullptr;
+
+void handle_signal(int /*signum*/) {
+  // async-signal-safe enough for a demo binary: stop() only touches
+  // mutexes/sockets, and the alternative (self-pipe) buys little here.
+  if (g_server != nullptr) {
+    g_server->stop();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hotspot;
+  using namespace hotspot::examples;
+  std::string model_path;
+  std::string state_path;
+  std::string port_file;
+  std::string metrics_out;
+  serve::ServerConfig config;
+  long grid = 32;
+  long stall_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        return nullptr;
+      }
+      (void)flag;
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      long port = 0;
+      if (!parse_long(next("--port"), 0, 65535, &port)) {
+        return usage_error("--port expects an integer in [0, 65535]",
+                           argv[i]);
+      }
+      config.port = static_cast<int>(port);
+    } else if (arg == "--port-file") {
+      const char* value = next("--port-file");
+      if (value == nullptr) {
+        return usage_error("--port-file requires a path", nullptr);
+      }
+      port_file = value;
+    } else if (arg == "--state") {
+      const char* value = next("--state");
+      if (value == nullptr) {
+        return usage_error("--state requires a path", nullptr);
+      }
+      state_path = value;
+    } else if (arg == "--grid") {
+      if (!parse_positive(next("--grid"), 4096, &grid)) {
+        return usage_error("--grid expects an integer in [1, 4096]", argv[i]);
+      }
+    } else if (arg == "--max-batch") {
+      long value = 0;
+      if (!parse_positive(next("--max-batch"), 1 << 20, &value)) {
+        return usage_error("--max-batch expects a positive integer", argv[i]);
+      }
+      config.batcher.max_batch_clips = static_cast<std::size_t>(value);
+    } else if (arg == "--queue-cap") {
+      long value = 0;
+      if (!parse_positive(next("--queue-cap"), 1 << 24, &value)) {
+        return usage_error("--queue-cap expects a positive integer", argv[i]);
+      }
+      config.batcher.max_queue_clips = static_cast<std::size_t>(value);
+    } else if (arg == "--deadline-us") {
+      long value = 0;
+      if (!parse_long(next("--deadline-us"), 0, 60'000'000, &value)) {
+        return usage_error("--deadline-us expects microseconds in [0, 6e7]",
+                           argv[i]);
+      }
+      config.batcher.batch_deadline = std::chrono::microseconds(value);
+    } else if (arg == "--max-clips") {
+      long value = 0;
+      if (!parse_positive(next("--max-clips"), 1 << 20, &value)) {
+        return usage_error("--max-clips expects a positive integer", argv[i]);
+      }
+      config.max_clips_per_request = static_cast<std::size_t>(value);
+    } else if (arg == "--threads") {
+      // Same strict validator as HOTSPOT_NUM_THREADS: garbage or overflow
+      // is a usage error naming the offending value, never a silent default.
+      int threads = 0;
+      const char* value = next("--threads");
+      if (!util::parse_thread_count_strict(value, &threads)) {
+        return usage_error("--threads expects an integer in [1, 1024]",
+                           value != nullptr ? value : "<missing>");
+      }
+      util::set_parallel_threads(threads);
+    } else if (arg == "--metrics-out") {
+      const char* value = next("--metrics-out");
+      if (value == nullptr) {
+        return usage_error("--metrics-out requires a path", nullptr);
+      }
+      metrics_out = value;
+    } else if (arg == "--stall-ms") {
+      if (!parse_long(next("--stall-ms"), 1, 60'000, &stall_ms)) {
+        return usage_error("--stall-ms expects milliseconds in [1, 60000]",
+                           argv[i]);
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage_error("unknown flag", arg.c_str());
+    } else if (model_path.empty()) {
+      model_path = arg;
+    } else {
+      return usage_error("unexpected positional argument", arg.c_str());
+    }
+  }
+  if (config.max_clips_per_request > config.batcher.max_batch_clips) {
+    return usage_error(
+        "--max-clips must not exceed --max-batch (requests are never split)",
+        std::to_string(config.max_clips_per_request).c_str());
+  }
+
+  serve::ModelRegistry registry(state_path);
+  if (!model_path.empty()) {
+    const nn::LoadResult result =
+        registry.load(model_path, static_cast<std::int64_t>(grid));
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: cannot load model '%s': %s\n",
+                   model_path.c_str(), result.message.c_str());
+      return kExitRuntime;
+    }
+    std::printf("model %s registered as version %llu (grid %ld)\n",
+                model_path.c_str(),
+                static_cast<unsigned long long>(registry.version()), grid);
+  } else if (!state_path.empty()) {
+    const nn::LoadResult result = registry.restore();
+    if (result.ok()) {
+      std::printf("restored model %s (version %llu) from %s\n",
+                  registry.active()->path().c_str(),
+                  static_cast<unsigned long long>(registry.version()),
+                  state_path.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "warning: no model restored from %s (%s); serving "
+                   "Reject(kModelUnavailable) until a SwapModel arrives\n",
+                   state_path.c_str(), result.message.c_str());
+    }
+  } else {
+    std::fprintf(stderr,
+                 "warning: no model and no --state; serving "
+                 "Reject(kModelUnavailable) until a SwapModel arrives\n");
+  }
+
+  if (stall_ms > 0) {
+    util::fault_set_stall_ms(static_cast<int>(stall_ms));
+    util::fault_arm_sticky(util::FaultPoint::kScanPredictStall);
+    std::printf("chaos: every predict stalls %ld ms\n", stall_ms);
+  }
+
+  serve::Server server(config, &registry);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitRuntime;
+  }
+  std::printf("serving on 127.0.0.1:%d\n", server.bound_port());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::FILE* file = std::fopen(port_file.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "error: cannot write --port-file %s\n",
+                   port_file.c_str());
+      server.stop();
+      return kExitRuntime;
+    }
+    std::fprintf(file, "%d\n", server.bound_port());
+    std::fclose(file);
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  server.wait();
+  server.stop();
+  g_server = nullptr;
+
+  if (!metrics_out.empty()) {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::global().snapshot();
+    if (!obs::write_metrics_json(metrics_out, snapshot,
+                                 obs::collect_span_report())) {
+      return kExitRuntime;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  std::printf("clean shutdown\n");
+  return kExitOk;
+}

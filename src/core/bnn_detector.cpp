@@ -41,6 +41,7 @@ std::vector<int> BnnHotspotDetector::predict(
   const int batch = config_.inference_batch_size > 0
                         ? config_.inference_batch_size
                         : config_.trainer.batch_size;
+  std::lock_guard<std::mutex> lock(predict_mutex_);
   return predict_labels(*model_, data, batch);
 }
 
@@ -58,6 +59,9 @@ std::vector<int> BnnHotspotDetector::predict_batch(
   if (util::fault_should_fail(util::FaultPoint::kScanPredictCompute)) {
     throw std::runtime_error("injected predict compute fault");
   }
+  // Serialize forwards: layer activation caches are shared scratch state,
+  // so two concurrent callers would corrupt each other's intermediates.
+  std::lock_guard<std::mutex> lock(predict_mutex_);
   model_->set_training(false);
   util::Stopwatch timer;
   std::vector<int> labels = model_->predict(images);

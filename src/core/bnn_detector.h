@@ -3,6 +3,7 @@
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <optional>
 
 #include "core/brnn.h"
@@ -38,6 +39,12 @@ class BnnHotspotDetector : public eval::Detector {
   // double buffering happen upstream. Per-sample outputs are independent of
   // batch composition (scaling, BN eval stats, and the packed GEMM are all
   // per-sample), so any batching of the same images yields identical labels.
+  //
+  // Safe to call from multiple threads: the module chain caches activations
+  // during forward even in eval mode, so concurrent forwards would race on
+  // that scratch state. An internal mutex serializes predict_batch (and
+  // predict) — callers get thread safety, not parallel speedup; the
+  // parallelism lives inside the packed GEMM.
   std::vector<int> predict_batch(const tensor::Tensor& images);
 
   // The batch-feed API packaged as a scan::ScanPipeline-compatible
@@ -52,6 +59,9 @@ class BnnHotspotDetector : public eval::Detector {
   BnnDetectorConfig config_;
   std::optional<BrnnModel> model_;
   std::vector<EpochStats> history_;
+  // Serializes inference: forward() scribbles on per-layer activation
+  // caches, which are not per-thread.
+  std::mutex predict_mutex_;
 };
 
 }  // namespace hotspot::core

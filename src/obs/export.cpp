@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -12,6 +13,13 @@ namespace hotspot::obs {
 namespace {
 
 std::string format_double(double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no inf/nan literals; the strict util/json parser (and thus
+    // bench_compare) rejects them. Instrument values are kept finite at the
+    // source (finite histogram bounds, clamped quantiles, guarded sums) —
+    // this is the last line of defense for a gauge someone set to inf.
+    return "0";
+  }
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.9g", value);
   return buffer;

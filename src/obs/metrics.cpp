@@ -15,8 +15,23 @@ double histogram_quantile(const std::vector<double>& bounds,
   for (const std::uint64_t count : buckets) {
     total += count;
   }
-  if (total == 0) {
+  if (total == 0 || bounds.empty()) {
     return 0.0;
+  }
+  // The result must always be finite: the estimate flows through
+  // format_double into JSON exports, and the strict util/json parser (and
+  // therefore bench_compare) rejects inf/nan literals. Bounds sampled from
+  // the registry are finite by construction (the Histogram constructor
+  // enforces it), but this free function also serves hand-built samples —
+  // Prometheus-style bounds legally end in +Inf — so ranks landing in or
+  // above a non-finite bound clamp to the last finite one (0 when there is
+  // none).
+  double last_finite = 0.0;
+  for (std::size_t i = bounds.size(); i-- > 0;) {
+    if (std::isfinite(bounds[i])) {
+      last_finite = bounds[i];
+      break;
+    }
   }
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total);
@@ -26,6 +41,11 @@ double histogram_quantile(const std::vector<double>& bounds,
     if (in_bucket > 0.0 && cumulative + in_bucket >= target) {
       const double lo = i == 0 ? 0.0 : bounds[i - 1];
       const double hi = bounds[i];
+      if (!std::isfinite(hi) || !std::isfinite(lo)) {
+        // No finite width to interpolate across: lo + (hi - lo) * fraction
+        // used to emit inf (or nan at fraction == 0) here.
+        return last_finite;
+      }
       const double fraction =
           std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
       return lo + (hi - lo) * fraction;
@@ -34,13 +54,20 @@ double histogram_quantile(const std::vector<double>& bounds,
   }
   // Rank falls in the overflow bucket, which has no upper bound to
   // interpolate toward.
-  return bounds.back();
+  return last_finite;
 }
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
       buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
   HOTSPOT_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    // Finite bounds keep every exported value (bucket bounds and the
+    // interpolated quantiles) representable in strict JSON; the overflow
+    // bucket already plays the +Inf role.
+    HOTSPOT_CHECK(std::isfinite(bounds_[i]))
+        << "histogram bounds must be finite";
+  }
   for (std::size_t i = 0; i + 1 < bounds_.size(); ++i) {
     HOTSPOT_CHECK_LT(bounds_[i], bounds_[i + 1])
         << "histogram bounds must be strictly increasing";
@@ -51,6 +78,14 @@ Histogram::Histogram(std::vector<double> bounds)
 }
 
 void Histogram::observe(double value) {
+  if (!std::isfinite(value)) {
+    // A non-finite duration is instrumentation failure, not data: make it
+    // visible in the overflow bucket, but keep it out of sum_ so a single
+    // poisoned observation cannot turn the JSON export into inf/nan.
+    buckets_[bounds_.size()].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const auto index = static_cast<std::size_t>(it - bounds_.begin());
   buckets_[index].fetch_add(1, std::memory_order_relaxed);

@@ -69,9 +69,11 @@ class Gauge {
 // histogram_quantile style): finds the bucket containing rank q * count and
 // interpolates linearly between its bounds (the first bucket interpolates
 // from 0). Accuracy is bounded by bucket width, so latency histograms use
-// log-spaced bounds (default_latency_buckets). Returns 0 on an empty
-// histogram; ranks falling in the overflow bucket clamp to the last bound.
-// `buckets` is non-cumulative with bounds.size() + 1 entries.
+// log-spaced bounds (default_latency_buckets). The result is always
+// finite — it flows into strict-JSON exports: an empty histogram (or empty
+// bounds) yields 0, and ranks falling in the overflow bucket or a
+// non-finite (+Inf-terminated, Prometheus-style) bound clamp to the last
+// finite bound. `buckets` is non-cumulative with bounds.size() + 1 entries.
 double histogram_quantile(const std::vector<double>& bounds,
                           const std::vector<std::uint64_t>& buckets,
                           double q);
@@ -81,9 +83,12 @@ double histogram_quantile(const std::vector<double>& bounds,
 // bound. Bucket counts are stored non-cumulative; exporters cumulate.
 class Histogram {
  public:
-  // `bounds` must be non-empty and strictly increasing.
+  // `bounds` must be non-empty, finite, and strictly increasing (the
+  // overflow bucket plays the +Inf role).
   explicit Histogram(std::vector<double> bounds);
 
+  // Non-finite values land in the overflow bucket but are excluded from
+  // sum(), so one poisoned observation cannot make the export unparseable.
   void observe(double value);
 
   const std::vector<double>& bounds() const { return bounds_; }

@@ -54,12 +54,37 @@ void RasterDedupCache::evict_lru() {
   static obs::Counter& evictions_counter =
       obs::MetricsRegistry::global().counter("scan.dedup.evictions");
   evictions_counter.increment();
+  publish_bytes_gauge();
+}
+
+void RasterDedupCache::publish_bytes_gauge() const {
+  // The cache is single-writer, so a plain set is exact. A second live
+  // cache instance would clobber this gauge; scans run one cache at a time.
+  static obs::Gauge& bytes_gauge =
+      obs::MetricsRegistry::global().gauge("scan.dedup.bytes");
+  bytes_gauge.set(static_cast<double>(bytes_));
 }
 
 bool RasterDedupCache::insert(std::uint64_t hash, RasterKey pixels,
                               std::int64_t entry) {
   if (util::fault_should_fail(util::FaultPoint::kScanAlloc)) {
     throw std::bad_alloc();
+  }
+  const auto bucket = buckets_.find(hash);
+  if (bucket != buckets_.end()) {
+    for (const LruList::iterator node : bucket->second) {
+      if (node->pixels == pixels) {
+        // Re-inserting a cached raster must not grow the LRU list or the
+        // byte counter: pushing a duplicate node used to double-count
+        // bytes_ (and leave a stale twin that corrupted the count again on
+        // eviction). Overwrite in place — the payload is identical, so the
+        // accounting is unchanged — and refresh recency like a hit.
+        node->entry = entry;
+        lru_.splice(lru_.begin(), lru_, node);
+        publish_bytes_gauge();
+        return true;
+      }
+    }
   }
   const std::size_t incoming = pixels.size();
   if (max_bytes_ != 0 && incoming > max_bytes_) {
@@ -72,6 +97,7 @@ bool RasterDedupCache::insert(std::uint64_t hash, RasterKey pixels,
   lru_.push_front(Keyed{hash, std::move(pixels), entry});
   buckets_[hash].push_back(lru_.begin());
   bytes_ += incoming;
+  publish_bytes_gauge();
   return true;
 }
 

@@ -14,7 +14,8 @@
 // evicted raster reappears (it re-enters under a fresh entry id); verdicts
 // are never wrong, and the eviction order is a pure function of the access
 // sequence, so journal resume replays it exactly. Evictions are counted
-// locally (evictions()) and on the scan.dedup.evictions counter.
+// locally (evictions()) and on the scan.dedup.evictions counter; the live
+// payload size is mirrored onto the scan.dedup.bytes gauge.
 //
 // The cache is single-writer (the scan producer); it is not thread-safe.
 // find() refreshes recency, so it is not const.
@@ -46,11 +47,14 @@ class RasterDedupCache {
   std::int64_t find(std::uint64_t hash, const RasterKey& pixels);
 
   // Remembers `pixels` under `entry` (an id the caller allocates, e.g. a
-  // slot in its verdict table), evicting LRU entries as needed. Returns
-  // false only when `pixels` alone exceeds a cap and cannot be cached
-  // (scan results stay exact, the hit rate just degrades). Probes the
-  // kScanAlloc fault point: an armed fault throws std::bad_alloc before
-  // any mutation, the way a real allocation failure would.
+  // slot in its verdict table), evicting LRU entries as needed. Re-inserting
+  // an already-cached raster overwrites its entry id and refreshes recency
+  // without growing size() or bytes() — the payload is identical, so the
+  // accounting must not change. Returns false only when `pixels` alone
+  // exceeds a cap and cannot be cached (scan results stay exact, the hit
+  // rate just degrades). Probes the kScanAlloc fault point: an armed fault
+  // throws std::bad_alloc before any mutation, the way a real allocation
+  // failure would.
   bool insert(std::uint64_t hash, RasterKey pixels, std::int64_t entry);
 
   std::size_t size() const { return lru_.size(); }
@@ -68,6 +72,8 @@ class RasterDedupCache {
   using LruList = std::list<Keyed>;
 
   void evict_lru();
+  // Mirrors bytes_ onto the scan.dedup.bytes gauge after every mutation.
+  void publish_bytes_gauge() const;
 
   std::size_t max_entries_;
   std::size_t max_bytes_;

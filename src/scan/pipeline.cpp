@@ -2,10 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
-#include <deque>
 #include <exception>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -14,6 +11,7 @@
 #include "obs/trace.h"
 #include "scan/dedup_cache.h"
 #include "scan/journal.h"
+#include "util/bounded_queue.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
 #include "util/stopwatch.h"
@@ -45,56 +43,10 @@ struct BatchPlan {
 // Bounded handoff between the raster producer and the inference consumer.
 // Capacity 2 keeps one finished batch staged while the next is assembled —
 // the double buffer — without letting the producer run unboundedly ahead.
-class BatchQueue {
- public:
-  // Returns false when the consumer aborted and the batch was not taken.
-  bool push(BatchPlan plan) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_push_.wait(lock, [&] { return aborted_ || queue_.size() < 2; });
-    if (aborted_) {
-      return false;
-    }
-    queue_.push_back(std::move(plan));
-    cv_pop_.notify_one();
-    return true;
-  }
-
-  std::optional<BatchPlan> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_pop_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      return std::nullopt;
-    }
-    BatchPlan plan = std::move(queue_.front());
-    queue_.pop_front();
-    cv_push_.notify_one();
-    return plan;
-  }
-
-  // Producer is done; pending batches still drain.
-  void close() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    closed_ = true;
-    cv_pop_.notify_all();
-  }
-
-  // Consumer failed; unblock and stop the producer.
-  void abort() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    aborted_ = true;
-    closed_ = true;
-    cv_push_.notify_all();
-    cv_pop_.notify_all();
-  }
-
- private:
-  std::mutex mutex_;
-  std::condition_variable cv_push_;
-  std::condition_variable cv_pop_;
-  std::deque<BatchPlan> queue_;
-  bool closed_ = false;
-  bool aborted_ = false;
-};
+// The queue itself is the generic util::BoundedQueue the serve layer's
+// admission scheduler also builds on (DESIGN.md §15); the scan pipeline is
+// its weight-1, capacity-2 instantiation.
+using BatchQueue = util::BoundedQueue<BatchPlan>;
 
 // Walks the window grid in scan order, rasterizing and deduplicating into
 // fixed-size batches of distinct rasters. Single-threaded by design (see
@@ -471,7 +423,7 @@ ScanResult ScanPipeline::scan(const layout::Pattern& chip) {
   if (config_.pipelined && window_count > 0) {
     // Producer on a helper thread, classifier on the calling thread (the
     // thread pool's single client). The queue is the double buffer.
-    BatchQueue queue;
+    BatchQueue queue(2);
     std::exception_ptr producer_error;
     std::thread producer_thread([&] {
       try {

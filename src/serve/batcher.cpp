@@ -1,0 +1,149 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace hotspot::serve {
+
+MicroBatcher::MicroBatcher(const BatcherConfig& config, BatchFn classify)
+    : config_(config),
+      classify_(std::move(classify)),
+      queue_(config.max_queue_clips) {
+  HOTSPOT_CHECK_GT(config_.max_batch_clips, std::size_t{0});
+  HOTSPOT_CHECK_LE(config_.max_batch_clips, config_.max_queue_clips)
+      << "a full batch must fit in the admission queue";
+  HOTSPOT_CHECK(classify_ != nullptr);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+MicroBatcher::~MicroBatcher() { stop(); }
+
+AdmitStatus MicroBatcher::submit(tensor::Tensor images,
+                                 std::future<std::vector<int>>* result) {
+  HOTSPOT_CHECK_EQ(images.rank(), 4) << "submit expects [n, 1, ls, ls]";
+  const std::int64_t count = images.dim(0);
+  HOTSPOT_CHECK_GT(count, 0) << "empty request";
+  if (static_cast<std::size_t>(count) > config_.max_batch_clips) {
+    return AdmitStatus::kTooLarge;
+  }
+  if (stopped_.load(std::memory_order_acquire)) {
+    return AdmitStatus::kStopped;
+  }
+  auto job = std::make_unique<Job>();
+  job->images = std::move(images);
+  job->count = count;
+  std::future<std::vector<int>> future = job->promise.get_future();
+  if (!queue_.try_push(std::move(job), static_cast<std::size_t>(count))) {
+    if (queue_.closed()) {
+      return AdmitStatus::kStopped;
+    }
+    static obs::Counter& shed_counter =
+        obs::MetricsRegistry::global().counter("serve.shed");
+    shed_counter.increment();
+    return AdmitStatus::kShed;
+  }
+  *result = std::move(future);
+  return AdmitStatus::kOk;
+}
+
+void MicroBatcher::stop() {
+  stopped_.store(true, std::memory_order_release);
+  queue_.close();  // queued jobs still drain through the worker
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+void MicroBatcher::worker_loop() {
+  for (;;) {
+    std::optional<std::unique_ptr<Job>> first = queue_.pop();
+    if (!first.has_value()) {
+      return;  // closed and drained
+    }
+    std::vector<std::unique_ptr<Job>> jobs;
+    std::size_t batch_clips = static_cast<std::size_t>((*first)->count);
+    jobs.push_back(std::move(*first));
+    // Formation window: measured from the first job reaching the worker,
+    // so an idle server adds no latency and a busy one ships every
+    // batch_deadline at the latest.
+    const auto deadline =
+        std::chrono::steady_clock::now() + config_.batch_deadline;
+    while (batch_clips < config_.max_batch_clips) {
+      std::optional<std::unique_ptr<Job>> next = queue_.pop_until(deadline);
+      if (!next.has_value()) {
+        break;  // deadline hit, or closed and drained
+      }
+      const std::size_t count = static_cast<std::size_t>((*next)->count);
+      if (batch_clips + count > config_.max_batch_clips) {
+        // Never split a request: ship what we have, then start the next
+        // batch with this job so it is not reordered behind later arrivals.
+        run_batch(std::move(jobs));
+        jobs.clear();
+        batch_clips = 0;
+      }
+      batch_clips += count;
+      jobs.push_back(std::move(*next));
+    }
+    run_batch(std::move(jobs));
+  }
+}
+
+void MicroBatcher::run_batch(std::vector<std::unique_ptr<Job>> jobs) {
+  if (jobs.empty()) {
+    return;
+  }
+  const std::int64_t grid = jobs.front()->images.dim(2);
+  std::int64_t total = 0;
+  for (const std::unique_ptr<Job>& job : jobs) {
+    HOTSPOT_CHECK_EQ(job->images.dim(2), grid)
+        << "mixed grid sizes in one batch";
+    total += job->count;
+  }
+  const std::int64_t clip_numel = grid * grid;
+  tensor::Tensor fused(tensor::Shape{total, 1, grid, grid});
+  std::int64_t offset = 0;
+  for (const std::unique_ptr<Job>& job : jobs) {
+    const std::int64_t numel = job->count * clip_numel;
+    std::copy(job->images.data(), job->images.data() + numel,
+              fused.data() + offset);
+    offset += numel;
+  }
+  std::vector<int> labels;
+  try {
+    labels = classify_(fused);
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (std::unique_ptr<Job>& job : jobs) {
+      job->promise.set_exception(error);
+    }
+    return;
+  }
+  HOTSPOT_CHECK_EQ(static_cast<std::int64_t>(labels.size()), total)
+      << "classifier returned wrong label count";
+  static obs::Counter& batch_counter =
+      obs::MetricsRegistry::global().counter("serve.batches");
+  static obs::Histogram& batch_clip_histogram =
+      obs::MetricsRegistry::global().histogram(
+          "serve.batch_clips", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                                256.0});
+  batch_counter.increment();
+  batch_clip_histogram.observe(static_cast<double>(total));
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  clips_.fetch_add(static_cast<std::uint64_t>(total),
+                   std::memory_order_relaxed);
+  std::size_t label_offset = 0;
+  for (std::unique_ptr<Job>& job : jobs) {
+    std::vector<int> slice(
+        labels.begin() + static_cast<std::ptrdiff_t>(label_offset),
+        labels.begin() +
+            static_cast<std::ptrdiff_t>(label_offset +
+                                        static_cast<std::size_t>(job->count)));
+    label_offset += static_cast<std::size_t>(job->count);
+    job->promise.set_value(std::move(slice));
+  }
+}
+
+}  // namespace hotspot::serve

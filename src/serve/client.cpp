@@ -1,0 +1,248 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace hotspot::serve {
+namespace {
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, data + sent, size - sent, 0);
+#endif
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServeClient::~ServeClient() { close(); }
+
+bool ServeClient::connect(const std::string& host, int port,
+                          std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host address: " + host;
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    *error = std::string("connect: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ServeClient::send_bytes(const std::vector<std::uint8_t>& bytes,
+                             std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  if (!send_all(fd_, bytes.data(), bytes.size())) {
+    *error = std::string("send: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool ServeClient::read_one(Frame* frame, std::string* error) {
+  const ReadFn reader = [this](std::uint8_t* out,
+                               std::size_t size) -> std::size_t {
+    for (;;) {
+      const ssize_t n = ::recv(fd_, out, size, 0);
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return n > 0 ? static_cast<std::size_t>(n) : 0;
+    }
+  };
+  const FrameStatus status = read_frame(reader, frame);
+  if (status != FrameStatus::kOk) {
+    *error = std::string("response frame: ") + frame_status_name(status);
+    return false;
+  }
+  return true;
+}
+
+bool ServeClient::predict(const std::string& tenant,
+                          const tensor::Tensor& images,
+                          PredictOutcome* outcome, std::string* error) {
+  HOTSPOT_CHECK_EQ(images.rank(), 4) << "predict expects [n, 1, ls, ls]";
+  PredictRequest request;
+  request.request_id = next_request_id_++;
+  request.grid = static_cast<std::uint16_t>(images.dim(2));
+  request.count = static_cast<std::uint16_t>(images.dim(0));
+  request.tenant = tenant;
+  request.packed_clips =
+      pack_rasters(images.data(), static_cast<std::size_t>(images.dim(0)),
+                   request.grid);
+  if (!send_bytes(encode_frame(MessageType::kPredictRequest,
+                               encode_predict_request(request)),
+                  error)) {
+    return false;
+  }
+  Frame frame;
+  if (!read_one(&frame, error)) {
+    return false;
+  }
+  if (frame.type == MessageType::kReject) {
+    Reject reject;
+    if (!decode_reject(frame.payload, &reject)) {
+      *error = "undecodable reject";
+      return false;
+    }
+    outcome->ok = false;
+    outcome->reason = reject.reason;
+    outcome->detail = reject.detail;
+    outcome->labels.clear();
+    return true;
+  }
+  if (frame.type != MessageType::kPredictResponse) {
+    *error = "unexpected response type";
+    return false;
+  }
+  PredictResponse response;
+  if (!decode_predict_response(frame.payload, &response)) {
+    *error = "undecodable predict response";
+    return false;
+  }
+  if (response.request_id != request.request_id) {
+    *error = "response id mismatch";
+    return false;
+  }
+  outcome->ok = true;
+  outcome->labels.assign(response.labels.begin(), response.labels.end());
+  outcome->detail.clear();
+  return true;
+}
+
+bool ServeClient::ping(std::uint32_t token, std::string* error) {
+  if (!send_bytes(encode_frame(MessageType::kPing, encode_token(token)),
+                  error)) {
+    return false;
+  }
+  Frame frame;
+  if (!read_one(&frame, error)) {
+    return false;
+  }
+  std::uint32_t echoed = 0;
+  if (frame.type != MessageType::kPong ||
+      !decode_token(frame.payload, &echoed) || echoed != token) {
+    *error = "bad pong";
+    return false;
+  }
+  return true;
+}
+
+bool ServeClient::swap_model(const std::string& path, std::int64_t image_size,
+                             std::uint64_t* version,
+                             std::optional<Reject>* reject,
+                             std::string* error) {
+  SwapModel swap;
+  swap.request_id = next_request_id_++;
+  swap.image_size = static_cast<std::uint16_t>(image_size);
+  swap.path = path;
+  if (!send_bytes(
+          encode_frame(MessageType::kSwapModel, encode_swap_model(swap)),
+          error)) {
+    return false;
+  }
+  Frame frame;
+  if (!read_one(&frame, error)) {
+    return false;
+  }
+  if (frame.type == MessageType::kReject) {
+    Reject decoded;
+    if (!decode_reject(frame.payload, &decoded)) {
+      *error = "undecodable reject";
+      return false;
+    }
+    *reject = std::move(decoded);
+    return true;
+  }
+  SwapOk ok;
+  if (frame.type != MessageType::kSwapOk ||
+      !decode_swap_ok(frame.payload, &ok)) {
+    *error = "unexpected swap response";
+    return false;
+  }
+  *version = ok.version;
+  reject->reset();
+  return true;
+}
+
+bool ServeClient::stats(std::string* json, std::string* error) {
+  if (!send_bytes(encode_frame(MessageType::kStatsRequest, {}), error)) {
+    return false;
+  }
+  Frame frame;
+  if (!read_one(&frame, error)) {
+    return false;
+  }
+  if (frame.type != MessageType::kStatsResponse) {
+    *error = "unexpected stats response";
+    return false;
+  }
+  json->assign(frame.payload.begin(), frame.payload.end());
+  return true;
+}
+
+bool ServeClient::shutdown_server(std::string* error) {
+  if (!send_bytes(encode_frame(MessageType::kShutdown, {}), error)) {
+    return false;
+  }
+  Frame frame;
+  if (!read_one(&frame, error)) {
+    return false;
+  }
+  if (frame.type != MessageType::kShutdownOk) {
+    *error = "unexpected shutdown response";
+    return false;
+  }
+  return true;
+}
+
+bool ServeClient::send_raw(const std::vector<std::uint8_t>& bytes,
+                           Frame* response, std::string* error) {
+  if (!send_bytes(bytes, error)) {
+    return false;
+  }
+  return read_one(response, error);
+}
+
+}  // namespace hotspot::serve

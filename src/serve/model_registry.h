@@ -1,0 +1,99 @@
+// Model registry with atomic hot-swap (DESIGN.md §15).
+//
+// The registry owns the servable model and publishes it through a
+// shared_ptr: load() builds and validates the *new* model completely off to
+// the side (CRC-checked HSPT archive load, §9), then swaps the pointer
+// under a mutex. Readers that resolved active() before the swap keep the
+// old model alive until their batch finishes; readers after the swap see
+// the new one. There is no torn state to observe — a request runs entirely
+// on one version — and a failed load leaves the previous model serving.
+//
+// Restartability: every successful load records {path, image_size, version}
+// in a JSON state file published with the same tmp+fsync+rename discipline
+// as checkpoints, so a killed-and-restarted server calls restore() and
+// resumes serving the model it was serving, without the operator replaying
+// the registration.
+//
+// ServableModel::predict is serialized by an internal mutex (the module
+// chain's activation caches are shared scratch; see
+// BnnHotspotDetector::predict_batch). The server's single batcher worker
+// never contends; the mutex is there so direct multi-threaded use — the
+// hot-swap hammer test, a future multi-worker server — stays correct.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/brnn.h"
+#include "nn/serialize.h"
+#include "tensor/tensor.h"
+
+namespace hotspot::serve {
+
+class ServableModel {
+ public:
+  // Builds the architecture for `image_size` (BrnnConfig::compact) and
+  // loads `path` into it. Check load_result() before serving.
+  ServableModel(std::string path, std::int64_t image_size,
+                std::uint64_t version);
+
+  const nn::LoadResult& load_result() const { return load_result_; }
+  const std::string& path() const { return path_; }
+  std::int64_t image_size() const { return image_size_; }
+  std::uint64_t version() const { return version_; }
+
+  // Labels for a [n, 1, ls, ls] batch on the packed backend. Thread-safe
+  // (serialized internally); bit-identical for a given weight version
+  // regardless of caller interleaving.
+  std::vector<int> predict(const tensor::Tensor& images);
+
+ private:
+  std::string path_;
+  std::int64_t image_size_;
+  std::uint64_t version_;
+  nn::LoadResult load_result_;
+  std::unique_ptr<core::BrnnModel> model_;
+  std::mutex predict_mutex_;
+};
+
+class ModelRegistry {
+ public:
+  // `state_path` is where successful loads are recorded for restart
+  // recovery; empty disables persistence.
+  explicit ModelRegistry(std::string state_path = "");
+
+  // Loads `path` into a fresh model for `image_size` clips. On success the
+  // new model is published atomically (version bumped) and the state file
+  // rewritten. On failure the previously active model keeps serving and
+  // the state file is untouched.
+  nn::LoadResult load(const std::string& path, std::int64_t image_size);
+
+  // Re-loads the model recorded in the state file. kMissing when no state
+  // file exists (a fresh deployment).
+  nn::LoadResult restore();
+
+  // The currently published model; nullptr before the first successful
+  // load. Callers hold the returned shared_ptr for the duration of a batch
+  // so a concurrent swap can never free a model mid-forward.
+  std::shared_ptr<ServableModel> active() const;
+
+  // Version of the active model; 0 before the first load. Monotonic across
+  // swaps within one process lifetime, and resumes from the persisted
+  // version after a restart.
+  std::uint64_t version() const;
+
+  const std::string& state_path() const { return state_path_; }
+
+ private:
+  bool write_state(const ServableModel& model, std::string* error) const;
+
+  std::string state_path_;
+  mutable std::mutex mutex_;
+  std::shared_ptr<ServableModel> active_;
+  std::uint64_t next_version_ = 1;
+};
+
+}  // namespace hotspot::serve

@@ -1,0 +1,420 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace hotspot::serve {
+namespace {
+
+// Little-endian scalar append/read. The wire format is declared LE host
+// order; these helpers keep the byte layout explicit instead of relying on
+// struct memcpy.
+void append_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value & 0xff));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xff));
+  }
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xff));
+  }
+}
+
+// Cursor over a payload; every read checks the remaining byte count, so a
+// lying length field fails the decode instead of reading out of bounds.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t* out) {
+    if (remaining() < 1) {
+      return false;
+    }
+    *out = bytes_[offset_++];
+    return true;
+  }
+
+  bool u16(std::uint16_t* out) {
+    if (remaining() < 2) {
+      return false;
+    }
+    *out = static_cast<std::uint16_t>(bytes_[offset_] |
+                                      (bytes_[offset_ + 1] << 8));
+    offset_ += 2;
+    return true;
+  }
+
+  bool u32(std::uint32_t* out) {
+    if (remaining() < 4) {
+      return false;
+    }
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(bytes_[offset_ + i]) << (8 * i);
+    }
+    offset_ += 4;
+    *out = value;
+    return true;
+  }
+
+  bool u64(std::uint64_t* out) {
+    if (remaining() < 8) {
+      return false;
+    }
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(bytes_[offset_ + i]) << (8 * i);
+    }
+    offset_ += 8;
+    *out = value;
+    return true;
+  }
+
+  bool string(std::size_t size, std::size_t cap, std::string* out) {
+    if (size > cap || remaining() < size) {
+      return false;
+    }
+    out->assign(reinterpret_cast<const char*>(bytes_.data()) + offset_, size);
+    offset_ += size;
+    return true;
+  }
+
+  bool bytes(std::size_t size, std::vector<std::uint8_t>* out) {
+    if (remaining() < size) {
+      return false;
+    }
+    out->assign(bytes_.begin() + static_cast<std::ptrdiff_t>(offset_),
+                bytes_.begin() + static_cast<std::ptrdiff_t>(offset_ + size));
+    offset_ += size;
+    return true;
+  }
+
+  // Strict decoders require the payload fully consumed: trailing bytes mean
+  // a version skew or corruption the CRC happened to miss.
+  bool exhausted() const { return offset_ == bytes_.size(); }
+
+  std::size_t remaining() const { return bytes_.size() - offset_; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t offset_ = 0;
+};
+
+bool read_exact(const ReadFn& read, std::uint8_t* out, std::size_t size,
+                bool* clean_eof) {
+  std::size_t done = 0;
+  while (done < size) {
+    const std::size_t got = read(out + done, size - done);
+    if (got == 0) {
+      if (clean_eof != nullptr) {
+        *clean_eof = done == 0;
+      }
+      return false;
+    }
+    done += got;
+  }
+  return true;
+}
+
+std::uint32_t read_u32_at(const std::uint8_t* bytes) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kQueueFull:
+      return "queue_full";
+    case RejectReason::kBadFrame:
+      return "bad_frame";
+    case RejectReason::kTooLarge:
+      return "too_large";
+    case RejectReason::kShuttingDown:
+      return "shutting_down";
+    case RejectReason::kModelUnavailable:
+      return "model_unavailable";
+    case RejectReason::kBadRequest:
+      return "bad_request";
+    case RejectReason::kSwapFailed:
+      return "swap_failed";
+  }
+  return "unknown";
+}
+
+const char* frame_status_name(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk:
+      return "ok";
+    case FrameStatus::kEof:
+      return "eof";
+    case FrameStatus::kBadMagic:
+      return "bad_magic";
+    case FrameStatus::kBadVersion:
+      return "bad_version";
+    case FrameStatus::kTooLarge:
+      return "too_large";
+    case FrameStatus::kTruncated:
+      return "truncated";
+    case FrameStatus::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(MessageType type,
+                                       const std::vector<std::uint8_t>& payload,
+                                       std::uint8_t flags) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(12 + payload.size() + 4);
+  append_u32(frame, kFrameMagic);
+  append_u16(frame, kProtocolVersion);
+  frame.push_back(static_cast<std::uint8_t>(type));
+  frame.push_back(flags);
+  append_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  append_u32(frame, util::crc32_of(payload.data(), payload.size()));
+  return frame;
+}
+
+FrameStatus read_frame(const ReadFn& read, Frame* out) {
+  std::uint8_t header[12];
+  bool clean_eof = false;
+  if (!read_exact(read, header, sizeof(header), &clean_eof)) {
+    return clean_eof ? FrameStatus::kEof : FrameStatus::kTruncated;
+  }
+  if (read_u32_at(header) != kFrameMagic) {
+    return FrameStatus::kBadMagic;
+  }
+  const std::uint16_t version =
+      static_cast<std::uint16_t>(header[4] | (header[5] << 8));
+  if (version != kProtocolVersion) {
+    return FrameStatus::kBadVersion;
+  }
+  out->type = static_cast<MessageType>(header[6]);
+  out->flags = header[7];
+  const std::uint32_t payload_size = read_u32_at(header + 8);
+  if (payload_size > kMaxPayloadBytes) {
+    return FrameStatus::kTooLarge;
+  }
+  out->payload.resize(payload_size);
+  if (payload_size > 0 &&
+      !read_exact(read, out->payload.data(), payload_size, nullptr)) {
+    return FrameStatus::kTruncated;
+  }
+  std::uint8_t footer[4];
+  if (!read_exact(read, footer, sizeof(footer), nullptr)) {
+    return FrameStatus::kTruncated;
+  }
+  const std::uint32_t expected =
+      util::crc32_of(out->payload.data(), out->payload.size());
+  if (read_u32_at(footer) != expected) {
+    return FrameStatus::kCorrupt;
+  }
+  return FrameStatus::kOk;
+}
+
+std::size_t packed_clip_bytes(std::uint16_t grid) {
+  const std::size_t pixels =
+      static_cast<std::size_t>(grid) * static_cast<std::size_t>(grid);
+  return (pixels + 7) / 8;
+}
+
+bool valid_tenant(const std::string& tenant) {
+  if (tenant.empty() || tenant.size() > kMaxTenantBytes) {
+    return false;
+  }
+  for (const char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> encode_predict_request(
+    const PredictRequest& request) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(9 + request.tenant.size() + request.packed_clips.size());
+  append_u32(payload, request.request_id);
+  append_u16(payload, request.grid);
+  append_u16(payload, request.count);
+  payload.push_back(static_cast<std::uint8_t>(request.tenant.size()));
+  payload.insert(payload.end(), request.tenant.begin(), request.tenant.end());
+  payload.insert(payload.end(), request.packed_clips.begin(),
+                 request.packed_clips.end());
+  return payload;
+}
+
+bool decode_predict_request(const std::vector<std::uint8_t>& payload,
+                            PredictRequest* out) {
+  Reader reader(payload);
+  std::uint8_t tenant_len = 0;
+  if (!reader.u32(&out->request_id) || !reader.u16(&out->grid) ||
+      !reader.u16(&out->count) || !reader.u8(&tenant_len) ||
+      !reader.string(tenant_len, kMaxTenantBytes, &out->tenant)) {
+    return false;
+  }
+  if (out->grid == 0 || !valid_tenant(out->tenant)) {
+    return false;
+  }
+  const std::size_t clip_bytes =
+      packed_clip_bytes(out->grid) * static_cast<std::size_t>(out->count);
+  if (!reader.bytes(clip_bytes, &out->packed_clips)) {
+    return false;
+  }
+  return reader.exhausted();
+}
+
+std::vector<std::uint8_t> encode_predict_response(
+    const PredictResponse& response) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(6 + response.labels.size());
+  append_u32(payload, response.request_id);
+  append_u16(payload, static_cast<std::uint16_t>(response.labels.size()));
+  payload.insert(payload.end(), response.labels.begin(),
+                 response.labels.end());
+  return payload;
+}
+
+bool decode_predict_response(const std::vector<std::uint8_t>& payload,
+                             PredictResponse* out) {
+  Reader reader(payload);
+  std::uint16_t count = 0;
+  if (!reader.u32(&out->request_id) || !reader.u16(&count) ||
+      !reader.bytes(count, &out->labels)) {
+    return false;
+  }
+  for (const std::uint8_t label : out->labels) {
+    if (label > 1) {
+      return false;
+    }
+  }
+  return reader.exhausted();
+}
+
+std::vector<std::uint8_t> encode_reject(const Reject& reject) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(7 + reject.detail.size());
+  append_u32(payload, reject.request_id);
+  payload.push_back(static_cast<std::uint8_t>(reject.reason));
+  append_u16(payload, static_cast<std::uint16_t>(reject.detail.size()));
+  payload.insert(payload.end(), reject.detail.begin(), reject.detail.end());
+  return payload;
+}
+
+bool decode_reject(const std::vector<std::uint8_t>& payload, Reject* out) {
+  Reader reader(payload);
+  std::uint8_t reason = 0;
+  std::uint16_t detail_len = 0;
+  if (!reader.u32(&out->request_id) || !reader.u8(&reason) ||
+      !reader.u16(&detail_len) ||
+      !reader.string(detail_len, kMaxDetailBytes, &out->detail)) {
+    return false;
+  }
+  if (reason < 1 || reason > 7) {
+    return false;
+  }
+  out->reason = static_cast<RejectReason>(reason);
+  return reader.exhausted();
+}
+
+std::vector<std::uint8_t> encode_swap_model(const SwapModel& swap) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(8 + swap.path.size());
+  append_u32(payload, swap.request_id);
+  append_u16(payload, swap.image_size);
+  append_u16(payload, static_cast<std::uint16_t>(swap.path.size()));
+  payload.insert(payload.end(), swap.path.begin(), swap.path.end());
+  return payload;
+}
+
+bool decode_swap_model(const std::vector<std::uint8_t>& payload,
+                       SwapModel* out) {
+  Reader reader(payload);
+  std::uint16_t path_len = 0;
+  if (!reader.u32(&out->request_id) || !reader.u16(&out->image_size) ||
+      !reader.u16(&path_len) ||
+      !reader.string(path_len, kMaxPathBytes, &out->path)) {
+    return false;
+  }
+  if (out->image_size == 0 || out->path.empty()) {
+    return false;
+  }
+  return reader.exhausted();
+}
+
+std::vector<std::uint8_t> encode_swap_ok(const SwapOk& ok) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(12);
+  append_u32(payload, ok.request_id);
+  append_u64(payload, ok.version);
+  return payload;
+}
+
+bool decode_swap_ok(const std::vector<std::uint8_t>& payload, SwapOk* out) {
+  Reader reader(payload);
+  return reader.u32(&out->request_id) && reader.u64(&out->version) &&
+         reader.exhausted();
+}
+
+std::vector<std::uint8_t> encode_token(std::uint32_t token) {
+  std::vector<std::uint8_t> payload;
+  append_u32(payload, token);
+  return payload;
+}
+
+bool decode_token(const std::vector<std::uint8_t>& payload,
+                  std::uint32_t* out) {
+  Reader reader(payload);
+  return reader.u32(out) && reader.exhausted();
+}
+
+std::vector<std::uint8_t> pack_rasters(const float* pixels, std::size_t count,
+                                       std::uint16_t grid) {
+  const std::size_t per_clip = packed_clip_bytes(grid);
+  const std::size_t pixels_per_clip =
+      static_cast<std::size_t>(grid) * static_cast<std::size_t>(grid);
+  std::vector<std::uint8_t> packed(per_clip * count, 0);
+  for (std::size_t clip = 0; clip < count; ++clip) {
+    const float* src = pixels + clip * pixels_per_clip;
+    std::uint8_t* dst = packed.data() + clip * per_clip;
+    for (std::size_t i = 0; i < pixels_per_clip; ++i) {
+      if (src[i] >= 0.5f) {
+        dst[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+      }
+    }
+  }
+  return packed;
+}
+
+std::vector<float> unpack_rasters(const std::vector<std::uint8_t>& packed,
+                                  std::size_t count, std::uint16_t grid) {
+  const std::size_t per_clip = packed_clip_bytes(grid);
+  const std::size_t pixels_per_clip =
+      static_cast<std::size_t>(grid) * static_cast<std::size_t>(grid);
+  std::vector<float> pixels(pixels_per_clip * count, 0.0f);
+  for (std::size_t clip = 0; clip < count; ++clip) {
+    const std::uint8_t* src = packed.data() + clip * per_clip;
+    float* dst = pixels.data() + clip * pixels_per_clip;
+    for (std::size_t i = 0; i < pixels_per_clip; ++i) {
+      dst[i] = (src[i / 8] >> (i % 8)) & 1u ? 1.0f : 0.0f;
+    }
+  }
+  return pixels;
+}
+
+}  // namespace hotspot::serve

@@ -1,0 +1,418 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <future>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace hotspot::serve {
+namespace {
+
+// Registry-resolved counters; resolved once, lock-free afterwards.
+struct ServeCounters {
+  obs::Counter& requests;
+  obs::Counter& clips;
+  obs::Counter& rejects;
+  obs::Counter& bad_frames;
+  obs::Counter& connections;
+  obs::Histogram& request_seconds;
+
+  static ServeCounters& get() {
+    static ServeCounters counters = {
+        obs::MetricsRegistry::global().counter("serve.requests"),
+        obs::MetricsRegistry::global().counter("serve.clips"),
+        obs::MetricsRegistry::global().counter("serve.rejects"),
+        obs::MetricsRegistry::global().counter("serve.bad_frames"),
+        obs::MetricsRegistry::global().counter("serve.connections"),
+        obs::MetricsRegistry::global().histogram(
+            "serve.request_seconds", obs::default_latency_buckets()),
+    };
+    return counters;
+  }
+};
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, data + sent, size - sent, 0);
+#endif
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ReadFn socket_reader(int fd) {
+  return [fd](std::uint8_t* out, std::size_t size) -> std::size_t {
+    for (;;) {
+      const ssize_t n = ::recv(fd, out, size, 0);
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return n > 0 ? static_cast<std::size_t>(n) : 0;
+    }
+  };
+}
+
+}  // namespace
+
+Server::Server(const ServerConfig& config, ModelRegistry* registry)
+    : config_(config), registry_(registry) {
+  HOTSPOT_CHECK(registry_ != nullptr);
+  HOTSPOT_CHECK_LE(config_.max_clips_per_request,
+                   config_.batcher.max_batch_clips)
+      << "a request must fit in one batch";
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  HOTSPOT_CHECK(!running()) << "start() called twice";
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, config_.max_connections) < 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  bound_port_ = ntohs(addr.sin_port);
+  // The batcher resolves the active model once per fused batch: every
+  // request rides exactly one model version, and a hot-swap mid-load only
+  // affects batches formed after the swap.
+  batcher_ = std::make_unique<MicroBatcher>(
+      config_.batcher, [this](const tensor::Tensor& images) {
+        std::shared_ptr<ServableModel> model = registry_->active();
+        HOTSPOT_CHECK(model != nullptr)
+            << "batch scheduled with no active model";
+        return model->predict(images);
+      });
+  running_.store(true, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_cv_.wait(lock, [&] { return stopping_.load(); });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) {
+    // Still wake any wait()ers on repeated stop.
+    signal_stopping();
+    return;
+  }
+  signal_stopping();
+  // Unblock the accept loop and every connection reader: shutdown() makes
+  // their blocking calls return without racing the fd close.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& [fd, thread] : connections_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::pair<int, std::thread>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& [fd, thread] : connections) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+    ::close(fd);
+  }
+  if (batcher_ != nullptr) {
+    batcher_->stop();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::signal_stopping() {
+  {
+    // Taken (and immediately dropped) so the store cannot slip between a
+    // wait()er's predicate check and its sleep.
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listen socket shut down — server stopping
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    ServeCounters::get().connections.increment();
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    // Reap finished connections opportunistically so a long-lived server
+    // does not accumulate joinable threads. A finished reader has shut
+    // down its socket; join is immediate.
+    if (static_cast<int>(connections_.size()) >= config_.max_connections) {
+      for (auto it = connections_.begin(); it != connections_.end();) {
+        // Readers exit by closing their read side; joinable() stays true
+        // until joined, so track liveness via a zero-byte peek.
+        char probe;
+        const ssize_t n =
+            ::recv(it->first, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+        if (n == 0) {  // peer closed and reader drained: safe to join
+          it->second.join();
+          ::close(it->first);
+          it = connections_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    connections_.emplace_back(fd, std::thread([this, fd] {
+                                serve_connection(fd);
+                              }));
+  }
+}
+
+void Server::serve_connection(int fd) {
+  const ReadFn reader = socket_reader(fd);
+  for (;;) {
+    Frame frame;
+    const FrameStatus status = read_frame(reader, &frame);
+    if (status == FrameStatus::kEof) {
+      return;  // clean disconnect
+    }
+    if (status != FrameStatus::kOk) {
+      // Framing is lost: a typed reject, then drop the connection. Reading
+      // on would misparse garbage as requests.
+      ServeCounters::get().bad_frames.increment();
+      send_reject(fd, 0, RejectReason::kBadFrame, frame_status_name(status));
+      ::shutdown(fd, SHUT_RDWR);
+      return;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      send_reject(fd, 0, RejectReason::kShuttingDown, "server stopping");
+      return;
+    }
+    switch (frame.type) {
+      case MessageType::kPing: {
+        std::uint32_t token = 0;
+        if (!decode_token(frame.payload, &token)) {
+          if (!send_reject(fd, 0, RejectReason::kBadRequest, "bad ping")) {
+            return;
+          }
+          break;
+        }
+        if (!send_frame(fd, MessageType::kPong, encode_token(token))) {
+          return;
+        }
+        break;
+      }
+      case MessageType::kPredictRequest: {
+        PredictRequest request;
+        if (!decode_predict_request(frame.payload, &request)) {
+          ServeCounters::get().rejects.increment();
+          if (!send_reject(fd, 0, RejectReason::kBadRequest,
+                           "malformed predict payload")) {
+            return;
+          }
+          break;
+        }
+        if (!handle_predict(fd, request)) {
+          return;
+        }
+        break;
+      }
+      case MessageType::kSwapModel: {
+        SwapModel swap;
+        if (!decode_swap_model(frame.payload, &swap)) {
+          if (!send_reject(fd, 0, RejectReason::kBadRequest, "bad swap")) {
+            return;
+          }
+          break;
+        }
+        const nn::LoadResult result =
+            registry_->load(swap.path, swap.image_size);
+        if (!result.ok()) {
+          if (!send_reject(fd, swap.request_id, RejectReason::kSwapFailed,
+                           result.message)) {
+            return;
+          }
+          break;
+        }
+        SwapOk ok;
+        ok.request_id = swap.request_id;
+        ok.version = registry_->version();
+        if (!send_frame(fd, MessageType::kSwapOk, encode_swap_ok(ok))) {
+          return;
+        }
+        break;
+      }
+      case MessageType::kStatsRequest: {
+        const std::string json = obs::to_json(
+            obs::MetricsRegistry::global().snapshot(),
+            obs::collect_span_report());
+        std::vector<std::uint8_t> payload(json.begin(), json.end());
+        if (!send_frame(fd, MessageType::kStatsResponse, payload)) {
+          return;
+        }
+        break;
+      }
+      case MessageType::kShutdown: {
+        send_frame(fd, MessageType::kShutdownOk, {});
+        // Flip stopping_ and wake wait(); the full stop() teardown (which
+        // joins this very thread) must run outside it.
+        signal_stopping();
+        return;
+      }
+      default: {
+        if (!send_reject(fd, 0, RejectReason::kBadRequest,
+                         "unexpected message type")) {
+          return;
+        }
+        break;
+      }
+    }
+  }
+}
+
+bool Server::handle_predict(int fd, const PredictRequest& request) {
+  ServeCounters& counters = ServeCounters::get();
+  util::Stopwatch timer;
+  if (request.count == 0 ||
+      static_cast<std::size_t>(request.count) > config_.max_clips_per_request) {
+    counters.rejects.increment();
+    return send_reject(fd, request.request_id, RejectReason::kTooLarge,
+                       "clip count outside [1, " +
+                           std::to_string(config_.max_clips_per_request) +
+                           "]");
+  }
+  std::shared_ptr<ServableModel> model = registry_->active();
+  if (model == nullptr) {
+    counters.rejects.increment();
+    return send_reject(fd, request.request_id,
+                       RejectReason::kModelUnavailable,
+                       "no model registered");
+  }
+  if (request.grid != model->image_size()) {
+    counters.rejects.increment();
+    return send_reject(fd, request.request_id, RejectReason::kBadRequest,
+                       "grid " + std::to_string(request.grid) +
+                           " does not match model image size " +
+                           std::to_string(model->image_size()));
+  }
+  const std::int64_t count = request.count;
+  const std::int64_t grid = request.grid;
+  std::vector<float> pixels =
+      unpack_rasters(request.packed_clips, static_cast<std::size_t>(count),
+                     request.grid);
+  tensor::Tensor images(tensor::Shape{count, 1, grid, grid},
+                        std::move(pixels));
+  std::future<std::vector<int>> pending;
+  const AdmitStatus admitted = batcher_->submit(std::move(images), &pending);
+  if (admitted == AdmitStatus::kShed) {
+    // serve.shed is incremented by the batcher itself.
+    counters.rejects.increment();
+    return send_reject(fd, request.request_id, RejectReason::kQueueFull,
+                       "admission queue full");
+  }
+  if (admitted != AdmitStatus::kOk) {
+    counters.rejects.increment();
+    return send_reject(fd, request.request_id, RejectReason::kShuttingDown,
+                       "batcher stopped");
+  }
+  std::vector<int> labels;
+  try {
+    labels = pending.get();
+  } catch (const std::exception& e) {
+    counters.rejects.increment();
+    return send_reject(fd, request.request_id, RejectReason::kBadRequest,
+                       std::string("classification failed: ") + e.what());
+  }
+  PredictResponse response;
+  response.request_id = request.request_id;
+  response.labels.reserve(labels.size());
+  for (const int label : labels) {
+    response.labels.push_back(static_cast<std::uint8_t>(label != 0 ? 1 : 0));
+  }
+  counters.requests.increment();
+  counters.clips.increment(static_cast<std::uint64_t>(count));
+  counters.request_seconds.observe(timer.seconds());
+  // Per-tenant accounting. Tenant names are validated to [A-Za-z0-9_.-] so
+  // they are safe inside metric names.
+  obs::MetricsRegistry::global()
+      .counter("serve.tenant." + request.tenant + ".requests")
+      .increment();
+  obs::MetricsRegistry::global()
+      .counter("serve.tenant." + request.tenant + ".clips")
+      .increment(static_cast<std::uint64_t>(count));
+  return send_frame(fd, MessageType::kPredictResponse,
+                    encode_predict_response(response));
+}
+
+bool Server::send_frame(int fd, MessageType type,
+                        const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  return send_all(fd, frame.data(), frame.size());
+}
+
+bool Server::send_reject(int fd, std::uint32_t request_id,
+                         RejectReason reason, const std::string& detail) {
+  Reject reject;
+  reject.request_id = request_id;
+  reject.reason = reason;
+  reject.detail = detail.substr(0, kMaxDetailBytes);
+  return send_frame(fd, MessageType::kReject, encode_reject(reject));
+}
+
+}  // namespace hotspot::serve

@@ -1,0 +1,108 @@
+// Persistent hotspot-detection server (DESIGN.md §15).
+//
+// Socket front end on 127.0.0.1: an accept thread hands each connection to
+// its own reader thread, which decodes CRC-framed requests (protocol.h),
+// unpacks the bit-packed rasters, and submits them to the shared
+// MicroBatcher. The batcher's single worker fuses requests across clients
+// into one classifier call; per-request futures carry the sliced labels
+// back to the connection threads.
+//
+// Failure policy, per frame:
+//   * unparseable / corrupt frame  -> Reject(kBadFrame), connection closed
+//     (framing is lost, so the stream cannot be trusted further);
+//   * structurally invalid request -> typed Reject, connection stays open;
+//   * admission queue full         -> Reject(kQueueFull) — load shed;
+//   * no model registered          -> Reject(kModelUnavailable).
+//
+// Hot-swap: a SwapModel frame drives ModelRegistry::load. The batcher's
+// BatchFn resolves registry->active() once per fused batch, so every batch
+// (and therefore every request, which is never split) runs on exactly one
+// model version; in-flight batches finish on the version they resolved.
+//
+// Metrics (obs registry): serve.requests / serve.clips / serve.shed /
+// serve.rejects / serve.bad_frames / serve.connections / serve.swaps, the
+// serve.request_seconds latency histogram (p50/p95/p99 in exports), and
+// per-tenant counters serve.tenant.<name>.requests / .clips.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/model_registry.h"
+#include "serve/protocol.h"
+
+namespace hotspot::serve {
+
+struct ServerConfig {
+  // 0 binds an ephemeral port; bound_port() reports the real one.
+  int port = 0;
+  // Accept backlog and the cap on simultaneously served connections.
+  int max_connections = 32;
+  // Per-request clip cap, enforced before unpacking. Must not exceed
+  // batcher.max_batch_clips (a request is never split).
+  std::size_t max_clips_per_request = 64;
+  BatcherConfig batcher;
+};
+
+class Server {
+ public:
+  // The registry is shared: the caller may load/swap models concurrently
+  // with serving (that is the point). It must outlive the server.
+  Server(const ServerConfig& config, ModelRegistry* registry);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds 127.0.0.1:<port> and starts the accept loop. False with `error`
+  // set when the socket cannot be bound.
+  bool start(std::string* error);
+
+  // Port actually bound (resolves port 0); 0 before start().
+  int bound_port() const { return bound_port_; }
+
+  // Blocks until stop() is called (by a Shutdown frame or another thread).
+  void wait();
+
+  // Stops accepting, unblocks every connection, drains the batcher, joins
+  // all threads. Idempotent; called by the destructor.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  // Sets stopping_ under stop_mutex_ and wakes wait()ers.
+  void signal_stopping();
+  void accept_loop();
+  void serve_connection(int fd);
+  // One request, already decoded. Returns false when the connection should
+  // close (shutdown or send failure).
+  bool handle_predict(int fd, const PredictRequest& request);
+  bool send_frame(int fd, MessageType type,
+                  const std::vector<std::uint8_t>& payload);
+  bool send_reject(int fd, std::uint32_t request_id, RejectReason reason,
+                   const std::string& detail);
+
+  ServerConfig config_;
+  ModelRegistry* registry_;
+  std::unique_ptr<MicroBatcher> batcher_;
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::pair<int, std::thread>> connections_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+};
+
+}  // namespace hotspot::serve

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <limits>
@@ -13,7 +14,6 @@
 #include <vector>
 
 #include "util/check.h"
-#include "util/logging.h"
 
 namespace hotspot::util {
 namespace {
@@ -44,10 +44,7 @@ int default_thread_count() {
   return hardware >= 1 ? static_cast<int>(hardware) : 1;
 }
 
-int env_thread_count() {
-  return parse_thread_count(std::getenv("HOTSPOT_NUM_THREADS"),
-                            default_thread_count());
-}
+int env_thread_count() { return resolve_threads_from_env(); }
 
 class ThreadPool {
  public:
@@ -176,9 +173,9 @@ class ThreadPool {
 
 }  // namespace
 
-int parse_thread_count(const char* text, int fallback) {
+bool parse_thread_count_strict(const char* text, int* out) {
   if (text == nullptr || *text == '\0') {
-    return fallback;
+    return false;
   }
   errno = 0;
   char* end = nullptr;
@@ -186,13 +183,34 @@ int parse_thread_count(const char* text, int fallback) {
   const bool overflow = errno == ERANGE ||
                         parsed > static_cast<long>(
                                      std::numeric_limits<int>::max());
-  if (end == text || *end != '\0' || overflow || parsed < 1) {
-    HOTSPOT_LOG(kWarning) << "invalid thread count '" << text
-                          << "' (HOTSPOT_NUM_THREADS): expected a positive "
-                             "integer; using " << fallback;
-    return fallback;
+  if (end == text || *end != '\0' || overflow || parsed < 1 ||
+      parsed > static_cast<long>(kMaxThreadCount)) {
+    return false;
   }
-  return static_cast<int>(parsed);
+  if (out != nullptr) {
+    *out = static_cast<int>(parsed);
+  }
+  return true;
+}
+
+int resolve_threads_from_env() {
+  const char* text = std::getenv("HOTSPOT_NUM_THREADS");
+  if (text == nullptr || *text == '\0') {
+    return default_thread_count();
+  }
+  int threads = 0;
+  if (!parse_thread_count_strict(text, &threads)) {
+    // Exit 2 like the other strict env validations (HOTSPOT_SIMD,
+    // HOTSPOT_BENCH_SCALE): an overflowed value silently truncated by
+    // strtol, or a typo'd one silently defaulted, would run the whole
+    // workload at an unintended width.
+    std::fprintf(stderr,
+                 "invalid HOTSPOT_NUM_THREADS='%s': expected an integer in "
+                 "[1, %d]\n",
+                 text, kMaxThreadCount);
+    std::exit(2);
+  }
+  return threads;
 }
 
 int parallel_threads() { return ThreadPool::instance().num_threads(); }

@@ -29,12 +29,26 @@ using ParallelChunkFn = std::function<void(std::int64_t, std::int64_t)>;
 // Number of threads the pool is configured to use (>= 1).
 int parallel_threads();
 
-// Parses a thread-count override (the HOTSPOT_NUM_THREADS format): a plain
-// base-10 positive integer. Returns `fallback` — with a logged warning —
-// for zero, negative, overflowing, or non-numeric input, so a typo in the
-// environment can never misconfigure the pool. nullptr/empty input returns
-// `fallback` silently (the variable is simply unset).
-int parse_thread_count(const char* text, int fallback);
+// Sanity cap on any configured thread count. Far above any real machine
+// this code targets, but low enough that an overflowed or fat-fingered
+// HOTSPOT_NUM_THREADS can never ask the pool to spawn millions of workers.
+inline constexpr int kMaxThreadCount = 1024;
+
+// Strict parse of a thread count (the HOTSPOT_NUM_THREADS format, shared
+// by the serve CLI's --threads flag): a plain base-10 integer in
+// [1, kMaxThreadCount] with no trailing junk. Returns false — without
+// writing *out — on garbage, overflow (ERANGE or > INT_MAX; the strtol
+// result is range-checked, never truncated), zero/negative values, or
+// anything over the cap. `out` may be null to validate only.
+bool parse_thread_count_strict(const char* text, int* out);
+
+// Resolves HOTSPOT_NUM_THREADS the way the pool's first use does: unset or
+// empty falls back to the hardware concurrency; anything else must satisfy
+// parse_thread_count_strict or the process prints the offending value and
+// exits 2, matching the other strict env validations (HOTSPOT_SIMD,
+// HOTSPOT_BENCH_SCALE). Exposed so tests can probe the exit path without
+// constructing a pool.
+int resolve_threads_from_env();
 
 // Reconfigures the pool to `threads` (clamped to >= 1). Must not be called
 // from inside a parallel region. Overrides HOTSPOT_NUM_THREADS.

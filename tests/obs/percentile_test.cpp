@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -37,6 +38,64 @@ TEST(HistogramQuantile, OverflowBucketClampsToLastBound) {
   const std::vector<std::uint64_t> buckets = {1, 1, 8};
   // 80% of mass is beyond the last bound; high quantiles clamp to it.
   EXPECT_DOUBLE_EQ(histogram_quantile(bounds, buckets, 0.99), 2.0);
+}
+
+TEST(HistogramQuantile, AlwaysFiniteRegressions) {
+  // These four shapes used to leak inf/nan through format_double into
+  // strict-JSON exports, which util/json (and therefore bench_compare)
+  // rejects. Every result must now be finite.
+  // Empty bounds + only an overflow count: no bound to clamp to → 0.
+  EXPECT_EQ(histogram_quantile({}, {5}, 0.5), 0.0);
+  // Empty sample over empty bounds.
+  EXPECT_EQ(histogram_quantile({}, {0}, 0.5), 0.0);
+  // Prometheus-style +Inf-terminated bounds: interpolation inside the inf
+  // bucket was lo + (inf - lo) * fraction = inf (nan at fraction == 0).
+  const std::vector<double> inf_bounds = {1.0, 2.0,
+                                          std::numeric_limits<double>::infinity()};
+  const std::vector<std::uint64_t> inf_buckets = {1, 1, 8, 0};
+  for (const double q : {0.0, 0.3, 0.5, 0.99, 1.0}) {
+    const double estimate = histogram_quantile(inf_bounds, inf_buckets, q);
+    ASSERT_TRUE(std::isfinite(estimate)) << "q=" << q;
+    EXPECT_LE(estimate, 2.0) << "q=" << q;  // clamps to last finite bound
+  }
+  EXPECT_DOUBLE_EQ(histogram_quantile(inf_bounds, inf_buckets, 0.99), 2.0);
+  // All bounds non-finite: nothing finite to clamp to → 0.
+  const std::vector<double> only_inf = {
+      std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(histogram_quantile(only_inf, {3, 0}, 0.5), 0.0);
+}
+
+TEST(HistogramQuantile, SingleBucketEdgeCases) {
+  const std::vector<double> bounds = {1.0};
+  // Everything in the overflow bucket of a one-bound histogram clamps to
+  // that bound instead of inventing mass past it.
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, {0, 7}, 0.5), 1.0);
+  // A single observation: every quantile lands inside [0, 1].
+  for (const double q : {0.0, 0.5, 1.0}) {
+    const double estimate = histogram_quantile(bounds, {1, 0}, q);
+    EXPECT_GE(estimate, 0.0);
+    EXPECT_LE(estimate, 1.0);
+  }
+}
+
+TEST(Histogram, RejectsNonFiniteBounds) {
+  EXPECT_DEATH(Histogram({1.0, std::numeric_limits<double>::infinity()}),
+               "finite");
+  EXPECT_DEATH(Histogram({std::nan("")}), "finite");
+}
+
+TEST(Histogram, NonFiniteObservationsStayOutOfSum) {
+  // inf/nan observations are visible (count + overflow bucket) but must not
+  // poison sum(): one bad stopwatch read would otherwise make every later
+  // JSON export unparseable.
+  Histogram histogram({1.0, 2.0});
+  histogram.observe(0.5);
+  histogram.observe(std::numeric_limits<double>::infinity());
+  histogram.observe(std::nan(""));
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_EQ(histogram.bucket(2), 2u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5);
+  EXPECT_TRUE(std::isfinite(histogram.quantile(0.99)));
 }
 
 TEST(HistogramQuantile, MatchesExactQuantilesWithinBucketResolution) {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
+#include "obs/metrics.h"
+
 namespace hotspot::scan {
 namespace {
 
@@ -108,6 +113,79 @@ TEST(RasterDedupCache, UnboundedByDefault) {
   }
   EXPECT_EQ(cache.size(), 256u);
   EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(RasterDedupCache, ReinsertDoesNotDoubleCount) {
+  // Re-inserting a raster that is already resident used to push a duplicate
+  // LRU node and count its bytes twice, shrinking the effective byte cap
+  // and eventually corrupting bytes() on eviction of the twin.
+  RasterDedupCache cache(/*max_entries=*/0, /*max_bytes=*/16);
+  const RasterKey a(8, 1);
+  EXPECT_TRUE(cache.insert(hash_raster(a), a, 0));
+  EXPECT_TRUE(cache.insert(hash_raster(a), a, 5));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), 8u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  // The overwrite updated the entry id in place.
+  EXPECT_EQ(cache.find(hash_raster(a), a), 5);
+  // 8 residual + 8 incoming fits the 16-byte cap exactly: no eviction, which
+  // the double-counted 16-resident bytes would have forced.
+  const RasterKey b(8, 0);
+  EXPECT_TRUE(cache.insert(hash_raster(b), b, 1));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.bytes(), 16u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(RasterDedupCache, ReinsertRefreshesRecency) {
+  RasterDedupCache cache(/*max_entries=*/2);
+  const RasterKey a = make_key({1});
+  const RasterKey b = make_key({0});
+  const RasterKey c = make_key({1, 1});
+  EXPECT_TRUE(cache.insert(hash_raster(a), a, 0));
+  EXPECT_TRUE(cache.insert(hash_raster(b), b, 1));
+  // Overwrite `a`: like a hit, it must become most-recent so `b` is evicted.
+  EXPECT_TRUE(cache.insert(hash_raster(a), a, 3));
+  EXPECT_TRUE(cache.insert(hash_raster(c), c, 2));
+  EXPECT_EQ(cache.find(hash_raster(a), a), 3);
+  EXPECT_EQ(cache.find(hash_raster(b), b), -1);
+  EXPECT_EQ(cache.find(hash_raster(c), c), 2);
+}
+
+TEST(RasterDedupCache, ByteAccountingSurvivesInsertOverwriteEvictReplay) {
+  // Replay a mixed insert/overwrite/evict sequence and assert after every
+  // step that bytes() — and the scan.dedup.bytes gauge mirroring it —
+  // equals the sum of the live entries' payloads.
+  RasterDedupCache cache(/*max_entries=*/3, /*max_bytes=*/32);
+  const obs::Gauge& bytes_gauge =
+      obs::MetricsRegistry::global().gauge("scan.dedup.bytes");
+  std::vector<RasterKey> keys;
+  for (int i = 0; i < 6; ++i) {
+    RasterKey key(static_cast<std::size_t>(4 + i * 2), 1);
+    key[0] = static_cast<std::uint8_t>(i);  // distinct payloads
+    keys.push_back(key);
+  }
+  // insert 0,1,2 / overwrite 1 / insert 3 (evicts) / overwrite 3 /
+  // insert 4,5 (byte-cap evictions) / overwrite 5.
+  const int replay[] = {0, 1, 2, 1, 3, 3, 4, 5, 5};
+  for (const int step : replay) {
+    ASSERT_TRUE(cache.insert(hash_raster(keys[static_cast<std::size_t>(step)]),
+                             keys[static_cast<std::size_t>(step)], step));
+    std::size_t live_bytes = 0;
+    std::size_t live_entries = 0;
+    for (const RasterKey& key : keys) {
+      if (cache.find(hash_raster(key), key) != -1) {
+        live_bytes += key.size();
+        ++live_entries;
+      }
+    }
+    ASSERT_EQ(cache.bytes(), live_bytes) << "after step " << step;
+    ASSERT_EQ(cache.size(), live_entries) << "after step " << step;
+    ASSERT_LE(cache.bytes(), cache.max_bytes());
+    ASSERT_LE(cache.size(), cache.max_entries());
+    ASSERT_EQ(bytes_gauge.value(), static_cast<double>(live_bytes));
+  }
+  EXPECT_GT(cache.evictions(), 0u);
 }
 
 TEST(HashRaster, LengthDisambiguatesZeroRuns) {

@@ -1,0 +1,305 @@
+// MicroBatcher invariants: requests fuse across submitters without changing
+// any request's labels (bit-identity), the deadline ships partial batches,
+// a full queue sheds instead of blocking, and stop() drains cleanly.
+#include "serve/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hotspot::serve {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// Deterministic per-sample classifier: label = parity of set pixels. Like
+// the real detector, each sample's output depends only on its own pixels,
+// so any batch composition must yield identical labels.
+std::vector<int> parity_classifier(const Tensor& images) {
+  const std::int64_t n = images.dim(0);
+  const std::int64_t per = images.numel() / std::max<std::int64_t>(n, 1);
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    int bits = 0;
+    for (std::int64_t p = 0; p < per; ++p) {
+      bits += images[i * per + p] >= 0.5f ? 1 : 0;
+    }
+    labels[static_cast<std::size_t>(i)] = bits % 2;
+  }
+  return labels;
+}
+
+Tensor make_clips(std::int64_t count, std::int64_t grid, unsigned seed) {
+  Tensor images(Shape{count, 1, grid, grid});
+  unsigned state = seed * 2654435761u + 1;
+  for (std::int64_t i = 0; i < images.numel(); ++i) {
+    state = state * 1664525u + 1013904223u;
+    images[i] = (state >> 16) % 2 == 0 ? 0.0f : 1.0f;
+  }
+  return images;
+}
+
+// A classifier whose first call blocks until released; later calls run
+// through. Lets tests wedge the worker to fill the queue deterministically.
+class Gate {
+ public:
+  BatchFn wrap(BatchFn inner) {
+    return [this, inner](const Tensor& images) {
+      const int call = calls_.fetch_add(1);
+      if (call == 0) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return open_; });
+      }
+      return inner(images);
+    };
+  }
+
+  void open() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+  // Blocks until the first classifier call has started (worker is wedged).
+  void await_first_call() {
+    while (calls_.load() == 0) {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  std::atomic<int> calls_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(MicroBatcher, SingleRequestRoundTrip) {
+  BatcherConfig config;
+  config.max_batch_clips = 8;
+  config.max_queue_clips = 32;
+  MicroBatcher batcher(config, parity_classifier);
+  const Tensor images = make_clips(3, 4, 1);
+  std::future<std::vector<int>> result;
+  ASSERT_EQ(batcher.submit(Tensor(images), &result), AdmitStatus::kOk);
+  EXPECT_EQ(result.get(), parity_classifier(images));
+  batcher.stop();
+  EXPECT_GE(batcher.batches(), 1u);
+  EXPECT_EQ(batcher.clips(), 3u);
+}
+
+TEST(MicroBatcher, OversizedRequestRejectedUpFront) {
+  BatcherConfig config;
+  config.max_batch_clips = 4;
+  config.max_queue_clips = 16;
+  MicroBatcher batcher(config, parity_classifier);
+  std::future<std::vector<int>> result;
+  EXPECT_EQ(batcher.submit(make_clips(5, 4, 2), &result),
+            AdmitStatus::kTooLarge);
+  batcher.stop();
+  EXPECT_EQ(batcher.clips(), 0u);
+}
+
+TEST(MicroBatcher, FullQueueShedsInsteadOfBlocking) {
+  Gate gate;
+  BatcherConfig config;
+  config.max_batch_clips = 4;
+  config.max_queue_clips = 4;
+  config.batch_deadline = std::chrono::microseconds(0);
+  MicroBatcher batcher(config, gate.wrap(parity_classifier));
+  // First request: popped by the worker, which wedges in the classifier.
+  std::future<std::vector<int>> first;
+  ASSERT_EQ(batcher.submit(make_clips(2, 4, 3), &first), AdmitStatus::kOk);
+  gate.await_first_call();
+  // Second request fills the queue to its 4-clip capacity.
+  std::future<std::vector<int>> second;
+  ASSERT_EQ(batcher.submit(make_clips(4, 4, 4), &second), AdmitStatus::kOk);
+  // Third cannot fit: shed immediately, never blocked.
+  const auto before = std::chrono::steady_clock::now();
+  std::future<std::vector<int>> third;
+  EXPECT_EQ(batcher.submit(make_clips(1, 4, 5), &third), AdmitStatus::kShed);
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            100);
+  gate.open();
+  EXPECT_EQ(first.get().size(), 2u);
+  EXPECT_EQ(second.get().size(), 4u);
+  batcher.stop();
+}
+
+TEST(MicroBatcher, FusesQueuedRequestsIntoOneBatch) {
+  Gate gate;
+  BatcherConfig config;
+  config.max_batch_clips = 16;
+  config.max_queue_clips = 64;
+  config.batch_deadline = std::chrono::microseconds(0);
+  MicroBatcher batcher(config, gate.wrap(parity_classifier));
+  // Wedge the worker on a sacrificial request, then queue three more; once
+  // released, the three must fuse (deadline 0 still fuses already-queued
+  // work — pop_until returns immediately with whatever is there).
+  std::future<std::vector<int>> wedge;
+  ASSERT_EQ(batcher.submit(make_clips(1, 4, 6), &wedge), AdmitStatus::kOk);
+  gate.await_first_call();
+  std::vector<Tensor> inputs;
+  std::vector<std::future<std::vector<int>>> results(3);
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(make_clips(2, 4, 10 + static_cast<unsigned>(i)));
+    ASSERT_EQ(batcher.submit(Tensor(inputs.back()), &results[i]),
+              AdmitStatus::kOk);
+  }
+  gate.open();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].get(),
+              parity_classifier(inputs[static_cast<std::size_t>(i)]))
+        << "request " << i;
+  }
+  batcher.stop();
+  // Wedge batch + one fused batch for the three queued requests.
+  EXPECT_EQ(batcher.batches(), 2u);
+  EXPECT_EQ(batcher.clips(), 7u);
+}
+
+TEST(MicroBatcher, NeverSplitsARequestAcrossBatches) {
+  Gate gate;
+  BatcherConfig config;
+  config.max_batch_clips = 4;
+  config.max_queue_clips = 12;
+  config.batch_deadline = std::chrono::microseconds(0);
+  MicroBatcher batcher(config, gate.wrap(parity_classifier));
+  std::future<std::vector<int>> wedge;
+  ASSERT_EQ(batcher.submit(make_clips(1, 4, 20), &wedge), AdmitStatus::kOk);
+  gate.await_first_call();
+  // 3 + 3 clips: a 4-cap batch takes the first request alone (3 clips),
+  // the second must ride the next batch whole, never 1+2.
+  std::vector<std::future<std::vector<int>>> results(2);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 2; ++i) {
+    inputs.push_back(make_clips(3, 4, 30 + static_cast<unsigned>(i)));
+    ASSERT_EQ(batcher.submit(Tensor(inputs.back()), &results[i]),
+              AdmitStatus::kOk);
+  }
+  gate.open();
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].get(),
+              parity_classifier(inputs[static_cast<std::size_t>(i)]));
+  }
+  batcher.stop();
+  EXPECT_EQ(batcher.batches(), 3u);  // wedge, then one per 3-clip request
+}
+
+TEST(MicroBatcher, DeadlineShipsPartialBatch) {
+  BatcherConfig config;
+  config.max_batch_clips = 64;
+  config.max_queue_clips = 256;
+  config.batch_deadline = std::chrono::microseconds(2000);
+  MicroBatcher batcher(config, parity_classifier);
+  // A lone request far below max_batch must not wait for a full batch.
+  const Tensor images = make_clips(2, 4, 40);
+  std::future<std::vector<int>> result;
+  ASSERT_EQ(batcher.submit(Tensor(images), &result), AdmitStatus::kOk);
+  ASSERT_EQ(result.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_EQ(result.get(), parity_classifier(images));
+  batcher.stop();
+}
+
+TEST(MicroBatcher, ClassifierFailureRejectsEveryFusedRequest) {
+  BatcherConfig config;
+  config.max_batch_clips = 8;
+  config.max_queue_clips = 32;
+  MicroBatcher batcher(config, [](const Tensor&) -> std::vector<int> {
+    throw std::runtime_error("backend down");
+  });
+  std::future<std::vector<int>> result;
+  ASSERT_EQ(batcher.submit(make_clips(2, 4, 50), &result), AdmitStatus::kOk);
+  EXPECT_THROW(result.get(), std::runtime_error);
+  batcher.stop();
+}
+
+TEST(MicroBatcher, SubmitAfterStopIsStopped) {
+  BatcherConfig config;
+  MicroBatcher batcher(config, parity_classifier);
+  batcher.stop();
+  std::future<std::vector<int>> result;
+  EXPECT_EQ(batcher.submit(make_clips(1, 4, 60), &result),
+            AdmitStatus::kStopped);
+}
+
+TEST(MicroBatcher, StopDrainsQueuedRequests) {
+  Gate gate;
+  BatcherConfig config;
+  config.max_batch_clips = 2;
+  config.max_queue_clips = 16;
+  config.batch_deadline = std::chrono::microseconds(0);
+  MicroBatcher batcher(config, gate.wrap(parity_classifier));
+  std::future<std::vector<int>> wedge;
+  ASSERT_EQ(batcher.submit(make_clips(1, 4, 70), &wedge), AdmitStatus::kOk);
+  gate.await_first_call();
+  std::vector<std::future<std::vector<int>>> results(4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(batcher.submit(make_clips(2, 4, 80 + static_cast<unsigned>(i)),
+                             &results[i]),
+              AdmitStatus::kOk);
+  }
+  gate.open();
+  batcher.stop();  // must block until every queued request is answered
+  for (auto& result : results) {
+    EXPECT_EQ(result.get().size(), 2u);
+  }
+  EXPECT_EQ(batcher.clips(), 9u);
+}
+
+TEST(MicroBatcher, ConcurrentSubmittersGetBitIdenticalLabels) {
+  // N threads hammer the batcher with distinct requests; every response
+  // must equal the single-threaded reference for that exact input, no
+  // matter how requests fused across threads.
+  BatcherConfig config;
+  config.max_batch_clips = 16;
+  config.max_queue_clips = 64;
+  config.batch_deadline = std::chrono::microseconds(500);
+  MicroBatcher batcher(config, parity_classifier);
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 25;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> shed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRequests; ++r) {
+        const unsigned seed =
+            static_cast<unsigned>(t * 1000 + r) * 2u + 1u;
+        const Tensor images = make_clips(1 + (r % 3), 4, seed);
+        const std::vector<int> expected = parity_classifier(images);
+        std::future<std::vector<int>> result;
+        const AdmitStatus status = batcher.submit(Tensor(images), &result);
+        if (status == AdmitStatus::kShed) {
+          ++shed;  // legal under pressure; retry next iteration's request
+          continue;
+        }
+        ASSERT_EQ(status, AdmitStatus::kOk);
+        if (result.get() != expected) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  batcher.stop();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(batcher.clips(), 0u);
+}
+
+}  // namespace
+}  // namespace hotspot::serve

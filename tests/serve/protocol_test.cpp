@@ -1,0 +1,239 @@
+// Wire-format guarantees: exact round-trips, strict decoding (no trailing
+// bytes, capped lengths), and corruption detection — a frame truncated at
+// any byte or flipped in any payload bit must never decode as valid.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace hotspot::serve {
+namespace {
+
+// ReadFn over an in-memory buffer, optionally clipped to `limit` bytes.
+ReadFn buffer_reader(const std::vector<std::uint8_t>& bytes,
+                     std::size_t* cursor,
+                     std::size_t limit = static_cast<std::size_t>(-1)) {
+  const std::size_t end = std::min(bytes.size(), limit);
+  return [&bytes, cursor, end](std::uint8_t* out,
+                               std::size_t size) -> std::size_t {
+    const std::size_t available = end - std::min(*cursor, end);
+    const std::size_t take = std::min(size, available);
+    std::copy(bytes.begin() + static_cast<std::ptrdiff_t>(*cursor),
+              bytes.begin() + static_cast<std::ptrdiff_t>(*cursor + take),
+              out);
+    *cursor += take;
+    return take;
+  };
+}
+
+FrameStatus decode(const std::vector<std::uint8_t>& bytes, Frame* out,
+                   std::size_t limit = static_cast<std::size_t>(-1)) {
+  std::size_t cursor = 0;
+  return read_frame(buffer_reader(bytes, &cursor, limit), out);
+}
+
+PredictRequest sample_request() {
+  PredictRequest request;
+  request.request_id = 0xdeadbeef;
+  request.grid = 16;
+  request.count = 3;
+  request.tenant = "tenant-a.1";
+  request.packed_clips.assign(3 * packed_clip_bytes(16), 0);
+  for (std::size_t i = 0; i < request.packed_clips.size(); ++i) {
+    request.packed_clips[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  }
+  return request;
+}
+
+TEST(ServeProtocol, FrameRoundTrip) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MessageType::kPredictRequest, payload, /*flags=*/7);
+  Frame decoded;
+  ASSERT_EQ(decode(frame, &decoded), FrameStatus::kOk);
+  EXPECT_EQ(decoded.type, MessageType::kPredictRequest);
+  EXPECT_EQ(decoded.flags, 7);
+  EXPECT_EQ(decoded.payload, payload);
+}
+
+TEST(ServeProtocol, EmptyPayloadRoundTrip) {
+  const std::vector<std::uint8_t> frame = encode_frame(MessageType::kPing, {});
+  Frame decoded;
+  ASSERT_EQ(decode(frame, &decoded), FrameStatus::kOk);
+  EXPECT_TRUE(decoded.payload.empty());
+}
+
+TEST(ServeProtocol, CleanEofVersusTruncation) {
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MessageType::kPing, {1, 2, 3});
+  Frame decoded;
+  // Zero bytes available before the header: a clean end of stream.
+  EXPECT_EQ(decode(frame, &decoded, 0), FrameStatus::kEof);
+  // Ending at any other byte is a truncated frame, never kOk and never EOF.
+  for (std::size_t limit = 1; limit < frame.size(); ++limit) {
+    EXPECT_EQ(decode(frame, &decoded, limit), FrameStatus::kTruncated)
+        << "limit=" << limit;
+  }
+  EXPECT_EQ(decode(frame, &decoded, frame.size()), FrameStatus::kOk);
+}
+
+TEST(ServeProtocol, EveryPayloadBitFlipIsDetected) {
+  // Flips in the payload or CRC footer must yield kCorrupt: the CRC bound
+  // is one detected error per frame, the same contract as the journal.
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MessageType::kPredictRequest, {0x55, 0xaa, 0x00, 0xff});
+  const std::size_t payload_start = 12;
+  for (std::size_t byte = payload_start; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> damaged = frame;
+      damaged[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      Frame decoded;
+      EXPECT_EQ(decode(damaged, &decoded), FrameStatus::kCorrupt)
+          << "byte=" << byte << " bit=" << bit;
+    }
+  }
+}
+
+TEST(ServeProtocol, HeaderDamageIsTyped) {
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MessageType::kPing, {9});
+  Frame decoded;
+  std::vector<std::uint8_t> bad_magic = frame;
+  bad_magic[0] ^= 0xff;
+  EXPECT_EQ(decode(bad_magic, &decoded), FrameStatus::kBadMagic);
+  std::vector<std::uint8_t> bad_version = frame;
+  bad_version[4] = 0x7f;
+  EXPECT_EQ(decode(bad_version, &decoded), FrameStatus::kBadVersion);
+  // A declared payload over the cap is refused before any allocation.
+  std::vector<std::uint8_t> huge = frame;
+  huge[8] = 0xff;
+  huge[9] = 0xff;
+  huge[10] = 0xff;
+  huge[11] = 0xff;
+  EXPECT_EQ(decode(huge, &decoded), FrameStatus::kTooLarge);
+}
+
+TEST(ServeProtocol, PredictRequestRoundTrip) {
+  const PredictRequest request = sample_request();
+  PredictRequest decoded;
+  ASSERT_TRUE(decode_predict_request(encode_predict_request(request),
+                                     &decoded));
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.grid, request.grid);
+  EXPECT_EQ(decoded.count, request.count);
+  EXPECT_EQ(decoded.tenant, request.tenant);
+  EXPECT_EQ(decoded.packed_clips, request.packed_clips);
+}
+
+TEST(ServeProtocol, PredictRequestRejectsStructuralDamage) {
+  const std::vector<std::uint8_t> good =
+      encode_predict_request(sample_request());
+  PredictRequest decoded;
+  // Truncation at every prefix length must fail, not decode a short batch.
+  for (std::size_t limit = 0; limit < good.size(); ++limit) {
+    const std::vector<std::uint8_t> prefix(good.begin(),
+                                           good.begin() +
+                                               static_cast<std::ptrdiff_t>(
+                                                   limit));
+    EXPECT_FALSE(decode_predict_request(prefix, &decoded)) << limit;
+  }
+  // Trailing garbage is refused too (strict decoding).
+  std::vector<std::uint8_t> trailing = good;
+  trailing.push_back(0);
+  EXPECT_FALSE(decode_predict_request(trailing, &decoded));
+  // Invalid tenant characters are refused — the name lands in metric names.
+  PredictRequest bad_tenant = sample_request();
+  bad_tenant.tenant = "a b";
+  EXPECT_FALSE(decode_predict_request(encode_predict_request(bad_tenant),
+                                      &decoded));
+  PredictRequest empty_tenant = sample_request();
+  empty_tenant.tenant = "";
+  EXPECT_FALSE(decode_predict_request(encode_predict_request(empty_tenant),
+                                      &decoded));
+  // grid 0 would make the clip size zero and the count unconstrained.
+  PredictRequest zero_grid = sample_request();
+  zero_grid.grid = 0;
+  zero_grid.packed_clips.clear();
+  EXPECT_FALSE(decode_predict_request(encode_predict_request(zero_grid),
+                                      &decoded));
+}
+
+TEST(ServeProtocol, ResponseRejectSwapRoundTrips) {
+  PredictResponse response;
+  response.request_id = 41;
+  response.labels = {0, 1, 1, 0};
+  PredictResponse response_out;
+  ASSERT_TRUE(decode_predict_response(encode_predict_response(response),
+                                      &response_out));
+  EXPECT_EQ(response_out.request_id, 41u);
+  EXPECT_EQ(response_out.labels, response.labels);
+  // A label outside {0,1} is refused.
+  std::vector<std::uint8_t> bad = encode_predict_response(response);
+  bad.back() = 2;
+  EXPECT_FALSE(decode_predict_response(bad, &response_out));
+
+  Reject reject;
+  reject.request_id = 9;
+  reject.reason = RejectReason::kQueueFull;
+  reject.detail = "admission queue full";
+  Reject reject_out;
+  ASSERT_TRUE(decode_reject(encode_reject(reject), &reject_out));
+  EXPECT_EQ(reject_out.reason, RejectReason::kQueueFull);
+  EXPECT_EQ(reject_out.detail, reject.detail);
+
+  SwapModel swap;
+  swap.request_id = 3;
+  swap.image_size = 32;
+  swap.path = "/tmp/model.bin";
+  SwapModel swap_out;
+  ASSERT_TRUE(decode_swap_model(encode_swap_model(swap), &swap_out));
+  EXPECT_EQ(swap_out.path, swap.path);
+  EXPECT_EQ(swap_out.image_size, 32);
+
+  SwapOk ok;
+  ok.request_id = 3;
+  ok.version = 7;
+  SwapOk ok_out;
+  ASSERT_TRUE(decode_swap_ok(encode_swap_ok(ok), &ok_out));
+  EXPECT_EQ(ok_out.version, 7u);
+
+  std::uint32_t token = 0;
+  ASSERT_TRUE(decode_token(encode_token(0xabcd1234), &token));
+  EXPECT_EQ(token, 0xabcd1234u);
+}
+
+TEST(ServeProtocol, PackUnpackRoundTripsEveryBitPosition) {
+  // Non-multiple-of-8 pixel count exercises the ragged last byte; each clip
+  // starts on a byte boundary.
+  const std::uint16_t grid = 5;  // 25 pixels, 4 bytes per clip
+  ASSERT_EQ(packed_clip_bytes(grid), 4u);
+  const std::size_t pixels_per_clip = 25;
+  for (std::size_t hot = 0; hot < pixels_per_clip; ++hot) {
+    std::vector<float> pixels(2 * pixels_per_clip, 0.0f);
+    pixels[hot] = 1.0f;                          // clip 0
+    pixels[pixels_per_clip + hot] = 1.0f;        // clip 1, same position
+    const std::vector<std::uint8_t> packed =
+        pack_rasters(pixels.data(), 2, grid);
+    ASSERT_EQ(packed.size(), 8u);
+    const std::vector<float> unpacked = unpack_rasters(packed, 2, grid);
+    ASSERT_EQ(unpacked.size(), pixels.size());
+    for (std::size_t i = 0; i < pixels.size(); ++i) {
+      ASSERT_EQ(unpacked[i], pixels[i]) << "hot=" << hot << " i=" << i;
+    }
+  }
+}
+
+TEST(ServeProtocol, TenantValidation) {
+  EXPECT_TRUE(valid_tenant("a"));
+  EXPECT_TRUE(valid_tenant("Team_7.prod-eu"));
+  EXPECT_FALSE(valid_tenant(""));
+  EXPECT_FALSE(valid_tenant("has space"));
+  EXPECT_FALSE(valid_tenant("semi;colon"));
+  EXPECT_FALSE(valid_tenant(std::string(kMaxTenantBytes + 1, 'a')));
+  EXPECT_TRUE(valid_tenant(std::string(kMaxTenantBytes, 'a')));
+}
+
+}  // namespace
+}  // namespace hotspot::serve

@@ -139,34 +139,57 @@ TEST_F(ParallelTest, SetParallelThreadsClampsToOne) {
   EXPECT_EQ(parallel_threads(), 2);
 }
 
-TEST(ParseThreadCount, AcceptsPositiveIntegers) {
-  EXPECT_EQ(parse_thread_count("1", 7), 1);
-  EXPECT_EQ(parse_thread_count("4", 7), 4);
-  EXPECT_EQ(parse_thread_count("128", 7), 128);
+int parsed_or(const char* text, int fallback) {
+  int out = fallback;
+  return parse_thread_count_strict(text, &out) ? out : fallback;
 }
 
-TEST(ParseThreadCount, UnsetFallsBackSilently) {
-  EXPECT_EQ(parse_thread_count(nullptr, 7), 7);
-  EXPECT_EQ(parse_thread_count("", 7), 7);
+TEST(ParseThreadCount, AcceptsPositiveIntegers) {
+  EXPECT_EQ(parsed_or("1", 7), 1);
+  EXPECT_EQ(parsed_or("4", 7), 4);
+  EXPECT_EQ(parsed_or("128", 7), 128);
+  EXPECT_EQ(parsed_or("1024", 7), kMaxThreadCount);
+}
+
+TEST(ParseThreadCount, RejectsUnset) {
+  EXPECT_FALSE(parse_thread_count_strict(nullptr, nullptr));
+  EXPECT_FALSE(parse_thread_count_strict("", nullptr));
 }
 
 TEST(ParseThreadCount, RejectsNonPositiveValues) {
-  // HOTSPOT_NUM_THREADS=0 used to seed a zero-width pool; it must fall back.
-  EXPECT_EQ(parse_thread_count("0", 7), 7);
-  EXPECT_EQ(parse_thread_count("-3", 7), 7);
+  // HOTSPOT_NUM_THREADS=0 used to seed a zero-width pool.
+  EXPECT_EQ(parsed_or("0", 7), 7);
+  EXPECT_EQ(parsed_or("-3", 7), 7);
 }
 
 TEST(ParseThreadCount, RejectsGarbage) {
-  EXPECT_EQ(parse_thread_count("abc", 7), 7);
-  EXPECT_EQ(parse_thread_count("4x", 7), 7);
-  EXPECT_EQ(parse_thread_count("x4", 7), 7);
-  EXPECT_EQ(parse_thread_count("4.5", 7), 7);
-  EXPECT_EQ(parse_thread_count(" ", 7), 7);
+  EXPECT_EQ(parsed_or("abc", 7), 7);
+  EXPECT_EQ(parsed_or("4x", 7), 7);
+  EXPECT_EQ(parsed_or("x4", 7), 7);
+  EXPECT_EQ(parsed_or("4.5", 7), 7);
+  EXPECT_EQ(parsed_or(" ", 7), 7);
 }
 
-TEST(ParseThreadCount, RejectsOverflow) {
-  EXPECT_EQ(parse_thread_count("99999999999999999999", 7), 7);
-  EXPECT_EQ(parse_thread_count("2147483648", 7), 7);  // INT_MAX + 1
+TEST(ParseThreadCount, RejectsOverflowAndInsaneCounts) {
+  // strtol would saturate these to LONG_MAX / truncate to int; the strict
+  // parse must refuse instead of running a pool at a mangled width.
+  EXPECT_EQ(parsed_or("99999999999999999999", 7), 7);
+  EXPECT_EQ(parsed_or("99999999999", 7), 7);
+  EXPECT_EQ(parsed_or("2147483648", 7), 7);  // INT_MAX + 1
+  EXPECT_EQ(parsed_or("1025", 7), 7);        // over kMaxThreadCount
+}
+
+TEST(ParseThreadCountDeathTest, EnvGarbageExitsTwoWithOffendingValue) {
+  // The env path is strict like HOTSPOT_SIMD: print the offending value
+  // and exit 2, never a silent fallback or truncation.
+  ASSERT_EQ(setenv("HOTSPOT_NUM_THREADS", "99999999999", 1), 0);
+  EXPECT_EXIT(resolve_threads_from_env(), ::testing::ExitedWithCode(2),
+              "HOTSPOT_NUM_THREADS='99999999999'");
+  ASSERT_EQ(setenv("HOTSPOT_NUM_THREADS", "two", 1), 0);
+  EXPECT_EXIT(resolve_threads_from_env(), ::testing::ExitedWithCode(2),
+              "HOTSPOT_NUM_THREADS='two'");
+  ASSERT_EQ(unsetenv("HOTSPOT_NUM_THREADS"), 0);
+  EXPECT_GE(resolve_threads_from_env(), 1);
 }
 
 }  // namespace
