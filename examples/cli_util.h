@@ -18,6 +18,10 @@ namespace hotspot::examples {
 inline constexpr int kExitOk = 0;
 inline constexpr int kExitRuntime = 1;
 inline constexpr int kExitUsage = 2;
+// The endpoint answered but its payload failed validation (non-JSON
+// /healthz, unparseable Prometheus line, non-finite sample). Distinct from
+// kExitRuntime so monitoring can tell "server down" from "server lying".
+inline constexpr int kExitMalformed = 3;
 
 // Strict integer parse; false on garbage, trailing junk, overflow, or
 // values outside [min, max].

@@ -26,6 +26,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/admin.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
 #include "util/fault_injection.h"
@@ -34,6 +35,9 @@
 namespace {
 
 hotspot::serve::Server* g_server = nullptr;
+// Set before signal handlers are installed, then never written again, so
+// the fatal handler reads a stable pointer/string.
+std::string g_flight_dump_path;
 
 void handle_signal(int /*signum*/) {
   // async-signal-safe enough for a demo binary: stop() only touches
@@ -41,6 +45,19 @@ void handle_signal(int /*signum*/) {
   if (g_server != nullptr) {
     g_server->stop();
   }
+}
+
+// Fatal-signal path: persist the flight recorder (bounded spins, so a
+// crashed writer holding a slot lock cannot wedge the handler), then
+// re-raise with the default disposition so the exit status still reports
+// the crash. Not strictly async-signal-safe — this is best-effort forensics
+// on the way down, and a failed dump must never mask the original fault.
+void handle_fatal(int signum) {
+  std::signal(signum, SIG_DFL);
+  if (g_server != nullptr && !g_flight_dump_path.empty()) {
+    g_server->flight_recorder().dump(g_flight_dump_path, nullptr);
+  }
+  std::raise(signum);
 }
 
 }  // namespace
@@ -52,7 +69,11 @@ int main(int argc, char** argv) {
   std::string state_path;
   std::string port_file;
   std::string metrics_out;
+  std::string trace_out;
+  std::string admin_port_file;
   serve::ServerConfig config;
+  serve::AdminConfig admin_config;
+  long admin_port = -1;  // -1 = admin endpoint disabled
   long grid = 32;
   long stall_ms = 0;
   for (int i = 1; i < argc; ++i) {
@@ -133,6 +154,57 @@ int main(int argc, char** argv) {
         return usage_error("--stall-ms expects milliseconds in [1, 60000]",
                            argv[i]);
       }
+    } else if (arg == "--admin-port") {
+      if (!parse_long(next("--admin-port"), 0, 65535, &admin_port)) {
+        return usage_error("--admin-port expects an integer in [0, 65535]",
+                           argv[i]);
+      }
+    } else if (arg == "--admin-port-file") {
+      const char* value = next("--admin-port-file");
+      if (value == nullptr) {
+        return usage_error("--admin-port-file requires a path", nullptr);
+      }
+      admin_port_file = value;
+    } else if (arg == "--slo-p99-ms") {
+      double value = 0.0;
+      if (!parse_positive_double(next("--slo-p99-ms"), &value)) {
+        return usage_error("--slo-p99-ms expects a positive number", argv[i]);
+      }
+      config.slo.p99_objective_seconds = value / 1000.0;
+    } else if (arg == "--slo-availability") {
+      double value = 0.0;
+      if (!parse_positive_double(next("--slo-availability"), &value) ||
+          value >= 1.0) {
+        return usage_error("--slo-availability expects a value in (0, 1)",
+                           argv[i]);
+      }
+      config.slo.availability_objective = value;
+    } else if (arg == "--slo-window-s") {
+      long value = 0;
+      if (!parse_positive(next("--slo-window-s"), 86'400, &value)) {
+        return usage_error("--slo-window-s expects seconds in [1, 86400]",
+                           argv[i]);
+      }
+      config.slo.window_seconds = static_cast<std::size_t>(value);
+    } else if (arg == "--flight-size") {
+      long value = 0;
+      if (!parse_positive(next("--flight-size"), 1 << 20, &value)) {
+        return usage_error("--flight-size expects a positive integer",
+                           argv[i]);
+      }
+      config.flight_recorder_capacity = static_cast<std::size_t>(value);
+    } else if (arg == "--flight-dump") {
+      const char* value = next("--flight-dump");
+      if (value == nullptr) {
+        return usage_error("--flight-dump requires a path", nullptr);
+      }
+      g_flight_dump_path = value;
+    } else if (arg == "--trace-out") {
+      const char* value = next("--trace-out");
+      if (value == nullptr) {
+        return usage_error("--trace-out requires a path", nullptr);
+      }
+      trace_out = value;
     } else if (arg.rfind("--", 0) == 0) {
       return usage_error("unknown flag", arg.c_str());
     } else if (model_path.empty()) {
@@ -204,22 +276,84 @@ int main(int argc, char** argv) {
     std::fclose(file);
   }
 
+  admin_config.port = static_cast<int>(admin_port < 0 ? 0 : admin_port);
+  admin_config.flight_dump_path = g_flight_dump_path;
+  serve::AdminServer admin(admin_config, &server);
+  if (admin_port >= 0) {
+    if (!admin.start(&error)) {
+      std::fprintf(stderr, "error: admin endpoint: %s\n", error.c_str());
+      server.stop();
+      return kExitRuntime;
+    }
+    std::printf("admin endpoint on 127.0.0.1:%d\n", admin.bound_port());
+    std::fflush(stdout);
+    if (!admin_port_file.empty()) {
+      std::FILE* file = std::fopen(admin_port_file.c_str(), "w");
+      if (file == nullptr) {
+        std::fprintf(stderr, "error: cannot write --admin-port-file %s\n",
+                     admin_port_file.c_str());
+        server.stop();
+        return kExitRuntime;
+      }
+      std::fprintf(file, "%d\n", admin.bound_port());
+      std::fclose(file);
+    }
+  }
+
   g_server = &server;
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  // Fatal signals persist the flight recorder before the default
+  // disposition kills the process: the last N requests survive the crash.
+  std::signal(SIGSEGV, handle_fatal);
+  std::signal(SIGABRT, handle_fatal);
+  std::signal(SIGBUS, handle_fatal);
+  std::signal(SIGFPE, handle_fatal);
+  std::signal(SIGILL, handle_fatal);
   server.wait();
   server.stop();
-  g_server = nullptr;
 
+  if (!g_flight_dump_path.empty()) {
+    std::string dump_error;
+    if (server.flight_recorder().dump(g_flight_dump_path, &dump_error)) {
+      std::printf("flight recorder written to %s\n",
+                  g_flight_dump_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: flight dump failed: %s\n",
+                   dump_error.c_str());
+    }
+  }
   if (!metrics_out.empty()) {
+    // Refresh the derived gauges so the final export carries them too.
+    server.slo_monitor().publish();
+    obs::publish_timeline_metrics();
     const obs::MetricsSnapshot snapshot =
         obs::MetricsRegistry::global().snapshot();
     if (!obs::write_metrics_json(metrics_out, snapshot,
                                  obs::collect_span_report())) {
+      g_server = nullptr;
       return kExitRuntime;
     }
     std::printf("metrics written to %s\n", metrics_out.c_str());
   }
+  if (!trace_out.empty()) {
+    // Span timeline plus the request flows from the flight recorder, one
+    // chrome://tracing file: phases line up because both record against the
+    // process steady clock.
+    const std::string trace = obs::to_chrome_trace(
+        obs::collect_timeline(), server.flight_recorder().snapshot());
+    std::FILE* file = std::fopen(trace_out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "error: cannot write --trace-out %s\n",
+                   trace_out.c_str());
+      g_server = nullptr;
+      return kExitRuntime;
+    }
+    std::fprintf(file, "%s\n", trace.c_str());
+    std::fclose(file);
+    std::printf("chrome trace written to %s\n", trace_out.c_str());
+  }
+  g_server = nullptr;
   std::printf("clean shutdown\n");
   return kExitOk;
 }

@@ -16,20 +16,34 @@
 //   --swap PATH       hot-swap the server to PATH, expect SwapOk
 //   --stats           print the server's metrics JSON
 //   --shutdown        ask for a clean server shutdown
+//   --admin-port N    probe the admin endpoint instead of the serve port:
+//                     fetch /healthz (must be healthy strict JSON) and
+//                     /metrics (every sample line must parse with a finite
+//                     value). Exits 3 (kExitMalformed) naming the offending
+//                     line when the endpoint answers garbage, 1 when it is
+//                     unreachable/unhealthy — monitoring branches on which.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "cli_util.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "tensor/tensor.h"
+#include "util/json.h"
 
 namespace {
 
@@ -55,6 +69,93 @@ double percentile(std::vector<double> sorted_seconds, double q) {
   return sorted_seconds[std::min(index, sorted_seconds.size() - 1)];
 }
 
+// Minimal HTTP/1.0 GET against the admin endpoint: one request, read to
+// EOF, split status line from body. No HTTP library — the admin server
+// speaks the same dialect.
+bool http_get(const std::string& host, int port, const std::string& path,
+              int* status, std::string* body, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = "socket failed";
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    *error = "cannot connect to " + host + ":" + std::to_string(port);
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      *error = "send failed";
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;
+    }
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  // "HTTP/1.0 200 OK\r\n...headers...\r\n\r\n<body>"
+  const std::size_t space = response.find(' ');
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (space == std::string::npos || header_end == std::string::npos) {
+    *error = "response is not HTTP";
+    return false;
+  }
+  *status = std::atoi(response.c_str() + space + 1);
+  *body = response.substr(header_end + 4);
+  return true;
+}
+
+// Validates one Prometheus sample line: `name{labels} value` or
+// `name value` — name restricted to the exporter's charset and the value a
+// finite double with no trailing junk.
+bool valid_prometheus_line(const std::string& line) {
+  const std::size_t space = line.rfind(' ');
+  if (space == std::string::npos || space == 0) {
+    return false;
+  }
+  const std::string name_part = line.substr(0, space);
+  const std::size_t brace = name_part.find('{');
+  const std::string name =
+      brace == std::string::npos ? name_part : name_part.substr(0, brace);
+  if (name.empty() ||
+      (brace != std::string::npos && name_part.back() != '}')) {
+    return false;
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) {
+      return false;
+    }
+  }
+  const std::string value = line.substr(space + 1);
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value.c_str(), &end);
+  return end != value.c_str() && *end == '\0' && errno != ERANGE &&
+         std::isfinite(parsed);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,6 +171,7 @@ int main(int argc, char** argv) {
   std::string tenant = "loadgen";
   std::string swap_path;
   long swap_grid = 32;
+  long admin_port = -1;
   enum class Mode {
     kLoad,
     kPing,
@@ -142,6 +244,11 @@ int main(int argc, char** argv) {
       mode = Mode::kStats;
     } else if (arg == "--shutdown") {
       mode = Mode::kShutdown;
+    } else if (arg == "--admin-port") {
+      if (!parse_positive(next(), 65535, &admin_port)) {
+        return usage_error("--admin-port expects an integer in [1, 65535]",
+                           argv[i]);
+      }
     } else if (arg.rfind("--", 0) == 0) {
       return usage_error("unknown flag", arg.c_str());
     } else if (!have_port) {
@@ -154,8 +261,68 @@ int main(int argc, char** argv) {
       return usage_error("unexpected positional argument", arg.c_str());
     }
   }
-  if (!have_port) {
+  if (!have_port && admin_port < 0) {
     return usage_error("usage: serve_client <port> [flags]", nullptr);
+  }
+
+  if (admin_port >= 0) {
+    // Admin probe: the endpoint must answer AND the payloads must be
+    // well-formed. A scrape pipeline that swallows garbage is worse than a
+    // down endpoint, hence the dedicated malformed exit code.
+    std::string error;
+    int status = 0;
+    std::string body;
+    if (!http_get(host, static_cast<int>(admin_port), "/healthz", &status,
+                  &body, &error)) {
+      std::fprintf(stderr, "error: /healthz: %s\n", error.c_str());
+      return kExitRuntime;
+    }
+    util::JsonValue health;
+    if (!util::parse_json(body, health, error)) {
+      std::fprintf(stderr, "error: /healthz is not strict JSON: %s\n%s",
+                   error.c_str(), body.c_str());
+      return kExitMalformed;
+    }
+    const util::JsonValue* healthy = health.find("healthy");
+    if (healthy == nullptr || !healthy->is_bool()) {
+      std::fprintf(stderr, "error: /healthz lacks a boolean \"healthy\"\n");
+      return kExitMalformed;
+    }
+    if (status != 200 || !healthy->as_bool()) {
+      std::fprintf(stderr, "error: server unhealthy (HTTP %d): %s",
+                   status, body.c_str());
+      return kExitRuntime;
+    }
+    if (!http_get(host, static_cast<int>(admin_port), "/metrics", &status,
+                  &body, &error)) {
+      std::fprintf(stderr, "error: /metrics: %s\n", error.c_str());
+      return kExitRuntime;
+    }
+    if (status != 200 || body.empty()) {
+      std::fprintf(stderr, "error: /metrics answered HTTP %d\n", status);
+      return kExitMalformed;
+    }
+    long samples = 0;
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+      std::size_t end = body.find('\n', pos);
+      if (end == std::string::npos) {
+        end = body.size();
+      }
+      const std::string line = body.substr(pos, end - pos);
+      pos = end + 1;
+      if (line.empty() || line[0] == '#') {
+        continue;
+      }
+      if (!valid_prometheus_line(line)) {
+        std::fprintf(stderr, "error: malformed /metrics line: %s\n",
+                     line.c_str());
+        return kExitMalformed;
+      }
+      ++samples;
+    }
+    std::printf("admin probe ok: healthy, %ld finite samples\n", samples);
+    return kExitOk;
   }
 
   if (mode != Mode::kLoad) {

@@ -246,11 +246,12 @@ std::string to_prometheus(const MetricsSnapshot& snapshot,
   return out.str();
 }
 
-std::string to_chrome_trace(const TimelineReport& report) {
-  std::ostringstream out;
-  out << "{\"displayTimeUnit\": \"ms\", \"otherData\": {\"dropped_events\": "
-      << report.dropped << "}, \"traceEvents\": [";
-  bool first = true;
+namespace {
+
+// Emits the span-timeline rows shared by both to_chrome_trace overloads.
+// Returns whether the next emitter still writes the first array element.
+bool append_timeline_rows(std::ostringstream& out,
+                          const TimelineReport& report, bool first) {
   // Thread-name metadata rows so the viewer labels each track.
   for (std::size_t t = 0; t < report.thread_count; ++t) {
     out << (first ? "" : ", ")
@@ -265,6 +266,80 @@ std::string to_chrome_trace(const TimelineReport& report) {
         << ", \"dur\": " << format_micros(event.duration_ns)
         << ", \"pid\": 1, \"tid\": " << event.thread_index << "}";
     first = false;
+  }
+  return first;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const TimelineReport& report) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"otherData\": {\"dropped_events\": "
+      << report.dropped << "}, \"traceEvents\": [";
+  append_timeline_rows(out, report, true);
+  out << "]}";
+  return out.str();
+}
+
+std::string to_chrome_trace(const TimelineReport& report,
+                            const std::vector<RequestTrace>& requests) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"otherData\": {\"dropped_events\": "
+      << report.dropped << "}, \"traceEvents\": [";
+  bool first = append_timeline_rows(out, report, true);
+  if (!requests.empty()) {
+    out << (first ? "" : ", ")
+        << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, "
+           "\"args\": {\"name\": \"serve requests\"}}";
+    first = false;
+  }
+  for (const RequestTrace& request : requests) {
+    // Bounded lane count: many concurrent requests share 32 tracks instead
+    // of opening one per request id; the flow arrows keep each request's
+    // phases connected regardless of which lane they render on.
+    const std::uint64_t lane = request.request_id % 32;
+    struct Phase {
+      const char* name;
+      double seconds;
+    };
+    const Phase phases[] = {{"req.decode", request.decode_seconds},
+                            {"req.queue", request.queue_seconds},
+                            {"req.batch", request.batch_seconds},
+                            {"req.infer", request.infer_seconds},
+                            {"req.encode", request.encode_seconds}};
+    std::uint64_t cursor_ns = request.start_ns;
+    for (std::size_t p = 0; p < 5; ++p) {
+      const double seconds =
+          std::isfinite(phases[p].seconds) && phases[p].seconds > 0.0
+              ? phases[p].seconds
+              : 0.0;
+      const auto duration_ns = static_cast<std::uint64_t>(seconds * 1e9);
+      out << (first ? "" : ", ") << "{\"name\": \"" << phases[p].name
+          << "\", \"cat\": \"serve\", \"ph\": \"X\", \"ts\": "
+          << format_micros(cursor_ns)
+          << ", \"dur\": " << format_micros(duration_ns)
+          << ", \"pid\": 2, \"tid\": " << lane;
+      if (p == 0) {
+        out << ", \"args\": {\"request_id\": " << request.request_id
+            << ", \"tenant\": \"" << json_escape(request.tenant)
+            << "\", \"clips\": " << request.clips << ", \"outcome\": \""
+            << request_outcome_name(request.outcome)
+            << "\", \"model_version\": " << request.model_version << "}";
+      }
+      out << "}";
+      first = false;
+      // Flow arrows chain the phases: start on decode, finish on encode.
+      const char* flow_ph = p == 0 ? "s" : (p == 4 ? "f" : "t");
+      out << ", {\"name\": \"req\", \"cat\": \"serve\", \"ph\": \"" << flow_ph
+          << "\", \"id\": " << request.request_id
+          << ", \"ts\": " << format_micros(cursor_ns)
+          << ", \"pid\": 2, \"tid\": " << lane;
+      if (p == 4) {
+        out << ", \"bp\": \"e\"";
+      }
+      out << "}";
+      cursor_ns += duration_ns;
+    }
   }
   out << "]}";
   return out.str();

@@ -23,9 +23,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 
 namespace hotspot::obs {
@@ -40,6 +42,15 @@ std::string to_prometheus(const MetricsSnapshot& snapshot,
                           const SpanReport& spans);
 
 std::string to_chrome_trace(const TimelineReport& report);
+
+// As above, additionally rendering `requests` (flight-recorder traces) as a
+// second process: one "X" slice per latency phase on a per-request track,
+// chained by "s"/"f" flow arrows keyed on the request id, so a request's
+// path through decode -> queue -> batch -> inference -> encode reads as one
+// connected lane next to the span timeline. Traces and timeline must share
+// a timebase (the server records both against the same steady clock).
+std::string to_chrome_trace(const TimelineReport& report,
+                            const std::vector<RequestTrace>& requests);
 
 // Writes to_json() plus a trailing newline to `path`; logs and returns
 // false on any stream failure (open, write, or close). A non-null manifest

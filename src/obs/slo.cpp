@@ -1,0 +1,138 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace hotspot::obs {
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr std::int64_t kNsPerSecond = 1'000'000'000;
+
+}  // namespace
+
+SloMonitor::SloMonitor(const SloConfig& config)
+    : config_(config), epoch_ns_(steady_now_ns()) {
+  HOTSPOT_CHECK_GE(config_.availability_objective, 0.0);
+  HOTSPOT_CHECK_LT(config_.availability_objective, 1.0)
+      << "an objective of 1.0 leaves no error budget to measure against";
+  HOTSPOT_CHECK_GE(config_.p99_objective_seconds, 0.0);
+  config_.window_seconds = std::max<std::size_t>(1, config_.window_seconds);
+  config_.fast_window_seconds =
+      std::min(std::max<std::size_t>(1, config_.fast_window_seconds),
+               config_.window_seconds);
+  buckets_.assign(config_.window_seconds, Bucket{});
+}
+
+void SloMonitor::record(double latency_seconds, bool success) {
+  record_at(steady_now_ns() - epoch_ns_, latency_seconds, success);
+}
+
+void SloMonitor::record_at(std::int64_t now_ns, double latency_seconds,
+                           bool success) {
+  const bool good = success && (config_.p99_objective_seconds <= 0.0 ||
+                                latency_seconds <= config_.p99_objective_seconds);
+  const std::int64_t second = std::max<std::int64_t>(0, now_ns) / kNsPerSecond;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& bucket = buckets_[static_cast<std::size_t>(second) %
+                            config_.window_seconds];
+  if (bucket.second != second) {
+    // The ring lapped: this slot held a second that just aged out.
+    bucket.second = second;
+    bucket.total = 0;
+    bucket.bad = 0;
+  }
+  bucket.total += 1;
+  bucket.bad += good ? 0 : 1;
+}
+
+SloMonitor::Status SloMonitor::status() const {
+  return status_at(steady_now_ns() - epoch_ns_);
+}
+
+SloMonitor::Status SloMonitor::status_at(std::int64_t now_ns) const {
+  const std::int64_t now_second =
+      std::max<std::int64_t>(0, now_ns) / kNsPerSecond;
+  const std::int64_t slow_cutoff =
+      now_second - static_cast<std::int64_t>(config_.window_seconds) + 1;
+  const std::int64_t fast_cutoff =
+      now_second - static_cast<std::int64_t>(config_.fast_window_seconds) + 1;
+  std::uint64_t total = 0;
+  std::uint64_t bad = 0;
+  std::uint64_t fast_total = 0;
+  std::uint64_t fast_bad = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Bucket& bucket : buckets_) {
+      if (bucket.second < slow_cutoff || bucket.second > now_second) {
+        continue;  // aged out (or a stale slot not yet lapped)
+      }
+      total += bucket.total;
+      bad += bucket.bad;
+      if (bucket.second >= fast_cutoff) {
+        fast_total += bucket.total;
+        fast_bad += bucket.bad;
+      }
+    }
+  }
+  Status result;
+  result.window_total = total;
+  result.window_bad = bad;
+  const double allowed = 1.0 - config_.availability_objective;
+  if (total > 0) {
+    const double bad_fraction =
+        static_cast<double>(bad) / static_cast<double>(total);
+    result.availability = 1.0 - bad_fraction;
+    if (allowed > 0.0) {
+      result.slow_burn_rate = bad_fraction / allowed;
+      result.error_budget_remaining =
+          std::clamp(1.0 - result.slow_burn_rate, 0.0, 1.0);
+    } else {
+      result.slow_burn_rate = bad > 0 ? 1e9 : 0.0;
+      result.error_budget_remaining = bad > 0 ? 0.0 : 1.0;
+    }
+  }
+  if (fast_total > 0 && allowed > 0.0) {
+    result.fast_burn_rate = (static_cast<double>(fast_bad) /
+                             static_cast<double>(fast_total)) /
+                            allowed;
+  } else if (fast_total > 0 && fast_bad > 0) {
+    result.fast_burn_rate = 1e9;
+  }
+  return result;
+}
+
+void SloMonitor::publish() { publish_at(steady_now_ns() - epoch_ns_); }
+
+void SloMonitor::publish_at(std::int64_t now_ns) {
+  const Status status = status_at(now_ns);
+  // Resolved once; publish is a handful of relaxed stores afterwards.
+  static Gauge& budget =
+      MetricsRegistry::global().gauge("serve.slo.error_budget_remaining");
+  static Gauge& availability =
+      MetricsRegistry::global().gauge("serve.slo.availability");
+  static Gauge& fast_burn =
+      MetricsRegistry::global().gauge("serve.slo.burn_rate_fast");
+  static Gauge& slow_burn =
+      MetricsRegistry::global().gauge("serve.slo.burn_rate_slow");
+  static Gauge& window_total =
+      MetricsRegistry::global().gauge("serve.slo.window_total");
+  static Gauge& window_bad =
+      MetricsRegistry::global().gauge("serve.slo.window_bad");
+  budget.set(status.error_budget_remaining);
+  availability.set(status.availability);
+  fast_burn.set(status.fast_burn_rate);
+  slow_burn.set(status.slow_burn_rate);
+  window_total.set(static_cast<double>(status.window_total));
+  window_bad.set(static_cast<double>(status.window_bad));
+}
+
+}  // namespace hotspot::obs

@@ -1,0 +1,91 @@
+// Rolling-window SLO monitor for the serve path (DESIGN.md §16).
+//
+// Two objectives, both optional:
+//   * availability: at most (1 - availability_objective) of requests in the
+//     window may be bad (shed, typed-rejected, or errored);
+//   * latency: a request slower than p99_objective_seconds is bad even when
+//     it succeeded (0 disables the latency criterion).
+//
+// The window is a ring of 1-second buckets — O(window) memory, O(1)
+// record(), no per-request allocation — the same structure SRE burn-rate
+// alerting assumes. status() reports:
+//   * error_budget_remaining in [0, 1]: the fraction of the window's
+//     allowed bad requests not yet spent (1 = untouched budget, 0 =
+//     exhausted). With no traffic the budget reads full.
+//   * burn rate = bad_fraction / allowed_fraction over a window: 1.0 burns
+//     the budget exactly as fast as the objective allows; 14.4 is the
+//     classic "page now" threshold. The fast rate uses the most recent
+//     min(fast_window, window) seconds, the slow rate the full window, so a
+//     fresh spike shows in the fast rate long before the slow one moves.
+//
+// Time is injectable (record_at / status_at / publish_at take steady-clock
+// nanoseconds relative to construction) so tests drive the window
+// deterministically; the wall-clock variants are one steady_clock read.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace hotspot::obs {
+
+struct SloConfig {
+  // Target fraction of good requests, in [0, 1). 0.999 allows one bad
+  // request per thousand before the budget is spent.
+  double availability_objective = 0.999;
+  // A successful request slower than this still counts bad. 0 disables.
+  double p99_objective_seconds = 0.0;
+  // Rolling window (and slow burn-rate horizon), seconds.
+  std::size_t window_seconds = 300;
+  // Fast burn-rate horizon; clamped to the window.
+  std::size_t fast_window_seconds = 60;
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(const SloConfig& config);
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  const SloConfig& config() const { return config_; }
+
+  // Records one finished request (success = the client got labels back).
+  void record(double latency_seconds, bool success);
+  // Deterministic variant: `now_ns` is steady-clock time relative to
+  // construction (monotone non-decreasing across calls).
+  void record_at(std::int64_t now_ns, double latency_seconds, bool success);
+
+  struct Status {
+    std::uint64_t window_total = 0;
+    std::uint64_t window_bad = 0;
+    double availability = 1.0;             // good / total; 1 when idle
+    double error_budget_remaining = 1.0;   // clamped to [0, 1]
+    double fast_burn_rate = 0.0;
+    double slow_burn_rate = 0.0;
+  };
+
+  Status status() const;
+  Status status_at(std::int64_t now_ns) const;
+
+  // Publishes serve.slo.* gauges into the global metrics registry so every
+  // scrape and stats snapshot carries the current budget.
+  void publish();
+  void publish_at(std::int64_t now_ns);
+
+ private:
+  struct Bucket {
+    std::int64_t second = -1;  // absolute second index; -1 = never used
+    std::uint64_t total = 0;
+    std::uint64_t bad = 0;
+  };
+
+  std::uint64_t now_ns_since_epoch() const;
+
+  SloConfig config_;
+  std::int64_t epoch_ns_;
+  mutable std::mutex mutex_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace hotspot::obs

@@ -7,6 +7,8 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace hotspot::obs {
 namespace {
 
@@ -184,6 +186,36 @@ void reset_timeline() {
     buffer->ring_capacity = 0;
     buffer->ring_total = 0;
   }
+}
+
+TimelineStats timeline_stats() {
+  TimelineStats stats;
+  BufferDirectory& dir = directory();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(dir.mutex);
+    buffers = dir.buffers;
+  }
+  stats.threads = buffers.size();
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    stats.buffered += buffer->ring.size();
+    stats.dropped += buffer->ring_total - buffer->ring.size();
+  }
+  return stats;
+}
+
+void publish_timeline_metrics() {
+  const TimelineStats stats = timeline_stats();
+  static Gauge& events_gauge =
+      MetricsRegistry::global().gauge("obs.timeline.events");
+  static Gauge& dropped_gauge =
+      MetricsRegistry::global().gauge("obs.timeline.dropped");
+  static Gauge& threads_gauge =
+      MetricsRegistry::global().gauge("obs.timeline.threads");
+  events_gauge.set(static_cast<double>(stats.buffered));
+  dropped_gauge.set(static_cast<double>(stats.dropped));
+  threads_gauge.set(static_cast<double>(stats.threads));
 }
 
 const SpanStat* SpanReport::find(const std::string& name) const {

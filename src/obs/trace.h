@@ -79,6 +79,22 @@ TimelineReport collect_timeline();
 // the current timeline_capacity() on the next recorded event.
 void reset_timeline();
 
+// Ring occupancy without copying events: how many events are currently
+// buffered across all threads, how many were overwritten, and how many
+// thread rings exist. O(threads), not O(events).
+struct TimelineStats {
+  std::uint64_t buffered = 0;  // events a collect_timeline() would return
+  std::uint64_t dropped = 0;   // events overwritten across all rings
+  std::size_t threads = 0;     // thread buffers ever created
+};
+
+TimelineStats timeline_stats();
+
+// Publishes timeline_stats() as obs.timeline.events / obs.timeline.dropped /
+// obs.timeline.threads gauges in the global metrics registry, so trace
+// truncation is visible in every scrape — not just in the export footer.
+void publish_timeline_metrics();
+
 struct SpanStat {
   std::uint64_t count = 0;
   double total_seconds = 0.0;  // inclusive of nested spans

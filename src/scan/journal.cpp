@@ -4,10 +4,12 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/atomic_file.h"
 #include "util/check.h"
 #include "util/crc32.h"
 #include "util/fault_injection.h"
+#include "util/stopwatch.h"
 
 namespace hotspot::scan {
 namespace {
@@ -547,6 +549,10 @@ JournalResult ScanJournal::append_batch(
       << "window span does not match the entry map";
   HOTSPOT_CHECK_EQ(verdicts.size(), pixels.size())
       << "each new entry needs a verdict and its raster";
+  // Append cost (including fsync) and byte volume feed the durability
+  // overhead story in metrics exports; only successful appends count, a
+  // failed append closes the journal anyway.
+  util::Stopwatch append_timer;
 
   std::vector<std::uint8_t> payload;
   append_value(payload, kRecordBatch);
@@ -592,6 +598,13 @@ JournalResult ScanJournal::append_batch(
     return JournalResult::failure(JournalStatus::kWriteFailed,
                                   path_ + ": journal flush/fsync failed");
   }
+  static obs::Histogram& append_seconds =
+      obs::MetricsRegistry::global().histogram("scan.journal.append_seconds",
+                                               obs::default_latency_buckets());
+  static obs::Counter& bytes_written = obs::MetricsRegistry::global().counter(
+      "scan.journal.bytes_written");
+  append_seconds.observe(append_timer.seconds());
+  bytes_written.increment(frame.size());
   return JournalResult::success();
 }
 

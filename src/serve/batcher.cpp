@@ -22,7 +22,8 @@ MicroBatcher::MicroBatcher(const BatcherConfig& config, BatchFn classify)
 MicroBatcher::~MicroBatcher() { stop(); }
 
 AdmitStatus MicroBatcher::submit(tensor::Tensor images,
-                                 std::future<std::vector<int>>* result) {
+                                 std::future<std::vector<int>>* result,
+                                 std::shared_ptr<obs::RequestTrace> trace) {
   HOTSPOT_CHECK_EQ(images.rank(), 4) << "submit expects [n, 1, ls, ls]";
   const std::int64_t count = images.dim(0);
   HOTSPOT_CHECK_GT(count, 0) << "empty request";
@@ -35,6 +36,10 @@ AdmitStatus MicroBatcher::submit(tensor::Tensor images,
   auto job = std::make_unique<Job>();
   job->images = std::move(images);
   job->count = count;
+  job->trace = std::move(trace);
+  if (job->trace != nullptr) {
+    job->submitted = std::chrono::steady_clock::now();
+  }
   std::future<std::vector<int>> future = job->promise.get_future();
   if (!queue_.try_push(std::move(job), static_cast<std::size_t>(count))) {
     if (queue_.closed()) {
@@ -63,6 +68,9 @@ void MicroBatcher::worker_loop() {
     if (!first.has_value()) {
       return;  // closed and drained
     }
+    if ((*first)->trace != nullptr) {
+      (*first)->popped = std::chrono::steady_clock::now();
+    }
     std::vector<std::unique_ptr<Job>> jobs;
     std::size_t batch_clips = static_cast<std::size_t>((*first)->count);
     jobs.push_back(std::move(*first));
@@ -75,6 +83,9 @@ void MicroBatcher::worker_loop() {
       std::optional<std::unique_ptr<Job>> next = queue_.pop_until(deadline);
       if (!next.has_value()) {
         break;  // deadline hit, or closed and drained
+      }
+      if ((*next)->trace != nullptr) {
+        (*next)->popped = std::chrono::steady_clock::now();
       }
       const std::size_t count = static_cast<std::size_t>((*next)->count);
       if (batch_clips + count > config_.max_batch_clips) {
@@ -111,9 +122,16 @@ void MicroBatcher::run_batch(std::vector<std::unique_ptr<Job>> jobs) {
               fused.data() + offset);
     offset += numel;
   }
-  std::vector<int> labels;
+  // Ship time: batch formation ends here, inference begins. Only traced
+  // jobs pay the clock reads.
+  const bool any_trace = std::any_of(
+      jobs.begin(), jobs.end(),
+      [](const std::unique_ptr<Job>& job) { return job->trace != nullptr; });
+  const auto shipped = any_trace ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
+  BatchResult result;
   try {
-    labels = classify_(fused);
+    result = classify_(fused);
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
     for (std::unique_ptr<Job>& job : jobs) {
@@ -121,6 +139,12 @@ void MicroBatcher::run_batch(std::vector<std::unique_ptr<Job>> jobs) {
     }
     return;
   }
+  const double infer_seconds =
+      any_trace ? std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - shipped)
+                      .count()
+                : 0.0;
+  std::vector<int>& labels = result.labels;
   HOTSPOT_CHECK_EQ(static_cast<std::int64_t>(labels.size()), total)
       << "classifier returned wrong label count";
   static obs::Counter& batch_counter =
@@ -142,6 +166,28 @@ void MicroBatcher::run_batch(std::vector<std::unique_ptr<Job>> jobs) {
             static_cast<std::ptrdiff_t>(label_offset +
                                         static_cast<std::size_t>(job->count)));
     label_offset += static_cast<std::size_t>(job->count);
+    if (job->trace != nullptr) {
+      // Written before set_value: the promise/future hand-off publishes
+      // these fields to the submitting thread (release/acquire).
+      job->trace->queue_seconds =
+          std::chrono::duration<double>(job->popped - job->submitted).count();
+      job->trace->batch_seconds =
+          std::chrono::duration<double>(shipped - job->popped).count();
+      job->trace->infer_seconds = infer_seconds;
+      job->trace->model_version = result.model_version;
+      static obs::Histogram& queue_seconds =
+          obs::MetricsRegistry::global().histogram(
+              "serve.request.queue_seconds", obs::default_latency_buckets());
+      static obs::Histogram& batch_seconds =
+          obs::MetricsRegistry::global().histogram(
+              "serve.request.batch_seconds", obs::default_latency_buckets());
+      static obs::Histogram& infer_histogram =
+          obs::MetricsRegistry::global().histogram(
+              "serve.request.infer_seconds", obs::default_latency_buckets());
+      queue_seconds.observe(job->trace->queue_seconds);
+      batch_seconds.observe(job->trace->batch_seconds);
+      infer_histogram.observe(infer_seconds);
+    }
     job->promise.set_value(std::move(slice));
   }
 }

@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/request_trace.h"
 #include "tensor/tensor.h"
 #include "util/bounded_queue.h"
 
@@ -58,8 +59,24 @@ enum class AdmitStatus {
   kStopped,   // batcher is shutting down
 };
 
+// What one fused classifier call produced: per-clip labels plus the model
+// version the batch resolved (0 when the classifier does not version, e.g.
+// test lambdas). Implicitly constructible from a bare label vector so
+// existing BatchFn lambdas returning std::vector<int> keep compiling.
+struct BatchResult {
+  std::vector<int> labels;
+  std::uint64_t model_version = 0;
+
+  BatchResult() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit lift.
+  BatchResult(std::vector<int> batch_labels)
+      : labels(std::move(batch_labels)) {}
+  BatchResult(std::vector<int> batch_labels, std::uint64_t version)
+      : labels(std::move(batch_labels)), model_version(version) {}
+};
+
 // Classifies a fused [n, 1, grid, grid] batch; returns one label per clip.
-using BatchFn = std::function<std::vector<int>(const tensor::Tensor&)>;
+using BatchFn = std::function<BatchResult(const tensor::Tensor&)>;
 
 class MicroBatcher {
  public:
@@ -73,7 +90,16 @@ class MicroBatcher {
   // Admits a [count, 1, grid, grid] request. On kOk, `result` receives a
   // future that resolves to the request's labels (or to the classifier's
   // exception). Any other status leaves `result` untouched. Never blocks.
-  AdmitStatus submit(tensor::Tensor images, std::future<std::vector<int>>* result);
+  //
+  // A non-null `trace` is filled in before the promise resolves:
+  // queue_seconds (submit -> worker pop), batch_seconds (pop -> batch
+  // ship), infer_seconds (the fused classifier call), and model_version —
+  // and the serve.request.{queue,batch,infer}_seconds histograms observe
+  // the same values. The promise/future pair orders the writes, so the
+  // caller reads the trace safely after get() returns.
+  AdmitStatus submit(tensor::Tensor images,
+                     std::future<std::vector<int>>* result,
+                     std::shared_ptr<obs::RequestTrace> trace = nullptr);
 
   // Stops admitting, drains queued requests through the classifier, joins
   // the worker. Idempotent.
@@ -83,11 +109,18 @@ class MicroBatcher {
   std::uint64_t batches() const { return batches_.load(); }
   std::uint64_t clips() const { return clips_.load(); }
 
+  // Live admission-queue depth in clips and its capacity (for /healthz).
+  std::size_t queued_clips() const { return queue_.weight(); }
+  std::size_t queue_capacity_clips() const { return config_.max_queue_clips; }
+
  private:
   struct Job {
     tensor::Tensor images;
     std::int64_t count = 0;
     std::promise<std::vector<int>> promise;
+    std::shared_ptr<obs::RequestTrace> trace;
+    std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point popped;
   };
 
   void worker_loop();

@@ -96,6 +96,8 @@ bool ServeClient::read_one(Frame* frame, std::string* error) {
     *error = std::string("response frame: ") + frame_status_name(status);
     return false;
   }
+  last_trace_id_ = frame->trace_id;
+  last_frame_version_ = frame->version;
   return true;
 }
 

@@ -70,12 +70,21 @@ class ServeClient {
   bool send_raw(const std::vector<std::uint8_t>& bytes, Frame* response,
                 std::string* error);
 
+  // Trace id and protocol version carried by the last response frame
+  // (0 until the first round-trip; trace id stays 0 from a v1 server).
+  // The id is what /tracez and the flight dump key on, so a load generator
+  // can log it next to its own request ids.
+  std::uint64_t last_trace_id() const { return last_trace_id_; }
+  std::uint16_t last_frame_version() const { return last_frame_version_; }
+
  private:
   bool send_bytes(const std::vector<std::uint8_t>& bytes, std::string* error);
   bool read_one(Frame* frame, std::string* error);
 
   int fd_ = -1;
   std::uint32_t next_request_id_ = 1;
+  std::uint64_t last_trace_id_ = 0;
+  std::uint16_t last_frame_version_ = 0;
 };
 
 }  // namespace hotspot::serve

@@ -68,18 +68,30 @@ nn::LoadResult ModelRegistry::load(const std::string& path,
     static obs::Counter& failed_counter =
         obs::MetricsRegistry::global().counter("serve.swap_failures");
     failed_counter.increment();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last_swap_ok_ = false;
+      last_swap_error_ = candidate->load_result().message;
+      ++swap_failures_;
+    }
     return candidate->load_result();
   }
   std::string state_error;
   if (!write_state(*candidate, &state_error)) {
     // A model we cannot record would silently vanish on restart; refuse the
     // swap so the operator sees the problem while the old model serves on.
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_swap_ok_ = false;
+    last_swap_error_ = state_error;
+    ++swap_failures_;
     return nn::IoResult::failure(nn::IoStatus::kWriteFailed, state_error);
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     active_ = std::move(candidate);
     next_version_ = version + 1;
+    last_swap_ok_ = true;
+    last_swap_error_.clear();
   }
   static obs::Counter& swap_counter =
       obs::MetricsRegistry::global().counter("serve.swaps");
@@ -132,6 +144,21 @@ std::shared_ptr<ServableModel> ModelRegistry::active() const {
 std::uint64_t ModelRegistry::version() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return active_ != nullptr ? active_->version() : 0;
+}
+
+ModelRegistry::SwapStatus ModelRegistry::swap_status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SwapStatus status;
+  status.model_registered = active_ != nullptr;
+  if (active_ != nullptr) {
+    status.active_version = active_->version();
+    status.active_path = active_->path();
+    status.image_size = active_->image_size();
+  }
+  status.last_ok = last_swap_ok_;
+  status.last_error = last_swap_error_;
+  status.failures = swap_failures_;
+  return status;
 }
 
 bool ModelRegistry::write_state(const ServableModel& model,

@@ -85,6 +85,20 @@ class ModelRegistry {
   // version after a restart.
   std::uint64_t version() const;
 
+  // Health surface for the admin endpoint: the last load/swap attempt and
+  // what is serving now. `last_ok` is true before any attempt (an idle
+  // registry is not unhealthy, only empty).
+  struct SwapStatus {
+    bool model_registered = false;
+    std::uint64_t active_version = 0;
+    std::string active_path;
+    std::int64_t image_size = 0;
+    bool last_ok = true;
+    std::string last_error;  // load_result message of the last failure
+    std::uint64_t failures = 0;
+  };
+  SwapStatus swap_status() const;
+
   const std::string& state_path() const { return state_path_; }
 
  private:
@@ -94,6 +108,9 @@ class ModelRegistry {
   mutable std::mutex mutex_;
   std::shared_ptr<ServableModel> active_;
   std::uint64_t next_version_ = 1;
+  bool last_swap_ok_ = true;
+  std::string last_swap_error_;
+  std::uint64_t swap_failures_ = 0;
 };
 
 }  // namespace hotspot::serve

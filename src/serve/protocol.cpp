@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "util/check.h"
 #include "util/crc32.h"
 
 namespace hotspot::serve {
@@ -175,16 +176,30 @@ const char* frame_status_name(FrameStatus status) {
 
 std::vector<std::uint8_t> encode_frame(MessageType type,
                                        const std::vector<std::uint8_t>& payload,
-                                       std::uint8_t flags) {
+                                       std::uint8_t flags,
+                                       std::uint64_t trace_id,
+                                       std::uint16_t version) {
+  HOTSPOT_CHECK_GE(version, kMinProtocolVersion);
+  HOTSPOT_CHECK_LE(version, kProtocolVersion);
   std::vector<std::uint8_t> frame;
-  frame.reserve(12 + payload.size() + 4);
+  frame.reserve(12 + 8 + payload.size() + 4);
   append_u32(frame, kFrameMagic);
-  append_u16(frame, kProtocolVersion);
+  append_u16(frame, version);
   frame.push_back(static_cast<std::uint8_t>(type));
   frame.push_back(flags);
   append_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  util::Crc32 crc;
+  if (version >= 2) {
+    // v2 CRC covers trace_id || payload: every byte after the fixed header
+    // stays under the checksum, so a bit flip anywhere past offset 12 is
+    // detected exactly as in v1.
+    const std::size_t trace_offset = frame.size();
+    append_u64(frame, trace_id);
+    crc.update(frame.data() + trace_offset, 8);
+  }
   frame.insert(frame.end(), payload.begin(), payload.end());
-  append_u32(frame, util::crc32_of(payload.data(), payload.size()));
+  crc.update(payload.data(), payload.size());
+  append_u32(frame, crc.value());
   return frame;
 }
 
@@ -199,14 +214,29 @@ FrameStatus read_frame(const ReadFn& read, Frame* out) {
   }
   const std::uint16_t version =
       static_cast<std::uint16_t>(header[4] | (header[5] << 8));
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return FrameStatus::kBadVersion;
   }
+  out->version = version;
   out->type = static_cast<MessageType>(header[6]);
   out->flags = header[7];
   const std::uint32_t payload_size = read_u32_at(header + 8);
   if (payload_size > kMaxPayloadBytes) {
     return FrameStatus::kTooLarge;
+  }
+  util::Crc32 crc;
+  out->trace_id = 0;
+  if (version >= 2) {
+    std::uint8_t trace_bytes[8];
+    if (!read_exact(read, trace_bytes, sizeof(trace_bytes), nullptr)) {
+      return FrameStatus::kTruncated;
+    }
+    std::uint64_t trace_id = 0;
+    for (int i = 0; i < 8; ++i) {
+      trace_id |= static_cast<std::uint64_t>(trace_bytes[i]) << (8 * i);
+    }
+    out->trace_id = trace_id;
+    crc.update(trace_bytes, sizeof(trace_bytes));
   }
   out->payload.resize(payload_size);
   if (payload_size > 0 &&
@@ -217,9 +247,8 @@ FrameStatus read_frame(const ReadFn& read, Frame* out) {
   if (!read_exact(read, footer, sizeof(footer), nullptr)) {
     return FrameStatus::kTruncated;
   }
-  const std::uint32_t expected =
-      util::crc32_of(out->payload.data(), out->payload.size());
-  if (read_u32_at(footer) != expected) {
+  crc.update(out->payload.data(), out->payload.size());
+  if (read_u32_at(footer) != crc.value()) {
     return FrameStatus::kCorrupt;
   }
   return FrameStatus::kOk;

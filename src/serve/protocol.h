@@ -5,7 +5,17 @@
 // for a request:
 //
 //   u32 magic "HSRV" | u16 version | u8 type | u8 flags
-//   u32 payload_size | payload[payload_size] | u32 crc32(payload)
+//   u32 payload_size | [u64 trace_id]            (version >= 2)
+//   payload[payload_size] | u32 crc32
+//
+// Version 2 (the current version) appends a u64 trace_id to the fixed
+// header: the server allocates one per inbound frame and echoes it on the
+// response, so a request is correlatable across client logs, the flight
+// recorder, and /tracez without touching any payload codec. The v2 CRC
+// covers trace_id || payload (every post-header byte stays under the
+// checksum); v1 frames keep the payload-only CRC and are still accepted —
+// read_frame() speaks [kMinProtocolVersion, kProtocolVersion] and the
+// server answers in whichever version the client spoke.
 //
 // All integers are little-endian host order (the server and its clients
 // share a machine or an architecture; this repo never ships frames across
@@ -30,7 +40,9 @@
 namespace hotspot::serve {
 
 inline constexpr std::uint32_t kFrameMagic = 0x56525348;  // "HSRV" LE
-inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::uint16_t kProtocolVersion = 2;
+// Oldest version still decoded; v1 peers predate the trace_id header.
+inline constexpr std::uint16_t kMinProtocolVersion = 1;
 // Caps a frame's payload (16 MiB) so a corrupt or hostile length field can
 // never drive an attacker-controlled allocation.
 inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 24;
@@ -83,6 +95,11 @@ const char* frame_status_name(FrameStatus status);
 struct Frame {
   MessageType type = MessageType::kPing;
   std::uint8_t flags = 0;
+  // Version the frame arrived in; responders mirror it so v1 clients are
+  // never sent a header they cannot parse.
+  std::uint16_t version = kProtocolVersion;
+  // Request correlation id (v2+); 0 on v1 frames and unassigned requests.
+  std::uint64_t trace_id = 0;
   std::vector<std::uint8_t> payload;
 };
 
@@ -91,10 +108,15 @@ struct Frame {
 using ReadFn =
     std::function<std::size_t(std::uint8_t* out, std::size_t size)>;
 
-// Serializes one frame (header + payload + CRC footer).
+// Serializes one frame (header + payload + CRC footer). `version` must be
+// in [kMinProtocolVersion, kProtocolVersion]; a v1 frame silently drops
+// `trace_id` (v1 has nowhere to carry it).
 std::vector<std::uint8_t> encode_frame(MessageType type,
                                        const std::vector<std::uint8_t>& payload,
-                                       std::uint8_t flags = 0);
+                                       std::uint8_t flags = 0,
+                                       std::uint64_t trace_id = 0,
+                                       std::uint16_t version =
+                                           kProtocolVersion);
 
 // Reads and validates one frame. On kOk fills `out`; on any other status
 // `out` is unspecified. A clean EOF before the first header byte is kEof;

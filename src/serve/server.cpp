@@ -74,7 +74,10 @@ ReadFn socket_reader(int fd) {
 }  // namespace
 
 Server::Server(const ServerConfig& config, ModelRegistry* registry)
-    : config_(config), registry_(registry) {
+    : config_(config),
+      registry_(registry),
+      flight_recorder_(config.flight_recorder_capacity),
+      slo_monitor_(config.slo) {
   HOTSPOT_CHECK(registry_ != nullptr);
   HOTSPOT_CHECK_LE(config_.max_clips_per_request,
                    config_.batcher.max_batch_clips)
@@ -120,7 +123,7 @@ bool Server::start(std::string* error) {
         std::shared_ptr<ServableModel> model = registry_->active();
         HOTSPOT_CHECK(model != nullptr)
             << "batch scheduled with no active model";
-        return model->predict(images);
+        return BatchResult(model->predict(images), model->version());
       });
   running_.store(true, std::memory_order_release);
   stopping_.store(false, std::memory_order_release);
@@ -240,35 +243,58 @@ void Server::serve_connection(int fd) {
       ::shutdown(fd, SHUT_RDWR);
       return;
     }
+    // Request id, allocated at frame decode: echoed on every response
+    // header (v2 peers) and carried through the batcher into the flight
+    // recorder, so one id correlates client logs, /tracez, and metrics. A
+    // v2 client that supplied its own nonzero trace_id keeps it.
+    const std::uint64_t trace_id =
+        frame.trace_id != 0
+            ? frame.trace_id
+            : next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint16_t peer_version = frame.version;
     if (stopping_.load(std::memory_order_acquire)) {
-      send_reject(fd, 0, RejectReason::kShuttingDown, "server stopping");
+      send_reject(fd, 0, RejectReason::kShuttingDown, "server stopping",
+                  peer_version, trace_id);
       return;
     }
     switch (frame.type) {
       case MessageType::kPing: {
         std::uint32_t token = 0;
         if (!decode_token(frame.payload, &token)) {
-          if (!send_reject(fd, 0, RejectReason::kBadRequest, "bad ping")) {
+          if (!send_reject(fd, 0, RejectReason::kBadRequest, "bad ping",
+                           peer_version, trace_id)) {
             return;
           }
           break;
         }
-        if (!send_frame(fd, MessageType::kPong, encode_token(token))) {
+        if (!send_frame(fd, MessageType::kPong, encode_token(token),
+                        peer_version, trace_id)) {
           return;
         }
         break;
       }
       case MessageType::kPredictRequest: {
+        util::Stopwatch frame_timer;  // total latency starts at decode
+        auto trace = std::make_shared<obs::RequestTrace>();
+        trace->request_id = trace_id;
+        trace->start_ns = flight_recorder_.relative_now_ns();
         PredictRequest request;
         if (!decode_predict_request(frame.payload, &request)) {
           ServeCounters::get().rejects.increment();
+          trace->decode_seconds = frame_timer.seconds();
+          finish_request(trace, obs::RequestOutcome::kRejected,
+                         frame_timer.seconds());
           if (!send_reject(fd, 0, RejectReason::kBadRequest,
-                           "malformed predict payload")) {
+                           "malformed predict payload", peer_version,
+                           trace_id)) {
             return;
           }
           break;
         }
-        if (!handle_predict(fd, request)) {
+        trace->client_request_id = request.request_id;
+        trace->tenant = request.tenant;
+        trace->clips = request.count;
+        if (!handle_predict(fd, request, trace, peer_version)) {
           return;
         }
         break;
@@ -276,7 +302,8 @@ void Server::serve_connection(int fd) {
       case MessageType::kSwapModel: {
         SwapModel swap;
         if (!decode_swap_model(frame.payload, &swap)) {
-          if (!send_reject(fd, 0, RejectReason::kBadRequest, "bad swap")) {
+          if (!send_reject(fd, 0, RejectReason::kBadRequest, "bad swap",
+                           peer_version, trace_id)) {
             return;
           }
           break;
@@ -285,7 +312,7 @@ void Server::serve_connection(int fd) {
             registry_->load(swap.path, swap.image_size);
         if (!result.ok()) {
           if (!send_reject(fd, swap.request_id, RejectReason::kSwapFailed,
-                           result.message)) {
+                           result.message, peer_version, trace_id)) {
             return;
           }
           break;
@@ -293,23 +320,29 @@ void Server::serve_connection(int fd) {
         SwapOk ok;
         ok.request_id = swap.request_id;
         ok.version = registry_->version();
-        if (!send_frame(fd, MessageType::kSwapOk, encode_swap_ok(ok))) {
+        if (!send_frame(fd, MessageType::kSwapOk, encode_swap_ok(ok),
+                        peer_version, trace_id)) {
           return;
         }
         break;
       }
       case MessageType::kStatsRequest: {
+        // Refresh the derived gauges so a stats snapshot carries the same
+        // live SLO/timeline state a /metrics scrape would.
+        slo_monitor_.publish();
+        obs::publish_timeline_metrics();
         const std::string json = obs::to_json(
             obs::MetricsRegistry::global().snapshot(),
             obs::collect_span_report());
         std::vector<std::uint8_t> payload(json.begin(), json.end());
-        if (!send_frame(fd, MessageType::kStatsResponse, payload)) {
+        if (!send_frame(fd, MessageType::kStatsResponse, payload,
+                        peer_version, trace_id)) {
           return;
         }
         break;
       }
       case MessageType::kShutdown: {
-        send_frame(fd, MessageType::kShutdownOk, {});
+        send_frame(fd, MessageType::kShutdownOk, {}, peer_version, trace_id);
         // Flip stopping_ and wake wait(); the full stop() teardown (which
         // joins this very thread) must run outside it.
         signal_stopping();
@@ -317,7 +350,7 @@ void Server::serve_connection(int fd) {
       }
       default: {
         if (!send_reject(fd, 0, RejectReason::kBadRequest,
-                         "unexpected message type")) {
+                         "unexpected message type", peer_version, trace_id)) {
           return;
         }
         break;
@@ -326,30 +359,40 @@ void Server::serve_connection(int fd) {
   }
 }
 
-bool Server::handle_predict(int fd, const PredictRequest& request) {
+bool Server::handle_predict(int fd, const PredictRequest& request,
+                            const std::shared_ptr<obs::RequestTrace>& trace,
+                            std::uint16_t peer_version) {
   ServeCounters& counters = ServeCounters::get();
   util::Stopwatch timer;
+  const std::uint64_t trace_id = trace->request_id;
+  // Every early exit closes the trace with the outcome it died on, so shed
+  // and rejected traffic shows in /tracez and burns SLO budget too.
+  const auto reject = [&](RejectReason reason, const std::string& detail,
+                          obs::RequestOutcome outcome) {
+    counters.rejects.increment();
+    trace->total_seconds = timer.seconds();
+    finish_request(trace, outcome, trace->total_seconds);
+    return send_reject(fd, request.request_id, reason, detail, peer_version,
+                       trace_id);
+  };
   if (request.count == 0 ||
       static_cast<std::size_t>(request.count) > config_.max_clips_per_request) {
-    counters.rejects.increment();
-    return send_reject(fd, request.request_id, RejectReason::kTooLarge,
-                       "clip count outside [1, " +
-                           std::to_string(config_.max_clips_per_request) +
-                           "]");
+    return reject(RejectReason::kTooLarge,
+                  "clip count outside [1, " +
+                      std::to_string(config_.max_clips_per_request) + "]",
+                  obs::RequestOutcome::kRejected);
   }
   std::shared_ptr<ServableModel> model = registry_->active();
   if (model == nullptr) {
-    counters.rejects.increment();
-    return send_reject(fd, request.request_id,
-                       RejectReason::kModelUnavailable,
-                       "no model registered");
+    return reject(RejectReason::kModelUnavailable, "no model registered",
+                  obs::RequestOutcome::kRejected);
   }
   if (request.grid != model->image_size()) {
-    counters.rejects.increment();
-    return send_reject(fd, request.request_id, RejectReason::kBadRequest,
-                       "grid " + std::to_string(request.grid) +
-                           " does not match model image size " +
-                           std::to_string(model->image_size()));
+    return reject(RejectReason::kBadRequest,
+                  "grid " + std::to_string(request.grid) +
+                      " does not match model image size " +
+                      std::to_string(model->image_size()),
+                  obs::RequestOutcome::kRejected);
   }
   const std::int64_t count = request.count;
   const std::int64_t grid = request.grid;
@@ -358,36 +401,45 @@ bool Server::handle_predict(int fd, const PredictRequest& request) {
                      request.grid);
   tensor::Tensor images(tensor::Shape{count, 1, grid, grid},
                         std::move(pixels));
+  // Decode ends once the wire payload is a batch tensor.
+  trace->decode_seconds = timer.seconds();
   std::future<std::vector<int>> pending;
-  const AdmitStatus admitted = batcher_->submit(std::move(images), &pending);
+  const AdmitStatus admitted =
+      batcher_->submit(std::move(images), &pending, trace);
   if (admitted == AdmitStatus::kShed) {
     // serve.shed is incremented by the batcher itself.
-    counters.rejects.increment();
-    return send_reject(fd, request.request_id, RejectReason::kQueueFull,
-                       "admission queue full");
+    return reject(RejectReason::kQueueFull, "admission queue full",
+                  obs::RequestOutcome::kShed);
   }
   if (admitted != AdmitStatus::kOk) {
-    counters.rejects.increment();
-    return send_reject(fd, request.request_id, RejectReason::kShuttingDown,
-                       "batcher stopped");
+    return reject(RejectReason::kShuttingDown, "batcher stopped",
+                  obs::RequestOutcome::kRejected);
   }
   std::vector<int> labels;
   try {
     labels = pending.get();
   } catch (const std::exception& e) {
-    counters.rejects.increment();
-    return send_reject(fd, request.request_id, RejectReason::kBadRequest,
-                       std::string("classification failed: ") + e.what());
+    return reject(RejectReason::kBadRequest,
+                  std::string("classification failed: ") + e.what(),
+                  obs::RequestOutcome::kError);
   }
+  util::Stopwatch encode_timer;
   PredictResponse response;
   response.request_id = request.request_id;
   response.labels.reserve(labels.size());
+  std::uint32_t hotspots = 0;
   for (const int label : labels) {
-    response.labels.push_back(static_cast<std::uint8_t>(label != 0 ? 1 : 0));
+    const std::uint8_t bit = label != 0 ? 1 : 0;
+    hotspots += bit;
+    response.labels.push_back(bit);
   }
+  const std::vector<std::uint8_t> payload = encode_predict_response(response);
+  trace->encode_seconds = encode_timer.seconds();
+  trace->hotspots = hotspots;
+  trace->total_seconds = timer.seconds();
   counters.requests.increment();
   counters.clips.increment(static_cast<std::uint64_t>(count));
-  counters.request_seconds.observe(timer.seconds());
+  counters.request_seconds.observe(trace->total_seconds);
   // Per-tenant accounting. Tenant names are validated to [A-Za-z0-9_.-] so
   // they are safe inside metric names.
   obs::MetricsRegistry::global()
@@ -396,23 +448,51 @@ bool Server::handle_predict(int fd, const PredictRequest& request) {
   obs::MetricsRegistry::global()
       .counter("serve.tenant." + request.tenant + ".clips")
       .increment(static_cast<std::uint64_t>(count));
-  return send_frame(fd, MessageType::kPredictResponse,
-                    encode_predict_response(response));
+  // Record before the response leaves: once the client sees its answer the
+  // flight recorder and SLO window are guaranteed to include this request.
+  finish_request(trace, obs::RequestOutcome::kOk, trace->total_seconds);
+  return send_frame(fd, MessageType::kPredictResponse, payload, peer_version,
+                    trace_id);
+}
+
+void Server::finish_request(const std::shared_ptr<obs::RequestTrace>& trace,
+                            obs::RequestOutcome outcome,
+                            double total_seconds) {
+  trace->outcome = outcome;
+  trace->total_seconds = total_seconds;
+  static obs::Histogram& decode_seconds =
+      obs::MetricsRegistry::global().histogram("serve.request.decode_seconds",
+                                               obs::default_latency_buckets());
+  static obs::Histogram& encode_seconds =
+      obs::MetricsRegistry::global().histogram("serve.request.encode_seconds",
+                                               obs::default_latency_buckets());
+  decode_seconds.observe(trace->decode_seconds);
+  if (outcome == obs::RequestOutcome::kOk) {
+    encode_seconds.observe(trace->encode_seconds);
+  }
+  flight_recorder_.record(*trace);
+  slo_monitor_.record(total_seconds, outcome == obs::RequestOutcome::kOk);
 }
 
 bool Server::send_frame(int fd, MessageType type,
-                        const std::vector<std::uint8_t>& payload) {
-  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+                        const std::vector<std::uint8_t>& payload,
+                        std::uint16_t peer_version, std::uint64_t trace_id) {
+  // Respond in the version the peer spoke: a v1 client never sees a v2
+  // header (and simply loses the trace_id echo).
+  const std::vector<std::uint8_t> frame =
+      encode_frame(type, payload, 0, trace_id, peer_version);
   return send_all(fd, frame.data(), frame.size());
 }
 
 bool Server::send_reject(int fd, std::uint32_t request_id,
-                         RejectReason reason, const std::string& detail) {
+                         RejectReason reason, const std::string& detail,
+                         std::uint16_t peer_version, std::uint64_t trace_id) {
   Reject reject;
   reject.request_id = request_id;
   reject.reason = reason;
   reject.detail = detail.substr(0, kMaxDetailBytes);
-  return send_frame(fd, MessageType::kReject, encode_reject(reject));
+  return send_frame(fd, MessageType::kReject, encode_reject(reject),
+                    peer_version, trace_id);
 }
 
 }  // namespace hotspot::serve

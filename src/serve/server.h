@@ -35,6 +35,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/request_trace.h"
+#include "obs/slo.h"
 #include "serve/batcher.h"
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
@@ -50,6 +52,12 @@ struct ServerConfig {
   // batcher.max_batch_clips (a request is never split).
   std::size_t max_clips_per_request = 64;
   BatcherConfig batcher;
+  // SLO objectives for the rolling error-budget gauges (obs/slo.h). Shed
+  // and typed-reject outcomes count against the budget.
+  obs::SloConfig slo;
+  // Completed-request summaries retained for /tracez and the fatal-signal
+  // flight dump.
+  std::size_t flight_recorder_capacity = 1024;
 };
 
 class Server {
@@ -78,21 +86,51 @@ class Server {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  // Observability surface (valid for the server's whole lifetime, admin
+  // endpoint and tests read them concurrently with serving).
+  obs::FlightRecorder& flight_recorder() { return flight_recorder_; }
+  const obs::FlightRecorder& flight_recorder() const {
+    return flight_recorder_;
+  }
+  obs::SloMonitor& slo_monitor() { return slo_monitor_; }
+  ModelRegistry& registry() { return *registry_; }
+  // Clips waiting in the admission queue right now (0 before start()).
+  std::size_t queue_depth_clips() const {
+    return batcher_ != nullptr ? batcher_->queued_clips() : 0;
+  }
+  std::size_t queue_capacity_clips() const {
+    return config_.batcher.max_queue_clips;
+  }
+
  private:
   // Sets stopping_ under stop_mutex_ and wakes wait()ers.
   void signal_stopping();
   void accept_loop();
   void serve_connection(int fd);
-  // One request, already decoded. Returns false when the connection should
-  // close (shutdown or send failure).
-  bool handle_predict(int fd, const PredictRequest& request);
+  // One request, already decoded. `trace` was allocated at frame decode
+  // (decode_seconds filled, identity fields set). Returns false when the
+  // connection should close (shutdown or send failure).
+  bool handle_predict(int fd, const PredictRequest& request,
+                      const std::shared_ptr<obs::RequestTrace>& trace,
+                      std::uint16_t peer_version);
+  // Stamps outcome/total, records into the flight recorder and SLO window,
+  // and observes the decode/encode phase histograms.
+  void finish_request(const std::shared_ptr<obs::RequestTrace>& trace,
+                      obs::RequestOutcome outcome, double total_seconds);
   bool send_frame(int fd, MessageType type,
-                  const std::vector<std::uint8_t>& payload);
+                  const std::vector<std::uint8_t>& payload,
+                  std::uint16_t peer_version = kProtocolVersion,
+                  std::uint64_t trace_id = 0);
   bool send_reject(int fd, std::uint32_t request_id, RejectReason reason,
-                   const std::string& detail);
+                   const std::string& detail,
+                   std::uint16_t peer_version = kProtocolVersion,
+                   std::uint64_t trace_id = 0);
 
   ServerConfig config_;
   ModelRegistry* registry_;
+  obs::FlightRecorder flight_recorder_;
+  obs::SloMonitor slo_monitor_;
+  std::atomic<std::uint64_t> next_trace_id_{1};
   std::unique_ptr<MicroBatcher> batcher_;
   int listen_fd_ = -1;
   int bound_port_ = 0;

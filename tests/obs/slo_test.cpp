@@ -1,0 +1,137 @@
+// SloMonitor: rolling error-budget math over 1-second buckets. All tests
+// drive the *_at variants with explicit nanosecond timestamps, so window
+// expiry and burn rates are exact, not timing-dependent.
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace hotspot::obs {
+namespace {
+
+constexpr std::int64_t kSecond = 1'000'000'000;
+
+TEST(SloMonitor, EmptyWindowHasFullBudget) {
+  SloMonitor monitor(SloConfig{});
+  const SloMonitor::Status status = monitor.status_at(0);
+  EXPECT_EQ(status.window_total, 0u);
+  EXPECT_EQ(status.window_bad, 0u);
+  EXPECT_DOUBLE_EQ(status.availability, 1.0);
+  EXPECT_DOUBLE_EQ(status.error_budget_remaining, 1.0);
+  EXPECT_DOUBLE_EQ(status.slow_burn_rate, 0.0);
+}
+
+TEST(SloMonitor, BurnRateIsBadFractionOverAllowedFraction) {
+  SloConfig config;
+  config.availability_objective = 0.9;  // 10% error budget
+  SloMonitor monitor(config);
+  // 100 requests in one second, 5 failures: bad fraction 0.05, so the
+  // window burns at half the allowed rate and half the budget remains.
+  for (int i = 0; i < 95; ++i) {
+    monitor.record_at(0, 0.001, true);
+  }
+  for (int i = 0; i < 5; ++i) {
+    monitor.record_at(0, 0.001, false);
+  }
+  const SloMonitor::Status status = monitor.status_at(0);
+  EXPECT_EQ(status.window_total, 100u);
+  EXPECT_EQ(status.window_bad, 5u);
+  EXPECT_DOUBLE_EQ(status.availability, 0.95);
+  EXPECT_DOUBLE_EQ(status.slow_burn_rate, 0.5);
+  EXPECT_DOUBLE_EQ(status.error_budget_remaining, 0.5);
+}
+
+TEST(SloMonitor, SlowRequestsCountAgainstLatencyObjective) {
+  SloConfig config;
+  config.availability_objective = 0.9;
+  config.p99_objective_seconds = 0.010;
+  SloMonitor monitor(config);
+  monitor.record_at(0, 0.005, true);  // fast success: good
+  monitor.record_at(0, 0.050, true);  // slow success: bad
+  monitor.record_at(0, 0.005, false);  // fast failure: bad
+  const SloMonitor::Status status = monitor.status_at(0);
+  EXPECT_EQ(status.window_total, 3u);
+  EXPECT_EQ(status.window_bad, 2u);
+}
+
+TEST(SloMonitor, WithoutLatencyObjectiveOnlySuccessMatters) {
+  SloMonitor monitor(SloConfig{});  // p99_objective_seconds = 0 (disabled)
+  monitor.record_at(0, 100.0, true);
+  const SloMonitor::Status status = monitor.status_at(0);
+  EXPECT_EQ(status.window_bad, 0u);
+}
+
+TEST(SloMonitor, OldBucketsExpireOutOfTheWindow) {
+  SloConfig config;
+  config.window_seconds = 10;
+  config.fast_window_seconds = 2;
+  SloMonitor monitor(config);
+  for (int i = 0; i < 4; ++i) {
+    monitor.record_at(0, 0.001, false);  // all bad, at t=0
+  }
+  EXPECT_EQ(monitor.status_at(0).window_bad, 4u);
+  // Nine seconds later the t=0 bucket is still inside the 10 s window...
+  EXPECT_EQ(monitor.status_at(9 * kSecond).window_bad, 4u);
+  // ...and one second after that it has aged out entirely.
+  const SloMonitor::Status expired = monitor.status_at(10 * kSecond);
+  EXPECT_EQ(expired.window_total, 0u);
+  EXPECT_DOUBLE_EQ(expired.error_budget_remaining, 1.0);
+}
+
+TEST(SloMonitor, FastWindowReactsBeforeSlowWindow) {
+  SloConfig config;
+  config.availability_objective = 0.9;
+  config.window_seconds = 100;
+  config.fast_window_seconds = 1;
+  SloMonitor monitor(config);
+  // 99 seconds of clean traffic, then one fully-failed second.
+  for (int s = 0; s < 99; ++s) {
+    monitor.record_at(s * kSecond, 0.001, true);
+  }
+  monitor.record_at(99 * kSecond, 0.001, false);
+  const SloMonitor::Status status = monitor.status_at(99 * kSecond);
+  // Fast window sees 100% failure (burn 10x allowed); the slow window has
+  // diluted it to 1/100 bad.
+  EXPECT_DOUBLE_EQ(status.fast_burn_rate, 10.0);
+  EXPECT_NEAR(status.slow_burn_rate, 0.1, 1e-9);
+  EXPECT_NEAR(status.error_budget_remaining, 0.9, 1e-9);
+}
+
+TEST(SloMonitor, LappedBucketIsResetNotAccumulated) {
+  SloConfig config;
+  config.window_seconds = 2;
+  SloMonitor monitor(config);
+  monitor.record_at(0, 0.001, false);  // second 0 -> bucket 0
+  // Second 2 maps onto the same bucket index; the stale tally must not leak
+  // into the new second.
+  monitor.record_at(2 * kSecond, 0.001, true);
+  const SloMonitor::Status status = monitor.status_at(2 * kSecond);
+  EXPECT_EQ(status.window_total, 1u);
+  EXPECT_EQ(status.window_bad, 0u);
+}
+
+TEST(SloMonitor, PublishSetsGauges) {
+  SloConfig config;
+  config.availability_objective = 0.5;
+  SloMonitor monitor(config);
+  monitor.record_at(0, 0.001, true);
+  monitor.record_at(0, 0.001, false);
+  monitor.publish_at(0);
+  const MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
+  double budget = -1.0;
+  double total = -1.0;
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == "serve.slo.error_budget_remaining") {
+      budget = gauge.value;
+    } else if (gauge.name == "serve.slo.window_total") {
+      total = gauge.value;
+    }
+  }
+  // Half the traffic failed against a 50% objective: budget exactly spent.
+  EXPECT_DOUBLE_EQ(budget, 0.0);
+  EXPECT_DOUBLE_EQ(total, 2.0);
+}
+
+}  // namespace
+}  // namespace hotspot::obs

@@ -184,6 +184,46 @@ TEST_F(TimelineTest, ResetTimelineClearsEventsAndDrops) {
   EXPECT_EQ(report.dropped, 0u);
 }
 
+TEST_F(TimelineTest, TimelineStatsMatchCollectedReport) {
+  set_timeline_capacity(4);
+  reset_timeline();
+  std::thread worker([] {
+    for (int i = 0; i < 6; ++i) {
+      TraceSpan span("stats.worker");
+    }
+  });
+  worker.join();
+  for (int i = 0; i < 3; ++i) {
+    TraceSpan span("stats.main");
+  }
+  const TimelineReport report = collect_timeline();
+  const TimelineStats stats = timeline_stats();
+  EXPECT_EQ(stats.buffered, report.events.size());
+  EXPECT_EQ(stats.dropped, report.dropped);
+  EXPECT_EQ(stats.threads, report.thread_count);
+}
+
+TEST_F(TimelineTest, PublishTimelineMetricsSetsGauges) {
+  set_timeline_capacity(2);
+  reset_timeline();
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span("gauge.span");
+  }
+  publish_timeline_metrics();
+  const MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
+  double events = -1.0;
+  double dropped = -1.0;
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == "obs.timeline.events") {
+      events = gauge.value;
+    } else if (gauge.name == "obs.timeline.dropped") {
+      dropped = gauge.value;
+    }
+  }
+  EXPECT_EQ(events, 2.0);
+  EXPECT_EQ(dropped, 3.0);
+}
+
 TEST(TimelineDisabledTest, DisabledSpanConstructionDoesNotAllocate) {
   set_trace_enabled(false);
   set_timeline_enabled(false);

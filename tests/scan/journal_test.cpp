@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/fault_injection.h"
 
 namespace hotspot::scan {
@@ -89,6 +91,45 @@ TEST(ScanJournal, AppendThenRecoverRoundTrips) {
   JournalState state;
   ASSERT_TRUE(ScanJournal::recover(path, test_meta(), &state));
   expect_two_batches(state);
+}
+
+TEST(ScanJournal, AppendPublishesDurabilityMetrics) {
+  const auto find_counter = [](const std::string& name) -> std::uint64_t {
+    for (const auto& counter :
+         obs::MetricsRegistry::global().snapshot().counters) {
+      if (counter.name == name) {
+        return counter.value;
+      }
+    }
+    return 0;
+  };
+  const auto histogram_count = [](const std::string& name) -> std::uint64_t {
+    for (const auto& histogram :
+         obs::MetricsRegistry::global().snapshot().histograms) {
+      if (histogram.name == name) {
+        return histogram.count;
+      }
+    }
+    return 0;
+  };
+  const std::uint64_t bytes_before =
+      find_counter("scan.journal.bytes_written");
+  const std::uint64_t appends_before =
+      histogram_count("scan.journal.append_seconds");
+  const std::string path = temp_path("journal_metrics.bin");
+  remove_journal(path);
+  {
+    ScanJournal journal;
+    JournalState fresh;
+    ASSERT_TRUE(journal.open(path, test_meta(), /*resume=*/false, &fresh));
+    append_two_batches(journal);
+  }
+  // Two successful appends: two histogram observations, and the byte
+  // counter grew by at least the two frames' framing overhead.
+  EXPECT_EQ(histogram_count("scan.journal.append_seconds"),
+            appends_before + 2);
+  EXPECT_GT(find_counter("scan.journal.bytes_written"), bytes_before);
+  remove_journal(path);
 }
 
 TEST(ScanJournal, ResumeRecoversAndAppendsChain) {

@@ -96,6 +96,60 @@ TEST(ServeProtocol, EveryPayloadBitFlipIsDetected) {
   }
 }
 
+TEST(ServeProtocol, TraceIdRoundTripsInV2Frames) {
+  const std::vector<std::uint8_t> payload = {4, 5, 6};
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MessageType::kPredictResponse, payload, /*flags=*/0,
+                   /*trace_id=*/0x1122334455667788ull);
+  Frame decoded;
+  ASSERT_EQ(decode(frame, &decoded), FrameStatus::kOk);
+  EXPECT_EQ(decoded.version, kProtocolVersion);
+  EXPECT_EQ(decoded.trace_id, 0x1122334455667788ull);
+  EXPECT_EQ(decoded.payload, payload);
+}
+
+TEST(ServeProtocol, V1FramesStillDecodeWithZeroTraceId) {
+  // Old clients speak v1: 12-byte header, CRC over the payload only. The
+  // server must keep accepting them byte-for-byte.
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MessageType::kPing, {1, 2, 3}, /*flags=*/0,
+                   /*trace_id=*/0, /*version=*/1);
+  Frame decoded;
+  ASSERT_EQ(decode(frame, &decoded), FrameStatus::kOk);
+  EXPECT_EQ(decoded.version, 1);
+  EXPECT_EQ(decoded.trace_id, 0u);
+  EXPECT_EQ(decoded.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  // A v1 frame is 8 bytes shorter than the same v2 frame (no trace id).
+  const std::vector<std::uint8_t> v2 =
+      encode_frame(MessageType::kPing, {1, 2, 3});
+  EXPECT_EQ(frame.size() + 8, v2.size());
+}
+
+TEST(ServeProtocol, EveryTraceIdBitFlipIsDetected) {
+  // The v2 CRC covers the trace id too: no un-checksummed bytes on the
+  // wire. Flip every bit of the 8-byte id and expect kCorrupt.
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MessageType::kPing, {0x42}, /*flags=*/0,
+                   /*trace_id=*/0xa5a5a5a5a5a5a5a5ull);
+  for (std::size_t byte = 12; byte < 20; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> damaged = frame;
+      damaged[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      Frame decoded;
+      EXPECT_EQ(decode(damaged, &decoded), FrameStatus::kCorrupt)
+          << "byte=" << byte << " bit=" << bit;
+    }
+  }
+}
+
+TEST(ServeProtocol, FutureVersionIsRefused) {
+  std::vector<std::uint8_t> frame = encode_frame(MessageType::kPing, {9});
+  frame[4] = static_cast<std::uint8_t>(kProtocolVersion + 1);
+  frame[5] = 0;
+  Frame decoded;
+  EXPECT_EQ(decode(frame, &decoded), FrameStatus::kBadVersion);
+}
+
 TEST(ServeProtocol, HeaderDamageIsTyped) {
   const std::vector<std::uint8_t> frame =
       encode_frame(MessageType::kPing, {9});

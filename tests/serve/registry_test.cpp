@@ -5,6 +5,7 @@
 #include "serve/model_registry.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
@@ -27,7 +28,10 @@ using tensor::Tensor;
 constexpr std::int64_t kGrid = 16;
 
 std::string temp_path(const std::string& name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  // ctest -j runs each TEST as its own process against a shared TempDir;
+  // the pid keeps concurrent fixtures from clobbering each other's files.
+  return std::string(::testing::TempDir()) + "/" + std::to_string(::getpid()) +
+         "_" + name;
 }
 
 // Saves a compact(kGrid) model with seed-dependent random weights. Distinct
@@ -169,9 +173,13 @@ TEST(ModelRegistry, HotSwapUnderConcurrentPredictIsNeverTorn) {
       }
     });
   }
-  for (int swap = 0; swap < 6; ++swap) {
+  // At least six swaps, and keep hammering until a reader has actually
+  // raced a predict against one — on a loaded machine the readers may not
+  // be scheduled until well after a fixed swap count would have finished.
+  for (int swap = 0; swap < 6 || predictions.load() == 0; ++swap) {
     ASSERT_TRUE(registry.load(swap % 2 == 0 ? b : a, kGrid).ok());
   }
+  ASSERT_TRUE(registry.load(a, kGrid).ok());
   stop.store(true, std::memory_order_release);
   for (std::thread& reader : readers) {
     reader.join();

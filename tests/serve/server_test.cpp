@@ -6,6 +6,7 @@
 #include "serve/server.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -34,7 +35,10 @@ using tensor::Tensor;
 constexpr std::int64_t kGrid = 16;
 
 std::string temp_path(const std::string& name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  // ctest -j runs each TEST as its own process against a shared TempDir;
+  // the pid keeps concurrent fixtures from clobbering each other's files.
+  return std::string(::testing::TempDir()) + "/" + std::to_string(::getpid()) +
+         "_" + name;
 }
 
 std::string save_model(const std::string& name, std::uint64_t seed) {
@@ -422,6 +426,119 @@ TEST(ServeServer, StateFileLetsARestartedServerResume) {
     client.close();
     server.stop();
   }
+}
+
+TEST(ServeServer, ResponsesCarryMonotonicTraceIds) {
+  ServerFixture fixture;
+  PredictOutcome outcome;
+  std::string error;
+  std::uint64_t previous = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fixture.client().predict(
+        "trace-tenant", probe_batch(static_cast<unsigned>(i)), &outcome,
+        &error))
+        << error;
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_EQ(fixture.client().last_frame_version(), kProtocolVersion);
+    EXPECT_GT(fixture.client().last_trace_id(), previous)
+        << "trace ids must be echoed and increase per request";
+    previous = fixture.client().last_trace_id();
+  }
+  // Rejects carry the trace id too: the failed request is findable in
+  // /tracez by the id the client saw.
+  ASSERT_TRUE(fixture.client().predict(
+      "trace-tenant", probe_batch(9, /*count=*/128), &outcome, &error));
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_GT(fixture.client().last_trace_id(), previous);
+}
+
+TEST(ServeServer, V1ClientIsServedWithV1Responses) {
+  ServerFixture fixture;
+  // Hand-roll a v1 predict request (the old wire format) and expect a
+  // well-formed v1 response with bit-identical labels.
+  const Tensor images = probe_batch(21, 3);
+  const std::vector<int> reference =
+      fixture.registry().active()->predict(images);
+  PredictRequest request;
+  request.request_id = 77;
+  request.grid = static_cast<std::uint16_t>(kGrid);
+  request.count = 3;
+  request.tenant = "legacy";
+  request.packed_clips = pack_rasters(images.data(), 3, request.grid);
+  Frame response;
+  std::string error;
+  ASSERT_TRUE(fixture.client().send_raw(
+      encode_frame(MessageType::kPredictRequest,
+                   encode_predict_request(request), /*flags=*/0,
+                   /*trace_id=*/0, /*version=*/1),
+      &response, &error))
+      << error;
+  EXPECT_EQ(response.version, 1);
+  EXPECT_EQ(response.trace_id, 0u);  // v1 frames cannot carry one
+  ASSERT_EQ(response.type, MessageType::kPredictResponse);
+  PredictResponse decoded;
+  ASSERT_TRUE(decode_predict_response(response.payload, &decoded));
+  ASSERT_EQ(decoded.labels.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(decoded.labels[i]), reference[i]);
+  }
+}
+
+TEST(ServeServer, FlightRecorderCapturesRequestBreakdown) {
+  ServerFixture fixture;
+  PredictOutcome outcome;
+  std::string error;
+  ASSERT_TRUE(fixture.client().predict("flight-tenant", probe_batch(5, 6),
+                                       &outcome, &error))
+      << error;
+  ASSERT_TRUE(outcome.ok);
+  const std::vector<obs::RequestTrace> traces =
+      fixture.server().flight_recorder().snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const obs::RequestTrace& trace = traces.front();
+  EXPECT_EQ(trace.request_id, fixture.client().last_trace_id());
+  EXPECT_EQ(trace.tenant, "flight-tenant");
+  EXPECT_EQ(trace.clips, 6u);
+  EXPECT_EQ(trace.model_version, 1u);
+  EXPECT_EQ(trace.outcome, obs::RequestOutcome::kOk);
+  // The phase breakdown is internally consistent: every phase non-negative
+  // and no phase longer than the whole request.
+  EXPECT_GT(trace.total_seconds, 0.0);
+  for (const double phase :
+       {trace.decode_seconds, trace.queue_seconds, trace.batch_seconds,
+        trace.infer_seconds, trace.encode_seconds}) {
+    EXPECT_GE(phase, 0.0);
+    EXPECT_LE(phase, trace.total_seconds);
+  }
+  EXPECT_GT(trace.infer_seconds, 0.0);  // the classifier really ran
+  // SLO window saw the request as good.
+  const obs::SloMonitor::Status slo = fixture.server().slo_monitor().status();
+  EXPECT_EQ(slo.window_total, 1u);
+  EXPECT_EQ(slo.window_bad, 0u);
+}
+
+TEST(ServeServer, ShedAndRejectedRequestsBurnSloBudget) {
+  ServerConfig config;
+  config.max_clips_per_request = 4;
+  ServerFixture fixture(config);
+  PredictOutcome outcome;
+  std::string error;
+  // Oversized: typed reject, recorded as bad.
+  ASSERT_TRUE(fixture.client().predict("slo-tenant", probe_batch(1, 8),
+                                       &outcome, &error));
+  EXPECT_FALSE(outcome.ok);
+  // In budget: good.
+  ASSERT_TRUE(fixture.client().predict("slo-tenant", probe_batch(2, 2),
+                                       &outcome, &error));
+  EXPECT_TRUE(outcome.ok);
+  const obs::SloMonitor::Status slo = fixture.server().slo_monitor().status();
+  EXPECT_EQ(slo.window_total, 2u);
+  EXPECT_EQ(slo.window_bad, 1u);
+  const std::vector<obs::RequestTrace> traces =
+      fixture.server().flight_recorder().snapshot();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].outcome, obs::RequestOutcome::kRejected);
+  EXPECT_EQ(traces[1].outcome, obs::RequestOutcome::kOk);
 }
 
 }  // namespace
